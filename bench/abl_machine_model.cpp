@@ -1,0 +1,81 @@
+// Ablation of the simulator's load-bearing model decisions (DESIGN.md §5):
+// how the baseline-vs-Euno gap responds to
+//   (a) the mutual-abort probability,
+//   (b) the retry budget before falling back,
+//   (c) the cross-socket transfer latency (the NUMA effect of Brown et al.
+//       that the paper's related work discusses), and
+//   (d) cache retention (capacity modelling on/off).
+//
+// These sweeps justify the defaults and show which phenomena each knob
+// produces: without mutual aborts the collapse never ignites; without
+// capacity modelling transactions are unrealistically short; NUMA latency
+// magnifies conflicts but does not create them (the paper's position).
+#include "fig_common.hpp"
+
+using namespace euno;
+
+namespace {
+
+void run_pair(driver::ExperimentSpec spec, stats::Table* table,
+              const std::string& knob, const std::string& value) {
+  spec.tree = driver::TreeKind::kHtmBPTree;
+  const auto base = run_sim_experiment(spec);
+  spec.tree = driver::TreeKind::kEuno;
+  const auto euno = run_sim_experiment(spec);
+  table->add_row({knob, value, stats::Table::num(base.throughput_mops),
+                  stats::Table::num(base.aborts_per_op),
+                  stats::Table::num(euno.throughput_mops),
+                  stats::Table::num(euno.aborts_per_op),
+                  stats::Table::num(euno.throughput_mops / base.throughput_mops,
+                                    2) +
+                      "x"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = stats::BenchArgs::parse(argc, argv);
+  auto spec = bench::figure_spec(args);
+  spec.workload.dist_param = 0.9;
+  if (args.ops_per_thread == 0) spec.ops_per_thread = 1500;
+  bench::print_header("Model ablation", "simulator design choices at theta=0.9",
+                      spec);
+
+  stats::Table table({"knob", "value", "base_mops", "base_ab/op", "euno_mops",
+                      "euno_ab/op", "euno/base"});
+
+  for (std::uint32_t pct : args.quick ? std::vector<std::uint32_t>{0, 50}
+                                      : std::vector<std::uint32_t>{0, 25, 50,
+                                                                   75, 100}) {
+    auto s = spec;
+    s.machine.htm.mutual_abort_pct = pct;
+    run_pair(s, &table, "mutual_abort_pct", std::to_string(pct));
+  }
+
+  for (int retries : args.quick ? std::vector<int>{10}
+                                : std::vector<int>{0, 2, 10, 32, 64}) {
+    auto s = spec;
+    s.policy.conflict_retries = retries;
+    run_pair(s, &table, "conflict_retries", std::to_string(retries));
+  }
+
+  for (std::uint32_t remote : args.quick ? std::vector<std::uint32_t>{240}
+                                         : std::vector<std::uint32_t>{40, 120,
+                                                                      240, 480}) {
+    auto s = spec;
+    s.machine.latency.remote_cache = remote;
+    run_pair(s, &table, "remote_cache_cycles", std::to_string(remote));
+  }
+
+  {
+    // Capacity modelling off: nothing ever ages out of cache.
+    auto s = spec;
+    s.machine.latency.l2_retention = ~0ull;
+    s.machine.latency.l3_retention = ~0ull;
+    run_pair(s, &table, "cache_capacity", "off");
+    run_pair(spec, &table, "cache_capacity", "on(default)");
+  }
+
+  table.print(args.csv);
+  return 0;
+}

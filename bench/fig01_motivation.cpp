@@ -1,0 +1,28 @@
+// Figure 1: throughput of the conventional HTM-B+Tree under different
+// contention rates (skew coefficient θ), 16 threads.
+//
+// Expected shape: high and stable throughput while θ < 0.6, then a sharp
+// collapse as contention grows.
+#include "fig_common.hpp"
+
+using namespace euno;
+
+int main(int argc, char** argv) {
+  const auto args = stats::BenchArgs::parse(argc, argv);
+  auto spec = bench::figure_spec(args);
+  spec.tree = driver::TreeKind::kHtmBPTree;
+  bench::print_header("Figure 1", "HTM-B+Tree throughput vs. contention", spec);
+
+  stats::Table table({"theta", "throughput_mops", "aborts_per_op", "fallbacks",
+                      "wasted_cycles_pct"});
+  for (double theta : bench::theta_sweep(args.quick)) {
+    spec.workload.dist_param = theta;
+    const auto r = run_sim_experiment(spec);
+    table.add_row({stats::Table::num(theta), stats::Table::num(r.throughput_mops),
+                   stats::Table::num(r.aborts_per_op),
+                   stats::Table::num(r.fallbacks),
+                   stats::Table::num(100 * r.wasted_cycle_frac, 1)});
+  }
+  table.print(args.csv);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 10 (a-d): scalability with thread count under four contention
+// levels: θ = 0.2 (low), 0.6 (modest), 0.9 (high), 0.99 (extremely high).
+//
+// Expected shapes: at low contention every tree scales; at modest contention
+// the monolithic baseline stops scaling after a few threads; at high and
+// extreme contention the baseline and HTM-Masstree collapse while
+// Euno-B+Tree keeps scaling and Masstree stays stable.
+#include "fig_common.hpp"
+
+using namespace euno;
+
+int main(int argc, char** argv) {
+  const auto args = stats::BenchArgs::parse(argc, argv);
+  auto spec = bench::figure_spec(args);
+  if (args.ops_per_thread == 0) spec.ops_per_thread = 1200;
+  bench::print_header("Figure 10", "scalability under four contention levels",
+                      spec);
+
+  static constexpr struct {
+    const char* panel;
+    double theta;
+  } kPanels[] = {{"(a) low", 0.2},
+                 {"(b) modest", 0.6},
+                 {"(c) high", 0.9},
+                 {"(d) extreme", 0.99}};
+
+  stats::Table table({"panel", "theta", "threads", "tree", "throughput_mops",
+                      "aborts_per_op"});
+  for (const auto& panel : kPanels) {
+    spec.workload.dist_param = panel.theta;
+    for (int threads : bench::thread_sweep(args.quick)) {
+      spec.threads = threads;
+      for (auto kind : bench::figure_tree_kinds()) {
+        spec.tree = kind;
+        const auto r = run_sim_experiment(spec);
+        table.add_row({panel.panel, stats::Table::num(panel.theta),
+                       stats::Table::num(static_cast<std::uint64_t>(threads)),
+                       driver::tree_kind_name(kind),
+                       stats::Table::num(r.throughput_mops),
+                       stats::Table::num(r.aborts_per_op)});
+      }
+    }
+  }
+  table.print(args.csv);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 11 (a-d): scalability under four get/put ratios at high contention
+// (Zipfian θ = 0.9): 0/100, 20/80, 50/50, 70/30.
+//
+// Expected shape: Euno-B+Tree scales near-linearly at every ratio, with the
+// biggest advantage at 100% puts; Masstree scales but stays below Euno;
+// the HTM baselines suffer most as the put share grows.
+#include "fig_common.hpp"
+
+using namespace euno;
+
+int main(int argc, char** argv) {
+  const auto args = stats::BenchArgs::parse(argc, argv);
+  auto spec = bench::figure_spec(args);
+  if (args.ops_per_thread == 0) spec.ops_per_thread = 1200;
+  spec.workload.dist_param = 0.9;
+  bench::print_header("Figure 11", "get/put ratios at theta=0.9", spec);
+
+  static constexpr struct {
+    const char* panel;
+    int get_pct;
+  } kPanels[] = {{"(a) 0/100", 0}, {"(b) 20/80", 20}, {"(c) 50/50", 50},
+                 {"(d) 70/30", 70}};
+
+  stats::Table table(
+      {"panel", "threads", "tree", "throughput_mops", "aborts_per_op"});
+  for (const auto& panel : kPanels) {
+    spec.workload.mix.get_pct = panel.get_pct;
+    spec.workload.mix.put_pct = 100 - panel.get_pct;
+    for (int threads : bench::thread_sweep(args.quick)) {
+      spec.threads = threads;
+      for (auto kind : bench::figure_tree_kinds()) {
+        spec.tree = kind;
+        const auto r = run_sim_experiment(spec);
+        table.add_row({panel.panel,
+                       stats::Table::num(static_cast<std::uint64_t>(threads)),
+                       driver::tree_kind_name(kind),
+                       stats::Table::num(r.throughput_mops),
+                       stats::Table::num(r.aborts_per_op)});
+      }
+    }
+  }
+  table.print(args.csv);
+  return 0;
+}

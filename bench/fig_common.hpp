@@ -1,0 +1,65 @@
+// Shared configuration for the figure-reproduction benches.
+//
+// Workload: YCSB-style, 8-byte keys/values, Zipfian default, *consecutive*
+// hot keys (unscrambled ranks — hot records adjacent, as in the paper's
+// analysis of false conflicts from consecutive records), half of the key
+// range preloaded at stride 2 so the measured phase keeps inserting records
+// between hot existing ones.
+//
+// Scale: the paper uses a 100 M key range on a real 20-core machine for
+// ≥20 s per point; the simulated reproduction defaults to 1 M keys and a
+// fixed operation count per point so a full figure regenerates in minutes.
+// Shapes, not absolute numbers, are the reproduction target (see
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+
+#include "driver/experiment.hpp"
+#include "stats/report.hpp"
+
+namespace euno::bench {
+
+inline driver::ExperimentSpec figure_spec(const stats::BenchArgs& args) {
+  driver::ExperimentSpec spec;
+  spec.workload.key_range = args.key_range ? args.key_range : (1u << 20);
+  spec.workload.dist = workload::DistKind::kZipfian;
+  spec.workload.dist_param = 0.5;
+  spec.workload.scramble = false;
+  spec.workload.seed = args.seed;
+  spec.preload = spec.workload.key_range / 2;
+  spec.preload_stride = 2;
+  spec.threads = 16;
+  spec.ops_per_thread = args.ops_per_thread ? args.ops_per_thread : 2000;
+  spec.machine.arena_bytes = 3ull << 30;
+  return spec;
+}
+
+inline const char* kFigureTrees[] = {"HTM-B+Tree", "Masstree", "HTM-Masstree",
+                                     "Euno-B+Tree"};
+
+inline std::vector<driver::TreeKind> figure_tree_kinds() {
+  return {driver::TreeKind::kHtmBPTree, driver::TreeKind::kMasstree,
+          driver::TreeKind::kHtmMasstree, driver::TreeKind::kEuno};
+}
+
+inline std::vector<double> theta_sweep(bool quick) {
+  if (quick) return {0.2, 0.9};
+  return {0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99};
+}
+
+inline std::vector<int> thread_sweep(bool quick) {
+  if (quick) return {4, 16};
+  return {1, 4, 8, 12, 16, 20};
+}
+
+inline void print_header(const char* figure, const char* what,
+                         const driver::ExperimentSpec& spec) {
+  std::printf("== %s: %s ==\n", figure, what);
+  std::printf("   workload: %s, preload %llu (stride %u), %llu ops/thread\n\n",
+              spec.workload.describe().c_str(),
+              static_cast<unsigned long long>(spec.preload), spec.preload_stride,
+              static_cast<unsigned long long>(spec.ops_per_thread));
+}
+
+}  // namespace euno::bench

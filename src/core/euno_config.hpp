@@ -1,0 +1,59 @@
+// Runtime configuration of Euno-B+Tree, including the feature flags that
+// reproduce the Figure 13 ablation ladder.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/policy.hpp"
+
+namespace euno::core {
+
+struct EunoConfig {
+  // ---- Figure 13 ablation flags (cumulative ladder) ----
+  // Segmentation (+Part Leaf) is a compile-time property (the S template
+  // parameter: S=1 gives the consecutive layout, S=4 the partitioned one).
+  bool ccm_lockbits = true;   // +CCM lockbits: hashed per-key advisory locks
+  bool ccm_markbits = true;   // +CCM markbits: Bloom-filter existence bits
+  bool adaptive = false;      // +Adaptive: per-leaf contention bypass
+
+  // ---- tuning ----
+  /// §4.2.4: a range query moves and sorts all of the leaf's records into
+  /// the reserved-keys buffer under the advisory lock, so "the sorted
+  /// results can be reused for consecutive scan operations". When false,
+  /// scans merge into a transient buffer that is freed immediately (cheaper
+  /// memory profile, no reuse).
+  bool scan_compacts = true;
+  htm::RetryPolicy policy{};
+  int sched_retries = 3;        // write-scheduler re-draw attempts (§4.2.2)
+  int near_full_pct = 50;       // pre-acquire split lock above this fill %
+  std::uint32_t adapt_window = 32;        // ops per adaptive decision window
+  std::uint32_t adapt_high_pct = 15;      // >= this abort % → high contention
+  std::uint64_t rebalance_threshold = ~0ull;  // deletes before auto-rebalance
+
+  /// Ladder presets (Baseline is the plain HtmBPTree).
+  static EunoConfig split_only() {
+    EunoConfig c;
+    c.ccm_lockbits = false;
+    c.ccm_markbits = false;
+    c.adaptive = false;
+    return c;
+  }
+  static EunoConfig part_leaf() { return split_only(); }  // S chosen by caller
+  static EunoConfig with_lockbits() {
+    EunoConfig c = split_only();
+    c.ccm_lockbits = true;
+    return c;
+  }
+  static EunoConfig with_markbits() {
+    EunoConfig c = with_lockbits();
+    c.ccm_markbits = true;
+    return c;
+  }
+  static EunoConfig full() {
+    EunoConfig c = with_markbits();
+    c.adaptive = true;
+    return c;
+  }
+};
+
+}  // namespace euno::core

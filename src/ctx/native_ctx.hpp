@@ -1,0 +1,209 @@
+// Native execution context: real threads, real Intel RTM.
+//
+// read/write compile to relaxed atomic loads/stores (plain movs on x86-64 —
+// zero overhead, but well-defined under the optimistic races the trees rely
+// on). txn() elides the per-tree fallback lock with real hardware
+// transactions, with the DBX-style per-abort-type retry thresholds; when RTM
+// is unavailable (or exhausted) it serializes on the lock, so the same
+// binary runs correctly on machines without TSX.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+
+#include "ctx/common.hpp"
+#include "htm/policy.hpp"
+#include "htm/rtm.hpp"
+#include "sim/line.hpp"
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+#include "util/memstats.hpp"
+#include "util/spinlock.hpp"
+
+namespace euno::ctx {
+
+/// Long-lived engine state shared by all native contexts. (The native engine
+/// needs nothing beyond the process heap; this exists for API symmetry with
+/// SimEnv and as the factory for per-thread contexts.)
+class NativeEnv {
+ public:
+  explicit NativeEnv(int max_threads = 64) : max_threads_(max_threads) {}
+  int max_threads() const { return max_threads_; }
+
+ private:
+  int max_threads_;
+};
+
+class NativeCtx {
+ public:
+  NativeCtx(NativeEnv& env, int tid) : env_(&env), tid_(tid) {
+    EUNO_ASSERT(tid >= 0 && tid < env.max_threads());
+  }
+
+  int tid() const { return tid_; }
+  SiteStats& stats() { return stats_; }
+  const SiteStats& stats() const { return stats_; }
+
+  // ---- transactions ----
+
+  /// Execute `body` atomically: hardware transaction with subscribed
+  /// fallback lock, retrying per `policy`, serializing on `lock` when the
+  /// budget is exhausted (or RTM is unavailable).
+  template <class Body>
+  TxnOutcome txn(TxSite site, FallbackLock& lock, const htm::RetryPolicy& policy,
+                 Body&& body) {
+    TxnOutcome out;
+    auto& st = stats_.at(site);
+    if (htm::rtm_supported()) {
+      int conflict_budget = policy.conflict_retries;
+      int capacity_budget = policy.capacity_retries;
+      int other_budget = policy.other_retries;
+      for (;;) {
+        // Never start while the fallback lock is held: we would abort
+        // immediately on subscription.
+        while (lock.word.load(std::memory_order_acquire) != 0) cpu_relax();
+        st.attempts++;
+        const unsigned status = htm::rtm_begin();
+        if (status == 0xFFFFFFFFu /* _XBEGIN_STARTED */) {
+          // Subscribe the fallback lock: brings its line into our read set,
+          // so a fallback acquirer aborts us.
+          if (lock.word.load(std::memory_order_relaxed) != 0) {
+            htm::rtm_abort_fallback_locked();
+          }
+          in_tx_ = true;
+          body();
+          in_tx_ = false;
+          htm::rtm_end();
+          st.commits++;
+          return out;
+        }
+        in_tx_ = false;
+        const htm::TxResult r = htm::rtm_decode(status);
+        st.note_abort(r);
+        out.aborts++;
+        if (r.reason == htm::AbortReason::kLockBusy) continue;  // free of charge
+        int* budget = &other_budget;
+        if (r.reason == htm::AbortReason::kConflict) budget = &conflict_budget;
+        if (r.reason == htm::AbortReason::kCapacity) budget = &capacity_budget;
+        if (--*budget < 0) break;
+      }
+    } else {
+      st.attempts++;
+    }
+    // Fallback: serialize on the lock.
+    for (;;) {
+      std::uint32_t expected = 0;
+      if (lock.word.compare_exchange_weak(expected, 1, std::memory_order_acquire)) {
+        break;
+      }
+      while (lock.word.load(std::memory_order_relaxed) != 0) cpu_relax();
+    }
+    st.fallbacks++;
+    in_fallback_ = true;
+    body();
+    in_fallback_ = false;
+    lock.word.store(0, std::memory_order_release);
+    st.commits++;
+    out.used_fallback = true;
+    return out;
+  }
+
+  bool in_fallback() const { return in_fallback_; }
+
+  /// Explicit user abort — only meaningful inside a hardware transaction.
+  [[noreturn]] void tx_abort_user() {
+    EUNO_ASSERT(in_tx_);
+    htm::rtm_abort_user();
+  }
+
+  // ---- shared memory ----
+
+  template <class T>
+  T read(const T& src) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    // atomic_ref<const T> arrives only in C++26; the const_cast is sound
+    // because load() never writes.
+    return std::atomic_ref<T>(const_cast<T&>(src)).load(std::memory_order_relaxed);
+  }
+
+  template <class T>
+  void write(T& dst, T val) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    std::atomic_ref<T>(dst).store(val, std::memory_order_relaxed);
+  }
+
+  // ---- atomics (outside HTM regions) ----
+
+  template <class T>
+  T atomic_load(const std::atomic<T>& a) {
+    return a.load(std::memory_order_acquire);
+  }
+
+  template <class T>
+  void atomic_store(std::atomic<T>& a, T v) {
+    a.store(v, std::memory_order_release);
+  }
+
+  template <class T>
+  bool cas(std::atomic<T>& a, T expect, T desired) {
+    return a.compare_exchange_strong(expect, desired, std::memory_order_acq_rel);
+  }
+
+  template <class T>
+  T fetch_or(std::atomic<T>& a, T v) {
+    return a.fetch_or(v, std::memory_order_acq_rel);
+  }
+
+  template <class T>
+  T fetch_and(std::atomic<T>& a, T v) {
+    return a.fetch_and(v, std::memory_order_acq_rel);
+  }
+
+  template <class T>
+  T fetch_add(std::atomic<T>& a, T v) {
+    return a.fetch_add(v, std::memory_order_acq_rel);
+  }
+
+  // ---- allocation ----
+
+  void* alloc(std::size_t bytes, MemClass cls, sim::LineKind /*kind*/) {
+    void* p = ::operator new(cacheline_round_up(bytes), std::align_val_t{kCacheLineSize});
+    MemStats::instance().note_alloc(cls, cacheline_round_up(bytes));
+    return p;
+  }
+
+  void free(void* p, std::size_t bytes, MemClass cls) {
+    MemStats::instance().note_free(cls, cacheline_round_up(bytes));
+    ::operator delete(p, std::align_val_t{kCacheLineSize});
+  }
+
+  /// Line-kind tagging is a simulator concept; no-op natively.
+  void tag_memory(void*, std::size_t, sim::LineKind) {}
+
+  /// Deleter usable from any thread at any later time (epoch reclamation).
+  std::function<void(void*)> make_deleter(std::size_t bytes, MemClass cls) {
+    return [bytes, cls](void* p) {
+      MemStats::instance().note_free(cls, cacheline_round_up(bytes));
+      ::operator delete(p, std::align_val_t{kCacheLineSize});
+    };
+  }
+
+  // ---- annotations ----
+
+  void note_event(TraceCode) {}
+  void set_op_target(std::uint64_t) {}
+  void clear_op_target() {}
+  void compute(std::uint64_t) {}
+  void spin_pause() { cpu_relax(); }
+
+ private:
+  NativeEnv* env_;
+  int tid_;
+  bool in_tx_ = false;
+  bool in_fallback_ = false;
+  SiteStats stats_{};
+};
+
+}  // namespace euno::ctx

@@ -1,0 +1,221 @@
+// Simulated execution context: fibers on the simulated multicore.
+//
+// Every shared-memory access runs the full simulator protocol (doom check,
+// HTM conflict detection/set tracking, coherence cost) before the raw
+// load/store. txn() mirrors the native retry/fallback structure, with aborts
+// delivered as sim::TxAbortException instead of hardware rollback.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "ctx/common.hpp"
+#include "htm/policy.hpp"
+#include "sim/engine.hpp"
+#include "sim/txabort.hpp"
+#include "util/assert.hpp"
+
+namespace euno::ctx {
+
+/// API-symmetric alias: the simulation object is the long-lived engine env.
+using SimEnv = sim::Simulation;
+
+class SimCtx {
+ public:
+  SimCtx(sim::Simulation& simulation, int core) : sim_(&simulation), core_(core) {}
+
+  int tid() const { return core_; }
+  SiteStats& stats() { return stats_; }
+  const SiteStats& stats() const { return stats_; }
+  sim::Simulation& simulation() { return *sim_; }
+
+  // ---- transactions ----
+
+  template <class Body>
+  TxnOutcome txn(TxSite site, FallbackLock& lock, const htm::RetryPolicy& policy,
+                 Body&& body) {
+    TxnOutcome out;
+    auto& st = stats_.at(site);
+    auto& htm_model = sim_->htm();
+    const auto& cfg = sim_->config();
+    int conflict_budget = policy.conflict_retries;
+    int capacity_budget = policy.capacity_retries;
+    int other_budget = policy.other_retries;
+
+    for (;;) {
+      // Wait while the fallback lock is held (as native: don't even start).
+      while (atomic_load(lock.word) != 0) spin_pause();
+
+      st.attempts++;
+      const std::uint64_t start_clock = sim_->clock_of(core_);
+      htm_model.tx_begin(core_);
+      sim_->charge(cfg.htm.tx_begin_cost);
+      bool aborted = false;
+      htm::TxResult r{};
+      try {
+        // Subscribe the fallback lock inside the transaction.
+        if (atomic_load(lock.word) != 0) {
+          htm_model.tx_abort_explicit(core_, htm::xabort_code::kFallbackLocked);
+        }
+        body();
+        htm_model.tx_commit(core_);
+      } catch (const sim::TxAbortException& e) {
+        // CAUTION: every fiber shares this OS thread's __cxa_eh_globals, so
+        // no scheduling point may occur while an exception is alive — the
+        // catch clause only copies the result; all handling (which charges
+        // simulated time and may yield) happens after the handler ends.
+        r = e.result;
+        aborted = true;
+      }
+      if (!aborted) {
+        sim_->charge(cfg.htm.tx_commit_cost);
+        sim_->counters(core_).cycles_in_tx += sim_->clock_of(core_) - start_clock;
+        st.commits++;
+        return out;
+      }
+      htm_model.on_abort_handled(core_);
+      sim_->charge(cfg.htm.abort_penalty);
+      sim_->counters(core_).cycles_wasted += sim_->clock_of(core_) - start_clock;
+      if (r.reason == htm::AbortReason::kExplicit &&
+          r.xabort_payload == htm::xabort_code::kFallbackLocked) {
+        r.reason = htm::AbortReason::kLockBusy;
+      }
+      st.note_abort(r);
+      out.aborts++;
+      sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kAbort),
+                         static_cast<std::uint8_t>(r.reason),
+                         static_cast<std::uint8_t>(r.conflict));
+      if (r.reason == htm::AbortReason::kLockBusy) continue;
+      int* budget = &other_budget;
+      if (r.reason == htm::AbortReason::kConflict) budget = &conflict_budget;
+      if (r.reason == htm::AbortReason::kCapacity) budget = &capacity_budget;
+      if (--*budget < 0) break;
+    }
+
+    // Fallback path: acquire the lock (the write aborts all subscribed
+    // transactions via strong atomicity), run the body plain, release.
+    for (;;) {
+      if (cas<std::uint32_t>(lock.word, 0, 1)) break;
+      spin_pause();
+    }
+    st.fallbacks++;
+    sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kFallback), 0, 0);
+    in_fallback_ = true;
+    body();
+    in_fallback_ = false;
+    atomic_store<std::uint32_t>(lock.word, 0);
+    st.commits++;
+    out.used_fallback = true;
+    return out;
+  }
+
+  bool in_fallback() const { return in_fallback_; }
+
+  [[noreturn]] void tx_abort_user() {
+    sim_->htm().tx_abort_explicit(core_, htm::xabort_code::kUser);
+  }
+
+  // ---- shared memory ----
+
+  template <class T>
+  T read(const T& src) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    sim_->mem_access(const_cast<T*>(&src), sizeof(T), /*is_write=*/false);
+    return src;
+  }
+
+  template <class T>
+  void write(T& dst, T val) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    sim_->mem_access(&dst, sizeof(T), /*is_write=*/true);
+    dst = val;
+  }
+
+  // ---- atomics ----
+  // Fibers interleave only at instrumented points, so plain operations on the
+  // underlying storage are atomic by construction; the simulator still runs
+  // the conflict protocol (a CAS is an exclusive-ownership request even when
+  // it fails) and charges RMW cost.
+
+  template <class T>
+  T atomic_load(const std::atomic<T>& a) {
+    sim_->mem_access(const_cast<std::atomic<T>*>(&a), sizeof(T), false);
+    return a.load(std::memory_order_relaxed);
+  }
+
+  template <class T>
+  void atomic_store(std::atomic<T>& a, T v) {
+    sim_->mem_access(&a, sizeof(T), true);
+    a.store(v, std::memory_order_relaxed);
+  }
+
+  template <class T>
+  bool cas(std::atomic<T>& a, T expect, T desired) {
+    sim_->mem_access(&a, sizeof(T), true, sim_->config().costs.atomic_rmw);
+    return a.compare_exchange_strong(expect, desired, std::memory_order_relaxed);
+  }
+
+  template <class T>
+  T fetch_or(std::atomic<T>& a, T v) {
+    sim_->mem_access(&a, sizeof(T), true, sim_->config().costs.atomic_rmw);
+    return a.fetch_or(v, std::memory_order_relaxed);
+  }
+
+  template <class T>
+  T fetch_and(std::atomic<T>& a, T v) {
+    sim_->mem_access(&a, sizeof(T), true, sim_->config().costs.atomic_rmw);
+    return a.fetch_and(v, std::memory_order_relaxed);
+  }
+
+  template <class T>
+  T fetch_add(std::atomic<T>& a, T v) {
+    sim_->mem_access(&a, sizeof(T), true, sim_->config().costs.atomic_rmw);
+    return a.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  // ---- allocation ----
+
+  void* alloc(std::size_t bytes, MemClass cls, sim::LineKind kind) {
+    void* p = sim_->arena().alloc(bytes, cls, kind);
+    sim_->htm().note_tx_alloc(core_, p, bytes, cls);
+    if (sim_->in_fiber()) sim_->charge(sim_->config().costs.alloc);
+    return p;
+  }
+
+  void free(void* p, std::size_t bytes, MemClass cls) {
+    // Frees inside a transaction take effect at commit (abort must be able to
+    // leave the memory intact).
+    if (!sim_->htm().defer_tx_free(core_, p, bytes, cls)) {
+      sim_->arena().free(p, bytes, cls);
+    }
+    if (sim_->in_fiber()) sim_->charge(sim_->config().costs.alloc);
+  }
+
+  void tag_memory(void* p, std::size_t bytes, sim::LineKind kind) {
+    sim_->arena().tag(p, bytes, kind);
+  }
+
+  /// Deleter usable from any fiber at any later time (epoch reclamation).
+  std::function<void(void*)> make_deleter(std::size_t bytes, MemClass cls) {
+    return [sim = sim_, bytes, cls](void* p) { sim->arena().free(p, bytes, cls); };
+  }
+
+  // ---- annotations ----
+
+  void note_event(TraceCode code) {
+    sim_->record_trace(static_cast<std::uint8_t>(code), 0, 0);
+  }
+  void set_op_target(std::uint64_t key) { sim_->htm().set_op_target(core_, key); }
+  void clear_op_target() { sim_->htm().clear_op_target(core_); }
+  void compute(std::uint64_t n) { sim_->compute(n); }
+  void spin_pause() { sim_->spin_wait(); }
+
+ private:
+  sim::Simulation* sim_;
+  int core_;
+  bool in_fallback_ = false;
+  SiteStats stats_{};
+};
+
+}  // namespace euno::ctx

@@ -1,0 +1,282 @@
+#include "driver/experiment.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/euno_tree.hpp"
+#include "ctx/native_ctx.hpp"
+#include "ctx/sim_ctx.hpp"
+#include "trees/htmbtree/htm_bptree.hpp"
+#include "trees/olc/olc_bptree.hpp"
+#include "util/memstats.hpp"
+
+namespace euno::driver {
+
+using workload::Op;
+using workload::OpStream;
+using workload::OpType;
+
+std::string tree_kind_name(TreeKind k) {
+  switch (k) {
+    case TreeKind::kHtmBPTree: return "HTM-B+Tree";
+    case TreeKind::kMasstree: return "Masstree";
+    case TreeKind::kHtmMasstree: return "HTM-Masstree";
+    case TreeKind::kEuno: return "Euno-B+Tree";
+    case TreeKind::kEunoSplit: return "+Split HTM";
+    case TreeKind::kEunoPart: return "+Part Leaf";
+    case TreeKind::kEunoLockbits: return "+CCM lockbits";
+    case TreeKind::kEunoMarkbits: return "+CCM markbits";
+    case TreeKind::kEunoAdaptive: return "+Adaptive";
+  }
+  return "?";
+}
+
+namespace {
+
+template <class Tree, class Ctx>
+void run_ops(Tree& tree, Ctx& c, OpStream& stream, std::uint64_t n,
+             std::uint32_t scan_len) {
+  std::vector<trees::KV> scan_buf(scan_len);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Op op = stream.next();
+    switch (op.type) {
+      case OpType::kGet: {
+        trees::Value v;
+        (void)tree.get(c, op.key, &v);
+        break;
+      }
+      case OpType::kPut:
+        tree.put(c, op.key, op.value);
+        break;
+      case OpType::kScan:
+        (void)tree.scan(c, op.key, scan_buf.size(), scan_buf.data());
+        break;
+      case OpType::kDelete:
+        (void)tree.erase(c, op.key);
+        break;
+    }
+  }
+}
+
+void aggregate_stats(const ctx::SiteStats& s, ExperimentResult* r) {
+  const htm::TxStats total = s.total();
+  r->commits += total.commits;
+  r->attempts += total.attempts;
+  r->fallbacks += total.fallbacks;
+  r->aborts_total += total.total_aborts();
+  r->aborts_conflict +=
+      total.aborts[static_cast<int>(htm::AbortReason::kConflict)];
+  r->aborts_capacity +=
+      total.aborts[static_cast<int>(htm::AbortReason::kCapacity)];
+  r->aborts_other += total.total_aborts() -
+                     total.aborts[static_cast<int>(htm::AbortReason::kConflict)] -
+                     total.aborts[static_cast<int>(htm::AbortReason::kCapacity)];
+  r->conflicts_true_same_record +=
+      total.conflicts[static_cast<int>(htm::ConflictKind::kTrueSameRecord)];
+  r->conflicts_false_record +=
+      total.conflicts[static_cast<int>(htm::ConflictKind::kFalseRecord)];
+  r->conflicts_false_metadata +=
+      total.conflicts[static_cast<int>(htm::ConflictKind::kFalseMetadata)];
+  r->conflicts_lock_subscription +=
+      total.conflicts[static_cast<int>(htm::ConflictKind::kLockSubscription)];
+  r->upper_aborts += s.at(ctx::TxSite::kUpper).total_aborts();
+  r->lower_aborts += s.at(ctx::TxSite::kLower).total_aborts();
+  r->mono_aborts += s.at(ctx::TxSite::kMono).total_aborts();
+}
+
+/// Preloads the hottest `n` ranks so the measured phase hits a warm store
+/// (the remaining cold ranks produce fresh inserts).
+template <class Tree, class Ctx>
+void preload_tree(Tree& tree, Ctx& c, const workload::WorkloadSpec& w,
+                  std::uint64_t n, std::uint32_t stride) {
+  Xoshiro256 rng(w.seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t rank = i * stride;
+    if (rank >= w.key_range) break;
+    tree.put(c, workload::rank_to_key(rank, w.key_range, w.scramble), rng.next());
+  }
+}
+
+template <class MakeTree>
+ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
+  EUNO_ASSERT(spec.threads >= 1 &&
+              spec.threads <= spec.machine.topology.total_cores());
+  sim::Simulation simulation(spec.machine);
+  MemStats::instance().reset();
+
+  ctx::SimCtx setup(simulation, 0);
+  auto tree = make(setup);
+  preload_tree(tree, setup, spec.workload, spec.preload, spec.preload_stride);
+
+  std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
+  for (int t = 0; t < spec.threads; ++t) {
+    simulation.spawn(t, [&, t](int core) {
+      ctx::SimCtx c(simulation, core);
+      OpStream stream(spec.workload, t);
+      run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
+      stats[static_cast<std::size_t>(t)] = c.stats();
+    });
+  }
+  simulation.run();
+
+  ExperimentResult r;
+  r.ops = spec.ops_per_thread * static_cast<std::uint64_t>(spec.threads);
+  r.sim_cycles = simulation.max_clock();
+  const double seconds = static_cast<double>(r.sim_cycles) / (spec.ghz * 1e9);
+  r.throughput_mops = seconds > 0 ? static_cast<double>(r.ops) / seconds / 1e6 : 0;
+  for (const auto& s : stats) aggregate_stats(s, &r);
+  r.aborts_per_op =
+      static_cast<double>(r.aborts_total) / static_cast<double>(r.ops);
+
+  std::uint64_t instr = 0, wasted = 0, clock_sum = 0;
+  for (int t = 0; t < spec.threads; ++t) {
+    instr += simulation.counters(t).instructions;
+    wasted += simulation.counters(t).cycles_wasted;
+    clock_sum += simulation.clock_of(t);
+  }
+  r.instructions_per_op = static_cast<double>(instr) / static_cast<double>(r.ops);
+  r.wasted_cycle_frac =
+      clock_sum > 0 ? static_cast<double>(wasted) / static_cast<double>(clock_sum)
+                    : 0;
+
+  auto& ms = MemStats::instance();
+  r.mem_total = ms.tree_live_bytes();
+  r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
+  r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
+
+  ctx::SimCtx teardown(simulation, 0);
+  tree.destroy(teardown);
+  return r;
+}
+
+template <class MakeTree>
+ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
+  ctx::NativeEnv env(64);
+  MemStats::instance().reset();
+  ctx::NativeCtx setup(env, 0);
+  auto tree = make(setup);
+  preload_tree(tree, setup, spec.workload, spec.preload, spec.preload_stride);
+
+  std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < spec.threads; ++t) {
+    workers.emplace_back([&, t] {
+      ctx::NativeCtx c(env, t);
+      OpStream stream(spec.workload, t);
+      run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
+      stats[static_cast<std::size_t>(t)] = c.stats();
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ExperimentResult r;
+  r.ops = spec.ops_per_thread * static_cast<std::uint64_t>(spec.threads);
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.throughput_mops = seconds > 0 ? static_cast<double>(r.ops) / seconds / 1e6 : 0;
+  for (const auto& s : stats) aggregate_stats(s, &r);
+  r.aborts_per_op =
+      static_cast<double>(r.aborts_total) / static_cast<double>(r.ops);
+  auto& ms = MemStats::instance();
+  r.mem_total = ms.tree_live_bytes();
+  r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
+  r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
+
+  ctx::NativeCtx teardown(env, 0);
+  tree.destroy(teardown);
+  return r;
+}
+
+template <class Ctx>
+core::EunoConfig euno_config_for(TreeKind k) {
+  using core::EunoConfig;
+  switch (k) {
+    case TreeKind::kEunoSplit:
+    case TreeKind::kEunoPart:
+      return EunoConfig::split_only();
+    case TreeKind::kEunoLockbits:
+      return EunoConfig::with_lockbits();
+    case TreeKind::kEunoMarkbits:
+      return EunoConfig::with_markbits();
+    default:
+      return EunoConfig::full();
+  }
+}
+
+template <class Runner>
+ExperimentResult dispatch(const ExperimentSpec& spec, Runner runner) {
+  using CtxT = typename Runner::CtxT;
+  switch (spec.tree) {
+    case TreeKind::kHtmBPTree:
+      return runner.template run<trees::HtmBPTree<CtxT>>([&](CtxT& c) {
+        typename trees::HtmBPTree<CtxT>::Options opt;
+        opt.policy = spec.policy;
+        return trees::HtmBPTree<CtxT>(c, opt);
+      });
+    case TreeKind::kMasstree:
+      return runner.template run<trees::OlcBPTree<CtxT>>([&](CtxT& c) {
+        typename trees::OlcBPTree<CtxT>::Options opt;
+        opt.policy = spec.policy;
+        return trees::OlcBPTree<CtxT>(c, opt);
+      });
+    case TreeKind::kHtmMasstree:
+      return runner.template run<trees::OlcBPTree<CtxT>>([&](CtxT& c) {
+        typename trees::OlcBPTree<CtxT>::Options opt;
+        opt.htm_elide = true;
+        opt.policy = spec.policy;
+        return trees::OlcBPTree<CtxT>(c, opt);
+      });
+    case TreeKind::kEunoSplit:
+      return runner.template run<core::EunoBPTree<CtxT, 16, 1>>([&](CtxT& c) {
+        auto cfg = euno_config_for<CtxT>(spec.tree);
+        cfg.policy = spec.policy;
+        return core::EunoBPTree<CtxT, 16, 1>(c, cfg);
+      });
+    case TreeKind::kEuno:
+    case TreeKind::kEunoPart:
+    case TreeKind::kEunoLockbits:
+    case TreeKind::kEunoMarkbits:
+    case TreeKind::kEunoAdaptive:
+      return runner.template run<core::EunoBPTree<CtxT, 16, 4>>([&](CtxT& c) {
+        auto cfg = euno_config_for<CtxT>(spec.tree);
+        cfg.policy = spec.policy;
+        return core::EunoBPTree<CtxT, 16, 4>(c, cfg);
+      });
+  }
+  EUNO_ASSERT_MSG(false, "unknown tree kind");
+  return {};
+}
+
+struct SimRunner {
+  using CtxT = ctx::SimCtx;
+  const ExperimentSpec& spec;
+  template <class Tree, class Make>
+  ExperimentResult run(Make make) {
+    return run_sim_with(spec, make);
+  }
+};
+
+struct NativeRunner {
+  using CtxT = ctx::NativeCtx;
+  const ExperimentSpec& spec;
+  template <class Tree, class Make>
+  ExperimentResult run(Make make) {
+    return run_native_with(spec, make);
+  }
+};
+
+}  // namespace
+
+ExperimentResult run_sim_experiment(const ExperimentSpec& spec) {
+  SimRunner runner{spec};
+  return dispatch(spec, runner);
+}
+
+ExperimentResult run_native_experiment(const ExperimentSpec& spec) {
+  NativeRunner runner{spec};
+  return dispatch(spec, runner);
+}
+
+}  // namespace euno::driver

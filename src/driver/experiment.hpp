@@ -1,0 +1,92 @@
+// Experiment driver shared by every bench binary.
+//
+// One ExperimentSpec describes tree kind + workload + machine + thread
+// count; run_sim_experiment executes it on the simulated multicore and
+// returns throughput, abort decomposition, instruction counts and memory
+// figures — the quantities the paper's figures are built from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/euno_config.hpp"
+#include "htm/policy.hpp"
+#include "sim/machine.hpp"
+#include "workload/ycsb.hpp"
+
+namespace euno::driver {
+
+enum class TreeKind {
+  kHtmBPTree,    // baseline: monolithic HTM region (DBX)
+  kMasstree,     // OLC fine-grained baseline
+  kHtmMasstree,  // OLC with one HTM region per op (elided locks)
+  kEuno,         // Euno-B+Tree, full configuration incl. adaptive
+  // Figure 13 ablation ladder:
+  kEunoSplit,     // +Split HTM (S=1 consecutive layout, no CCM)
+  kEunoPart,      // +Part Leaf (S=4, no CCM)
+  kEunoLockbits,  // +CCM lockbits
+  kEunoMarkbits,  // +CCM markbits
+  kEunoAdaptive,  // +Adaptive (== kEuno)
+};
+
+std::string tree_kind_name(TreeKind k);
+
+struct ExperimentSpec {
+  TreeKind tree = TreeKind::kEuno;
+  workload::WorkloadSpec workload{};
+  int threads = 16;
+  /// Records preloaded before measurement. Preloading runs uninstrumented
+  /// (zero simulated cost). With stride 1, the hottest `preload` ranks are
+  /// loaded; with stride k, every k-th rank among the hottest k*preload is —
+  /// leaving gaps so the measured phase keeps *inserting consecutive
+  /// records* next to hot ones, the regime §2.3 analyses.
+  std::uint64_t preload = 0;
+  std::uint32_t preload_stride = 1;
+  std::uint64_t ops_per_thread = 20000;
+  sim::MachineConfig machine{};
+  /// Retry policy applied to every tree's HTM regions (DBX-style budgets).
+  htm::RetryPolicy policy{};
+  /// Simulated core frequency used to convert cycles → ops/s (paper testbed:
+  /// 2.3 GHz).
+  double ghz = 2.3;
+};
+
+struct ExperimentResult {
+  std::uint64_t ops = 0;
+  std::uint64_t sim_cycles = 0;
+  double throughput_mops = 0;   // million ops per simulated second
+  double aborts_per_op = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t fallbacks = 0;
+  // Abort decomposition (conflict aborts only, by classified cause).
+  std::uint64_t aborts_total = 0;
+  std::uint64_t aborts_conflict = 0;
+  std::uint64_t aborts_capacity = 0;
+  std::uint64_t aborts_other = 0;
+  std::uint64_t conflicts_true_same_record = 0;
+  std::uint64_t conflicts_false_record = 0;
+  std::uint64_t conflicts_false_metadata = 0;
+  std::uint64_t conflicts_lock_subscription = 0;
+  // Region split: where did the aborts land?
+  std::uint64_t upper_aborts = 0;
+  std::uint64_t lower_aborts = 0;
+  std::uint64_t mono_aborts = 0;
+  // Cost accounting.
+  double instructions_per_op = 0;
+  double wasted_cycle_frac = 0;  // cycles in aborted attempts / total cycles
+  // Memory (bytes live at end of run, by the §5.7 classes).
+  std::uint64_t mem_total = 0;
+  std::uint64_t mem_reserved = 0;
+  std::uint64_t mem_ccm = 0;
+};
+
+/// Runs the spec on the simulated multicore. Deterministic for a given spec.
+ExperimentResult run_sim_experiment(const ExperimentSpec& spec);
+
+/// Runs the spec with real threads (native engine; real RTM when present).
+/// Throughput is wall-clock. Useful for examples and smoke tests; the paper
+/// figures are regenerated with the simulator.
+ExperimentResult run_native_experiment(const ExperimentSpec& spec);
+
+}  // namespace euno::driver

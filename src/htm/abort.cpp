@@ -1,0 +1,31 @@
+#include "htm/abort.hpp"
+
+namespace euno::htm {
+
+std::string_view abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "committed";
+    case AbortReason::kConflict: return "conflict";
+    case AbortReason::kCapacity: return "capacity";
+    case AbortReason::kExplicit: return "explicit";
+    case AbortReason::kLockBusy: return "lock_busy";
+    case AbortReason::kNested: return "nested";
+    case AbortReason::kOther: return "other";
+    case AbortReason::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view conflict_kind_name(ConflictKind k) {
+  switch (k) {
+    case ConflictKind::kUnknown: return "unknown";
+    case ConflictKind::kTrueSameRecord: return "true_same_record";
+    case ConflictKind::kFalseRecord: return "false_record";
+    case ConflictKind::kFalseMetadata: return "false_metadata";
+    case ConflictKind::kLockSubscription: return "lock_subscription";
+    case ConflictKind::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace euno::htm

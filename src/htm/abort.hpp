@@ -1,0 +1,62 @@
+// Transaction status and abort taxonomy shared by the native RTM backend and
+// the simulated HTM.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace euno::htm {
+
+/// Why a transaction attempt did not commit. Mirrors the RTM status bits
+/// (conflict / capacity / explicit / other) and adds the simulator's richer
+/// conflict classification downstream (see ConflictKind).
+enum class AbortReason : std::uint8_t {
+  kNone = 0,     // committed
+  kConflict,     // data conflict with another core
+  kCapacity,     // read/write set overflowed buffering
+  kExplicit,     // _xabort(imm) from the transaction body
+  kLockBusy,     // fallback lock observed held at begin (elision failed)
+  kNested,       // unsupported nesting depth
+  kOther,        // interrupts, faults, unsupported instructions
+  kCount,
+};
+
+std::string_view abort_reason_name(AbortReason r);
+
+/// Explicit-abort immediates (payload of _xabort / simulated explicit abort).
+/// These are protocol-level signals used by the trees.
+namespace xabort_code {
+inline constexpr std::uint8_t kInconsistent = 0xA1;  // seqno validation failed
+inline constexpr std::uint8_t kFallbackLocked = 0xA2;  // fallback lock held
+inline constexpr std::uint8_t kUser = 0xA3;            // generic caller abort
+}  // namespace xabort_code
+
+/// Fine-grained cause of a *conflict* abort. Only the simulator can attribute
+/// conflicts precisely (it sees the conflicting cache line and both parties'
+/// declared targets); the native backend reports kUnknown. This reproduces the
+/// decomposition of the paper's Figure 2 by direct measurement:
+///   - kTrueSameRecord  — both parties targeted the same key ("true conflicts")
+///   - kFalseRecord     — different keys, record-array line ("false conflicts,
+///                        consecutive records / same node")
+///   - kFalseMetadata   — shared tree metadata line (versions, counts, root)
+enum class ConflictKind : std::uint8_t {
+  kUnknown = 0,
+  kTrueSameRecord,
+  kFalseRecord,
+  kFalseMetadata,
+  kLockSubscription,  // conflict on the (subscribed) fallback lock line
+  kCount,
+};
+
+std::string_view conflict_kind_name(ConflictKind k);
+
+/// Result of one transaction attempt.
+struct TxResult {
+  AbortReason reason = AbortReason::kNone;
+  std::uint8_t xabort_payload = 0;
+  ConflictKind conflict = ConflictKind::kUnknown;
+
+  bool committed() const { return reason == AbortReason::kNone; }
+};
+
+}  // namespace euno::htm

@@ -1,0 +1,63 @@
+// Retry policy and per-thread transaction statistics.
+//
+// The retry policy reproduces the DBX-style fallback strategy the paper
+// reuses (§4.2.1): different thresholds for different abort types, after
+// which execution serializes on a fallback lock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "htm/abort.hpp"
+
+namespace euno::htm {
+
+struct RetryPolicy {
+  int conflict_retries = 10;  // data conflicts: worth retrying under HTM
+  int capacity_retries = 2;   // capacity rarely resolves itself; give up fast
+  int other_retries = 4;      // interrupts etc.
+  // kLockBusy attempts (fallback lock observed held) wait for release and do
+  // not consume retry budget — the transaction never really ran.
+
+  /// Budget for a given abort reason.
+  int budget_for(AbortReason r) const {
+    switch (r) {
+      case AbortReason::kConflict: return conflict_retries;
+      case AbortReason::kCapacity: return capacity_retries;
+      default: return other_retries;
+    }
+  }
+};
+
+/// Per-thread transaction counters. Aggregated by the experiment driver.
+struct TxStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t fallbacks = 0;  // attempts completed under the fallback lock
+  std::array<std::uint64_t, static_cast<std::size_t>(AbortReason::kCount)> aborts{};
+  std::array<std::uint64_t, static_cast<std::size_t>(ConflictKind::kCount)> conflicts{};
+
+  void note_abort(const TxResult& r) {
+    aborts[static_cast<std::size_t>(r.reason)]++;
+    if (r.reason == AbortReason::kConflict) {
+      conflicts[static_cast<std::size_t>(r.conflict)]++;
+    }
+  }
+
+  std::uint64_t total_aborts() const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 1; i < aborts.size(); ++i) sum += aborts[i];
+    return sum;
+  }
+
+  TxStats& operator+=(const TxStats& o) {
+    attempts += o.attempts;
+    commits += o.commits;
+    fallbacks += o.fallbacks;
+    for (std::size_t i = 0; i < aborts.size(); ++i) aborts[i] += o.aborts[i];
+    for (std::size_t i = 0; i < conflicts.size(); ++i) conflicts[i] += o.conflicts[i];
+    return *this;
+  }
+};
+
+}  // namespace euno::htm

@@ -1,0 +1,54 @@
+#include "htm/rtm.hpp"
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+namespace euno::htm {
+
+namespace {
+
+bool cpuid_has_rtm() {
+#if defined(__x86_64__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 11)) != 0;  // CPUID.(EAX=7,ECX=0):EBX.RTM[bit 11]
+#else
+  return false;
+#endif
+}
+
+bool probe_rtm() {
+  if constexpr (!kRtmCompiled) return false;
+  if (!cpuid_has_rtm()) return false;
+#if defined(EUNO_HAVE_RTM)
+  // TSX may be enumerated but disabled (TSX_CTRL / TAA mitigations): then
+  // every _xbegin immediately aborts. Require at least one commit.
+  for (int i = 0; i < 64; ++i) {
+    const unsigned status = _xbegin();
+    if (status == _XBEGIN_STARTED) {
+      _xend();
+      return true;
+    }
+  }
+#endif
+  return false;
+}
+
+}  // namespace
+
+bool rtm_supported() {
+  static const bool supported = probe_rtm();
+  return supported;
+}
+
+#if !defined(EUNO_HAVE_RTM)
+// Stubs: calling an explicit abort without RTM support is a programming
+// error; the native context only routes here when rtm_supported().
+[[noreturn]] static void no_rtm() { __builtin_trap(); }
+void rtm_abort_inconsistent() { no_rtm(); }
+void rtm_abort_fallback_locked() { no_rtm(); }
+void rtm_abort_user() { no_rtm(); }
+#endif
+
+}  // namespace euno::htm

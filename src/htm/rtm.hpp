@@ -1,0 +1,75 @@
+// Thin wrappers over Intel RTM intrinsics with status decoding.
+//
+// Compiled only when the toolchain supports -mrtm; rtm_supported() performs
+// the CPUID + trial-transaction runtime check, since many recent CPUs
+// enumerate TSX but have it microcode-disabled (transactions then always
+// abort).
+#pragma once
+
+#include <cstdint>
+
+#include "htm/abort.hpp"
+
+#if defined(EUNO_HAVE_RTM)
+#include <immintrin.h>
+#endif
+
+namespace euno::htm {
+
+#if defined(EUNO_HAVE_RTM)
+
+inline constexpr bool kRtmCompiled = true;
+
+/// Begin a hardware transaction. Returns _XBEGIN_STARTED (~0u) on entry,
+/// otherwise the abort status of the attempt that just rolled back here.
+inline unsigned rtm_begin() { return _xbegin(); }
+inline void rtm_end() { _xend(); }
+inline bool rtm_in_tx() { return _xtest(); }
+
+/// _xabort requires an immediate; instantiate the protocol codes explicitly.
+[[noreturn]] inline void rtm_abort_inconsistent() { _xabort(0xA1); __builtin_unreachable(); }
+[[noreturn]] inline void rtm_abort_fallback_locked() { _xabort(0xA2); __builtin_unreachable(); }
+[[noreturn]] inline void rtm_abort_user() { _xabort(0xA3); __builtin_unreachable(); }
+
+/// Decode an _xbegin status word into the shared taxonomy.
+inline TxResult rtm_decode(unsigned status) {
+  TxResult r;
+  if (status == _XBEGIN_STARTED) {
+    r.reason = AbortReason::kNone;
+    return r;
+  }
+  if (status & _XABORT_EXPLICIT) {
+    r.xabort_payload = static_cast<std::uint8_t>(_XABORT_CODE(status));
+    r.reason = r.xabort_payload == xabort_code::kFallbackLocked
+                   ? AbortReason::kLockBusy
+                   : AbortReason::kExplicit;
+  } else if (status & _XABORT_CONFLICT) {
+    r.reason = AbortReason::kConflict;
+  } else if (status & _XABORT_CAPACITY) {
+    r.reason = AbortReason::kCapacity;
+  } else if (status & _XABORT_NESTED) {
+    r.reason = AbortReason::kNested;
+  } else {
+    r.reason = AbortReason::kOther;
+  }
+  return r;
+}
+
+#else  // !EUNO_HAVE_RTM
+
+inline constexpr bool kRtmCompiled = false;
+inline unsigned rtm_begin() { return 0; }
+inline void rtm_end() {}
+inline bool rtm_in_tx() { return false; }
+[[noreturn]] void rtm_abort_inconsistent();
+[[noreturn]] void rtm_abort_fallback_locked();
+[[noreturn]] void rtm_abort_user();
+inline TxResult rtm_decode(unsigned) { return TxResult{AbortReason::kOther, 0, {}}; }
+
+#endif
+
+/// True if this CPU both enumerates RTM and can actually commit a trial
+/// transaction (detects microcode-disabled TSX). Result is cached.
+bool rtm_supported();
+
+}  // namespace euno::htm

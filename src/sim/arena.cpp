@@ -1,0 +1,90 @@
+#include "sim/arena.hpp"
+
+#include <sys/mman.h>
+
+#include <bit>
+#include <cstring>
+
+namespace euno::sim {
+
+SharedArena::SharedArena(std::uint64_t bytes) {
+  capacity_ = cacheline_round_up(bytes);
+  void* mem = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  EUNO_ASSERT_MSG(mem != MAP_FAILED, "arena mmap failed");
+  base_addr_ = reinterpret_cast<std::uintptr_t>(mem);
+
+  const std::uint64_t lines = capacity_ >> 6;
+  void* sh = ::mmap(nullptr, lines * sizeof(LineState), PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  EUNO_ASSERT_MSG(sh != MAP_FAILED, "shadow mmap failed");
+  shadow_ = static_cast<LineState*>(sh);
+  // mmap zero-fill gives tx masks = 0 and dirty = 0, but owner must start at
+  // -1 and LineState is not all-zero for that; fix lazily is not possible, so
+  // rely on owner==0 meaning "core 0 owns". To keep first-touch semantics we
+  // instead treat sharers==0 as "uncached" and ignore owner in that case (see
+  // MemoryModel). No eager initialization needed.
+}
+
+SharedArena::~SharedArena() {
+  if (base_addr_) ::munmap(reinterpret_cast<void*>(base_addr_), capacity_);
+  if (shadow_) ::munmap(shadow_, (capacity_ >> 6) * sizeof(LineState));
+}
+
+int SharedArena::size_class_of(std::size_t rounded) {
+  // rounded is a multiple of 64.
+  const auto units = rounded >> 6;
+  if (units <= kLinearClasses) return static_cast<int>(units) - 1;
+  const auto over = (rounded + (kLinearClasses << 6) - 1) / (kLinearClasses << 6);
+  return kLinearClasses - 1 + std::bit_width(over) -
+         (std::has_single_bit(over) ? 1 : 0) + 1;
+}
+
+std::size_t SharedArena::class_bytes(int cls) {
+  if (cls < kLinearClasses) return (static_cast<std::size_t>(cls) + 1) << 6;
+  return (static_cast<std::size_t>(kLinearClasses) << 6)
+         << (cls - kLinearClasses + 1);
+}
+
+void* SharedArena::alloc(std::size_t bytes, MemClass mem_class, LineKind kind) {
+  EUNO_ASSERT(bytes > 0);
+  std::size_t rounded = cacheline_round_up(bytes);
+  const int cls = size_class_of(rounded);
+  EUNO_ASSERT_MSG(cls < kNumSizeClasses, "allocation too large for arena classes");
+  rounded = class_bytes(cls);  // allocate the full class size
+
+  void* p;
+  auto& fl = free_lists_[cls];
+  if (!fl.empty()) {
+    p = fl.back();
+    fl.pop_back();
+  } else {
+    EUNO_ASSERT_MSG(bump_ + rounded <= capacity_, "simulated arena exhausted");
+    p = reinterpret_cast<void*>(base_addr_ + bump_);
+    bump_ += rounded;
+  }
+  in_use_ += rounded;
+  std::memset(p, 0, rounded);
+  tag(p, rounded, kind);
+  MemStats::instance().note_alloc(mem_class, rounded);
+  return p;
+}
+
+void SharedArena::free(void* p, std::size_t bytes, MemClass mem_class) {
+  EUNO_ASSERT(contains(p));
+  std::size_t rounded = cacheline_round_up(bytes);
+  const int cls = size_class_of(rounded);
+  rounded = class_bytes(cls);
+  in_use_ -= rounded;
+  tag(p, rounded, LineKind::kOther);
+  free_lists_[cls].push_back(p);
+  MemStats::instance().note_free(mem_class, rounded);
+}
+
+void SharedArena::tag(void* p, std::size_t bytes, LineKind kind) {
+  const std::uint64_t first = line_index(p);
+  const std::uint64_t last = line_index(static_cast<char*>(p) + bytes - 1);
+  for (std::uint64_t i = first; i <= last; ++i) shadow_[i].kind = kind;
+}
+
+}  // namespace euno::sim

@@ -1,0 +1,76 @@
+// Shared-memory arena for the simulated machine.
+//
+// All memory visible to simulated cores lives in one mmap'd region so that a
+// byte address maps to shadow LineState by simple arithmetic. Allocations are
+// rounded to whole cache lines: two distinct allocations never share a line,
+// which keeps experiments deterministic and independent of host-malloc
+// placement (cf. Dice et al. on malloc-induced TSX pathologies, which the
+// paper cites — the trees create intra-node line sharing *deliberately*, via
+// their layout, and that is the effect under study).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/line.hpp"
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+#include "util/memstats.hpp"
+
+namespace euno::sim {
+
+class SharedArena {
+ public:
+  explicit SharedArena(std::uint64_t bytes);
+  ~SharedArena();
+
+  SharedArena(const SharedArena&) = delete;
+  SharedArena& operator=(const SharedArena&) = delete;
+
+  /// Cache-line aligned, cache-line granular allocation.
+  void* alloc(std::size_t bytes, MemClass mem_class, LineKind kind);
+  void free(void* p, std::size_t bytes, MemClass mem_class);
+
+  bool contains(const void* p) const {
+    auto a = reinterpret_cast<std::uintptr_t>(p);
+    return a >= base_addr_ && a < base_addr_ + capacity_;
+  }
+
+  /// Shadow state for the line containing `p`. `p` must be inside the arena.
+  LineState& line_of(const void* p) {
+    auto a = reinterpret_cast<std::uintptr_t>(p);
+    EUNO_DEBUG_ASSERT(contains(p));
+    return shadow_[(a - base_addr_) >> 6];
+  }
+
+  std::uint64_t line_index(const void* p) const {
+    return (reinterpret_cast<std::uintptr_t>(p) - base_addr_) >> 6;
+  }
+
+  LineState& line_at(std::uint64_t index) { return shadow_[index]; }
+
+  /// Tag the lines covered by [p, p+bytes) with a semantic kind.
+  void tag(void* p, std::size_t bytes, LineKind kind);
+
+  std::uint64_t bytes_in_use() const { return in_use_; }
+  std::uint64_t high_water() const { return bump_; }
+
+ private:
+  // Size classes: 64-byte granular up to 2 KiB (tree nodes land here and
+  // power-of-two rounding would distort the §5.7 memory measurements),
+  // power-of-two steps above.
+  static constexpr int kLinearClasses = 32;              // 64B .. 2KiB
+  static constexpr int kNumSizeClasses = kLinearClasses + 16;  // .. 128MiB
+  static int size_class_of(std::size_t rounded);
+  static std::size_t class_bytes(int cls);
+
+  std::uintptr_t base_addr_ = 0;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t bump_ = 0;  // bump-pointer frontier (bytes from base)
+  std::uint64_t in_use_ = 0;
+  LineState* shadow_ = nullptr;
+  std::vector<void*> free_lists_[kNumSizeClasses];
+};
+
+}  // namespace euno::sim

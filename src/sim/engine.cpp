@@ -1,0 +1,206 @@
+#include "sim/engine.hpp"
+
+#include <sys/mman.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/memmodel.hpp"
+
+namespace euno::sim {
+
+namespace {
+constexpr std::size_t kStackBytes = 256 * 1024;
+constexpr std::size_t kGuardBytes = 4096;
+
+// makecontext only passes ints; stash the simulation + fiber index through
+// a pair of 32-bit halves of `this`.
+void trampoline(unsigned hi, unsigned lo, unsigned index) {
+  auto bits = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  auto* simulation = reinterpret_cast<Simulation*>(bits);
+  simulation->fiber_main(static_cast<int>(index));
+}
+}  // namespace
+
+Simulation*& current_simulation() {
+  static thread_local Simulation* sim = nullptr;
+  return sim;
+}
+
+Simulation::Simulation(MachineConfig cfg)
+    : cfg_(cfg),
+      arena_(std::make_unique<SharedArena>(cfg.arena_bytes)),
+      htm_(std::make_unique<SimHTM>(*arena_, cfg_)),
+      counters_(MachineConfig::kMaxCores) {}
+
+Simulation::~Simulation() {
+  for (auto& f : fibers_) {
+    if (f->stack) {
+      ::munmap(static_cast<char*>(f->stack) - kGuardBytes,
+               f->stack_bytes + kGuardBytes);
+    }
+  }
+}
+
+void Simulation::spawn(int core, std::function<void(int)> body) {
+  EUNO_ASSERT_MSG(!running_, "spawn during run() is not supported");
+  EUNO_ASSERT(core >= 0 && core < MachineConfig::kMaxCores);
+  for (const auto& f : fibers_) {
+    EUNO_ASSERT_MSG(f->core != core, "one fiber per simulated core");
+  }
+  auto fiber = std::make_unique<Fiber>();
+  fiber->core = core;
+  fiber->body = std::move(body);
+
+  void* mem = ::mmap(nullptr, kStackBytes + kGuardBytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  EUNO_ASSERT_MSG(mem != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end catches stack overflow.
+  ::mprotect(mem, kGuardBytes, PROT_NONE);
+  fiber->stack = static_cast<char*>(mem) + kGuardBytes;
+  fiber->stack_bytes = kStackBytes;
+
+  EUNO_ASSERT(getcontext(&fiber->uctx) == 0);
+  fiber->uctx.uc_stack.ss_sp = fiber->stack;
+  fiber->uctx.uc_stack.ss_size = fiber->stack_bytes;
+  fiber->uctx.uc_link = &main_uctx_;
+  const auto bits = reinterpret_cast<std::uint64_t>(this);
+  makecontext(&fiber->uctx, reinterpret_cast<void (*)()>(trampoline), 3,
+              static_cast<unsigned>(bits >> 32), static_cast<unsigned>(bits),
+              static_cast<unsigned>(fibers_.size()));
+  fibers_.push_back(std::move(fiber));
+}
+
+void Simulation::fiber_main(int index) {
+  Fiber& f = *fibers_[static_cast<std::size_t>(index)];
+  try {
+    f.body(f.core);
+  } catch (const TxAbortException&) {
+    std::fprintf(stderr, "fatal: TxAbortException escaped a fiber body\n");
+    std::abort();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: exception escaped fiber body: %s\n", e.what());
+    std::abort();
+  }
+  EUNO_ASSERT_MSG(!htm_->in_tx(f.core), "fiber finished with an open transaction");
+  f.done = true;
+  // uc_link returns to main_uctx_ when fiber_main returns.
+}
+
+int Simulation::pick_next() const {
+  int best = -1;
+  std::uint64_t best_clock = ~0ull;
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    const Fiber& f = *fibers_[i];
+    if (!f.done && f.clock < best_clock) {
+      best_clock = f.clock;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void Simulation::run() {
+  EUNO_ASSERT_MSG(!running_, "run() is not reentrant");
+  running_ = true;
+  Simulation* prev = current_simulation();
+  current_simulation() = this;
+
+  for (;;) {
+    const int next = pick_next();
+    if (next < 0) break;
+    Fiber& f = *fibers_[static_cast<std::size_t>(next)];
+    // The resumed fiber may run ahead until it passes the next-smallest
+    // runnable clock.
+    std::uint64_t threshold = ~0ull;
+    for (std::size_t i = 0; i < fibers_.size(); ++i) {
+      const Fiber& o = *fibers_[i];
+      if (static_cast<int>(i) != next && !o.done && o.clock < threshold) {
+        threshold = o.clock;
+      }
+    }
+    yield_threshold_ = threshold;
+    current_ = &f;
+    swapcontext(&main_uctx_, &f.uctx);
+    current_ = nullptr;
+  }
+
+  current_simulation() = prev;
+  running_ = false;
+}
+
+void Simulation::yield_to_scheduler() {
+  Fiber* f = current_;
+  EUNO_ASSERT(f != nullptr);
+  swapcontext(&f->uctx, &main_uctx_);
+}
+
+void Simulation::charge(std::uint64_t cycles) {
+  Fiber* f = current_;
+  if (f == nullptr) return;  // setup/teardown outside the simulation is free
+  f->clock += cycles;
+  if (f->clock > yield_threshold_) yield_to_scheduler();
+}
+
+void Simulation::mem_access(void* addr, std::size_t size, bool is_write,
+                            std::uint32_t extra_cycles) {
+  // Outside any fiber (single-threaded setup/verification) accesses are
+  // uninstrumented: there are no in-flight transactions and no clock.
+  if (current_ == nullptr) return;
+  const int core = current_->core;
+  htm_->check_doomed(core);
+
+  // Charge first: charge() is the engine's only scheduling point, and it
+  // must happen *before* the conflict protocol so that the protocol, the
+  // coherence update and the caller's raw load/store form one indivisible
+  // step in the global interleaving. (Running the protocol before a yield
+  // opens two races: our own transaction can be doomed while suspended and
+  // then leak a zombie write, or another core can start a transaction on
+  // this line and we would miss the conflict.) The cost is estimated from
+  // the pre-access coherence state.
+  LineState& line = arena_->line_of(addr);
+  auto& c = counters_[core];
+  c.instructions += 1;
+  c.mem_accesses += 1;
+  charge(cfg_.costs.instr + peek_cost(line, core, is_write, cfg_, current_->clock) +
+         extra_cycles);
+
+  // Post-yield: raise any abort delivered while suspended, then run the
+  // conflict protocol and coherence transition. The caller's raw access
+  // follows immediately with no intervening scheduling point.
+  htm_->check_doomed(core);
+  htm_->on_access(core, addr, size, is_write);
+  apply_access(line, core, is_write, current_->clock);
+}
+
+void Simulation::spin_wait() {
+  if (current_ == nullptr) return;
+  counters_[current_->core].cycles_spinning += cfg_.costs.spin_wait;
+  charge(cfg_.costs.spin_wait);
+}
+
+void Simulation::compute(std::uint64_t n) {
+  if (current_ == nullptr) return;
+  counters_[current_->core].instructions += n;
+  charge(n);
+}
+
+int Simulation::current_core() const {
+  EUNO_ASSERT(current_ != nullptr);
+  return current_->core;
+}
+
+std::uint64_t Simulation::clock_of(int core) const {
+  for (const auto& f : fibers_) {
+    if (f->core == core) return f->clock;
+  }
+  return 0;
+}
+
+std::uint64_t Simulation::max_clock() const {
+  std::uint64_t m = 0;
+  for (const auto& f : fibers_) m = std::max(m, f->clock);
+  return m;
+}
+
+}  // namespace euno::sim

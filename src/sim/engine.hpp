@@ -1,0 +1,146 @@
+// The simulated-multicore execution engine.
+//
+// Each simulated core runs one fiber (ucontext). A discrete-event scheduler
+// always resumes the fiber with the smallest simulated clock; a fiber keeps
+// running until its clock passes the next-smallest runnable clock, at which
+// point it yields back. This realizes a globally consistent interleaving at
+// instrumented-access granularity, deterministically, on a single OS thread.
+//
+// Simulated time advances only through charge(): every instrumented memory
+// access, atomic, allocation and explicit compute charge moves the current
+// fiber's clock by the cost model's cycles. Throughput for an experiment is
+// completed-ops / max core clock.
+//
+// INVARIANT (exception safety across fibers): all fibers share one OS thread
+// and therefore one __cxa_eh_globals. Code running inside a fiber must never
+// reach a scheduling point (charge()/mem_access()/spin_wait()) while a C++
+// exception is in flight or while executing a catch clause whose exception
+// is still alive — interleaved catch lifetimes across fibers corrupt the
+// shared caught-exception stack. Catch TxAbortException, copy its 3-byte
+// result, leave the handler, then do any charged work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+#include <vector>
+
+#include "sim/arena.hpp"
+#include "sim/htm.hpp"
+#include "sim/machine.hpp"
+#include "util/assert.hpp"
+
+namespace euno::sim {
+
+/// One recorded simulation event (aborts, fallbacks, mode switches, ...).
+/// Cheap and fixed-size; recording is off unless enable_trace() was called.
+struct TraceEvent {
+  std::uint64_t clock;
+  std::uint8_t core;
+  std::uint8_t code;  // ctx::TraceCode / tree-defined
+  std::uint8_t arg_a;  // e.g. AbortReason
+  std::uint8_t arg_b;  // e.g. ConflictKind
+};
+
+/// Per-core cost/usage counters (simulated).
+struct CoreCounters {
+  std::uint64_t instructions = 0;   // instrumented ops + explicit compute
+  std::uint64_t mem_accesses = 0;
+  std::uint64_t cycles_in_tx = 0;      // cycles spent inside transactions
+  std::uint64_t cycles_wasted = 0;     // cycles of aborted transaction attempts
+  std::uint64_t cycles_spinning = 0;   // cycles in spin-wait loops
+};
+
+class Simulation {
+ public:
+  explicit Simulation(MachineConfig cfg = MachineConfig{});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Register a fiber pinned to simulated core `core`. The body runs inside
+  /// the simulation; it receives the core id. Must be called before run().
+  void spawn(int core, std::function<void(int)> body);
+
+  /// Run until every spawned fiber finishes.
+  void run();
+
+  // ---- facilities callable from inside fiber bodies ----
+
+  /// Advance the current fiber's clock; may transfer control to another
+  /// fiber (and return later).
+  void charge(std::uint64_t cycles);
+
+  /// Full memory-access protocol: doom check, HTM conflict handling &
+  /// set tracking, coherence cost. The caller performs the raw load/store
+  /// immediately after this returns (no scheduling point intervenes).
+  /// Throws TxAbortException on aborts. `extra_cycles` folds additional
+  /// cost (e.g. an RMW's) into the single pre-access charge.
+  void mem_access(void* addr, std::size_t size, bool is_write,
+                  std::uint32_t extra_cycles = 0);
+
+  /// A scheduling point with spin cost (used by simulated spin loops).
+  void spin_wait();
+
+  /// Explicit compute work (`n` abstract instructions at 1 cycle each).
+  void compute(std::uint64_t n);
+
+  int current_core() const;
+  bool in_fiber() const { return current_ != nullptr; }
+
+  std::uint64_t clock_of(int core) const;
+  std::uint64_t max_clock() const;
+  CoreCounters& counters(int core) { return counters_[core]; }
+
+  SharedArena& arena() { return *arena_; }
+  SimHTM& htm() { return *htm_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  /// Event tracing (for timeline analyses; off by default).
+  void enable_trace() { trace_on_ = true; }
+  void record_trace(std::uint8_t code, std::uint8_t a, std::uint8_t b) {
+    if (trace_on_ && current_ != nullptr) {
+      trace_.push_back(TraceEvent{current_->clock,
+                                  static_cast<std::uint8_t>(current_->core), code,
+                                  a, b});
+    }
+  }
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// Internal: fiber trampoline target.
+  void fiber_main(int index);
+
+ private:
+  struct Fiber {
+    ucontext_t uctx{};
+    void* stack = nullptr;
+    std::size_t stack_bytes = 0;
+    std::function<void(int)> body;
+    int core = -1;
+    std::uint64_t clock = 0;
+    bool done = false;
+  };
+
+  void yield_to_scheduler();
+  int pick_next() const;  // min-clock runnable fiber index, or -1
+
+  MachineConfig cfg_;
+  std::unique_ptr<SharedArena> arena_;
+  std::unique_ptr<SimHTM> htm_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<CoreCounters> counters_;
+  ucontext_t main_uctx_{};
+  Fiber* current_ = nullptr;
+  std::uint64_t yield_threshold_ = ~0ull;
+  bool running_ = false;
+  bool trace_on_ = false;
+  std::vector<TraceEvent> trace_;
+};
+
+/// The simulation owning the currently-executing fiber, if any (fiber-local
+/// accessor used by SimCtx helpers).
+Simulation*& current_simulation();
+
+}  // namespace euno::sim

@@ -1,0 +1,112 @@
+// Simulated HTM: cache-line-granular conflict detection with eager
+// (requester-wins) resolution, undo-log rollback, capacity limits and strong
+// atomicity — the semantics of Intel RTM (§2.1 of the paper) reproduced in
+// software over the simulator's shared arena.
+//
+// Because the simulator interleaves exactly one fiber at a time, conflicts
+// are detected eagerly at each access: if core A touches a line that is in
+// in-flight transaction B's read/write set in a conflicting mode, B is
+// aborted on the spot (its undo log restored, its set bits cleared) and B's
+// fiber observes the abort at its next instrumented operation. This matches
+// the cache-coherence-driven behaviour of real HTM, where the requester's
+// coherence message kills the victim's transaction.
+//
+// Classification: unlike real hardware, the simulator knows *which* line
+// conflicted, what the line holds (LineKind) and both parties' current target
+// keys, so every conflict abort is attributed as true-same-record /
+// false-record / false-metadata — measuring directly what the paper's §2.3
+// had to estimate by workload modification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/abort.hpp"
+#include "sim/arena.hpp"
+#include "sim/machine.hpp"
+#include "sim/txabort.hpp"
+#include "util/memstats.hpp"
+#include "util/rng.hpp"
+
+namespace euno::sim {
+
+class SimHTM {
+ public:
+  SimHTM(SharedArena& arena, const MachineConfig& cfg);
+
+  /// Declare the key the core's current operation targets (used only for
+  /// conflict classification; valid both inside and outside transactions).
+  void set_op_target(int core, std::uint64_t key) {
+    tx_[core].target = key;
+    tx_[core].has_target = true;
+  }
+  void clear_op_target(int core) { tx_[core].has_target = false; }
+
+  void tx_begin(int core);
+  /// Commit; throws TxAbortException if the transaction was doomed by a
+  /// concurrent conflict after its last access.
+  void tx_commit(int core);
+  [[noreturn]] void tx_abort_explicit(int core, std::uint8_t code);
+  bool in_tx(int core) const { return tx_[core].active; }
+
+  /// Raise a pending cross-fiber abort, if any. Called at the top of every
+  /// instrumented operation.
+  void check_doomed(int core) {
+    if (tx_[core].doomed) raise_doomed(core);
+  }
+
+  /// Conflict protocol + read/write-set tracking for one access. The caller
+  /// performs the raw load/store after this returns. Throws on self-abort
+  /// (capacity). `size` must not straddle a cache line.
+  void on_access(int core, void* addr, std::size_t size, bool is_write);
+
+  /// Allocation bookkeeping: allocations inside a transaction are released
+  /// if it aborts; frees inside a transaction are deferred to commit.
+  void note_tx_alloc(int core, void* p, std::size_t bytes, MemClass cls);
+  bool defer_tx_free(int core, void* p, std::size_t bytes, MemClass cls);
+
+  /// After catching TxAbortException the fiber must call this to release
+  /// allocations made by the aborted attempt.
+  void on_abort_handled(int core);
+
+  /// Number of cores that currently have an active transaction.
+  int active_tx_count() const;
+
+ private:
+  struct UndoEntry {
+    void* addr;
+    std::uint64_t old_value;
+    std::uint8_t size;
+  };
+  struct AllocRec {
+    void* ptr;
+    std::size_t bytes;
+    MemClass cls;
+  };
+  struct TxDesc {
+    bool active = false;
+    bool doomed = false;
+    htm::TxResult pending{};
+    std::vector<std::uint64_t> read_lines;
+    std::vector<std::uint64_t> write_lines;
+    std::vector<UndoEntry> undo;
+    std::vector<AllocRec> allocs;
+    std::vector<AllocRec> frees;
+    std::uint64_t target = 0;
+    bool has_target = false;
+  };
+
+  htm::ConflictKind classify(int victim, int attacker, const LineState& line) const;
+  void rollback_and_clear(int core);
+  void abort_remote(int victim, htm::ConflictKind kind);
+  [[noreturn]] void abort_self(int core, htm::AbortReason reason, std::uint8_t code,
+                               htm::ConflictKind kind);
+  [[noreturn]] void raise_doomed(int core);
+
+  SharedArena& arena_;
+  const MachineConfig& cfg_;
+  std::vector<TxDesc> tx_;
+  Xoshiro256 mutual_rng_{0xE40};
+};
+
+}  // namespace euno::sim

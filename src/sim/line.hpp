@@ -1,0 +1,36 @@
+// Shadow metadata kept per simulated cache line.
+#pragma once
+
+#include <cstdint>
+
+namespace euno::sim {
+
+/// Semantic tag of the data on a line, set by the trees via
+/// Context::tag_memory(). Drives the conflict-abort classification that
+/// reproduces the paper's Figure 2 decomposition.
+enum class LineKind : std::uint8_t {
+  kOther = 0,
+  kRecord,        // key/value record storage (leaf segments, record arrays)
+  kLeafMeta,      // per-leaf metadata: seqno, counts, locks
+  kTreeMeta,      // global/interior metadata: root pointer, depth, versions
+  kCCM,           // conflict-control module bit vectors
+  kFallbackLock,  // the subscribed HTM fallback lock word
+};
+
+/// 24-byte shadow record per 64-byte line. Indexed directly from the arena
+/// offset, so lookup is two shifts and an add.
+struct LineState {
+  std::uint32_t tx_readers = 0;  // bitmask of cores with this line in an
+                                 // in-flight transaction's read set
+  std::uint32_t tx_writer = 0;   // ditto for write sets
+  std::uint32_t sharers = 0;     // cores with a (possibly clean) cached copy
+  std::int16_t owner = -1;       // core owning the most recent dirty copy
+  LineKind kind = LineKind::kOther;
+  std::uint8_t dirty = 0;
+  std::uint64_t last_touch = 0;  // simulated clock of the last access
+                                 // (drives the capacity/eviction model)
+};
+
+static_assert(sizeof(LineState) == 24);
+
+}  // namespace euno::sim

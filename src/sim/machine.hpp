@@ -1,0 +1,74 @@
+// Simulated machine configuration: topology, latency model and HTM limits.
+//
+// Default numbers approximate the paper's testbed (2-socket Haswell Xeon
+// E5-2650 v3): L1 ~4 cycles, on-chip cache-to-cache ~40, cross-socket ~150,
+// DRAM ~200. HTM capacity reflects Haswell RTM buffering: write set limited
+// by L1 (32 KB / 64 B = 512 lines), read set tracked beyond L1 (modelled as
+// 4096 lines). Only relative magnitudes matter for reproducing the paper's
+// shapes; all values are configurable.
+#pragma once
+
+#include <cstdint>
+
+#include "util/topology.hpp"
+
+namespace euno::sim {
+
+struct LatencyModel {
+  std::uint32_t l1_hit = 4;
+  std::uint32_t local_cache = 40;    // cache-to-cache within a socket / L3 hit
+  std::uint32_t remote_cache = 240;  // contended HITM transfer across sockets
+  std::uint32_t dram = 200;          // memory fill
+
+  // Capacity (eviction) model: a line counts as resident in a core's private
+  // caches only if it was touched within `l2_retention` cycles, and in the
+  // shared L3 within `l3_retention` cycles; older lines re-pay L3 / DRAM
+  // fills. This time-based approximation of LRU is what gives large trees
+  // their realistic miss behaviour (and, with it, paper-scale transaction
+  // durations). Defaults approximate 256 KB private + 25 MB shared caches
+  // under tree-traversal access rates.
+  std::uint64_t l2_retention = 50'000;
+  std::uint64_t l3_retention = 2'000'000;
+};
+
+struct HtmLimits {
+  std::uint32_t write_capacity_lines = 512;
+  std::uint32_t read_capacity_lines = 4096;
+  std::uint32_t tx_begin_cost = 60;   // xbegin overhead, cycles
+  std::uint32_t tx_commit_cost = 30;  // xend overhead
+  std::uint32_t abort_penalty = 250;  // rollback + pipeline restart + fallback-
+                                      // decision cost (Intel-measured range)
+
+  /// Probability (percent) that a transactional requester whose access kills
+  /// a conflicting transaction is itself aborted too. Pure requester-wins is
+  /// an idealization: on real TSX, conflicting transactions frequently abort
+  /// *each other* (in-flight invalidations land on both cores), which is why
+  /// RTM offers no forward-progress guarantee and why contended workloads
+  /// livelock into the fallback path — the collapse the paper's Figure 1
+  /// shows. 50% symmetric destruction approximates the observed behaviour.
+  std::uint32_t mutual_abort_pct = 50;
+};
+
+struct OpCosts {
+  std::uint32_t instr = 1;        // base cost per instrumented operation
+  std::uint32_t atomic_rmw = 20;  // CAS / fetch_or outside transactions
+  std::uint32_t alloc = 80;       // allocator fast path
+  std::uint32_t spin_wait = 30;   // one spin-loop iteration (pause + reload)
+};
+
+struct MachineConfig {
+  Topology topology = Topology::paper_testbed();
+  LatencyModel latency{};
+  HtmLimits htm{};
+  OpCosts costs{};
+
+  /// Arena backing all simulated shared memory (virtual reservation;
+  /// committed lazily by the OS).
+  std::uint64_t arena_bytes = 1ull << 30;
+
+  /// Maximum simulated cores (read/write sets are tracked as 32-bit core
+  /// masks).
+  static constexpr int kMaxCores = 32;
+};
+
+}  // namespace euno::sim

@@ -1,0 +1,97 @@
+// Coherence/latency cost model for simulated memory accesses.
+//
+// A deliberately simple MESI approximation: per line we track which cores
+// hold a copy (`sharers`), whether the line is dirty, and the dirty owner.
+// The cost of an access is where the data has to come from — own L1, another
+// core on the same socket, the other socket, or DRAM. This is what makes the
+// NUMA and contention shapes of the paper's figures emerge: hot lines
+// ping-pong between cores, and cross-socket transfers dominate under high θ.
+//
+// The model is split into a read-only cost estimate (peek_cost) and a state
+// update (apply_access): the engine charges simulated time — its only
+// scheduling point — strictly before running the HTM conflict protocol and
+// mutating coherence state, so that protocol + raw access are indivisible.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/line.hpp"
+#include "sim/machine.hpp"
+
+namespace euno::sim {
+
+/// Cost in cycles of an access by `core` given the line's current state.
+/// Does not modify the line. `now` is the accessing core's clock, used by
+/// the time-based capacity model.
+inline std::uint32_t peek_cost(const LineState& line, int core, bool is_write,
+                               const MachineConfig& cfg, std::uint64_t now) {
+  const std::uint32_t mask = 1u << core;
+  const Topology& topo = cfg.topology;
+
+  // Capacity: stale lines have been evicted regardless of coherence state.
+  const std::uint64_t age = now > line.last_touch ? now - line.last_touch : 0;
+  if (line.sharers == 0 || age >= cfg.latency.l3_retention) {
+    return cfg.latency.dram;  // uncached anywhere (or long since evicted)
+  }
+  if (age >= cfg.latency.l2_retention) {
+    // Out of every private cache, still warm in the shared level.
+    return cfg.latency.local_cache;
+  }
+  const bool present = (line.sharers & mask) != 0;
+
+  if (is_write) {
+    if (present && line.sharers == mask) return cfg.latency.l1_hit;
+    if (line.dirty && line.owner != core) {
+      return topo.same_socket(line.owner, core) ? cfg.latency.local_cache
+                                                : cfg.latency.remote_cache;
+    }
+    // Shared somewhere: invalidation round trip to the farthest sharer.
+    for (int c = 0; c < topo.total_cores(); ++c) {
+      if (((line.sharers >> c) & 1u) && !topo.same_socket(c, core)) {
+        return cfg.latency.remote_cache;
+      }
+    }
+    return cfg.latency.local_cache;
+  }
+
+  if (present && !(line.dirty && line.owner != core)) return cfg.latency.l1_hit;
+  if (line.dirty && line.owner != core) {
+    return topo.same_socket(line.owner, core) ? cfg.latency.local_cache
+                                              : cfg.latency.remote_cache;
+  }
+  // Clean copy lives in some other cache.
+  for (int c = 0; c < topo.total_cores(); ++c) {
+    if (((line.sharers >> c) & 1u) && topo.same_socket(c, core)) {
+      return cfg.latency.local_cache;
+    }
+  }
+  return cfg.latency.remote_cache;
+}
+
+/// Applies the coherence transition of an access by `core`.
+inline void apply_access(LineState& line, int core, bool is_write,
+                         std::uint64_t now) {
+  line.last_touch = now;
+  const std::uint32_t mask = 1u << core;
+  if (is_write) {
+    line.sharers = mask;
+    line.dirty = 1;
+    line.owner = static_cast<std::int16_t>(core);
+  } else {
+    line.sharers |= mask;
+    if (line.dirty && line.owner != core) {
+      line.dirty = 0;  // downgrade the dirty copy to shared (writeback)
+    }
+  }
+}
+
+/// Convenience composition used by unit tests.
+inline std::uint32_t coherence_access(LineState& line, int core, bool is_write,
+                                      const MachineConfig& cfg,
+                                      std::uint64_t now = 0) {
+  const std::uint32_t cost = peek_cost(line, core, is_write, cfg, now);
+  apply_access(line, core, is_write, now);
+  return cost;
+}
+
+}  // namespace euno::sim

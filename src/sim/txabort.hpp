@@ -1,0 +1,17 @@
+// Abort signalling inside the simulator.
+//
+// A simulated transaction abort unwinds the fiber back to its txn() retry
+// loop via this exception — the software analogue of RTM's rollback to
+// _xbegin. Memory effects are undone eagerly by SimHTM before the exception
+// is raised (or, for cross-fiber aborts, before the victim resumes).
+#pragma once
+
+#include "htm/abort.hpp"
+
+namespace euno::sim {
+
+struct TxAbortException {
+  htm::TxResult result;
+};
+
+}  // namespace euno::sim

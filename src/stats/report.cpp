@@ -1,0 +1,83 @@
+#include "stats/report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+namespace euno::stats {
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+void Table::print(bool csv) const {
+  if (csv) {
+    auto emit = [](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::fputs(cells[i].c_str(), stdout);
+        std::fputc(i + 1 < cells.size() ? ',' : '\n', stdout);
+      }
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+    return;
+  }
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%-*s%s", static_cast<int>(widths[i]), cells[i].c_str(),
+                  i + 1 < cells.size() ? "  " : "\n");
+    }
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+  for (const auto& r : rows_) emit(r);
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (std::strcmp(arg, "--csv") == 0) {
+      a.csv = true;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      a.quick = true;
+    } else if (const char* v = value("--ops=")) {
+      a.ops_per_thread = std::strtoull(v, nullptr, 10);
+    } else if (const char* v2 = value("--keys=")) {
+      a.key_range = std::strtoull(v2, nullptr, 10);
+    } else if (const char* v3 = value("--seed=")) {
+      a.seed = std::strtoull(v3, nullptr, 10);
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "flags: --csv  --quick  --ops=<per-thread>  --keys=<range>  "
+          "--seed=<n>\n");
+      std::exit(0);
+    }
+  }
+  return a;
+}
+
+}  // namespace euno::stats

@@ -1,0 +1,41 @@
+// Fixed-width table / CSV emission for bench output.
+//
+// Every bench binary prints the rows of the paper figure it regenerates in a
+// human-readable table, and the same data as CSV when --csv is passed.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace euno::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string num(double v, int prec = 2);
+  static std::string num(std::uint64_t v);
+
+  void print(bool csv) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses bench CLI flags shared by every figure binary.
+struct BenchArgs {
+  bool csv = false;
+  std::uint64_t ops_per_thread = 0;  // 0 = figure default
+  std::uint64_t key_range = 0;       // 0 = figure default
+  std::uint64_t seed = 42;
+  bool quick = false;  // reduced sweep for smoke runs
+
+  static BenchArgs parse(int argc, char** argv);
+};
+
+}  // namespace euno::stats

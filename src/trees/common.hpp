@@ -1,0 +1,18 @@
+// Shared vocabulary for the concurrent tree implementations.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace euno::trees {
+
+/// 8-byte keys and values, as in the paper's YCSB setup (§5.1).
+using Key = std::uint64_t;
+using Value = std::uint64_t;
+using KV = std::pair<Key, Value>;
+
+/// Default node fanout (records per leaf / separators per interior node),
+/// matching the paper's §5.7 setup.
+inline constexpr int kDefaultFanout = 16;
+
+}  // namespace euno::trees

@@ -1,0 +1,35 @@
+// Always-on invariant checking.
+//
+// Tree and simulator invariants are cheap relative to the instrumented
+// workloads, so EUNO_ASSERT stays enabled in all build types; the
+// EUNO_DEBUG_ASSERT variant compiles away outside debug builds for checks on
+// hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace euno::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "EUNO_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+}  // namespace euno::detail
+
+#define EUNO_ASSERT(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) ::euno::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define EUNO_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr)) ::euno::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifndef NDEBUG
+#define EUNO_DEBUG_ASSERT(expr) EUNO_ASSERT(expr)
+#else
+#define EUNO_DEBUG_ASSERT(expr) ((void)0)
+#endif

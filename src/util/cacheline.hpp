@@ -1,0 +1,44 @@
+// Cache-line constants and alignment helpers.
+//
+// HTM conflict detection (both real RTM and the simulator) operates at
+// cache-line granularity, so data layout relative to 64-byte lines is a
+// first-class concern throughout this codebase.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace euno {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Round `n` up to a multiple of the cache-line size.
+constexpr std::size_t cacheline_round_up(std::size_t n) {
+  return (n + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+}
+
+/// Index of the cache line containing byte address `addr`.
+constexpr std::uint64_t cacheline_of(std::uint64_t addr) {
+  return addr >> 6;
+}
+
+/// Wraps a T so that it occupies (at least) one full cache line, preventing
+/// false sharing with neighbours in arrays of counters, locks, etc.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(T v) : value(std::move(v)) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+static_assert(sizeof(CacheAligned<char>) == kCacheLineSize);
+
+}  // namespace euno

@@ -1,0 +1,88 @@
+#include "util/epoch.hpp"
+
+#include <algorithm>
+
+namespace euno {
+
+namespace {
+// Advance attempt cadence: amortizes the O(threads) scan in try_advance().
+constexpr std::uint64_t kAdvanceInterval = 64;
+}  // namespace
+
+EpochManager::EpochManager(int max_threads)
+    : max_threads_(max_threads), slots_(static_cast<std::size_t>(max_threads)) {
+  EUNO_ASSERT(max_threads > 0 && max_threads <= kMaxThreads);
+}
+
+EpochManager::~EpochManager() { drain_all(); }
+
+void EpochManager::retire(int tid, void* ptr, std::function<void(void*)> deleter) {
+  EUNO_ASSERT(tid >= 0 && tid < max_threads_);
+  auto& slot = *slots_[tid];
+  EUNO_ASSERT_MSG(slot.epoch.load(std::memory_order_relaxed) != kIdle,
+                  "retire() requires the caller to be pinned");
+  slot.limbo.push_back(
+      Retired{ptr, std::move(deleter), global_epoch_.load(std::memory_order_acquire)});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (++slot.since_advance >= kAdvanceInterval) {
+    slot.since_advance = 0;
+    try_advance();
+    // A retired node is safe once the minimum active epoch is strictly past
+    // its retirement epoch; free this thread's eligible entries now.
+    free_up_to(slot, min_active_epoch());
+  }
+}
+
+std::uint64_t EpochManager::min_active_epoch() const {
+  std::uint64_t min_e = global_epoch_.load(std::memory_order_acquire);
+  for (int t = 0; t < max_threads_; ++t) {
+    const std::uint64_t e = slots_[t]->epoch.load(std::memory_order_acquire);
+    if (e != kIdle) min_e = std::min(min_e, e);
+  }
+  return min_e;
+}
+
+void EpochManager::try_advance() {
+  const std::uint64_t cur = global_epoch_.load(std::memory_order_acquire);
+  // Advance only if every active thread has observed the current epoch;
+  // otherwise a straggler pinned at cur-1 could still hold references
+  // retired at cur-1.
+  for (int t = 0; t < max_threads_; ++t) {
+    const std::uint64_t e = slots_[t]->epoch.load(std::memory_order_acquire);
+    if (e != kIdle && e < cur) return;
+  }
+  std::uint64_t expected = cur;
+  global_epoch_.compare_exchange_strong(expected, cur + 1, std::memory_order_acq_rel);
+}
+
+void EpochManager::free_up_to(Slot& slot, std::uint64_t safe_epoch) {
+  auto& limbo = slot.limbo;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < limbo.size(); ++i) {
+    if (limbo[i].epoch < safe_epoch) {
+      limbo[i].deleter(limbo[i].ptr);
+      freed_total_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (kept != i) limbo[kept] = std::move(limbo[i]);
+      ++kept;
+    }
+  }
+  limbo.resize(kept);
+}
+
+void EpochManager::drain_all() {
+  for (int t = 0; t < max_threads_; ++t) {
+    EUNO_ASSERT_MSG(slots_[t]->epoch.load(std::memory_order_acquire) == kIdle,
+                    "drain_all() while a thread is still pinned");
+  }
+  for (int t = 0; t < max_threads_; ++t) {
+    auto& slot = *slots_[t];
+    for (auto& r : slot.limbo) {
+      r.deleter(r.ptr);
+      freed_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot.limbo.clear();
+  }
+}
+
+}  // namespace euno

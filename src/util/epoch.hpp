@@ -1,0 +1,113 @@
+// Epoch-based memory reclamation (EBR).
+//
+// Stands in for DBX's garbage-collection scheme, which the paper reuses for
+// deleted nodes (§4.2.4). Readers pin the current epoch for the duration of
+// an operation; retired nodes are freed only once every registered thread has
+// moved past the epoch in which they were retired.
+//
+// Works for both engines: native threads use it directly; simulator fibers
+// run on one OS thread and never preempt each other inside these calls, so
+// the same relaxed-atomic implementation is trivially safe there too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+
+namespace euno {
+
+class EpochManager {
+ public:
+  static constexpr int kMaxThreads = 64;
+  static constexpr std::uint64_t kIdle = ~0ull;
+
+  explicit EpochManager(int max_threads = kMaxThreads);
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII pin: marks thread `tid` as active in the current global epoch.
+  class Guard {
+   public:
+    Guard(EpochManager& mgr, int tid) : mgr_(&mgr), tid_(tid) { mgr.enter(tid); }
+    ~Guard() {
+      if (mgr_) mgr_->exit(tid_);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard(Guard&& o) noexcept : mgr_(o.mgr_), tid_(o.tid_) { o.mgr_ = nullptr; }
+
+   private:
+    EpochManager* mgr_;
+    int tid_;
+  };
+
+  Guard pin(int tid) { return Guard(*this, tid); }
+
+  void enter(int tid) {
+    EUNO_ASSERT(tid >= 0 && tid < max_threads_);
+    auto& s = slots_[tid];
+    EUNO_ASSERT_MSG(s->epoch.load(std::memory_order_relaxed) == kIdle,
+                    "epoch guard is not reentrant");
+    s->epoch.store(global_epoch_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+  }
+
+  void exit(int tid) {
+    slots_[tid]->epoch.store(kIdle, std::memory_order_release);
+  }
+
+  /// Schedule `deleter(ptr)` once no pinned thread can still observe `ptr`.
+  /// Must be called while `tid` is pinned (the retirer's own pin keeps the
+  /// epoch from advancing past the retirement point prematurely).
+  void retire(int tid, void* ptr, std::function<void(void*)> deleter);
+
+  /// Attempt to advance the global epoch and free eligible retirees.
+  /// Called automatically from retire() every `advance_interval` retirements.
+  void try_advance();
+
+  /// Free everything unconditionally. Only valid when no thread is pinned
+  /// (e.g. at tree teardown).
+  void drain_all();
+
+  std::uint64_t retired_count() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed_count() const {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    std::function<void(void*)> deleter;
+    std::uint64_t epoch;
+  };
+
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+    // Retirement list is only touched by the owning thread (plus drain_all
+    // at quiescence), so it needs no lock.
+    std::vector<Retired> limbo;
+    std::uint64_t since_advance = 0;
+  };
+
+  std::uint64_t min_active_epoch() const;
+  void free_up_to(Slot& slot, std::uint64_t safe_epoch);
+
+  int max_threads_;
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::uint64_t> retired_total_{0};
+  std::atomic<std::uint64_t> freed_total_{0};
+  std::vector<CacheAligned<Slot>> slots_;
+};
+
+}  // namespace euno

@@ -1,0 +1,36 @@
+// Integer hashing used by the conflict-control module and the simulator's
+// shadow-memory tables.
+#pragma once
+
+#include <cstdint>
+
+namespace euno {
+
+/// Murmur3 finalizer: a strong 64-bit mixing function. Used where hash
+/// quality matters (CCM slot assignment must spread adjacent keys apart,
+/// otherwise neighbouring hot keys would collide on the same lock bit).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Fibonacci hashing: cheap multiplicative spread for table indexing.
+constexpr std::uint64_t fib_hash(std::uint64_t x) {
+  return x * 0x9e3779b97f4a7c15ull;
+}
+
+/// Second independent hash for double-hashing schemes (Bloom-filter style).
+constexpr std::uint64_t mix64_alt(std::uint64_t x) {
+  x ^= x >> 31;
+  x *= 0x7fb5d329728ea185ull;
+  x ^= x >> 27;
+  x *= 0x81dadef4bc2dd44dull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace euno

@@ -1,0 +1,37 @@
+#include "util/memstats.hpp"
+
+namespace euno {
+
+MemStats& MemStats::instance() {
+  static MemStats s;
+  return s;
+}
+
+std::uint64_t MemStats::tree_live_bytes() const {
+  std::uint64_t sum = 0;
+  for (auto c : {MemClass::kInternalNode, MemClass::kLeafNode, MemClass::kReservedKeys,
+                 MemClass::kCCM, MemClass::kTreeMisc}) {
+    sum += snapshot(c).live_bytes;
+  }
+  return sum;
+}
+
+std::uint64_t MemStats::tree_peak_bytes() const {
+  std::uint64_t sum = 0;
+  for (auto c : {MemClass::kInternalNode, MemClass::kLeafNode, MemClass::kReservedKeys,
+                 MemClass::kCCM, MemClass::kTreeMisc}) {
+    sum += snapshot(c).peak_bytes;
+  }
+  return sum;
+}
+
+void MemStats::reset() {
+  for (auto& e : entries_) {
+    e.live.store(0, std::memory_order_relaxed);
+    e.peak.store(0, std::memory_order_relaxed);
+    e.allocs.store(0, std::memory_order_relaxed);
+    e.frees.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace euno

@@ -1,0 +1,98 @@
+// Memory accounting by structure class.
+//
+// Stands in for the paper's Valgrind-based measurement (§5.7): every tree
+// allocation is tagged with a MemClass, and the §5.7 bench reports live/peak
+// bytes per class to compute the overhead of reserved keys and the CCM.
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace euno {
+
+enum class MemClass : std::uint8_t {
+  kInternalNode = 0,  // interior B+Tree nodes
+  kLeafNode,          // leaf nodes (keys/values/segments)
+  kReservedKeys,      // Euno transient sorted buffers
+  kCCM,               // conflict-control module bit vectors
+  kTreeMisc,          // roots, headers, iterators
+  kSimInfra,          // simulator-internal (excluded from tree accounting)
+  kOther,
+  kCount,
+};
+
+constexpr std::string_view mem_class_name(MemClass c) {
+  switch (c) {
+    case MemClass::kInternalNode: return "internal_node";
+    case MemClass::kLeafNode: return "leaf_node";
+    case MemClass::kReservedKeys: return "reserved_keys";
+    case MemClass::kCCM: return "ccm";
+    case MemClass::kTreeMisc: return "tree_misc";
+    case MemClass::kSimInfra: return "sim_infra";
+    case MemClass::kOther: return "other";
+    case MemClass::kCount: break;
+  }
+  return "?";
+}
+
+struct MemClassStats {
+  std::uint64_t live_bytes = 0;
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t free_count = 0;
+};
+
+/// Global per-class counters. Cheap enough to keep always-on: two relaxed
+/// atomics per alloc/free.
+class MemStats {
+ public:
+  static MemStats& instance();
+
+  void note_alloc(MemClass c, std::size_t bytes) {
+    auto& e = entries_[static_cast<std::size_t>(c)];
+    const std::uint64_t now =
+        e.live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    e.allocs.fetch_add(1, std::memory_order_relaxed);
+    // Lossy peak tracking (relaxed CAS loop with early exit) — adequate for
+    // reporting and never blocks the hot path.
+    std::uint64_t peak = e.peak.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !e.peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void note_free(MemClass c, std::size_t bytes) {
+    auto& e = entries_[static_cast<std::size_t>(c)];
+    e.live.fetch_sub(bytes, std::memory_order_relaxed);
+    e.frees.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  MemClassStats snapshot(MemClass c) const {
+    const auto& e = entries_[static_cast<std::size_t>(c)];
+    return MemClassStats{e.live.load(std::memory_order_relaxed),
+                         e.peak.load(std::memory_order_relaxed),
+                         e.allocs.load(std::memory_order_relaxed),
+                         e.frees.load(std::memory_order_relaxed)};
+  }
+
+  /// Sum of live bytes over tree-visible classes (excludes sim infrastructure).
+  std::uint64_t tree_live_bytes() const;
+  std::uint64_t tree_peak_bytes() const;
+
+  /// Zero all counters (between bench configurations).
+  void reset();
+
+ private:
+  struct Entry {
+    std::atomic<std::uint64_t> live{0};
+    std::atomic<std::uint64_t> peak{0};
+    std::atomic<std::uint64_t> allocs{0};
+    std::atomic<std::uint64_t> frees{0};
+  };
+  std::array<Entry, static_cast<std::size_t>(MemClass::kCount)> entries_;
+};
+
+}  // namespace euno

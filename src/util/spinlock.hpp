@@ -1,0 +1,61 @@
+// Spinlocks for the native execution engine.
+//
+// The simulator uses its own cycle-charged lock primitives (see
+// src/ctx/sim_ctx.hpp); these are for real threads.
+#pragma once
+
+#include <atomic>
+
+#include "util/cacheline.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace euno {
+
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  // Fallback: compiler barrier only.
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Test-and-test-and-set spinlock. Satisfies Lockable.
+class Spinlock {
+ public:
+  void lock() {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool is_locked() const { return locked_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// Spinlock padded to a full cache line, for lock arrays where neighbouring
+/// locks must not share a line (they would otherwise generate exactly the
+/// false conflicts this project studies).
+class alignas(kCacheLineSize) PaddedSpinlock : public Spinlock {
+  char pad_[kCacheLineSize - sizeof(Spinlock)];
+
+ public:
+  PaddedSpinlock() { (void)pad_; }
+};
+
+static_assert(sizeof(PaddedSpinlock) == kCacheLineSize);
+
+}  // namespace euno

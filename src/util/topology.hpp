@@ -1,0 +1,31 @@
+// Machine topology description shared by the simulator's cost model and the
+// experiment driver. Mirrors the paper's testbed: two sockets of ten cores.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace euno {
+
+struct Topology {
+  int sockets = 2;
+  int cores_per_socket = 10;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+
+  /// Socket hosting logical core `core`. Cores are block-distributed across
+  /// sockets (0-9 on socket 0, 10-19 on socket 1), matching the paper's
+  /// "threads distributed equally on two sockets" via consecutive pinning.
+  int socket_of(int core) const {
+    EUNO_ASSERT(core >= 0 && core < total_cores());
+    return core / cores_per_socket;
+  }
+
+  bool same_socket(int a, int b) const { return socket_of(a) == socket_of(b); }
+
+  /// The paper's 20-core, 2-socket Xeon E5-2650 testbed.
+  static Topology paper_testbed() { return Topology{2, 10}; }
+};
+
+}  // namespace euno

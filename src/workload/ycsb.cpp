@@ -1,0 +1,18 @@
+#include "workload/ycsb.hpp"
+
+#include <sstream>
+
+namespace euno::workload {
+
+std::string WorkloadSpec::describe() const {
+  std::ostringstream os;
+  os << dist_kind_name(dist) << "(param=" << dist_param << ") keys=" << key_range
+     << " mix=" << mix.get_pct << "/" << mix.put_pct;
+  if (mix.scan_pct || mix.delete_pct) {
+    os << "/" << mix.scan_pct << "/" << mix.delete_pct;
+  }
+  os << " seed=" << seed << (scramble ? " scrambled" : " consecutive");
+  return os.str();
+}
+
+}  // namespace euno::workload

@@ -1,0 +1,92 @@
+// YCSB-equivalent workload specification and per-thread operation streams.
+//
+// The paper (§5.1): 8-byte keys and values, default 50%/50% get/put mix,
+// Zipfian default distribution "private to each thread (intra-thread
+// locality)" — i.e. each thread owns an independent generator over the same
+// key space, so the hot set is shared (contended) while streams stay
+// deterministic per thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "workload/distributions.hpp"
+
+namespace euno::workload {
+
+enum class OpType : std::uint8_t { kGet, kPut, kScan, kDelete };
+
+struct Op {
+  OpType type;
+  std::uint64_t key;
+  std::uint64_t value;     // for puts
+  std::uint32_t scan_len;  // for scans
+};
+
+/// Operation mix in percent. Must sum to 100.
+struct OpMix {
+  int get_pct = 50;
+  int put_pct = 50;
+  int scan_pct = 0;
+  int delete_pct = 0;
+
+  void validate() const {
+    EUNO_ASSERT_MSG(get_pct + put_pct + scan_pct + delete_pct == 100,
+                    "op mix must sum to 100");
+  }
+};
+
+struct WorkloadSpec {
+  std::uint64_t key_range = 1u << 20;  // paper uses 100M; default scaled down
+  OpMix mix{};
+  DistKind dist = DistKind::kZipfian;
+  double dist_param = 0.5;  // θ / h / sigma_frac / hot10 target
+  bool scramble = true;     // hash-permute ranks over the key space
+  std::uint32_t scan_len = 16;
+  std::uint64_t seed = 42;
+
+  std::string describe() const;
+};
+
+/// Deterministic per-thread stream of operations.
+class OpStream {
+ public:
+  OpStream(const WorkloadSpec& spec, int thread_id)
+      : spec_(spec),
+        rng_(SplitMix64(spec.seed + 0x1000ull * static_cast<std::uint64_t>(thread_id))
+                 .next()),
+        dist_(make_distribution(spec.dist, spec.key_range, spec.dist_param)) {
+    spec_.mix.validate();
+  }
+
+  Op next() {
+    Op op{};
+    const auto roll = static_cast<int>(rng_.next_bounded(100));
+    if (roll < spec_.mix.get_pct) {
+      op.type = OpType::kGet;
+    } else if (roll < spec_.mix.get_pct + spec_.mix.put_pct) {
+      op.type = OpType::kPut;
+    } else if (roll < spec_.mix.get_pct + spec_.mix.put_pct + spec_.mix.scan_pct) {
+      op.type = OpType::kScan;
+      op.scan_len = spec_.scan_len;
+    } else {
+      op.type = OpType::kDelete;
+    }
+    const std::uint64_t rank = dist_->sample(rng_);
+    op.key = rank_to_key(rank, spec_.key_range, spec_.scramble);
+    op.value = rng_.next();
+    return op;
+  }
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+  Xoshiro256 rng_;
+  std::unique_ptr<RankDistribution> dist_;
+};
+
+}  // namespace euno::workload

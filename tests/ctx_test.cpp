@@ -1,0 +1,273 @@
+// Tests for the execution-context layer: the txn() retry/fallback protocol on
+// both engines, lock subscription, statistics, and allocation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ctx/native_ctx.hpp"
+#include "ctx/sim_ctx.hpp"
+
+namespace euno::ctx {
+namespace {
+
+sim::MachineConfig small_config() {
+  sim::MachineConfig cfg;
+  cfg.arena_bytes = 16ull << 20;
+  return cfg;
+}
+
+struct SharedCell {
+  FallbackLock lock;
+  std::uint64_t counter = 0;
+};
+
+SharedCell* make_shared_cell(SimCtx& c) {
+  auto* cell = static_cast<SharedCell*>(
+      c.alloc(sizeof(SharedCell), MemClass::kOther, sim::LineKind::kOther));
+  new (cell) SharedCell();
+  c.tag_memory(&cell->lock, sizeof(FallbackLock), sim::LineKind::kFallbackLock);
+  return cell;
+}
+
+TEST(SimTxn, CommitsAndCounts) {
+  sim::Simulation simulation(small_config());
+  htm::RetryPolicy policy;
+  SimCtx setup(simulation, 0);
+  SharedCell* cell = make_shared_cell(setup);
+
+  std::vector<SiteStats> stats(4);
+  for (int core = 0; core < 4; ++core) {
+    simulation.spawn(core, [&, core](int) {
+      SimCtx c(simulation, core);
+      for (int i = 0; i < 500; ++i) {
+        c.txn(TxSite::kMono, cell->lock, policy,
+              [&] { c.write(cell->counter, c.read(cell->counter) + 1); });
+      }
+      stats[core] = c.stats();
+    });
+  }
+  simulation.run();
+  EXPECT_EQ(cell->counter, 2000u);
+  htm::TxStats total;
+  for (const auto& s : stats) total += s.at(TxSite::kMono);
+  EXPECT_EQ(total.commits, 2000u);
+  EXPECT_GE(total.attempts, total.commits);
+}
+
+TEST(SimTxn, ContendedCounterGeneratesConflictAborts) {
+  sim::Simulation simulation(small_config());
+  htm::RetryPolicy policy;
+  SimCtx setup(simulation, 0);
+  SharedCell* cell = make_shared_cell(setup);
+
+  std::uint64_t aborts = 0;
+  std::vector<SiteStats> stats(8);
+  for (int core = 0; core < 8; ++core) {
+    simulation.spawn(core, [&, core](int) {
+      SimCtx c(simulation, core);
+      for (int i = 0; i < 300; ++i) {
+        c.txn(TxSite::kMono, cell->lock, policy,
+              [&] { c.write(cell->counter, c.read(cell->counter) + 1); });
+      }
+      stats[core] = c.stats();
+    });
+  }
+  simulation.run();
+  EXPECT_EQ(cell->counter, 2400u);
+  for (const auto& s : stats) aborts += s.at(TxSite::kMono).total_aborts();
+  EXPECT_GT(aborts, 0u) << "8 cores hammering one line must conflict";
+}
+
+TEST(SimTxn, ExplicitAbortGoesToFallback) {
+  sim::Simulation simulation(small_config());
+  htm::RetryPolicy policy;
+  policy.other_retries = 1;
+  SimCtx setup(simulation, 0);
+  SharedCell* cell = make_shared_cell(setup);
+
+  bool fallback_seen = false;
+  SiteStats stats;
+  simulation.spawn(0, [&](int) {
+    SimCtx c(simulation, 0);
+    c.txn(TxSite::kMono, cell->lock, policy, [&] {
+      if (!c.in_fallback()) c.tx_abort_user();
+      fallback_seen = true;
+      c.write(cell->counter, std::uint64_t{11});
+    });
+    stats = c.stats();
+  });
+  simulation.run();
+  EXPECT_TRUE(fallback_seen);
+  EXPECT_EQ(cell->counter, 11u);
+  EXPECT_EQ(stats.at(TxSite::kMono).fallbacks, 1u);
+  EXPECT_EQ(
+      stats.at(TxSite::kMono).aborts[static_cast<int>(htm::AbortReason::kExplicit)],
+      2u);
+}
+
+TEST(SimTxn, FallbackAcquisitionAbortsSubscribedTx) {
+  sim::Simulation simulation(small_config());
+  htm::RetryPolicy policy;
+  SimCtx setup(simulation, 0);
+  SharedCell* cell = make_shared_cell(setup);
+
+  SiteStats stats0;
+  // Core 0 runs a long transaction; core 1 grabs the fallback lock
+  // non-transactionally. Core 0's subscription read must get it aborted.
+  simulation.spawn(0, [&](int) {
+    SimCtx c(simulation, 0);
+    c.txn(TxSite::kMono, cell->lock, policy, [&] {
+      c.read(cell->counter);
+      c.compute(20000);  // long pause: core 1 takes the lock meanwhile
+      c.write(cell->counter, c.read(cell->counter) + 1);
+    });
+    stats0 = c.stats();
+  });
+  simulation.spawn(1, [&](int) {
+    SimCtx c(simulation, 1);
+    c.compute(2000);  // let core 0 begin and subscribe first
+    // Acquire/release the fallback lock directly (as a fallback path would).
+    while (!c.cas<std::uint32_t>(cell->lock.word, 0, 1)) c.spin_pause();
+    c.compute(100);
+    c.atomic_store<std::uint32_t>(cell->lock.word, 0);
+  });
+  simulation.run();
+  const auto& st = stats0.at(TxSite::kMono);
+  EXPECT_EQ(cell->counter, 1u);
+  EXPECT_GE(st.total_aborts(), 1u);
+  EXPECT_GE(st.conflicts[static_cast<int>(htm::ConflictKind::kLockSubscription)], 1u)
+      << "subscription conflict must be classified as lock_subscription";
+}
+
+TEST(SimTxn, WastedCyclesAccountedOnAbort) {
+  sim::Simulation simulation(small_config());
+  htm::RetryPolicy policy;
+  policy.other_retries = 0;
+  SimCtx setup(simulation, 0);
+  SharedCell* cell = make_shared_cell(setup);
+
+  simulation.spawn(0, [&](int) {
+    SimCtx c(simulation, 0);
+    c.txn(TxSite::kMono, cell->lock, policy, [&] {
+      c.compute(500);
+      if (!c.in_fallback()) c.tx_abort_user();
+    });
+  });
+  simulation.run();
+  EXPECT_GE(simulation.counters(0).cycles_wasted, 500u);
+}
+
+TEST(SimTxn, SiteStatsSeparated) {
+  sim::Simulation simulation(small_config());
+  htm::RetryPolicy policy;
+  SimCtx setup(simulation, 0);
+  SharedCell* cell = make_shared_cell(setup);
+
+  SiteStats stats;
+  simulation.spawn(0, [&](int) {
+    SimCtx c(simulation, 0);
+    c.txn(TxSite::kUpper, cell->lock, policy, [&] { c.read(cell->counter); });
+    c.txn(TxSite::kLower, cell->lock, policy, [&] { c.read(cell->counter); });
+    c.txn(TxSite::kLower, cell->lock, policy, [&] { c.read(cell->counter); });
+    stats = c.stats();
+  });
+  simulation.run();
+  EXPECT_EQ(stats.at(TxSite::kUpper).commits, 1u);
+  EXPECT_EQ(stats.at(TxSite::kLower).commits, 2u);
+  EXPECT_EQ(stats.total().commits, 3u);
+}
+
+TEST(SimCtx, AtomicsRoundTrip) {
+  sim::Simulation simulation(small_config());
+  SimCtx setup(simulation, 0);
+  auto* a = static_cast<std::atomic<std::uint8_t>*>(
+      setup.alloc(1, MemClass::kOther, sim::LineKind::kOther));
+  new (a) std::atomic<std::uint8_t>(0);
+
+  simulation.spawn(0, [&](int) {
+    SimCtx c(simulation, 0);
+    EXPECT_TRUE(c.cas<std::uint8_t>(*a, 0, 1));
+    EXPECT_FALSE(c.cas<std::uint8_t>(*a, 0, 1));
+    EXPECT_EQ(c.fetch_or<std::uint8_t>(*a, 0x10), 0x01);
+    EXPECT_EQ(c.atomic_load(*a), 0x11);
+    EXPECT_EQ(c.fetch_and<std::uint8_t>(*a, std::uint8_t(~0x10)), 0x11);
+    c.atomic_store<std::uint8_t>(*a, 0);
+  });
+  simulation.run();
+  EXPECT_EQ(a->load(), 0);
+}
+
+TEST(SimCtx, CasInsideTxnRollsBack) {
+  sim::Simulation simulation(small_config());
+  htm::RetryPolicy policy;
+  policy.other_retries = 0;
+  SimCtx setup(simulation, 0);
+  SharedCell* cell = make_shared_cell(setup);
+  auto* flag = static_cast<std::atomic<std::uint64_t>*>(
+      setup.alloc(8, MemClass::kOther, sim::LineKind::kOther));
+  new (flag) std::atomic<std::uint64_t>(0);
+
+  simulation.spawn(0, [&](int) {
+    SimCtx c(simulation, 0);
+    c.txn(TxSite::kMono, cell->lock, policy, [&] {
+      if (!c.in_fallback()) {
+        c.cas<std::uint64_t>(*flag, 0, 77);
+        c.tx_abort_user();
+      }
+    });
+  });
+  simulation.run();
+  EXPECT_EQ(flag->load(), 0u) << "transactional CAS must roll back on abort";
+}
+
+TEST(SimCtx, AllocInsideAbortedTxnReleased) {
+  sim::Simulation simulation(small_config());
+  htm::RetryPolicy policy;
+  policy.other_retries = 0;
+  SimCtx setup(simulation, 0);
+  SharedCell* cell = make_shared_cell(setup);
+  const auto before = simulation.arena().bytes_in_use();
+
+  simulation.spawn(0, [&](int) {
+    SimCtx c(simulation, 0);
+    c.txn(TxSite::kMono, cell->lock, policy, [&] {
+      if (!c.in_fallback()) {
+        (void)c.alloc(64, MemClass::kTreeMisc, sim::LineKind::kOther);
+        c.tx_abort_user();
+      }
+    });
+  });
+  simulation.run();
+  EXPECT_EQ(simulation.arena().bytes_in_use(), before);
+}
+
+// The same txn() discipline compiles and runs against the native context
+// (exercised in more depth in rtm_test.cpp). Here: API parity smoke test.
+TEST(CtxParity, SameTreeStyleBodyOnBothEngines) {
+  auto body_test = [](auto& c, FallbackLock& lock, std::uint64_t& cell) {
+    htm::RetryPolicy policy;
+    c.txn(TxSite::kMono, lock, policy, [&] { c.write(cell, c.read(cell) + 1); });
+  };
+
+  // Native.
+  NativeEnv env;
+  NativeCtx nc(env, 0);
+  FallbackLock nlock;
+  std::uint64_t ncell = 0;
+  body_test(nc, nlock, ncell);
+  EXPECT_EQ(ncell, 1u);
+
+  // Simulated.
+  sim::Simulation simulation(small_config());
+  SimCtx setup(simulation, 0);
+  SharedCell* scell = make_shared_cell(setup);
+  simulation.spawn(0, [&](int) {
+    SimCtx c(simulation, 0);
+    body_test(c, scell->lock, scell->counter);
+  });
+  simulation.run();
+  EXPECT_EQ(scell->counter, 1u);
+}
+
+}  // namespace
+}  // namespace euno::ctx

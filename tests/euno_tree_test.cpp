@@ -1,0 +1,353 @@
+// Tests for Euno-B+Tree: full conformance battery, per-feature behaviour
+// (segments, reserved keys, CCM, adaptive control), splits, deletion with
+// mark maintenance, deferred rebalance, and every ablation configuration.
+#include <gtest/gtest.h>
+
+#include "core/euno_tree.hpp"
+#include "tree_conformance.hpp"
+
+namespace euno::tests {
+namespace {
+
+using core::EunoBPTree;
+using core::EunoConfig;
+
+EunoConfig stress_config() {
+  EunoConfig cfg = EunoConfig::full();  // everything on, incl. adaptive
+  return cfg;
+}
+
+struct NativeAdapter {
+  static EunoBPTree<ctx::NativeCtx> make(ctx::NativeCtx& c) {
+    return EunoBPTree<ctx::NativeCtx>(c, stress_config());
+  }
+};
+struct SimAdapter {
+  static EunoBPTree<ctx::SimCtx> make(ctx::SimCtx& c) {
+    return EunoBPTree<ctx::SimCtx>(c, stress_config());
+  }
+};
+
+EUNO_TREE_CONFORMANCE_SUITE(EunoTree, NativeAdapter, SimAdapter)
+
+// ---- ablation configurations all behave correctly ----
+
+template <int S>
+void run_config_oracle(EunoConfig cfg) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  EunoBPTree<ctx::NativeCtx, 16, S> tree(c, cfg);
+  run_oracle_workload(tree, c, 7000 + S, 12000, 3000);
+  tree.check_invariants();
+  tree.destroy(c);
+}
+
+TEST(EunoAblation, SplitOnlyConsecutiveLayout) {
+  run_config_oracle<1>(EunoConfig::split_only());
+}
+TEST(EunoAblation, PartitionedLeaves) {
+  run_config_oracle<4>(EunoConfig::split_only());
+}
+TEST(EunoAblation, WithLockbits) { run_config_oracle<4>(EunoConfig::with_lockbits()); }
+TEST(EunoAblation, WithMarkbits) { run_config_oracle<4>(EunoConfig::with_markbits()); }
+TEST(EunoAblation, FullAdaptive) { run_config_oracle<4>(EunoConfig::full()); }
+TEST(EunoAblation, TwoSegments) { run_config_oracle<2>(EunoConfig::full()); }
+TEST(EunoAblation, EightSegments) { run_config_oracle<8>(EunoConfig::full()); }
+
+template <int S>
+void run_config_sim_stress(EunoConfig cfg) {
+  sim::Simulation simulation(test_sim_config());
+  ctx::SimCtx setup(simulation, 0);
+  EunoBPTree<ctx::SimCtx, 16, S> tree(setup, cfg);
+  for (int t = 0; t < 8; ++t) {
+    simulation.spawn(t, [&, t](int core) {
+      ctx::SimCtx c(simulation, core);
+      Xoshiro256 rng(5000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 400; ++i) {
+        const Key key = rng.next_bounded(128);
+        switch (rng.next_bounded(4)) {
+          case 0: {
+            Value v;
+            (void)tree.get(c, key, &v);
+            break;
+          }
+          case 3:
+            (void)tree.erase(c, key);
+            break;
+          default:
+            tree.put(c, key, key * 3 + 1);
+        }
+      }
+    });
+  }
+  simulation.run();
+  tree.check_invariants();
+  // Every present key must carry the one deterministic value ever written.
+  ctx::SimCtx verify(simulation, 0);
+  for (Key k = 0; k < 128; ++k) {
+    Value v = 0;
+    if (tree.get(verify, k, &v)) EXPECT_EQ(v, k * 3 + 1);
+  }
+  tree.destroy(verify);
+}
+
+TEST(EunoAblation, SimStressSplitOnly) {
+  run_config_sim_stress<1>(EunoConfig::split_only());
+}
+TEST(EunoAblation, SimStressLockbits) {
+  run_config_sim_stress<4>(EunoConfig::with_lockbits());
+}
+TEST(EunoAblation, SimStressMarkbits) {
+  run_config_sim_stress<4>(EunoConfig::with_markbits());
+}
+TEST(EunoAblation, SimStressFull) { run_config_sim_stress<4>(EunoConfig::full()); }
+
+// ---- feature-specific behaviour ----
+
+TEST(EunoTree, MarkBitShortcutsAbsentKeys) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  EunoBPTree<ctx::NativeCtx> tree(c, EunoConfig::with_markbits());
+  for (Key k = 0; k < 100; k += 2) tree.put(c, k, k);
+  // Gets for absent keys must still be correct (possibly via the shortcut).
+  for (Key k = 1; k < 100; k += 2) {
+    Value v;
+    EXPECT_FALSE(tree.get(c, k, &v)) << k;
+  }
+  for (Key k = 0; k < 100; k += 2) {
+    Value v = 0;
+    EXPECT_TRUE(tree.get(c, k, &v));
+    EXPECT_EQ(v, k);
+  }
+  tree.destroy(c);
+}
+
+TEST(EunoTree, EraseClearsMarksWithoutFalseNegatives) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  EunoBPTree<ctx::NativeCtx> tree(c, EunoConfig::with_markbits());
+  for (Key k = 0; k < 64; ++k) tree.put(c, k, k);
+  for (Key k = 0; k < 64; k += 2) EXPECT_TRUE(tree.erase(c, k));
+  tree.check_invariants();  // includes: every live key has its mark set
+  for (Key k = 0; k < 64; ++k) {
+    Value v;
+    EXPECT_EQ(tree.get(c, k, &v), (k % 2) == 1) << k;
+  }
+  // Reinsert the erased keys.
+  for (Key k = 0; k < 64; k += 2) tree.put(c, k, k + 100);
+  for (Key k = 0; k < 64; k += 2) {
+    Value v = 0;
+    EXPECT_TRUE(tree.get(c, k, &v));
+    EXPECT_EQ(v, k + 100);
+  }
+  tree.destroy(c);
+}
+
+TEST(EunoTree, SplitsPreserveEveryKeyAndMark) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  EunoBPTree<ctx::NativeCtx> tree(c, EunoConfig::with_markbits());
+  // Dense inserts into one region force repeated compaction + splits.
+  for (Key k = 0; k < 2000; ++k) tree.put(c, k, ~k);
+  tree.check_invariants();
+  EXPECT_EQ(tree.size_slow(), 2000u);
+  EXPECT_GT(tree.height(), 1);
+  for (Key k = 0; k < 2000; ++k) {
+    Value v = 0;
+    ASSERT_TRUE(tree.get(c, k, &v)) << k;
+    ASSERT_EQ(v, ~k);
+  }
+  tree.destroy(c);
+}
+
+TEST(EunoTree, ScanMergesSegmentsSorted) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  EunoBPTree<ctx::NativeCtx> tree(c, EunoConfig::full());
+  // Random insertion order → records scattered across segments.
+  Xoshiro256 rng(11);
+  std::vector<Key> keys;
+  for (Key k = 0; k < 800; ++k) keys.push_back(k * 5);
+  for (std::size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.next_bounded(i)]);
+  }
+  for (Key k : keys) tree.put(c, k, k + 1);
+  std::vector<KV> buf(200);
+  const std::size_t n = tree.scan(c, 1000, buf.size(), buf.data());
+  ASSERT_EQ(n, 200u);
+  EXPECT_EQ(buf[0].first, 1000u);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_EQ(buf[i].first, buf[i - 1].first + 5);
+    EXPECT_EQ(buf[i].second, buf[i].first + 1);
+  }
+  tree.destroy(c);
+}
+
+TEST(EunoTree, RebalanceMergesSparseLeaves) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  EunoBPTree<ctx::NativeCtx> tree(c, EunoConfig::full());
+  for (Key k = 0; k < 3000; ++k) tree.put(c, k, k);
+  for (Key k = 0; k < 3000; ++k) {
+    if (k % 8 != 0) EXPECT_TRUE(tree.erase(c, k));
+  }
+  tree.check_invariants();
+  const std::size_t merges = tree.rebalance(c);
+  EXPECT_GT(merges, 0u);
+  tree.check_invariants();
+  EXPECT_EQ(tree.size_slow(), 3000u / 8);
+  for (Key k = 0; k < 3000; k += 8) {
+    Value v = 0;
+    ASSERT_TRUE(tree.get(c, k, &v)) << k;
+    ASSERT_EQ(v, k);
+  }
+  // Scans still see the full ordered remainder.
+  std::vector<KV> buf(400);
+  const std::size_t n = tree.scan(c, 0, buf.size(), buf.data());
+  ASSERT_EQ(n, 375u);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(buf[i].first, i * 8);
+  tree.destroy(c);
+}
+
+TEST(EunoTree, AutoRebalanceTriggersOnThreshold) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  EunoConfig cfg = EunoConfig::full();
+  cfg.rebalance_threshold = 256;
+  EunoBPTree<ctx::NativeCtx> tree(c, cfg);
+  for (Key k = 0; k < 1200; ++k) tree.put(c, k, k);
+  for (Key k = 0; k < 1200; ++k) {
+    if (k % 4 != 0) tree.erase(c, k);  // 900 deletes > threshold
+  }
+  tree.check_invariants();
+  EXPECT_EQ(tree.size_slow(), 300u);
+  EXPECT_GT(tree.epochs().retired_count(), 0u)
+      << "auto-rebalance should have merged and retired leaves";
+  tree.destroy(c);
+}
+
+TEST(EunoTree, AdaptiveFlipsToFullCcmUnderContention) {
+  sim::Simulation simulation(test_sim_config());
+  ctx::SimCtx setup(simulation, 0);
+  EunoConfig cfg = EunoConfig::full();
+  cfg.adapt_window = 16;
+  EunoBPTree<ctx::SimCtx> tree(setup, cfg);
+  for (Key k = 0; k < 64; ++k) tree.put(setup, k, k);
+
+  std::vector<std::uint64_t> fallbacks(12);
+  for (int t = 0; t < 12; ++t) {
+    simulation.spawn(t, [&, t](int core) {
+      ctx::SimCtx c(simulation, core);
+      Xoshiro256 rng(31 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 500; ++i) {
+        tree.put(c, rng.next_bounded(4), i);  // 4 ultra-hot keys
+      }
+      fallbacks[t] = c.stats().total().fallbacks;
+    });
+  }
+  simulation.run();
+  tree.check_invariants();
+  // Under this contention the hot leaf must have left bypass mode at some
+  // point; its effect is indirect, so just assert correctness + progress.
+  ctx::SimCtx verify(simulation, 0);
+  for (Key k = 0; k < 4; ++k) {
+    Value v;
+    EXPECT_TRUE(tree.get(verify, k, &v));
+  }
+  tree.destroy(verify);
+}
+
+TEST(EunoTree, LowerRegionConflictsDominateUnderContention) {
+  // The premise of region splitting (§3): conflicts concentrate in the leaf
+  // layer, so lower-region aborts should far outnumber upper-region aborts.
+  sim::Simulation simulation(test_sim_config());
+  ctx::SimCtx setup(simulation, 0);
+  EunoConfig cfg = EunoConfig::with_markbits();
+  EunoBPTree<ctx::SimCtx> tree(setup, cfg);
+  for (Key k = 0; k < 4096; ++k) tree.put(setup, k, k);
+
+  htm::TxStats upper, lower;
+  std::vector<ctx::SiteStats> stats(16);
+  for (int t = 0; t < 16; ++t) {
+    simulation.spawn(t, [&, t](int core) {
+      ctx::SimCtx c(simulation, core);
+      Xoshiro256 rng(77 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 400; ++i) {
+        tree.put(c, rng.next_bounded(32), i);
+      }
+      stats[t] = c.stats();
+    });
+  }
+  simulation.run();
+  for (const auto& s : stats) {
+    upper += s.at(ctx::TxSite::kUpper);
+    lower += s.at(ctx::TxSite::kLower);
+  }
+  EXPECT_GT(lower.total_aborts() + upper.total_aborts(), 0u);
+  EXPECT_GE(lower.total_aborts() * 1, upper.total_aborts() * 4)
+      << "lower-region aborts should dominate (paper: >90% in leaf level)";
+  tree.destroy(setup);
+}
+
+TEST(EunoTree, DestroyReturnsAllMemoryIncludingReserved) {
+  auto& ms = MemStats::instance();
+  ms.reset();
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  {
+    EunoBPTree<ctx::NativeCtx> tree(c, EunoConfig::full());
+    for (Key k = 0; k < 3000; ++k) tree.put(c, k, k);
+    for (Key k = 0; k < 3000; k += 3) tree.erase(c, k);
+    tree.rebalance(c);
+    EXPECT_GT(ms.snapshot(MemClass::kReservedKeys).live_bytes, 0u);
+    tree.destroy(c);
+  }
+  EXPECT_EQ(ms.tree_live_bytes(), 0u);
+  ms.reset();
+}
+
+TEST(EunoTree, ReservedBufferAppearsAfterCompaction) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  auto& ms = MemStats::instance();
+  ms.reset();
+  EunoBPTree<ctx::NativeCtx> tree(c, EunoConfig::full());
+  // Enough inserts into one leaf to overflow its segments.
+  for (Key k = 0; k < 17; ++k) tree.put(c, k, k);
+  EXPECT_GT(ms.snapshot(MemClass::kReservedKeys).alloc_count, 0u);
+  tree.check_invariants();
+  tree.destroy(c);
+  ms.reset();
+}
+
+TEST(EunoTree, UpdateDoesNotGrowTree) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  EunoBPTree<ctx::NativeCtx> tree(c, EunoConfig::full());
+  for (Key k = 0; k < 100; ++k) tree.put(c, k, 0);
+  const std::size_t before = tree.size_slow();
+  for (int round = 0; round < 50; ++round) {
+    for (Key k = 0; k < 100; ++k) tree.put(c, k, round);
+  }
+  EXPECT_EQ(tree.size_slow(), before);
+  Value v = 0;
+  ASSERT_TRUE(tree.get(c, 50, &v));
+  EXPECT_EQ(v, 49u);
+  tree.destroy(c);
+}
+
+TEST(EunoTree, EmptyTree) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx c(env, 0);
+  EunoBPTree<ctx::NativeCtx> tree(c, EunoConfig::full());
+  Value v;
+  EXPECT_FALSE(tree.get(c, 123, &v));
+  EXPECT_FALSE(tree.erase(c, 123));
+  KV buf[4];
+  EXPECT_EQ(tree.scan(c, 0, 4, buf), 0u);
+  EXPECT_EQ(tree.rebalance(c), 0u);
+  tree.destroy(c);
+}
+
+}  // namespace
+}  // namespace euno::tests

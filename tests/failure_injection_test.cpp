@@ -1,0 +1,155 @@
+// Failure-injection tests: hostile machine configurations and degenerate
+// retry policies must degrade performance, never correctness.
+//   - zero retry budgets        → every region serializes on the fallback lock
+//   - tiny HTM capacity         → capacity aborts everywhere, fallback rescues
+//   - 100% mutual destruction   → pairwise livelock, fallback guarantees progress
+//   - pathological latencies    → ordering-only sanity
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/euno_tree.hpp"
+#include "driver/experiment.hpp"
+#include "tree_conformance.hpp"
+#include "trees/htmbtree/htm_bptree.hpp"
+
+namespace euno::tests {
+namespace {
+
+template <class MakeTree>
+void run_hostile_sim(sim::MachineConfig cfg, MakeTree make, int threads,
+                     int ops_per_thread) {
+  cfg.arena_bytes = 256ull << 20;
+  sim::Simulation simulation(cfg);
+  ctx::SimCtx setup(simulation, 0);
+  auto tree = make(setup);
+  for (int t = 0; t < threads; ++t) {
+    simulation.spawn(t, [&, t](int core) {
+      ctx::SimCtx c(simulation, core);
+      Xoshiro256 rng(500 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const Key key = rng.next_bounded(64);
+        if (rng.next_bounded(2) == 0) {
+          tree.put(c, key, key + 1);
+        } else {
+          Value v;
+          if (tree.get(c, key, &v)) ASSERT_EQ(v, key + 1);
+        }
+      }
+    });
+  }
+  simulation.run();
+  tree.check_invariants();
+  tree.destroy(setup);
+}
+
+core::EunoConfig zero_retry_config() {
+  core::EunoConfig cfg = core::EunoConfig::full();
+  cfg.policy.conflict_retries = 0;
+  cfg.policy.capacity_retries = 0;
+  cfg.policy.other_retries = 0;
+  return cfg;
+}
+
+TEST(FailureInjection, ZeroRetryBudgetStillCorrect_Euno) {
+  run_hostile_sim(
+      sim::MachineConfig{},
+      [](ctx::SimCtx& c) {
+        return core::EunoBPTree<ctx::SimCtx>(c, zero_retry_config());
+      },
+      8, 300);
+}
+
+TEST(FailureInjection, ZeroRetryBudgetStillCorrect_Baseline) {
+  run_hostile_sim(
+      sim::MachineConfig{},
+      [](ctx::SimCtx& c) {
+        typename trees::HtmBPTree<ctx::SimCtx>::Options opt;
+        opt.policy.conflict_retries = 0;
+        opt.policy.capacity_retries = 0;
+        opt.policy.other_retries = 0;
+        return trees::HtmBPTree<ctx::SimCtx>(c, opt);
+      },
+      8, 300);
+}
+
+TEST(FailureInjection, TinyCapacityForcesFallbackButStaysCorrect) {
+  sim::MachineConfig cfg;
+  cfg.htm.write_capacity_lines = 2;
+  cfg.htm.read_capacity_lines = 6;
+  // Every traversal overflows the read set; ops complete via fallback.
+  run_hostile_sim(
+      cfg,
+      [](ctx::SimCtx& c) {
+        return core::EunoBPTree<ctx::SimCtx>(c, core::EunoConfig::full());
+      },
+      6, 200);
+}
+
+TEST(FailureInjection, TotalMutualDestructionCannotLivelock) {
+  sim::MachineConfig cfg;
+  cfg.htm.mutual_abort_pct = 100;  // every conflict kills both parties
+  run_hostile_sim(
+      cfg,
+      [](ctx::SimCtx& c) {
+        return trees::HtmBPTree<ctx::SimCtx>(c);
+      },
+      12, 250);
+}
+
+TEST(FailureInjection, ExtremeLatencySkew) {
+  sim::MachineConfig cfg;
+  cfg.latency.l1_hit = 1;
+  cfg.latency.local_cache = 500;
+  cfg.latency.remote_cache = 2000;
+  cfg.latency.dram = 3000;
+  run_hostile_sim(
+      cfg,
+      [](ctx::SimCtx& c) {
+        return core::EunoBPTree<ctx::SimCtx>(c, core::EunoConfig::full());
+      },
+      6, 150);
+}
+
+TEST(FailureInjection, CapacityAbortsAreCountedAsCapacity) {
+  sim::MachineConfig cfg;
+  cfg.htm.read_capacity_lines = 4;
+  cfg.arena_bytes = 256ull << 20;
+  sim::Simulation simulation(cfg);
+  ctx::SimCtx setup(simulation, 0);
+  trees::HtmBPTree<ctx::SimCtx> tree(setup);
+  for (Key k = 0; k < 2000; ++k) tree.put(setup, k, k);
+
+  htm::TxStats st;
+  simulation.spawn(0, [&](int core) {
+    ctx::SimCtx c(simulation, core);
+    Value v;
+    for (Key k = 0; k < 50; ++k) (void)tree.get(c, k * 37, &v);
+    st = c.stats().total();
+  });
+  simulation.run();
+  EXPECT_GT(st.aborts[static_cast<int>(htm::AbortReason::kCapacity)], 0u);
+  EXPECT_GT(st.fallbacks, 0u);
+  tree.destroy(setup);
+}
+
+TEST(FailureInjection, DriverWithScansAndDeletesUnderHostileMachine) {
+  driver::ExperimentSpec spec;
+  spec.tree = driver::TreeKind::kEuno;
+  spec.threads = 8;
+  spec.workload.key_range = 1 << 12;
+  spec.workload.mix = workload::OpMix{30, 40, 15, 15};
+  spec.workload.dist_param = 0.9;
+  spec.workload.scramble = false;
+  spec.preload = 1 << 11;
+  spec.ops_per_thread = 400;
+  spec.machine.htm.mutual_abort_pct = 90;
+  spec.machine.arena_bytes = 256ull << 20;
+  spec.policy.conflict_retries = 1;
+  const auto r = run_sim_experiment(spec);
+  EXPECT_EQ(r.ops, 3200u);
+  EXPECT_GT(r.throughput_mops, 0.0);
+}
+
+}  // namespace
+}  // namespace euno::tests

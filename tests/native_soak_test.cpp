@@ -1,0 +1,66 @@
+// Native-engine soak: every tree, 8 real threads on real RTM (when
+// available), with inline value-purity and scan-order verification. Heavier
+// than the conformance stress; values are a pure function of the key so any
+// torn or stale read is caught at the op that observes it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+#include <map>
+#include "core/euno_tree.hpp"
+#include "trees/htmbtree/htm_bptree.hpp"
+#include "trees/olc/olc_bptree.hpp"
+#include "ctx/native_ctx.hpp"
+using namespace euno;
+template <class Make>
+void soak(const char* name, Make make, int threads, int ops) {
+  ctx::NativeEnv env;
+  ctx::NativeCtx setup(env, 0);
+  auto tree = make(setup);
+  std::vector<std::thread> ws;
+  for (int t = 0; t < threads; ++t) {
+    ws.emplace_back([&, t] {
+      ctx::NativeCtx c(env, t);
+      Xoshiro256 rng(t + 1);
+      std::vector<trees::KV> buf(32);
+      for (int i = 0; i < ops; ++i) {
+        const trees::Key k = rng.next_bounded(4096);
+        switch (rng.next_bounded(10)) {
+          case 0: case 1: case 2: case 3: case 4:
+            tree.put(c, k, k * 31 + 5); break;
+          case 5: case 6: case 7: {
+            trees::Value v;
+            if (tree.get(c, k, &v) && v != k * 31 + 5) {
+              GTEST_FAIL() << name << " value corruption key=" << k << " v=" << v;
+            }
+            break;
+          }
+          case 8: (void)tree.erase(c, k); break;
+          case 9: {
+            size_t n = tree.scan(c, k, buf.size(), buf.data());
+            for (size_t j = 1; j < n; ++j) {
+              if (buf[j].first <= buf[j-1].first) {
+                GTEST_FAIL() << name << " scan order violation";
+              }
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : ws) w.join();
+  tree.check_invariants();
+  ctx::NativeCtx v(env, 0);
+  tree.destroy(v);
+  printf("%s soak ok (%d threads x %d ops)\n", name, threads, ops);
+}
+TEST(NativeSoak, AllTrees) {
+  soak("euno", [](ctx::NativeCtx& c){ return core::EunoBPTree<ctx::NativeCtx>(c, core::EunoConfig::full()); }, 8, 150000);
+  soak("baseline", [](ctx::NativeCtx& c){ return trees::HtmBPTree<ctx::NativeCtx>(c); }, 8, 150000);
+  soak("olc", [](ctx::NativeCtx& c){ return trees::OlcBPTree<ctx::NativeCtx>(c); }, 8, 150000);
+  soak("htm-masstree", [](ctx::NativeCtx& c){
+    typename trees::OlcBPTree<ctx::NativeCtx>::Options o; o.htm_elide = true;
+    return trees::OlcBPTree<ctx::NativeCtx>(c, o); }, 8, 150000);
+}

@@ -1,0 +1,176 @@
+// Tests for the native RTM backend. Hardware-dependent cases skip when the
+// CPU cannot commit transactions (TSX disabled), and the lock-fallback path
+// is tested unconditionally.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ctx/common.hpp"
+#include "ctx/native_ctx.hpp"
+#include "htm/abort.hpp"
+#include "htm/policy.hpp"
+#include "htm/rtm.hpp"
+
+namespace euno {
+namespace {
+
+using ctx::FallbackLock;
+using ctx::NativeCtx;
+using ctx::NativeEnv;
+using ctx::TxSite;
+
+TEST(Rtm, ProbeIsStable) {
+  const bool a = htm::rtm_supported();
+  const bool b = htm::rtm_supported();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rtm, DecodeStatusBits) {
+#if defined(EUNO_HAVE_RTM)
+  EXPECT_EQ(htm::rtm_decode(~0u).reason, htm::AbortReason::kNone);
+  // _XABORT_EXPLICIT with code kFallbackLocked -> kLockBusy
+  const unsigned explicit_locked = _XABORT_EXPLICIT | (0xA2u << 24);
+  EXPECT_EQ(htm::rtm_decode(explicit_locked).reason, htm::AbortReason::kLockBusy);
+  const unsigned explicit_user = _XABORT_EXPLICIT | (0xA3u << 24);
+  auto r = htm::rtm_decode(explicit_user);
+  EXPECT_EQ(r.reason, htm::AbortReason::kExplicit);
+  EXPECT_EQ(r.xabort_payload, 0xA3);
+  EXPECT_EQ(htm::rtm_decode(_XABORT_CONFLICT).reason, htm::AbortReason::kConflict);
+  EXPECT_EQ(htm::rtm_decode(_XABORT_CAPACITY).reason, htm::AbortReason::kCapacity);
+  EXPECT_EQ(htm::rtm_decode(0).reason, htm::AbortReason::kOther);
+#else
+  GTEST_SKIP() << "built without RTM support";
+#endif
+}
+
+TEST(Rtm, BasicTransactionCommits) {
+  if (!htm::rtm_supported()) GTEST_SKIP() << "no usable TSX";
+#if defined(EUNO_HAVE_RTM)
+  int x = 0;
+  bool committed = false;
+  for (int attempt = 0; attempt < 100 && !committed; ++attempt) {
+    const unsigned s = htm::rtm_begin();
+    if (s == _XBEGIN_STARTED) {
+      x = 42;
+      htm::rtm_end();
+      committed = true;
+    }
+  }
+  ASSERT_TRUE(committed);
+  EXPECT_EQ(x, 42);
+#endif
+}
+
+TEST(Rtm, ExplicitAbortRollsBack) {
+  if (!htm::rtm_supported()) GTEST_SKIP() << "no usable TSX";
+#if defined(EUNO_HAVE_RTM)
+  volatile int x = 0;
+  bool aborted_explicitly = false;
+  for (int attempt = 0; attempt < 100 && !aborted_explicitly; ++attempt) {
+    const unsigned s = htm::rtm_begin();
+    if (s == _XBEGIN_STARTED) {
+      x = 99;
+      htm::rtm_abort_user();
+    }
+    const auto r = htm::rtm_decode(s);
+    if (r.reason == htm::AbortReason::kExplicit &&
+        r.xabort_payload == htm::xabort_code::kUser) {
+      aborted_explicitly = true;
+    }
+  }
+  ASSERT_TRUE(aborted_explicitly);
+  EXPECT_EQ(x, 0) << "explicit abort must discard transactional writes";
+#endif
+}
+
+TEST(NativeTxn, BodyRunsExactlyOnceObservably) {
+  NativeEnv env;
+  NativeCtx c(env, 0);
+  FallbackLock lock;
+  htm::RetryPolicy policy;
+  int value = 0;
+  c.txn(TxSite::kMono, lock, policy, [&] { value = 7; });
+  EXPECT_EQ(value, 7);
+  const auto& st = c.stats().at(TxSite::kMono);
+  EXPECT_EQ(st.commits, 1u);
+}
+
+TEST(NativeTxn, FallsBackWhenRtmUnavailableOrContended) {
+  NativeEnv env;
+  FallbackLock lock;
+  htm::RetryPolicy policy;
+  // Pre-hold the lock from another thread briefly: transactions must wait,
+  // then proceed (either transactionally after release or via fallback).
+  lock.word.store(1);
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    lock.word.store(0);
+  });
+  NativeCtx c(env, 1);
+  int value = 0;
+  c.txn(TxSite::kMono, lock, policy, [&] { value = 1; });
+  releaser.join();
+  EXPECT_EQ(value, 1);
+  EXPECT_EQ(lock.word.load(), 0u);
+}
+
+TEST(NativeTxn, CountersAtomicUnderConcurrency) {
+  NativeEnv env;
+  FallbackLock lock;
+  htm::RetryPolicy policy;
+  std::uint64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      NativeCtx c(env, t);
+      for (int i = 0; i < kIters; ++i) {
+        c.txn(TxSite::kMono, lock, policy,
+              [&] { c.write(counter, c.read(counter) + 1); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(NativeCtx, ReadWriteRoundTrip) {
+  NativeEnv env;
+  NativeCtx c(env, 0);
+  std::uint64_t cell = 5;
+  EXPECT_EQ(c.read(cell), 5u);
+  c.write<std::uint64_t>(cell, 9);
+  EXPECT_EQ(cell, 9u);
+}
+
+TEST(NativeCtx, AtomicsWork) {
+  NativeEnv env;
+  NativeCtx c(env, 0);
+  std::atomic<std::uint8_t> byte{0};
+  EXPECT_TRUE(c.cas<std::uint8_t>(byte, 0, 1));
+  EXPECT_FALSE(c.cas<std::uint8_t>(byte, 0, 2));
+  EXPECT_EQ(c.fetch_or<std::uint8_t>(byte, 0x10), 0x01);
+  EXPECT_EQ(c.atomic_load(byte), 0x11);
+  c.atomic_store<std::uint8_t>(byte, 0);
+  EXPECT_EQ(byte.load(), 0);
+}
+
+TEST(NativeCtx, AllocFreeAccounted) {
+  auto& ms = MemStats::instance();
+  ms.reset();
+  NativeEnv env;
+  NativeCtx c(env, 0);
+  void* p = c.alloc(100, MemClass::kLeafNode, sim::LineKind::kRecord);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLineSize, 0u);
+  EXPECT_EQ(ms.snapshot(MemClass::kLeafNode).live_bytes, 128u);
+  c.free(p, 100, MemClass::kLeafNode);
+  EXPECT_EQ(ms.snapshot(MemClass::kLeafNode).live_bytes, 0u);
+  ms.reset();
+}
+
+}  // namespace
+}  // namespace euno

@@ -1,0 +1,105 @@
+// Tests for the simulator's memory-system details added during calibration:
+// 64-byte-granular arena size classes and the time-based cache capacity
+// (retention) model.
+#include <gtest/gtest.h>
+
+#include "sim/arena.hpp"
+#include "sim/engine.hpp"
+#include "sim/memmodel.hpp"
+
+namespace euno::sim {
+namespace {
+
+TEST(ArenaSizeClasses, SmallAllocationsAreTight) {
+  SharedArena arena(16ull << 20);
+  MemStats::instance().reset();
+  // A 640-byte request must consume 640 bytes, not a 1 KiB power of two.
+  void* p = arena.alloc(640, MemClass::kLeafNode, LineKind::kOther);
+  EXPECT_EQ(MemStats::instance().snapshot(MemClass::kLeafNode).live_bytes, 640u);
+  arena.free(p, 640, MemClass::kLeafNode);
+  EXPECT_EQ(MemStats::instance().snapshot(MemClass::kLeafNode).live_bytes, 0u);
+  MemStats::instance().reset();
+}
+
+TEST(ArenaSizeClasses, ReuseIsPerClass) {
+  SharedArena arena(16ull << 20);
+  void* a = arena.alloc(320, MemClass::kOther, LineKind::kOther);
+  void* b = arena.alloc(640, MemClass::kOther, LineKind::kOther);
+  arena.free(a, 320, MemClass::kOther);
+  arena.free(b, 640, MemClass::kOther);
+  // Same-size request reuses the matching slot, not the other class's.
+  EXPECT_EQ(arena.alloc(320, MemClass::kOther, LineKind::kOther), a);
+  EXPECT_EQ(arena.alloc(640, MemClass::kOther, LineKind::kOther), b);
+}
+
+TEST(ArenaSizeClasses, LargeAllocationsRoundUpward) {
+  SharedArena arena(64ull << 20);
+  MemStats::instance().reset();
+  void* p = arena.alloc(3000, MemClass::kOther, LineKind::kOther);
+  const auto live = MemStats::instance().snapshot(MemClass::kOther).live_bytes;
+  EXPECT_GE(live, 3000u);
+  arena.free(p, 3000, MemClass::kOther);
+  EXPECT_EQ(MemStats::instance().snapshot(MemClass::kOther).live_bytes, 0u);
+  MemStats::instance().reset();
+}
+
+TEST(CapacityModel, RecentLineIsAHit) {
+  MachineConfig cfg;
+  LineState line;
+  coherence_access(line, 0, true, cfg, /*now=*/1000);
+  EXPECT_EQ(peek_cost(line, 0, false, cfg, 1000 + 100), cfg.latency.l1_hit);
+}
+
+TEST(CapacityModel, StaleLineFallsToL3ThenDram) {
+  MachineConfig cfg;
+  LineState line;
+  coherence_access(line, 0, true, cfg, /*now=*/0);
+  // Past the private-cache retention: shared-level fill.
+  EXPECT_EQ(peek_cost(line, 0, false, cfg, cfg.latency.l2_retention + 1),
+            cfg.latency.local_cache);
+  // Past the shared retention: memory fill.
+  EXPECT_EQ(peek_cost(line, 0, false, cfg, cfg.latency.l3_retention + 1),
+            cfg.latency.dram);
+}
+
+TEST(CapacityModel, TouchRefreshesRetention) {
+  MachineConfig cfg;
+  LineState line;
+  coherence_access(line, 0, true, cfg, 0);
+  const std::uint64_t later = cfg.latency.l2_retention - 10;
+  coherence_access(line, 0, false, cfg, later);  // refresh
+  EXPECT_EQ(peek_cost(line, 0, false, cfg, later + cfg.latency.l2_retention - 10),
+            cfg.latency.l1_hit);
+}
+
+TEST(CapacityModel, HotPathStaysCheapColdTailPaysInSimulation) {
+  // End-to-end: a fiber hammering one line stays at L1 cost while revisiting
+  // a long-idle line costs a memory fill.
+  MachineConfig cfg;
+  cfg.arena_bytes = 16ull << 20;
+  Simulation sim(cfg);
+  auto* hot = static_cast<std::uint64_t*>(
+      sim.arena().alloc(8, MemClass::kOther, LineKind::kOther));
+  auto* cold = static_cast<std::uint64_t*>(
+      sim.arena().alloc(8, MemClass::kOther, LineKind::kOther));
+  std::uint64_t hot_cost = 0, cold_cost = 0;
+  sim.spawn(0, [&](int) {
+    sim.mem_access(cold, 8, false);  // warm it once
+    sim.mem_access(hot, 8, false);
+    // Burn far past the L3 retention touching only `hot`.
+    const std::uint64_t target = cfg.latency.l3_retention + 100000;
+    while (sim.clock_of(0) < target) sim.mem_access(hot, 8, false);
+    const std::uint64_t c0 = sim.clock_of(0);
+    sim.mem_access(hot, 8, false);
+    hot_cost = sim.clock_of(0) - c0;
+    const std::uint64_t c1 = sim.clock_of(0);
+    sim.mem_access(cold, 8, false);
+    cold_cost = sim.clock_of(0) - c1;
+  });
+  sim.run();
+  EXPECT_LE(hot_cost, cfg.latency.l1_hit + cfg.costs.instr);
+  EXPECT_GE(cold_cost, cfg.latency.dram);
+}
+
+}  // namespace
+}  // namespace euno::sim

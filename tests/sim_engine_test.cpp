@@ -1,0 +1,203 @@
+// Tests for the simulated-multicore engine: fiber scheduling order, clock
+// accounting, determinism, arena allocation, and the coherence cost model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/arena.hpp"
+#include "sim/engine.hpp"
+#include "sim/memmodel.hpp"
+
+namespace euno::sim {
+namespace {
+
+MachineConfig small_config() {
+  MachineConfig cfg;
+  cfg.arena_bytes = 16ull << 20;
+  return cfg;
+}
+
+TEST(Arena, AllocationsAreLineAlignedAndDisjoint) {
+  SharedArena arena(1 << 20);
+  void* a = arena.alloc(10, MemClass::kOther, LineKind::kOther);
+  void* b = arena.alloc(10, MemClass::kOther, LineKind::kOther);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_NE(arena.line_index(a), arena.line_index(b));
+}
+
+TEST(Arena, FreeListReuse) {
+  SharedArena arena(1 << 20);
+  void* a = arena.alloc(64, MemClass::kOther, LineKind::kOther);
+  arena.free(a, 64, MemClass::kOther);
+  void* b = arena.alloc(64, MemClass::kOther, LineKind::kOther);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Arena, AllocZeroesMemory) {
+  SharedArena arena(1 << 20);
+  auto* p = static_cast<std::uint64_t*>(
+      arena.alloc(64, MemClass::kOther, LineKind::kOther));
+  p[0] = 0xdead;
+  arena.free(p, 64, MemClass::kOther);
+  auto* q = static_cast<std::uint64_t*>(
+      arena.alloc(64, MemClass::kOther, LineKind::kOther));
+  EXPECT_EQ(q[0], 0u);
+}
+
+TEST(Arena, TagsCoverAllLines) {
+  SharedArena arena(1 << 20);
+  void* p = arena.alloc(200, MemClass::kOther, LineKind::kRecord);
+  for (std::size_t off = 0; off < 200; off += 64) {
+    EXPECT_EQ(arena.line_of(static_cast<char*>(p) + off).kind, LineKind::kRecord);
+  }
+}
+
+TEST(Arena, ContainsChecksBounds) {
+  SharedArena arena(1 << 20);
+  void* p = arena.alloc(64, MemClass::kOther, LineKind::kOther);
+  EXPECT_TRUE(arena.contains(p));
+  int local;
+  EXPECT_FALSE(arena.contains(&local));
+}
+
+TEST(Engine, FibersRunToCompletion) {
+  Simulation sim(small_config());
+  std::vector<int> order;
+  sim.spawn(0, [&](int core) { order.push_back(core); });
+  sim.spawn(1, [&](int core) { order.push_back(core); });
+  sim.run();
+  EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(Engine, MinClockFiberRunsFirst) {
+  Simulation sim(small_config());
+  std::vector<std::pair<int, std::uint64_t>> events;
+  // Fiber 0 does expensive steps, fiber 1 cheap steps; the interleaving must
+  // honour simulated time: fiber 1 gets many steps in while fiber 0 is
+  // "busy".
+  sim.spawn(0, [&](int) {
+    for (int i = 0; i < 3; ++i) {
+      sim.charge(1000);
+      events.push_back({0, sim.clock_of(0)});
+    }
+  });
+  sim.spawn(1, [&](int) {
+    for (int i = 0; i < 3; ++i) {
+      sim.charge(10);
+      events.push_back({1, sim.clock_of(1)});
+    }
+  });
+  sim.run();
+  ASSERT_EQ(events.size(), 6u);
+  // All of fiber 1's events (clocks 10,20,30) precede fiber 0's second event
+  // (clock 2000).
+  std::uint64_t fiber1_last_pos = 0, fiber0_second_pos = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].first == 1) fiber1_last_pos = i;
+    if (events[i].first == 0 && events[i].second == 2000) fiber0_second_pos = i;
+  }
+  EXPECT_LT(fiber1_last_pos, fiber0_second_pos);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim(small_config());
+    auto* cell = static_cast<std::uint64_t*>(
+        sim.arena().alloc(8, MemClass::kOther, LineKind::kOther));
+    for (int core = 0; core < 4; ++core) {
+      sim.spawn(core, [&sim, cell](int c) {
+        for (int i = 0; i < 100; ++i) {
+          sim.mem_access(cell, 8, true);
+          *cell += static_cast<std::uint64_t>(c) + 1;
+        }
+      });
+    }
+    sim.run();
+    return std::make_pair(*cell, sim.max_clock());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Engine, ChargeAccumulatesPerCore) {
+  Simulation sim(small_config());
+  sim.spawn(0, [&](int) { sim.charge(123); });
+  sim.spawn(1, [&](int) { sim.charge(456); });
+  sim.run();
+  EXPECT_EQ(sim.clock_of(0), 123u);
+  EXPECT_EQ(sim.clock_of(1), 456u);
+  EXPECT_EQ(sim.max_clock(), 456u);
+}
+
+TEST(Engine, ComputeCountsInstructions) {
+  Simulation sim(small_config());
+  sim.spawn(0, [&](int) { sim.compute(50); });
+  sim.run();
+  EXPECT_EQ(sim.counters(0).instructions, 50u);
+  EXPECT_EQ(sim.clock_of(0), 50u);
+}
+
+TEST(Engine, MemAccessOutsideFiberIsFree) {
+  Simulation sim(small_config());
+  auto* cell = static_cast<std::uint64_t*>(
+      sim.arena().alloc(8, MemClass::kOther, LineKind::kOther));
+  sim.mem_access(cell, 8, true);  // must not crash or charge anything
+  *cell = 5;
+  EXPECT_EQ(sim.max_clock(), 0u);
+}
+
+TEST(CostModel, FirstTouchIsDram) {
+  MachineConfig cfg;
+  LineState line;
+  EXPECT_EQ(coherence_access(line, 0, false, cfg), cfg.latency.dram);
+}
+
+TEST(CostModel, RepeatAccessIsL1) {
+  MachineConfig cfg;
+  LineState line;
+  coherence_access(line, 0, true, cfg);
+  EXPECT_EQ(coherence_access(line, 0, true, cfg), cfg.latency.l1_hit);
+  EXPECT_EQ(coherence_access(line, 0, false, cfg), cfg.latency.l1_hit);
+}
+
+TEST(CostModel, CrossCoreSameSocketTransfer) {
+  MachineConfig cfg;
+  LineState line;
+  coherence_access(line, 0, true, cfg);  // core 0 dirties
+  EXPECT_EQ(coherence_access(line, 1, false, cfg), cfg.latency.local_cache);
+}
+
+TEST(CostModel, CrossSocketTransferCostsMore) {
+  MachineConfig cfg;
+  LineState line;
+  coherence_access(line, 0, true, cfg);  // core 0 (socket 0) dirties
+  // Core 10 is on socket 1 in the paper testbed topology.
+  EXPECT_EQ(coherence_access(line, 10, false, cfg), cfg.latency.remote_cache);
+}
+
+TEST(CostModel, WriteInvalidatesSharers) {
+  MachineConfig cfg;
+  LineState line;
+  coherence_access(line, 0, true, cfg);
+  coherence_access(line, 1, false, cfg);  // now shared by 0 and 1
+  EXPECT_NE(line.sharers & 0b11u, 0u);
+  coherence_access(line, 2, true, cfg);  // write invalidates others
+  EXPECT_EQ(line.sharers, 0b100u);
+  EXPECT_EQ(line.owner, 2);
+  EXPECT_TRUE(line.dirty);
+}
+
+TEST(CostModel, ReadDowngradesDirtyLine) {
+  MachineConfig cfg;
+  LineState line;
+  coherence_access(line, 0, true, cfg);
+  EXPECT_TRUE(line.dirty);
+  coherence_access(line, 1, false, cfg);
+  EXPECT_FALSE(line.dirty);
+}
+
+}  // namespace
+}  // namespace euno::sim

@@ -1,0 +1,395 @@
+// Semantics tests for the simulated HTM: atomicity, rollback, requester-wins
+// conflicts, strong atomicity, capacity aborts, and conflict classification.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/txabort.hpp"
+
+namespace euno::sim {
+namespace {
+
+MachineConfig small_config() {
+  MachineConfig cfg;
+  cfg.arena_bytes = 16ull << 20;
+  return cfg;
+}
+
+std::uint64_t* alloc_u64(Simulation& sim, LineKind kind) {
+  return static_cast<std::uint64_t*>(sim.arena().alloc(8, MemClass::kOther, kind));
+}
+
+// Runs `work` in a fiber on core `core`, catching aborts into `out`.
+struct AbortRecord {
+  bool aborted = false;
+  htm::TxResult result{};
+};
+
+TEST(SimHtm, CommitPublishesWrites) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kOther);
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    sim.mem_access(x, 8, true);
+    *x = 7;
+    sim.htm().tx_commit(core);
+  });
+  sim.run();
+  EXPECT_EQ(*x, 7u);
+}
+
+TEST(SimHtm, ExplicitAbortRollsBackWrites) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kOther);
+  *x = 1;
+  AbortRecord rec;
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, true);
+      *x = 99;
+      sim.htm().tx_abort_explicit(core, htm::xabort_code::kUser);
+    } catch (const TxAbortException& e) {
+      sim.htm().on_abort_handled(core);
+      rec.aborted = true;
+      rec.result = e.result;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(rec.aborted);
+  EXPECT_EQ(rec.result.reason, htm::AbortReason::kExplicit);
+  EXPECT_EQ(rec.result.xabort_payload, htm::xabort_code::kUser);
+  EXPECT_EQ(*x, 1u) << "aborted writes must be undone";
+}
+
+TEST(SimHtm, UndoRestoresInReverseOrder) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kOther);
+  *x = 10;
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, true);
+      *x = 20;
+      sim.mem_access(x, 8, true);
+      *x = 30;
+      sim.htm().tx_abort_explicit(core, htm::xabort_code::kUser);
+    } catch (const TxAbortException&) {
+      sim.htm().on_abort_handled(core);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(*x, 10u) << "rollback must restore the pre-transaction value";
+}
+
+TEST(SimHtm, WriterAbortsConcurrentReader) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kOther);
+  AbortRecord rec;
+  bool committed = false;
+  sim.spawn(0, [&](int core) {  // reader transaction
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, false);
+      sim.charge(10000);  // give the writer time to run
+      sim.mem_access(x, 8, false);
+      sim.htm().tx_commit(core);
+      committed = true;
+    } catch (const TxAbortException& e) {
+      sim.htm().on_abort_handled(core);
+      rec.aborted = true;
+      rec.result = e.result;
+    }
+  });
+  sim.spawn(1, [&](int) {  // non-transactional writer
+    sim.charge(1000);  // start after the reader's first access lands
+    sim.mem_access(x, 8, true);
+    *x = 5;
+  });
+  sim.run();
+  EXPECT_TRUE(rec.aborted) << "strong atomicity: plain write must kill reader tx";
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(rec.result.reason, htm::AbortReason::kConflict);
+  EXPECT_EQ(*x, 5u);
+}
+
+TEST(SimHtm, ReadersDoNotConflictWithEachOther) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kOther);
+  int commits = 0;
+  for (int core = 0; core < 4; ++core) {
+    sim.spawn(core, [&, core](int) {
+      sim.htm().tx_begin(core);
+      sim.mem_access(x, 8, false);
+      sim.charge(1000);
+      sim.mem_access(x, 8, false);
+      sim.htm().tx_commit(core);
+      commits++;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(commits, 4);
+}
+
+TEST(SimHtm, WriteWriteConflictAbortsVictim) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kOther);
+  AbortRecord rec;
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, true);
+      *x = 1;
+      sim.charge(10000);
+      sim.mem_access(x, 8, true);
+      *x = 2;
+      sim.htm().tx_commit(core);
+    } catch (const TxAbortException& e) {
+      sim.htm().on_abort_handled(core);
+      rec.aborted = true;
+      rec.result = e.result;
+    }
+  });
+  sim.spawn(1, [&](int core) {
+    sim.charge(1000);  // start after the victim's write lands
+    sim.htm().tx_begin(core);
+    sim.mem_access(x, 8, true);
+    *x = 7;
+    sim.htm().tx_commit(core);
+  });
+  sim.run();
+  EXPECT_TRUE(rec.aborted);
+  // Victim's write of 1 was rolled back before the attacker's write of 7.
+  EXPECT_EQ(*x, 7u);
+}
+
+TEST(SimHtm, RequesterWinsLeavesAttackerRunning) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kOther);
+  bool attacker_committed = false;
+  bool victim_aborted = false;
+  sim.spawn(0, [&](int core) {  // victim: reads then stalls
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, false);
+      sim.charge(10000);
+      sim.mem_access(x, 8, false);
+      sim.htm().tx_commit(core);
+    } catch (const TxAbortException&) {
+      sim.htm().on_abort_handled(core);
+      victim_aborted = true;
+    }
+  });
+  sim.spawn(1, [&](int core) {  // attacker: transactional writer
+    sim.charge(1000);
+    sim.htm().tx_begin(core);
+    sim.mem_access(x, 8, true);
+    *x = 3;
+    sim.htm().tx_commit(core);
+    attacker_committed = true;
+  });
+  sim.run();
+  EXPECT_TRUE(victim_aborted);
+  EXPECT_TRUE(attacker_committed);
+}
+
+TEST(SimHtm, DoomedRaisedAtCommitToo) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kOther);
+  AbortRecord rec;
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, false);
+      sim.charge(10000);  // doomed while suspended; no further accesses
+      sim.htm().tx_commit(core);
+    } catch (const TxAbortException& e) {
+      sim.htm().on_abort_handled(core);
+      rec.aborted = true;
+      rec.result = e.result;
+    }
+  });
+  sim.spawn(1, [&](int) {
+    sim.charge(1000);
+    sim.mem_access(x, 8, true);
+    *x = 1;
+  });
+  sim.run();
+  EXPECT_TRUE(rec.aborted) << "a doomed tx must not commit";
+}
+
+TEST(SimHtm, CapacityAbortOnWriteSetOverflow) {
+  MachineConfig cfg = small_config();
+  cfg.htm.write_capacity_lines = 4;
+  Simulation sim(cfg);
+  auto* big = static_cast<char*>(
+      sim.arena().alloc(64 * 16, MemClass::kOther, LineKind::kOther));
+  AbortRecord rec;
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    try {
+      for (int i = 0; i < 16; ++i) {
+        sim.mem_access(big + 64 * i, 8, true);
+        std::memset(big + 64 * i, 1, 8);
+      }
+      sim.htm().tx_commit(core);
+    } catch (const TxAbortException& e) {
+      sim.htm().on_abort_handled(core);
+      rec.aborted = true;
+      rec.result = e.result;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(rec.aborted);
+  EXPECT_EQ(rec.result.reason, htm::AbortReason::kCapacity);
+  // Writes performed before overflow were rolled back.
+  EXPECT_EQ(big[0], 0);
+}
+
+TEST(SimHtm, ConflictClassifiedTrueWhenTargetsMatch) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kRecord);
+  AbortRecord rec;
+  sim.spawn(0, [&](int core) {
+    sim.htm().set_op_target(core, 42);
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, false);
+      sim.charge(10000);
+      sim.mem_access(x, 8, false);
+      sim.htm().tx_commit(core);
+    } catch (const TxAbortException& e) {
+      sim.htm().on_abort_handled(core);
+      rec.aborted = true;
+      rec.result = e.result;
+    }
+  });
+  sim.spawn(1, [&](int core) {
+    sim.charge(1000);
+    sim.htm().set_op_target(core, 42);  // same record
+    sim.mem_access(x, 8, true);
+    *x = 1;
+  });
+  sim.run();
+  ASSERT_TRUE(rec.aborted);
+  EXPECT_EQ(rec.result.conflict, htm::ConflictKind::kTrueSameRecord);
+}
+
+TEST(SimHtm, ConflictClassifiedFalseWhenTargetsDiffer) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kRecord);
+  AbortRecord rec;
+  sim.spawn(0, [&](int core) {
+    sim.htm().set_op_target(core, 42);
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, false);
+      sim.charge(10000);
+      sim.mem_access(x, 8, false);
+      sim.htm().tx_commit(core);
+    } catch (const TxAbortException& e) {
+      sim.htm().on_abort_handled(core);
+      rec.aborted = true;
+      rec.result = e.result;
+    }
+  });
+  sim.spawn(1, [&](int core) {
+    sim.charge(1000);
+    sim.htm().set_op_target(core, 43);  // adjacent record on the same line
+    sim.mem_access(x, 8, true);
+    *x = 1;
+  });
+  sim.run();
+  ASSERT_TRUE(rec.aborted);
+  EXPECT_EQ(rec.result.conflict, htm::ConflictKind::kFalseRecord);
+}
+
+TEST(SimHtm, ConflictClassifiedMetadata) {
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kLeafMeta);
+  AbortRecord rec;
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, false);
+      sim.charge(10000);
+      sim.mem_access(x, 8, false);
+      sim.htm().tx_commit(core);
+    } catch (const TxAbortException& e) {
+      sim.htm().on_abort_handled(core);
+      rec.aborted = true;
+      rec.result = e.result;
+    }
+  });
+  sim.spawn(1, [&](int) {
+    sim.charge(1000);
+    sim.mem_access(x, 8, true);
+    *x = 1;
+  });
+  sim.run();
+  ASSERT_TRUE(rec.aborted);
+  EXPECT_EQ(rec.result.conflict, htm::ConflictKind::kFalseMetadata);
+}
+
+TEST(SimHtm, TxAllocsReleasedOnAbort) {
+  Simulation sim(small_config());
+  const auto in_use_before = sim.arena().bytes_in_use();
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    try {
+      void* p = sim.arena().alloc(64, MemClass::kOther, LineKind::kOther);
+      sim.htm().note_tx_alloc(core, p, 64, MemClass::kOther);
+      sim.htm().tx_abort_explicit(core, htm::xabort_code::kUser);
+    } catch (const TxAbortException&) {
+      sim.htm().on_abort_handled(core);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(sim.arena().bytes_in_use(), in_use_before)
+      << "allocations of an aborted tx must be released";
+}
+
+TEST(SimHtm, TxFreesDeferredToCommit) {
+  Simulation sim(small_config());
+  auto* p = alloc_u64(sim, LineKind::kOther);
+  *p = 0xAB;
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    try {
+      EXPECT_TRUE(sim.htm().defer_tx_free(core, p, 8, MemClass::kOther));
+      // Still readable until commit.
+      sim.mem_access(p, 8, false);
+      EXPECT_EQ(*p, 0xABu);
+      sim.htm().tx_abort_explicit(core, htm::xabort_code::kUser);
+    } catch (const TxAbortException&) {
+      sim.htm().on_abort_handled(core);
+    }
+    // Abort dropped the deferred free: memory still live.
+    EXPECT_EQ(*p, 0xABu);
+    sim.htm().tx_begin(core);
+    EXPECT_TRUE(sim.htm().defer_tx_free(core, p, 8, MemClass::kOther));
+    sim.htm().tx_commit(core);
+  });
+  sim.run();
+  // After commit, the slot is back on the free list: next alloc reuses it.
+  auto* q = alloc_u64(sim, LineKind::kOther);
+  EXPECT_EQ(q, p);
+}
+
+TEST(SimHtm, ActiveCountTracksTransactions) {
+  Simulation sim(small_config());
+  sim.spawn(0, [&](int core) {
+    EXPECT_EQ(sim.htm().active_tx_count(), 0);
+    sim.htm().tx_begin(core);
+    EXPECT_EQ(sim.htm().active_tx_count(), 1);
+    sim.htm().tx_commit(core);
+    EXPECT_EQ(sim.htm().active_tx_count(), 0);
+  });
+  sim.run();
+}
+
+}  // namespace
+}  // namespace euno::sim

@@ -1,0 +1,235 @@
+// Parameterized property tests of the simulated HTM: the conflict matrix
+// (every combination of access modes must abort exactly the right party),
+// determinism across core counts, capacity boundaries, and the
+// speculative-cache-loss and mutual-abort models.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/engine.hpp"
+#include "sim/txabort.hpp"
+
+namespace euno::sim {
+namespace {
+
+MachineConfig cfg_no_mutual() {
+  MachineConfig cfg;
+  cfg.arena_bytes = 16ull << 20;
+  cfg.htm.mutual_abort_pct = 0;  // deterministic single-victim semantics
+  return cfg;
+}
+
+// ---- conflict matrix ----
+
+struct ConflictCase {
+  bool holder_writes;    // first core's transactional access mode
+  bool attacker_writes;  // second core's access mode
+  bool attacker_in_tx;
+  bool expect_conflict;
+  const char* name;
+};
+
+class ConflictMatrix : public ::testing::TestWithParam<ConflictCase> {};
+
+TEST_P(ConflictMatrix, ExactlyTheRightPartyAborts) {
+  const auto& p = GetParam();
+  Simulation sim(cfg_no_mutual());
+  auto* x = static_cast<std::uint64_t*>(
+      sim.arena().alloc(8, MemClass::kOther, LineKind::kOther));
+
+  bool holder_aborted = false;
+  bool holder_committed = false;
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    bool aborted = false;
+    try {
+      sim.mem_access(x, 8, p.holder_writes);
+      if (p.holder_writes) *x = 1;
+      sim.charge(20000);  // attacker acts during this window
+      sim.htm().tx_commit(core);
+    } catch (const TxAbortException&) {
+      aborted = true;
+    }
+    if (aborted) {
+      sim.htm().on_abort_handled(core);
+      holder_aborted = true;
+    } else {
+      holder_committed = true;
+    }
+  });
+  sim.spawn(1, [&](int core) {
+    sim.charge(2000);
+    if (p.attacker_in_tx) sim.htm().tx_begin(core);
+    sim.mem_access(x, 8, p.attacker_writes);
+    if (p.attacker_writes) *x = 2;
+    if (p.attacker_in_tx) sim.htm().tx_commit(core);
+  });
+  sim.run();
+
+  EXPECT_EQ(holder_aborted, p.expect_conflict) << p.name;
+  EXPECT_EQ(holder_committed, !p.expect_conflict) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ConflictMatrix,
+    ::testing::Values(
+        ConflictCase{false, false, false, false, "read_read_nontx"},
+        ConflictCase{false, false, true, false, "read_read_tx"},
+        ConflictCase{false, true, false, true, "read_write_nontx"},
+        ConflictCase{false, true, true, true, "read_write_tx"},
+        ConflictCase{true, false, false, true, "write_read_nontx"},
+        ConflictCase{true, false, true, true, "write_read_tx"},
+        ConflictCase{true, true, false, true, "write_write_nontx"},
+        ConflictCase{true, true, true, true, "write_write_tx"}),
+    [](const ::testing::TestParamInfo<ConflictCase>& info) {
+      return info.param.name;
+    });
+
+// ---- determinism across machine shapes ----
+
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, IdenticalClocksAcrossRuns) {
+  const int cores = GetParam();
+  auto run_once = [cores] {
+    Simulation sim(cfg_no_mutual());
+    auto* arr = static_cast<std::uint64_t*>(
+        sim.arena().alloc(64 * 8, MemClass::kOther, LineKind::kOther));
+    for (int t = 0; t < cores; ++t) {
+      sim.spawn(t, [&, t](int core) {
+        Xoshiro256 rng(t);
+        for (int i = 0; i < 200; ++i) {
+          auto* cell = arr + rng.next_bounded(64);
+          sim.mem_access(cell, 8, i % 3 == 0);
+          if (i % 3 == 0) *cell += core;
+        }
+      });
+    }
+    sim.run();
+    std::uint64_t h = 0;
+    for (int t = 0; t < cores; ++t) h = h * 31 + sim.clock_of(t);
+    return h;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, DeterminismSweep, ::testing::Values(2, 5, 11, 20));
+
+// ---- capacity boundary ----
+
+class CapacityBoundary : public ::testing::TestWithParam<int> {};
+
+TEST_P(CapacityBoundary, AbortsExactlyPastTheLimit) {
+  const int limit = GetParam();
+  MachineConfig cfg = cfg_no_mutual();
+  cfg.htm.write_capacity_lines = static_cast<std::uint32_t>(limit);
+  Simulation sim(cfg);
+  auto* big = static_cast<char*>(
+      sim.arena().alloc(64 * (limit + 2), MemClass::kOther, LineKind::kOther));
+
+  bool aborted_at_limit = false;
+  bool ok_below_limit = false;
+  sim.spawn(0, [&](int core) {
+    // Exactly `limit` lines: must commit.
+    sim.htm().tx_begin(core);
+    for (int i = 0; i < limit; ++i) {
+      sim.mem_access(big + 64 * i, 8, true);
+      big[64 * i] = 1;
+    }
+    sim.htm().tx_commit(core);
+    ok_below_limit = true;
+    // limit + 1 lines: must abort with kCapacity.
+    sim.htm().tx_begin(core);
+    bool aborted = false;
+    htm::TxResult res{};
+    try {
+      for (int i = 0; i <= limit; ++i) {
+        sim.mem_access(big + 64 * i, 8, true);
+        big[64 * i] = 2;
+      }
+      sim.htm().tx_commit(core);
+    } catch (const TxAbortException& e) {
+      res = e.result;
+      aborted = true;
+    }
+    if (aborted) {
+      sim.htm().on_abort_handled(core);
+      aborted_at_limit = res.reason == htm::AbortReason::kCapacity;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(ok_below_limit);
+  EXPECT_TRUE(aborted_at_limit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, CapacityBoundary, ::testing::Values(1, 4, 16, 64));
+
+// ---- abort side effects ----
+
+TEST(SimHtmProperty, AbortDropsSpeculativeCacheState) {
+  Simulation sim(cfg_no_mutual());
+  auto* x = static_cast<std::uint64_t*>(
+      sim.arena().alloc(8, MemClass::kOther, LineKind::kOther));
+  sim.spawn(0, [&](int core) {
+    // Warm the line, then abort a transaction that read it: residency lost.
+    sim.mem_access(x, 8, false);
+    const std::uint32_t mask = 1u << core;
+    EXPECT_NE(sim.arena().line_of(x).sharers & mask, 0u);
+    sim.htm().tx_begin(core);
+    try {
+      sim.mem_access(x, 8, false);
+      sim.htm().tx_abort_explicit(core, htm::xabort_code::kUser);
+    } catch (const TxAbortException&) {
+      sim.htm().on_abort_handled(core);
+    }
+    EXPECT_EQ(sim.arena().line_of(x).sharers & mask, 0u)
+        << "aborted read-set lines must be evicted";
+  });
+  sim.run();
+}
+
+TEST(SimHtmProperty, MutualAbortRateFollowsConfig) {
+  // With 100% mutual aborts, a transactional attacker must die with its
+  // victim; with 0%, never.
+  for (std::uint32_t pct : {0u, 100u}) {
+    MachineConfig cfg = cfg_no_mutual();
+    cfg.htm.mutual_abort_pct = pct;
+    Simulation sim(cfg);
+    auto* x = static_cast<std::uint64_t*>(
+        sim.arena().alloc(8, MemClass::kOther, LineKind::kOther));
+    bool attacker_aborted = false;
+    sim.spawn(0, [&](int core) {  // victim
+      sim.htm().tx_begin(core);
+      bool aborted = false;
+      try {
+        sim.mem_access(x, 8, false);
+        sim.charge(20000);
+        sim.htm().tx_commit(core);
+      } catch (const TxAbortException&) {
+        aborted = true;
+      }
+      if (aborted) sim.htm().on_abort_handled(core);
+    });
+    sim.spawn(1, [&](int core) {  // transactional attacker
+      sim.charge(2000);
+      sim.htm().tx_begin(core);
+      bool aborted = false;
+      try {
+        sim.mem_access(x, 8, true);
+        *x = 1;
+        sim.htm().tx_commit(core);
+      } catch (const TxAbortException&) {
+        aborted = true;
+      }
+      if (aborted) {
+        sim.htm().on_abort_handled(core);
+        attacker_aborted = true;
+      }
+    });
+    sim.run();
+    EXPECT_EQ(attacker_aborted, pct == 100) << "pct=" << pct;
+  }
+}
+
+}  // namespace
+}  // namespace euno::sim

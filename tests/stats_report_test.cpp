@@ -1,0 +1,86 @@
+// Tests for the bench reporting utilities: table/CSV formatting and the
+// shared CLI flag parser.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "stats/report.hpp"
+
+namespace euno::stats {
+namespace {
+
+/// Captures stdout produced by `fn`.
+template <class Fn>
+std::string capture_stdout(Fn&& fn) {
+  std::fflush(stdout);
+  char buf[8192] = {};
+  FILE* tmp = std::tmpfile();
+  const int saved = dup(fileno(stdout));
+  dup2(fileno(tmp), fileno(stdout));
+  fn();
+  std::fflush(stdout);
+  dup2(saved, fileno(stdout));
+  close(saved);
+  std::rewind(tmp);
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, tmp);
+  std::fclose(tmp);
+  return std::string(buf, n);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(std::uint64_t{12345}), "12345");
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "y"});
+  const auto out = capture_stdout([&] { t.print(/*csv=*/true); });
+  EXPECT_EQ(out, "a,b\n1,x\n2,y\n");
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"column", "v"});
+  t.add_row({"row_one", "12.5"});
+  t.add_row({"r2", "3"});
+  const auto out = capture_stdout([&] { t.print(/*csv=*/false); });
+  EXPECT_NE(out.find("column"), std::string::npos);
+  EXPECT_NE(out.find("row_one"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(BenchArgs, Defaults) {
+  const char* argv[] = {"bench"};
+  const auto a = BenchArgs::parse(1, const_cast<char**>(argv));
+  EXPECT_FALSE(a.csv);
+  EXPECT_FALSE(a.quick);
+  EXPECT_EQ(a.ops_per_thread, 0u);
+  EXPECT_EQ(a.key_range, 0u);
+  EXPECT_EQ(a.seed, 42u);
+}
+
+TEST(BenchArgs, ParsesEveryFlag) {
+  const char* argv[] = {"bench",      "--csv",        "--quick",
+                        "--ops=1234", "--keys=65536", "--seed=7"};
+  const auto a = BenchArgs::parse(6, const_cast<char**>(argv));
+  EXPECT_TRUE(a.csv);
+  EXPECT_TRUE(a.quick);
+  EXPECT_EQ(a.ops_per_thread, 1234u);
+  EXPECT_EQ(a.key_range, 65536u);
+  EXPECT_EQ(a.seed, 7u);
+}
+
+TEST(BenchArgs, IgnoresUnknownFlags) {
+  const char* argv[] = {"bench", "--frobnicate", "--csv"};
+  const auto a = BenchArgs::parse(3, const_cast<char**>(argv));
+  EXPECT_TRUE(a.csv);
+}
+
+}  // namespace
+}  // namespace euno::stats

@@ -1,0 +1,129 @@
+// Parameterized statistical tests over every distribution: range safety,
+// determinism, monotone skew, and hot-mass calibration targets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "workload/distributions.hpp"
+#include "workload/ycsb.hpp"
+
+namespace euno::workload {
+namespace {
+
+struct DistCase {
+  DistKind kind;
+  double param;
+  std::uint64_t range;
+  const char* name;
+};
+
+class DistributionSuite : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionSuite, SamplesStayInRange) {
+  const auto& p = GetParam();
+  auto d = make_distribution(p.kind, p.range, p.param);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 20000; ++i) ASSERT_LT(d->sample(rng), p.range);
+}
+
+TEST_P(DistributionSuite, DeterministicGivenSeed) {
+  const auto& p = GetParam();
+  auto d1 = make_distribution(p.kind, p.range, p.param);
+  auto d2 = make_distribution(p.kind, p.range, p.param);
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(d1->sample(a), d2->sample(b));
+}
+
+TEST_P(DistributionSuite, CoversManyDistinctValues) {
+  const auto& p = GetParam();
+  auto d = make_distribution(p.kind, p.range, p.param);
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(d->sample(rng));
+  EXPECT_GT(seen.size(), 20u) << "a degenerate point mass is not a distribution";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, DistributionSuite,
+    ::testing::Values(
+        DistCase{DistKind::kUniform, 0, 10000, "uniform"},
+        DistCase{DistKind::kZipfian, 0.2, 10000, "zipf02"},
+        DistCase{DistKind::kZipfian, 0.9, 10000, "zipf09"},
+        DistCase{DistKind::kZipfian, 0.99, 1 << 20, "zipf099_large"},
+        DistCase{DistKind::kSelfSimilar, 0.2, 10000, "selfsim"},
+        DistCase{DistKind::kSelfSimilar, 0.1, 10000, "selfsim_h01"},
+        DistCase{DistKind::kNormal, 0.01, 10000, "normal"},
+        DistCase{DistKind::kNormal, 0.0002, 1 << 20, "normal_narrow"},
+        DistCase{DistKind::kPoisson, 0.70, 100000, "poisson70"},
+        DistCase{DistKind::kPoisson, 0.90, 100000, "poisson90"}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.name;
+    });
+
+TEST(DistributionShape, ZipfianHotMassMonotoneInTheta) {
+  double prev = 0;
+  for (double theta : {0.0, 0.3, 0.6, 0.9}) {
+    auto d = make_distribution(DistKind::kZipfian, 50000, theta);
+    const double hot = measure_hot10_fraction(*d, 100000, 5);
+    EXPECT_GE(hot, prev - 0.01);
+    prev = hot;
+  }
+}
+
+TEST(DistributionShape, PoissonHotTargetsHit) {
+  for (double target : {0.5, 0.7, 0.9}) {
+    auto d = make_distribution(DistKind::kPoisson, 100000, target);
+    EXPECT_NEAR(measure_hot10_fraction(*d, 200000, 6), target, 0.03)
+        << "target=" << target;
+  }
+}
+
+TEST(DistributionShape, NormalMassWithinWindow) {
+  // With sigma_frac f, ±3σ around the mean must hold ~99.7% of samples.
+  const std::uint64_t n = 1 << 20;
+  for (double f : {0.01, 0.0002}) {
+    NormalDist d(n, f);
+    Xoshiro256 rng(8);
+    const double mean = n / 2.0, sigma = f * mean;
+    int inside = 0;
+    for (int i = 0; i < 50000; ++i) {
+      const double v = static_cast<double>(d.sample(rng));
+      if (std::abs(v - mean) <= 3 * sigma) ++inside;
+    }
+    EXPECT_GT(inside / 50000.0, 0.99) << "sigma_frac=" << f;
+  }
+}
+
+TEST(OpStreamParam, ScanLengthPropagates) {
+  WorkloadSpec spec;
+  spec.mix = OpMix{0, 0, 100, 0};
+  spec.scan_len = 33;
+  OpStream s(spec, 0);
+  for (int i = 0; i < 10; ++i) {
+    const Op op = s.next();
+    EXPECT_EQ(op.type, OpType::kScan);
+    EXPECT_EQ(op.scan_len, 33u);
+  }
+}
+
+TEST(OpStreamParam, UnscrambledKeysEqualRanks) {
+  WorkloadSpec spec;
+  spec.scramble = false;
+  spec.dist = DistKind::kZipfian;
+  spec.dist_param = 0.99;
+  spec.key_range = 1000;
+  OpStream s(spec, 0);
+  // With consecutive hot keys, the overwhelmingly most common key is 0.
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[s.next().key]++;
+  const auto hottest =
+      std::max_element(counts.begin(), counts.end(),
+                       [](auto& a, auto& b) { return a.second < b.second; });
+  EXPECT_EQ(hottest->first, 0u);
+}
+
+}  // namespace
+}  // namespace euno::workload
