@@ -16,20 +16,35 @@ using namespace euno;
 
 namespace {
 
-void run_pair(driver::ExperimentSpec spec, stats::Table* table,
-              const std::string& knob, const std::string& value) {
-  spec.tree = driver::TreeKind::kHtmBPTree;
-  const auto base = run_sim_experiment(spec);
-  spec.tree = driver::TreeKind::kEuno;
-  const auto euno = run_sim_experiment(spec);
-  table->add_row({knob, value, stats::Table::num(base.throughput_mops),
-                  stats::Table::num(base.aborts_per_op),
-                  stats::Table::num(euno.throughput_mops),
-                  stats::Table::num(euno.aborts_per_op),
-                  stats::Table::num(euno.throughput_mops / base.throughput_mops,
-                                    2) +
-                      "x"});
-}
+struct PairedRun {
+  std::vector<driver::ExperimentSpec> specs;  // baseline/Euno interleaved
+  std::vector<std::pair<std::string, std::string>> labels;  // (knob, value)
+
+  void add(driver::ExperimentSpec spec, const std::string& knob,
+           const std::string& value) {
+    spec.tree = driver::TreeKind::kHtmBPTree;
+    specs.push_back(spec);
+    spec.tree = driver::TreeKind::kEuno;
+    specs.push_back(spec);
+    labels.emplace_back(knob, value);
+  }
+
+  void run_and_emit(const euno::stats::BenchArgs& args, stats::Table* table) {
+    const auto results = bench::run_figure_sweep(specs, args);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const auto& base = results[2 * i];
+      const auto& euno_r = results[2 * i + 1];
+      table->add_row(
+          {labels[i].first, labels[i].second,
+           stats::Table::num(base.throughput_mops),
+           stats::Table::num(base.aborts_per_op),
+           stats::Table::num(euno_r.throughput_mops),
+           stats::Table::num(euno_r.aborts_per_op),
+           stats::Table::num(euno_r.throughput_mops / base.throughput_mops, 2) +
+               "x"});
+    }
+  }
+};
 
 }  // namespace
 
@@ -43,20 +58,21 @@ int main(int argc, char** argv) {
 
   stats::Table table({"knob", "value", "base_mops", "base_ab/op", "euno_mops",
                       "euno_ab/op", "euno/base"});
+  PairedRun runs;
 
   for (std::uint32_t pct : args.quick ? std::vector<std::uint32_t>{0, 50}
                                       : std::vector<std::uint32_t>{0, 25, 50,
                                                                    75, 100}) {
     auto s = spec;
     s.machine.htm.mutual_abort_pct = pct;
-    run_pair(s, &table, "mutual_abort_pct", std::to_string(pct));
+    runs.add(s, "mutual_abort_pct", std::to_string(pct));
   }
 
   for (int retries : args.quick ? std::vector<int>{10}
                                 : std::vector<int>{0, 2, 10, 32, 64}) {
     auto s = spec;
     s.policy.conflict_retries = retries;
-    run_pair(s, &table, "conflict_retries", std::to_string(retries));
+    runs.add(s, "conflict_retries", std::to_string(retries));
   }
 
   for (std::uint32_t remote : args.quick ? std::vector<std::uint32_t>{240}
@@ -64,7 +80,7 @@ int main(int argc, char** argv) {
                                                                       240, 480}) {
     auto s = spec;
     s.machine.latency.remote_cache = remote;
-    run_pair(s, &table, "remote_cache_cycles", std::to_string(remote));
+    runs.add(s, "remote_cache_cycles", std::to_string(remote));
   }
 
   {
@@ -72,10 +88,11 @@ int main(int argc, char** argv) {
     auto s = spec;
     s.machine.latency.l2_retention = ~0ull;
     s.machine.latency.l3_retention = ~0ull;
-    run_pair(s, &table, "cache_capacity", "off");
-    run_pair(spec, &table, "cache_capacity", "on(default)");
+    runs.add(s, "cache_capacity", "off");
+    runs.add(spec, "cache_capacity", "on(default)");
   }
 
+  runs.run_and_emit(args, &table);
   table.print(args.csv);
   return 0;
 }

@@ -13,12 +13,20 @@ int main(int argc, char** argv) {
   spec.tree = driver::TreeKind::kHtmBPTree;
   bench::print_header("Figure 1", "HTM-B+Tree throughput vs. contention", spec);
 
+  const auto thetas = bench::theta_sweep(args.quick);
+  std::vector<driver::ExperimentSpec> specs;
+  for (double theta : thetas) {
+    spec.workload.dist_param = theta;
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_figure_sweep(specs, args);
+
   stats::Table table({"theta", "throughput_mops", "aborts_per_op", "fallbacks",
                       "wasted_cycles_pct"});
-  for (double theta : bench::theta_sweep(args.quick)) {
-    spec.workload.dist_param = theta;
-    const auto r = run_sim_experiment(spec);
-    table.add_row({stats::Table::num(theta), stats::Table::num(r.throughput_mops),
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({stats::Table::num(thetas[i]),
+                   stats::Table::num(r.throughput_mops),
                    stats::Table::num(r.aborts_per_op),
                    stats::Table::num(r.fallbacks),
                    stats::Table::num(100 * r.wasted_cycle_frac, 1)});

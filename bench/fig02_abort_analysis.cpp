@@ -17,12 +17,20 @@ int main(int argc, char** argv) {
   spec.tree = driver::TreeKind::kHtmBPTree;
   bench::print_header("Figure 2", "HTM abort decomposition vs. contention", spec);
 
+  const auto thetas = bench::theta_sweep(args.quick);
+  std::vector<driver::ExperimentSpec> specs;
+  for (double theta : thetas) {
+    spec.workload.dist_param = theta;
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_figure_sweep(specs, args);
+
   stats::Table table({"theta", "aborts_per_op", "same_record_pct",
                       "diff_record_pct", "metadata_pct", "lock_subscr_pct",
                       "capacity_other_pct"});
-  for (double theta : bench::theta_sweep(args.quick)) {
-    spec.workload.dist_param = theta;
-    const auto r = run_sim_experiment(spec);
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const double theta = thetas[i];
+    const auto& r = results[i];
     const double total = static_cast<double>(r.aborts_total);
     auto pct = [&](std::uint64_t n) {
       return stats::Table::num(total > 0 ? 100.0 * static_cast<double>(n) / total

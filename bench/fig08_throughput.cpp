@@ -13,19 +13,26 @@ int main(int argc, char** argv) {
   auto spec = bench::figure_spec(args);
   bench::print_header("Figure 8", "throughput vs. contention, all trees", spec);
 
-  stats::Table table({"theta", "tree", "throughput_mops", "aborts_per_op",
-                      "instr_per_op", "wasted_pct"});
+  std::vector<driver::ExperimentSpec> specs;
   for (double theta : bench::theta_sweep(args.quick)) {
     spec.workload.dist_param = theta;
     for (auto kind : bench::figure_tree_kinds()) {
       spec.tree = kind;
-      const auto r = run_sim_experiment(spec);
-      table.add_row({stats::Table::num(theta), driver::tree_kind_name(kind),
-                     stats::Table::num(r.throughput_mops),
-                     stats::Table::num(r.aborts_per_op),
-                     stats::Table::num(r.instructions_per_op, 0),
-                     stats::Table::num(100 * r.wasted_cycle_frac, 1)});
+      specs.push_back(spec);
     }
+  }
+  const auto results = bench::run_figure_sweep(specs, args);
+
+  stats::Table table({"theta", "tree", "throughput_mops", "aborts_per_op",
+                      "instr_per_op", "wasted_pct"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({stats::Table::num(specs[i].workload.dist_param),
+                   driver::tree_kind_name(specs[i].tree),
+                   stats::Table::num(r.throughput_mops),
+                   stats::Table::num(r.aborts_per_op),
+                   stats::Table::num(r.instructions_per_op, 0),
+                   stats::Table::num(100 * r.wasted_cycle_frac, 1)});
   }
   table.print(args.csv);
   return 0;

@@ -17,20 +17,27 @@ int main(int argc, char** argv) {
                       "diff_record", "metadata", "upper_aborts", "lower_aborts"});
   const std::vector<double> thetas =
       args.quick ? std::vector<double>{0.9} : std::vector<double>{0.5, 0.7, 0.9, 0.99};
+  std::vector<driver::ExperimentSpec> specs;
   for (double theta : thetas) {
     spec.workload.dist_param = theta;
     for (auto kind : {driver::TreeKind::kHtmBPTree, driver::TreeKind::kEuno}) {
       spec.tree = kind;
-      const auto r = run_sim_experiment(spec);
-      const double ops = static_cast<double>(r.ops);
-      table.add_row({stats::Table::num(theta), driver::tree_kind_name(kind),
-                     stats::Table::num(r.aborts_per_op, 3),
-                     stats::Table::num(r.conflicts_true_same_record / ops, 3),
-                     stats::Table::num(r.conflicts_false_record / ops, 3),
-                     stats::Table::num(r.conflicts_false_metadata / ops, 3),
-                     stats::Table::num(r.upper_aborts),
-                     stats::Table::num(r.lower_aborts)});
+      specs.push_back(spec);
     }
+  }
+  const auto results = bench::run_figure_sweep(specs, args);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& r = results[i];
+    const double ops = static_cast<double>(r.ops);
+    table.add_row({stats::Table::num(specs[i].workload.dist_param),
+                   driver::tree_kind_name(specs[i].tree),
+                   stats::Table::num(r.aborts_per_op, 3),
+                   stats::Table::num(r.conflicts_true_same_record / ops, 3),
+                   stats::Table::num(r.conflicts_false_record / ops, 3),
+                   stats::Table::num(r.conflicts_false_metadata / ops, 3),
+                   stats::Table::num(r.upper_aborts),
+                   stats::Table::num(r.lower_aborts)});
   }
   table.print(args.csv);
   return 0;

@@ -24,22 +24,30 @@ int main(int argc, char** argv) {
                  {"(c) high", 0.9},
                  {"(d) extreme", 0.99}};
 
-  stats::Table table({"panel", "theta", "threads", "tree", "throughput_mops",
-                      "aborts_per_op"});
+  std::vector<driver::ExperimentSpec> specs;
+  std::vector<const char*> panels;
   for (const auto& panel : kPanels) {
     spec.workload.dist_param = panel.theta;
     for (int threads : bench::thread_sweep(args.quick)) {
       spec.threads = threads;
       for (auto kind : bench::figure_tree_kinds()) {
         spec.tree = kind;
-        const auto r = run_sim_experiment(spec);
-        table.add_row({panel.panel, stats::Table::num(panel.theta),
-                       stats::Table::num(static_cast<std::uint64_t>(threads)),
-                       driver::tree_kind_name(kind),
-                       stats::Table::num(r.throughput_mops),
-                       stats::Table::num(r.aborts_per_op)});
+        specs.push_back(spec);
+        panels.push_back(panel.panel);
       }
     }
+  }
+  const auto results = bench::run_figure_sweep(specs, args);
+
+  stats::Table table({"panel", "theta", "threads", "tree", "throughput_mops",
+                      "aborts_per_op"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({panels[i], stats::Table::num(specs[i].workload.dist_param),
+                   stats::Table::num(static_cast<std::uint64_t>(specs[i].threads)),
+                   driver::tree_kind_name(specs[i].tree),
+                   stats::Table::num(r.throughput_mops),
+                   stats::Table::num(r.aborts_per_op)});
   }
   table.print(args.csv);
   return 0;

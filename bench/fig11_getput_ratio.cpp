@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
   } kPanels[] = {{"(a) 0/100", 0}, {"(b) 20/80", 20}, {"(c) 50/50", 50},
                  {"(d) 70/30", 70}};
 
-  stats::Table table(
-      {"panel", "threads", "tree", "throughput_mops", "aborts_per_op"});
+  std::vector<driver::ExperimentSpec> specs;
+  std::vector<const char*> panels;
   for (const auto& panel : kPanels) {
     spec.workload.mix.get_pct = panel.get_pct;
     spec.workload.mix.put_pct = 100 - panel.get_pct;
@@ -30,14 +30,22 @@ int main(int argc, char** argv) {
       spec.threads = threads;
       for (auto kind : bench::figure_tree_kinds()) {
         spec.tree = kind;
-        const auto r = run_sim_experiment(spec);
-        table.add_row({panel.panel,
-                       stats::Table::num(static_cast<std::uint64_t>(threads)),
-                       driver::tree_kind_name(kind),
-                       stats::Table::num(r.throughput_mops),
-                       stats::Table::num(r.aborts_per_op)});
+        specs.push_back(spec);
+        panels.push_back(panel.panel);
       }
     }
+  }
+  const auto results = bench::run_figure_sweep(specs, args);
+
+  stats::Table table(
+      {"panel", "threads", "tree", "throughput_mops", "aborts_per_op"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({panels[i],
+                   stats::Table::num(static_cast<std::uint64_t>(specs[i].threads)),
+                   driver::tree_kind_name(specs[i].tree),
+                   stats::Table::num(r.throughput_mops),
+                   stats::Table::num(r.aborts_per_op)});
   }
   table.print(args.csv);
   return 0;

@@ -26,24 +26,32 @@ int main(int argc, char** argv) {
       driver::TreeKind::kEunoMarkbits, driver::TreeKind::kEunoAdaptive,
   };
 
-  stats::Table table({"contention", "config", "throughput_mops", "relative",
-                      "aborts_per_op", "wasted_pct"});
+  std::vector<driver::ExperimentSpec> specs;
   for (double theta : {0.9, 0.2}) {
     spec.workload.dist_param = theta;
-    double baseline = 0;
     for (auto kind : kLadder) {
       spec.tree = kind;
-      const auto r = run_sim_experiment(spec);
-      if (kind == driver::TreeKind::kHtmBPTree) baseline = r.throughput_mops;
-      table.add_row({theta > 0.5 ? "high (0.9)" : "low (0.2)",
-                     kind == driver::TreeKind::kHtmBPTree
-                         ? "Baseline"
-                         : driver::tree_kind_name(kind),
-                     stats::Table::num(r.throughput_mops),
-                     stats::Table::num(r.throughput_mops / baseline, 2) + "x",
-                     stats::Table::num(r.aborts_per_op, 3),
-                     stats::Table::num(100 * r.wasted_cycle_frac, 1)});
+      specs.push_back(spec);
     }
+  }
+  const auto results = bench::run_figure_sweep(specs, args);
+
+  stats::Table table({"contention", "config", "throughput_mops", "relative",
+                      "aborts_per_op", "wasted_pct"});
+  double baseline = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto kind = specs[i].tree;
+    const auto& r = results[i];
+    // Each theta group leads with the monolithic baseline rung.
+    if (kind == driver::TreeKind::kHtmBPTree) baseline = r.throughput_mops;
+    table.add_row({specs[i].workload.dist_param > 0.5 ? "high (0.9)" : "low (0.2)",
+                   kind == driver::TreeKind::kHtmBPTree
+                       ? "Baseline"
+                       : driver::tree_kind_name(kind),
+                   stats::Table::num(r.throughput_mops),
+                   stats::Table::num(r.throughput_mops / baseline, 2) + "x",
+                   stats::Table::num(r.aborts_per_op, 3),
+                   stats::Table::num(100 * r.wasted_cycle_frac, 1)});
   }
   table.print(args.csv);
   return 0;

@@ -16,9 +16,20 @@
 #include <cstdio>
 
 #include "driver/experiment.hpp"
+#include "driver/parallel.hpp"
 #include "stats/report.hpp"
 
 namespace euno::bench {
+
+/// Runs a figure's whole spec list through the parallel sweep runner
+/// (`--jobs N`; the default jobs=1 is the strictly sequential path).
+/// Results come back in spec order, bit-identical to a sequential loop, so
+/// row emission stays a simple zip over (specs, results).
+inline std::vector<driver::ExperimentResult> run_figure_sweep(
+    const std::vector<driver::ExperimentSpec>& specs,
+    const stats::BenchArgs& args) {
+  return driver::run_sim_experiments(specs, args.jobs);
+}
 
 inline driver::ExperimentSpec figure_spec(const stats::BenchArgs& args) {
   driver::ExperimentSpec spec;

@@ -1,0 +1,135 @@
+// Self-performance benchmark of the experimental substrate itself: how fast
+// does the *simulator* run on the host, and how fast does a figure sweep
+// regenerate? Emits BENCH_sim_selfperf.json so the perf trajectory of the
+// simulator hot path is tracked across PRs (the trees' simulated numbers are
+// tracked by the figure benches; this tracks the harness).
+//
+// Metrics:
+//   - wall_ns_per_access: host nanoseconds per instrumented memory access,
+//     measured over a high-contention 16-thread Euno run (the hot path:
+//     mem_access -> doom check -> coherence cost -> HTM protocol).
+//   - sweep_experiments_per_min: experiments per minute for the standard
+//     quick Figure-10 sweep (4 panels x {4,16} threads x 4 trees = 32 cells),
+//     sequential and — when the host has cores — with --jobs=auto.
+#include <chrono>
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+using namespace euno;
+
+namespace {
+
+double wall_ms(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = stats::BenchArgs::parse(argc, argv);
+
+  // --- Part 1: hot-path cost (wall-ns per instrumented access) ---
+  // A small store with a long measured phase, so instrumented accesses (not
+  // the uninstrumented preload or arena setup) dominate the wall clock. One
+  // warm-up run (page faults, zeta cache), then a timed run.
+  auto hot = bench::figure_spec(args);
+  hot.tree = driver::TreeKind::kEuno;
+  hot.workload.dist_param = 0.9;
+  hot.workload.key_range = 1 << 16;
+  hot.preload = hot.workload.key_range / 2;
+  hot.threads = 16;
+  hot.machine.arena_bytes = 512ull << 20;
+  if (args.ops_per_thread == 0) hot.ops_per_thread = args.quick ? 4000 : 20000;
+  bench::print_header("Self-perf", "simulator host-side performance", hot);
+
+  (void)driver::run_sim_experiment(hot);
+  const auto h0 = std::chrono::steady_clock::now();
+  const auto hr = driver::run_sim_experiment(hot);
+  const auto h1 = std::chrono::steady_clock::now();
+  const double hot_ms = wall_ms(h0, h1);
+  const double ns_per_access =
+      hr.mem_accesses > 0 ? hot_ms * 1e6 / static_cast<double>(hr.mem_accesses)
+                          : 0;
+
+  // --- Part 2: sweep throughput (experiments/minute, quick fig10 sweep) ---
+  auto sweep_spec = bench::figure_spec(args);
+  sweep_spec.ops_per_thread = args.ops_per_thread ? args.ops_per_thread : 600;
+  static constexpr double kThetas[] = {0.2, 0.6, 0.9, 0.99};
+  std::vector<driver::ExperimentSpec> specs;
+  for (double theta : kThetas) {
+    sweep_spec.workload.dist_param = theta;
+    for (int threads : bench::thread_sweep(/*quick=*/true)) {
+      sweep_spec.threads = threads;
+      for (auto kind : bench::figure_tree_kinds()) {
+        sweep_spec.tree = kind;
+        specs.push_back(sweep_spec);
+      }
+    }
+  }
+
+  const auto s0 = std::chrono::steady_clock::now();
+  const auto seq = driver::run_sim_experiments(specs, 1);
+  const auto s1 = std::chrono::steady_clock::now();
+  const double seq_ms = wall_ms(s0, s1);
+  const double seq_epm = static_cast<double>(specs.size()) / (seq_ms / 60000.0);
+
+  const int jobs = args.jobs > 1 ? args.jobs : driver::default_jobs();
+  const auto p0 = std::chrono::steady_clock::now();
+  const auto par = driver::run_sim_experiments(specs, jobs);
+  const auto p1 = std::chrono::steady_clock::now();
+  const double par_ms = wall_ms(p0, p1);
+  const double par_epm = static_cast<double>(specs.size()) / (par_ms / 60000.0);
+
+  // The parallel run must reproduce the sequential results bit-identically
+  // (the determinism test covers this in depth; this is a cheap tripwire).
+  bool identical = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (seq[i].sim_cycles != par[i].sim_cycles ||
+        seq[i].aborts_total != par[i].aborts_total) {
+      identical = false;
+    }
+  }
+
+  stats::Table table({"metric", "value"});
+  table.add_row({"wall_ns_per_access", stats::Table::num(ns_per_access, 1)});
+  table.add_row({"hot_run_accesses", stats::Table::num(hr.mem_accesses)});
+  table.add_row({"hot_run_ms", stats::Table::num(hot_ms, 1)});
+  table.add_row({"sweep_cells", stats::Table::num(
+                                    static_cast<std::uint64_t>(specs.size()))});
+  table.add_row({"sweep_seq_experiments_per_min", stats::Table::num(seq_epm, 1)});
+  table.add_row({"sweep_jobs", stats::Table::num(
+                                   static_cast<std::uint64_t>(jobs))});
+  table.add_row({"sweep_par_experiments_per_min", stats::Table::num(par_epm, 1)});
+  table.add_row({"parallel_speedup", stats::Table::num(seq_ms / par_ms, 2)});
+  table.add_row({"parallel_bit_identical", identical ? "yes" : "NO"});
+  table.print(args.csv);
+
+  std::FILE* f = std::fopen("BENCH_sim_selfperf.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sim_selfperf.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"sim_selfperf\",\n"
+               "  \"wall_ns_per_access\": %.2f,\n"
+               "  \"hot_run_accesses\": %llu,\n"
+               "  \"hot_run_ms\": %.2f,\n"
+               "  \"sweep_cells\": %zu,\n"
+               "  \"sweep_seq_ms\": %.2f,\n"
+               "  \"sweep_seq_experiments_per_min\": %.2f,\n"
+               "  \"sweep_jobs\": %d,\n"
+               "  \"sweep_par_ms\": %.2f,\n"
+               "  \"sweep_par_experiments_per_min\": %.2f,\n"
+               "  \"parallel_speedup\": %.3f,\n"
+               "  \"parallel_bit_identical\": %s\n"
+               "}\n",
+               ns_per_access, static_cast<unsigned long long>(hr.mem_accesses),
+               hot_ms, specs.size(), seq_ms, seq_epm, jobs, par_ms, par_epm,
+               seq_ms / par_ms, identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_sim_selfperf.json\n");
+  return identical ? 0 : 1;
+}

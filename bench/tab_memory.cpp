@@ -56,13 +56,22 @@ int main(int argc, char** argv) {
     rows.push_back(un);
   }
 
-  stats::Table table({"workload", "baseline_mb", "euno_mb", "overhead_pct",
-                      "reserved_mb", "ccm_note"});
+  // Two specs per row (baseline, then Euno), flattened for the sweep runner.
+  std::vector<driver::ExperimentSpec> specs;
   for (auto& row : rows) {
     row.spec.tree = driver::TreeKind::kHtmBPTree;
-    const auto rb = run_sim_experiment(row.spec);
+    specs.push_back(row.spec);
     row.spec.tree = driver::TreeKind::kEuno;
-    const auto re = run_sim_experiment(row.spec);
+    specs.push_back(row.spec);
+  }
+  const auto results = bench::run_figure_sweep(specs, args);
+
+  stats::Table table({"workload", "baseline_mb", "euno_mb", "overhead_pct",
+                      "reserved_mb", "ccm_note"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& rb = results[2 * i];
+    const auto& re = results[2 * i + 1];
     const double overhead =
         100.0 * (static_cast<double>(re.mem_total) / rb.mem_total - 1.0);
     table.add_row({row.label, stats::Table::num(mb(rb.mem_total)),

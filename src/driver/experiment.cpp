@@ -132,6 +132,7 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   std::uint64_t instr = 0, wasted = 0, clock_sum = 0;
   for (int t = 0; t < spec.threads; ++t) {
     instr += simulation.counters(t).instructions;
+    r.mem_accesses += simulation.counters(t).mem_accesses;
     wasted += simulation.counters(t).cycles_wasted;
     clock_sum += simulation.clock_of(t);
   }

@@ -73,6 +73,7 @@ struct ExperimentResult {
   std::uint64_t lower_aborts = 0;
   std::uint64_t mono_aborts = 0;
   // Cost accounting.
+  std::uint64_t mem_accesses = 0;  // instrumented accesses (sim engine only)
   double instructions_per_op = 0;
   double wasted_cycle_frac = 0;  // cycles in aborted attempts / total cycles
   // Memory (bytes live at end of run, by the §5.7 classes).

@@ -1,0 +1,56 @@
+#include "driver/parallel.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "util/memstats.hpp"
+
+namespace euno::driver {
+
+int default_jobs(int cap) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int n = hw == 0 ? 1 : static_cast<int>(hw);
+  return n < 1 ? 1 : (n > cap ? cap : n);
+}
+
+std::vector<ExperimentResult> run_sim_experiments(
+    std::span<const ExperimentSpec> specs, int jobs) {
+  std::vector<ExperimentResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results[i] = run_sim_experiment(specs[i]);
+    }
+    return results;
+  }
+
+  if (static_cast<std::size_t>(jobs) > specs.size()) {
+    jobs = static_cast<int>(specs.size());
+  }
+
+  // Work-stealing by atomic ticket: cells differ wildly in cost (a theta=0.99
+  // 20-thread cell runs ~10x a theta=0 single-thread one), so static slicing
+  // would leave workers idle.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    pool.emplace_back([&specs, &results, &next] {
+      // Redirect this worker's memory accounting to a private sink so that
+      // concurrently running experiments can't see each other's allocations
+      // (run_sim_experiment resets and reads MemStats::instance()).
+      MemStats local;
+      MemStats::ScopedSink sink(local);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) break;
+        results[i] = run_sim_experiment(specs[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+}  // namespace euno::driver

@@ -1,17 +1,68 @@
+// Fiber switching jumps between stacks with _setjmp/_longjmp; the fortified
+// __longjmp_chk rejects cross-stack jumps, so force the plain symbols in this
+// translation unit regardless of toolchain defaults.
+#ifdef _FORTIFY_SOURCE
+#undef _FORTIFY_SOURCE
+#endif
+
 #include "sim/engine.hpp"
 
+#include <setjmp.h>
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-
-#include "sim/memmodel.hpp"
 
 namespace euno::sim {
 
 namespace {
 constexpr std::size_t kStackBytes = 256 * 1024;
 constexpr std::size_t kGuardBytes = 4096;
+
+// Fiber stacks (mmap + guard page) are recycled through a per-OS-thread pool
+// so a sweep of hundreds of experiments doesn't pay hundreds of mmap/mprotect/
+// munmap rounds per Simulation. Per-thread keeps the pool lock-free under the
+// parallel sweep runner; the pool holds base (pre-guard) pointers and unmaps
+// everything at thread exit.
+struct StackPool {
+  std::vector<void*> bases;
+
+  ~StackPool() {
+    for (void* base : bases) ::munmap(base, kStackBytes + kGuardBytes);
+  }
+
+  void* acquire() {
+    if (!bases.empty()) {
+      void* base = bases.back();
+      bases.pop_back();
+      return base;
+    }
+    void* base = ::mmap(nullptr, kStackBytes + kGuardBytes,
+                        PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1,
+                        0);
+    EUNO_ASSERT_MSG(base != MAP_FAILED, "fiber stack mmap failed");
+    // Guard page at the low end catches stack overflow.
+    ::mprotect(base, kGuardBytes, PROT_NONE);
+    return base;
+  }
+
+  void release(void* base) {
+    // Cap the pool: a 20-fiber experiment keeps ~5 MB parked, which is the
+    // steady state of any sweep; anything beyond is returned to the OS.
+    constexpr std::size_t kMaxPooled = 64;
+    if (bases.size() < kMaxPooled) {
+      bases.push_back(base);
+    } else {
+      ::munmap(base, kStackBytes + kGuardBytes);
+    }
+  }
+};
+
+StackPool& stack_pool() {
+  static thread_local StackPool pool;
+  return pool;
+}
 
 // makecontext only passes ints; stash the simulation + fiber index through
 // a pair of 32-bit halves of `this`.
@@ -36,8 +87,7 @@ Simulation::Simulation(MachineConfig cfg)
 Simulation::~Simulation() {
   for (auto& f : fibers_) {
     if (f->stack) {
-      ::munmap(static_cast<char*>(f->stack) - kGuardBytes,
-               f->stack_bytes + kGuardBytes);
+      stack_pool().release(static_cast<char*>(f->stack) - kGuardBytes);
     }
   }
 }
@@ -52,12 +102,8 @@ void Simulation::spawn(int core, std::function<void(int)> body) {
   fiber->core = core;
   fiber->body = std::move(body);
 
-  void* mem = ::mmap(nullptr, kStackBytes + kGuardBytes, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  EUNO_ASSERT_MSG(mem != MAP_FAILED, "fiber stack mmap failed");
-  // Guard page at the low end catches stack overflow.
-  ::mprotect(mem, kGuardBytes, PROT_NONE);
-  fiber->stack = static_cast<char*>(mem) + kGuardBytes;
+  void* base = stack_pool().acquire();
+  fiber->stack = static_cast<char*>(base) + kGuardBytes;
   fiber->stack_bytes = kStackBytes;
 
   EUNO_ASSERT(getcontext(&fiber->uctx) == 0);
@@ -84,20 +130,28 @@ void Simulation::fiber_main(int index) {
   }
   EUNO_ASSERT_MSG(!htm_->in_tx(f.core), "fiber finished with an open transaction");
   f.done = true;
+#if defined(EUNO_SIM_FAST_SWITCH)
+  // Hand control back to the scheduler's _setjmp in resume(); the uc_link
+  // below is only the ucontext fallback's exit path.
+  ::_longjmp(sched_jb_, 1);
+#endif
   // uc_link returns to main_uctx_ when fiber_main returns.
 }
 
-int Simulation::pick_next() const {
-  int best = -1;
-  std::uint64_t best_clock = ~0ull;
-  for (std::size_t i = 0; i < fibers_.size(); ++i) {
-    const Fiber& f = *fibers_[i];
-    if (!f.done && f.clock < best_clock) {
-      best_clock = f.clock;
-      best = static_cast<int>(i);
+void Simulation::resume(Fiber& f) {
+#if defined(EUNO_SIM_FAST_SWITCH)
+  if (_setjmp(sched_jb_) == 0) {
+    if (!f.started) {
+      f.started = true;
+      setcontext(&f.uctx);  // first entry onto the fiber's own stack
+      EUNO_ASSERT_MSG(false, "setcontext returned");
     }
+    ::_longjmp(f.jb, 1);
   }
-  return best;
+#else
+  f.started = true;
+  swapcontext(&main_uctx_, &f.uctx);
+#endif
 }
 
 void Simulation::run() {
@@ -106,23 +160,31 @@ void Simulation::run() {
   Simulation* prev = current_simulation();
   current_simulation() = this;
 
-  for (;;) {
-    const int next = pick_next();
-    if (next < 0) break;
-    Fiber& f = *fibers_[static_cast<std::size_t>(next)];
-    // The resumed fiber may run ahead until it passes the next-smallest
-    // runnable clock.
-    std::uint64_t threshold = ~0ull;
-    for (std::size_t i = 0; i < fibers_.size(); ++i) {
-      const Fiber& o = *fibers_[i];
-      if (static_cast<int>(i) != next && !o.done && o.clock < threshold) {
-        threshold = o.clock;
-      }
+  runnable_.clear();
+  runnable_.reserve(fibers_.size());
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    if (!fibers_[i]->done) {
+      runnable_.push_back(
+          RunnableEntry{fibers_[i]->clock, static_cast<std::uint32_t>(i)});
     }
-    yield_threshold_ = threshold;
+  }
+  std::make_heap(runnable_.begin(), runnable_.end(), std::greater<>{});
+
+  while (!runnable_.empty()) {
+    std::pop_heap(runnable_.begin(), runnable_.end(), std::greater<>{});
+    const std::uint32_t index = runnable_.back().index;
+    runnable_.pop_back();
+    Fiber& f = *fibers_[index];
+    // The resumed fiber may run ahead until it passes the next-smallest
+    // runnable clock (the new heap top, now that `f` is out of the heap).
+    yield_threshold_ = runnable_.empty() ? ~0ull : runnable_.front().clock;
     current_ = &f;
-    swapcontext(&main_uctx_, &f.uctx);
+    resume(f);
     current_ = nullptr;
+    if (!f.done) {
+      runnable_.push_back(RunnableEntry{f.clock, index});
+      std::push_heap(runnable_.begin(), runnable_.end(), std::greater<>{});
+    }
   }
 
   current_simulation() = prev;
@@ -132,45 +194,11 @@ void Simulation::run() {
 void Simulation::yield_to_scheduler() {
   Fiber* f = current_;
   EUNO_ASSERT(f != nullptr);
+#if defined(EUNO_SIM_FAST_SWITCH)
+  if (_setjmp(f->jb) == 0) ::_longjmp(sched_jb_, 1);
+#else
   swapcontext(&f->uctx, &main_uctx_);
-}
-
-void Simulation::charge(std::uint64_t cycles) {
-  Fiber* f = current_;
-  if (f == nullptr) return;  // setup/teardown outside the simulation is free
-  f->clock += cycles;
-  if (f->clock > yield_threshold_) yield_to_scheduler();
-}
-
-void Simulation::mem_access(void* addr, std::size_t size, bool is_write,
-                            std::uint32_t extra_cycles) {
-  // Outside any fiber (single-threaded setup/verification) accesses are
-  // uninstrumented: there are no in-flight transactions and no clock.
-  if (current_ == nullptr) return;
-  const int core = current_->core;
-  htm_->check_doomed(core);
-
-  // Charge first: charge() is the engine's only scheduling point, and it
-  // must happen *before* the conflict protocol so that the protocol, the
-  // coherence update and the caller's raw load/store form one indivisible
-  // step in the global interleaving. (Running the protocol before a yield
-  // opens two races: our own transaction can be doomed while suspended and
-  // then leak a zombie write, or another core can start a transaction on
-  // this line and we would miss the conflict.) The cost is estimated from
-  // the pre-access coherence state.
-  LineState& line = arena_->line_of(addr);
-  auto& c = counters_[core];
-  c.instructions += 1;
-  c.mem_accesses += 1;
-  charge(cfg_.costs.instr + peek_cost(line, core, is_write, cfg_, current_->clock) +
-         extra_cycles);
-
-  // Post-yield: raise any abort delivered while suspended, then run the
-  // conflict protocol and coherence transition. The caller's raw access
-  // follows immediately with no intervening scheduling point.
-  htm_->check_doomed(core);
-  htm_->on_access(core, addr, size, is_write);
-  apply_access(line, core, is_write, current_->clock);
+#endif
 }
 
 void Simulation::spin_wait() {

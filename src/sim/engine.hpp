@@ -1,15 +1,30 @@
 // The simulated-multicore execution engine.
 //
-// Each simulated core runs one fiber (ucontext). A discrete-event scheduler
-// always resumes the fiber with the smallest simulated clock; a fiber keeps
-// running until its clock passes the next-smallest runnable clock, at which
-// point it yields back. This realizes a globally consistent interleaving at
-// instrumented-access granularity, deterministically, on a single OS thread.
+// Each simulated core runs one fiber (ucontext stack; see "Context switching"
+// below). A discrete-event scheduler always resumes the fiber with the
+// smallest simulated clock; a fiber keeps running until its clock passes the
+// next-smallest runnable clock, at which point it yields back. This realizes
+// a globally consistent interleaving at instrumented-access granularity,
+// deterministically, on a single OS thread.
 //
 // Simulated time advances only through charge(): every instrumented memory
 // access, atomic, allocation and explicit compute charge moves the current
 // fiber's clock by the cost model's cycles. Throughput for an experiment is
 // completed-ops / max core clock.
+//
+// Context switching: fiber stacks are created with makecontext and entered
+// the first time with setcontext, but every subsequent suspend/resume uses
+// _setjmp/_longjmp, which on Linux never touches the signal mask — unlike
+// swapcontext, whose two rt_sigprocmask syscalls per switch dominated the
+// simulator's host-side cost at high contention (fibers leapfrog roughly
+// every access there). Under ThreadSanitizer the engine falls back to pure
+// swapcontext, which TSan intercepts and understands.
+//
+// Scheduling structures: runnable fibers sit in a binary min-heap ordered by
+// (clock, spawn index); the running fiber is kept out of the heap, so a
+// resume is pop-min + peek (the peek is the yield threshold) instead of two
+// O(#fibers) scans. Ties break toward the lower spawn index, matching the
+// linear-scan scheduler this replaced bit for bit.
 //
 // INVARIANT (exception safety across fibers): all fibers share one OS thread
 // and therefore one __cxa_eh_globals. Code running inside a fiber must never
@@ -17,9 +32,11 @@
 // exception is in flight or while executing a catch clause whose exception
 // is still alive — interleaved catch lifetimes across fibers corrupt the
 // shared caught-exception stack. Catch TxAbortException, copy its 3-byte
-// result, leave the handler, then do any charged work.
+// result, leave the handler, then do any charged work. (The same invariant
+// covers _longjmp: no jump ever crosses a live exception.)
 #pragma once
 
+#include <csetjmp>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -29,7 +46,19 @@
 #include "sim/arena.hpp"
 #include "sim/htm.hpp"
 #include "sim/machine.hpp"
+#include "sim/memmodel.hpp"
 #include "util/assert.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define EUNO_SIM_UCONTEXT_ONLY 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EUNO_SIM_UCONTEXT_ONLY 1
+#endif
+#endif
+#if !defined(EUNO_SIM_UCONTEXT_ONLY) && defined(__linux__)
+#define EUNO_SIM_FAST_SWITCH 1
+#endif
 
 namespace euno::sim {
 
@@ -70,8 +99,14 @@ class Simulation {
   // ---- facilities callable from inside fiber bodies ----
 
   /// Advance the current fiber's clock; may transfer control to another
-  /// fiber (and return later).
-  void charge(std::uint64_t cycles);
+  /// fiber (and return later). Header-inline: the common case is "add and
+  /// keep running"; only crossing the yield threshold enters the scheduler.
+  void charge(std::uint64_t cycles) {
+    Fiber* f = current_;
+    if (f == nullptr) return;  // setup/teardown outside the simulation is free
+    f->clock += cycles;
+    if (f->clock > yield_threshold_) [[unlikely]] yield_to_scheduler();
+  }
 
   /// Full memory-access protocol: doom check, HTM conflict handling &
   /// set tracking, coherence cost. The caller performs the raw load/store
@@ -79,7 +114,37 @@ class Simulation {
   /// Throws TxAbortException on aborts. `extra_cycles` folds additional
   /// cost (e.g. an RMW's) into the single pre-access charge.
   void mem_access(void* addr, std::size_t size, bool is_write,
-                  std::uint32_t extra_cycles = 0);
+                  std::uint32_t extra_cycles = 0) {
+    // Outside any fiber (single-threaded setup/verification) accesses are
+    // uninstrumented: there are no in-flight transactions and no clock.
+    Fiber* f = current_;
+    if (f == nullptr) return;
+    const int core = f->core;
+    htm_->check_doomed(core);
+
+    // Charge first: charge() is the engine's only scheduling point, and it
+    // must happen *before* the conflict protocol so that the protocol, the
+    // coherence update and the caller's raw load/store form one indivisible
+    // step in the global interleaving. (Running the protocol before a yield
+    // opens two races: our own transaction can be doomed while suspended and
+    // then leak a zombie write, or another core can start a transaction on
+    // this line and we would miss the conflict.) The cost is estimated from
+    // the pre-access coherence state.
+    LineState& line = arena_->line_of(addr);
+    auto& c = counters_[core];
+    c.instructions += 1;
+    c.mem_accesses += 1;
+    f->clock += cfg_.costs.instr +
+                peek_cost(line, core, is_write, cfg_, f->clock) + extra_cycles;
+    if (f->clock > yield_threshold_) [[unlikely]] yield_to_scheduler();
+
+    // Post-yield: raise any abort delivered while suspended, then run the
+    // conflict protocol and coherence transition. The caller's raw access
+    // follows immediately with no intervening scheduling point.
+    htm_->check_doomed(core);
+    htm_->on_access(core, addr, size, is_write);
+    apply_access(line, core, is_write, f->clock);
+  }
 
   /// A scheduling point with spin cost (used by simulated spin loops).
   void spin_wait();
@@ -115,23 +180,36 @@ class Simulation {
  private:
   struct Fiber {
     ucontext_t uctx{};
+    std::jmp_buf jb{};  // valid while started && suspended (fast-switch path)
     void* stack = nullptr;
     std::size_t stack_bytes = 0;
     std::function<void(int)> body;
     int core = -1;
     std::uint64_t clock = 0;
+    bool started = false;
     bool done = false;
   };
 
+  /// Min-heap entry: runnable fiber `index` at simulated time `clock`.
+  struct RunnableEntry {
+    std::uint64_t clock;
+    std::uint32_t index;
+    bool operator>(const RunnableEntry& o) const {
+      return clock != o.clock ? clock > o.clock : index > o.index;
+    }
+  };
+
   void yield_to_scheduler();
-  int pick_next() const;  // min-clock runnable fiber index, or -1
+  void resume(Fiber& f);
 
   MachineConfig cfg_;
   std::unique_ptr<SharedArena> arena_;
   std::unique_ptr<SimHTM> htm_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<CoreCounters> counters_;
+  std::vector<RunnableEntry> runnable_;  // min-heap; excludes current_
   ucontext_t main_uctx_{};
+  std::jmp_buf sched_jb_{};  // re-armed before every resume (fast-switch path)
   Fiber* current_ = nullptr;
   std::uint64_t yield_threshold_ = ~0ull;
   bool running_ = false;
@@ -140,7 +218,9 @@ class Simulation {
 };
 
 /// The simulation owning the currently-executing fiber, if any (fiber-local
-/// accessor used by SimCtx helpers).
+/// accessor used by SimCtx helpers). thread_local, so concurrently running
+/// simulations on different OS threads (the parallel sweep runner) never see
+/// each other.
 Simulation*& current_simulation();
 
 }  // namespace euno::sim

@@ -13,6 +13,17 @@ void SimHTM::tx_begin(int core) {
   EUNO_ASSERT_MSG(!d.active, "nested transactions are not supported");
   EUNO_ASSERT_MSG(!d.doomed, "tx_begin with unhandled abort pending");
   d.active = true;
+  if (d.read_lines.capacity() == 0) {
+    // First transaction on this core: size the tracking vectors once from
+    // the machine's HTM capacity limits so the hot path never reallocates
+    // (capacity aborts fire before the reservations are exceeded; the undo
+    // log holds one entry per *write access*, so give it headroom).
+    d.read_lines.reserve(cfg_.htm.read_capacity_lines);
+    d.write_lines.reserve(cfg_.htm.write_capacity_lines);
+    d.undo.reserve(2 * cfg_.htm.write_capacity_lines);
+    d.allocs.reserve(64);
+    d.frees.reserve(64);
+  }
   d.read_lines.clear();
   d.write_lines.clear();
   d.undo.clear();
@@ -117,17 +128,8 @@ void SimHTM::raise_doomed(int core) {
   throw TxAbortException{d.pending};
 }
 
-void SimHTM::on_access(int core, void* addr, std::size_t size, bool is_write) {
-  EUNO_DEBUG_ASSERT(size <= 8);
-  EUNO_DEBUG_ASSERT((reinterpret_cast<std::uintptr_t>(addr) & 63) + size <= 64);
-  LineState& line = arena_.line_of(addr);
-  const std::uint32_t mask = 1u << core;
-
-  // Strong atomicity: any access, transactional or not, kills conflicting
-  // in-flight transactions of other cores. Requester wins...
-  std::uint32_t victims =
-      (is_write ? (line.tx_readers | line.tx_writer) : line.tx_writer) & ~mask;
-  const bool had_victims = victims != 0;
+void SimHTM::on_conflict(int core, const LineState& line,
+                         std::uint32_t victims) {
   htm::ConflictKind first_kind = htm::ConflictKind::kUnknown;
   while (victims != 0) {
     const int v = std::countr_zero(victims);
@@ -137,36 +139,14 @@ void SimHTM::on_access(int core, void* addr, std::size_t size, bool is_write) {
     abort_remote(v, kind);
   }
 
-  auto& d = tx_[core];
-  if (!d.active) return;
-
-  // ...usually. When the requester is itself transactional, real TSX often
-  // destroys *both* parties (mutual in-flight invalidations; the documented
-  // absence of a forward-progress guarantee). Model that as a coin flip.
-  if (had_victims && cfg_.htm.mutual_abort_pct != 0 &&
+  // Requester wins... usually. When the requester is itself transactional,
+  // real TSX often destroys *both* parties (mutual in-flight invalidations;
+  // the documented absence of a forward-progress guarantee). Model that as a
+  // coin flip. The RNG is drawn only when the requester is transactional, so
+  // non-transactional strong-atomicity kills don't perturb the stream.
+  if (tx_[core].active && cfg_.htm.mutual_abort_pct != 0 &&
       mutual_rng_.next_bounded(100) < cfg_.htm.mutual_abort_pct) {
     abort_self(core, htm::AbortReason::kConflict, 0, first_kind);
-  }
-
-  if (is_write) {
-    if (!(line.tx_writer & mask)) {
-      if (d.write_lines.size() >= cfg_.htm.write_capacity_lines) {
-        abort_self(core, htm::AbortReason::kCapacity, 0, htm::ConflictKind::kUnknown);
-      }
-      line.tx_writer |= mask;
-      d.write_lines.push_back(arena_.line_index(addr));
-    }
-    UndoEntry u{addr, 0, static_cast<std::uint8_t>(size)};
-    std::memcpy(&u.old_value, addr, size);
-    d.undo.push_back(u);
-  } else {
-    if (!((line.tx_readers | line.tx_writer) & mask)) {
-      if (d.read_lines.size() >= cfg_.htm.read_capacity_lines) {
-        abort_self(core, htm::AbortReason::kCapacity, 0, htm::ConflictKind::kUnknown);
-      }
-      line.tx_readers |= mask;
-      d.read_lines.push_back(arena_.line_index(addr));
-    }
   }
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "htm/abort.hpp"
@@ -57,8 +58,49 @@ class SimHTM {
 
   /// Conflict protocol + read/write-set tracking for one access. The caller
   /// performs the raw load/store after this returns. Throws on self-abort
-  /// (capacity). `size` must not straddle a cache line.
-  void on_access(int core, void* addr, std::size_t size, bool is_write);
+  /// (capacity / mutual conflict). `size` must not straddle a cache line.
+  /// Header-inline fast path: the common case — no victims, line already in
+  /// this core's set — is a couple of mask tests; victim handling lives in
+  /// the out-of-line on_conflict().
+  void on_access(int core, void* addr, std::size_t size, bool is_write) {
+    EUNO_DEBUG_ASSERT(size <= 8);
+    EUNO_DEBUG_ASSERT((reinterpret_cast<std::uintptr_t>(addr) & 63) + size <= 64);
+    LineState& line = arena_.line_of(addr);
+    const std::uint32_t mask = 1u << core;
+
+    // Strong atomicity: any access, transactional or not, kills conflicting
+    // in-flight transactions of other cores. Requester wins (usually; see
+    // on_conflict for the mutual-abort coin flip).
+    const std::uint32_t victims =
+        (is_write ? (line.tx_readers | line.tx_writer) : line.tx_writer) & ~mask;
+    if (victims != 0) [[unlikely]] on_conflict(core, line, victims);
+
+    auto& d = tx_[core];
+    if (!d.active) return;
+
+    if (is_write) {
+      if (!(line.tx_writer & mask)) {
+        if (d.write_lines.size() >= cfg_.htm.write_capacity_lines) [[unlikely]] {
+          abort_self(core, htm::AbortReason::kCapacity, 0,
+                     htm::ConflictKind::kUnknown);
+        }
+        line.tx_writer |= mask;
+        d.write_lines.push_back(arena_.line_index(addr));
+      }
+      UndoEntry u{addr, 0, static_cast<std::uint8_t>(size)};
+      std::memcpy(&u.old_value, addr, size);
+      d.undo.push_back(u);
+    } else {
+      if (!((line.tx_readers | line.tx_writer) & mask)) {
+        if (d.read_lines.size() >= cfg_.htm.read_capacity_lines) [[unlikely]] {
+          abort_self(core, htm::AbortReason::kCapacity, 0,
+                     htm::ConflictKind::kUnknown);
+        }
+        line.tx_readers |= mask;
+        d.read_lines.push_back(arena_.line_index(addr));
+      }
+    }
+  }
 
   /// Allocation bookkeeping: allocations inside a transaction are released
   /// if it aborts; frees inside a transaction are deferred to commit.
@@ -71,6 +113,16 @@ class SimHTM {
 
   /// Number of cores that currently have an active transaction.
   int active_tx_count() const;
+
+  /// Distinct cache lines in the core's current read / write set. The dedup
+  /// in on_access (a line already carrying the core's set bit is not pushed
+  /// again) makes these true set sizes, not access counts.
+  std::size_t tx_read_set_lines(int core) const {
+    return tx_[core].read_lines.size();
+  }
+  std::size_t tx_write_set_lines(int core) const {
+    return tx_[core].write_lines.size();
+  }
 
  private:
   struct UndoEntry {
@@ -97,6 +149,10 @@ class SimHTM {
   };
 
   htm::ConflictKind classify(int victim, int attacker, const LineState& line) const;
+  /// Cold path of on_access: abort every victim in `victims`; if the
+  /// requester is itself transactional, maybe abort it too (mutual-abort
+  /// model) — in which case this throws.
+  void on_conflict(int core, const LineState& line, std::uint32_t victims);
   void rollback_and_clear(int core);
   void abort_remote(int victim, htm::ConflictKind kind);
   [[noreturn]] void abort_self(int core, htm::AbortReason reason, std::uint8_t code,

@@ -46,12 +46,9 @@ inline std::uint32_t peek_cost(const LineState& line, int core, bool is_write,
                                                 : cfg.latency.remote_cache;
     }
     // Shared somewhere: invalidation round trip to the farthest sharer.
-    for (int c = 0; c < topo.total_cores(); ++c) {
-      if (((line.sharers >> c) & 1u) && !topo.same_socket(c, core)) {
-        return cfg.latency.remote_cache;
-      }
-    }
-    return cfg.latency.local_cache;
+    return (line.sharers & ~topo.socket_mask(core)) != 0
+               ? cfg.latency.remote_cache
+               : cfg.latency.local_cache;
   }
 
   if (present && !(line.dirty && line.owner != core)) return cfg.latency.l1_hit;
@@ -60,12 +57,9 @@ inline std::uint32_t peek_cost(const LineState& line, int core, bool is_write,
                                               : cfg.latency.remote_cache;
   }
   // Clean copy lives in some other cache.
-  for (int c = 0; c < topo.total_cores(); ++c) {
-    if (((line.sharers >> c) & 1u) && topo.same_socket(c, core)) {
-      return cfg.latency.local_cache;
-    }
-  }
-  return cfg.latency.remote_cache;
+  return (line.sharers & topo.socket_mask(core)) != 0
+             ? cfg.latency.local_cache
+             : cfg.latency.remote_cache;
 }
 
 /// Applies the coherence transition of an access by `core`.

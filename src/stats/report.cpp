@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace euno::stats {
 
@@ -52,6 +53,19 @@ void Table::print(bool csv) const {
   for (const auto& r : rows_) emit(r);
 }
 
+namespace {
+
+int parse_jobs(const char* v) {
+  if (std::strcmp(v, "auto") == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  const long n = std::strtol(v, nullptr, 10);
+  return n < 1 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace
+
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   BenchArgs a;
   for (int i = 1; i < argc; ++i) {
@@ -70,10 +84,14 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       a.key_range = std::strtoull(v2, nullptr, 10);
     } else if (const char* v3 = value("--seed=")) {
       a.seed = std::strtoull(v3, nullptr, 10);
+    } else if (const char* v4 = value("--jobs=")) {
+      a.jobs = parse_jobs(v4);
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      a.jobs = parse_jobs(argv[++i]);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "flags: --csv  --quick  --ops=<per-thread>  --keys=<range>  "
-          "--seed=<n>\n");
+          "--seed=<n>  --jobs=<n|auto>\n");
       std::exit(0);
     }
   }

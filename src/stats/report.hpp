@@ -34,6 +34,11 @@ struct BenchArgs {
   std::uint64_t key_range = 0;       // 0 = figure default
   std::uint64_t seed = 42;
   bool quick = false;  // reduced sweep for smoke runs
+  /// Worker threads for the parallel sweep runner. 1 (the default) keeps the
+  /// strictly sequential path, so single-core hosts see no behavior change;
+  /// results are bit-identical either way. Accepts `--jobs=N` and `--jobs N`;
+  /// `--jobs=auto` selects the host's hardware concurrency.
+  int jobs = 1;
 
   static BenchArgs parse(int argc, char** argv);
 };

@@ -2,9 +2,10 @@
 
 namespace euno {
 
-MemStats& MemStats::instance() {
-  static MemStats s;
-  return s;
+MemStats*& MemStats::current_slot() {
+  static MemStats process_wide;
+  static thread_local MemStats* current = &process_wide;
+  return current;
 }
 
 std::uint64_t MemStats::tree_live_bytes() const {

@@ -45,11 +45,36 @@ struct MemClassStats {
   std::uint64_t free_count = 0;
 };
 
-/// Global per-class counters. Cheap enough to keep always-on: two relaxed
-/// atomics per alloc/free.
+/// Per-class counters. Cheap enough to keep always-on: two relaxed atomics
+/// per alloc/free.
+///
+/// instance() resolves through a thread-local pointer that defaults to one
+/// process-wide sink, so existing callers see a global. A thread that runs
+/// self-contained work (one simulated experiment per parallel-driver worker)
+/// installs its own sink with ScopedSink for the duration, keeping each
+/// concurrently running simulation's accounting isolated and bit-identical
+/// to a sequential run. Native experiments spawn OS threads that report to
+/// the default sink and must not run under a ScopedSink.
 class MemStats {
  public:
-  static MemStats& instance();
+  MemStats() = default;
+
+  /// The calling thread's current sink (the process-wide one by default).
+  static MemStats& instance() { return *current_slot(); }
+
+  /// Installs `sink` as the calling thread's accounting target.
+  class ScopedSink {
+   public:
+    explicit ScopedSink(MemStats& sink) : prev_(current_slot()) {
+      current_slot() = &sink;
+    }
+    ~ScopedSink() { current_slot() = prev_; }
+    ScopedSink(const ScopedSink&) = delete;
+    ScopedSink& operator=(const ScopedSink&) = delete;
+
+   private:
+    MemStats* prev_;
+  };
 
   void note_alloc(MemClass c, std::size_t bytes) {
     auto& e = entries_[static_cast<std::size_t>(c)];
@@ -86,6 +111,8 @@ class MemStats {
   void reset();
 
  private:
+  static MemStats*& current_slot();
+
   struct Entry {
     std::atomic<std::uint64_t> live{0};
     std::atomic<std::uint64_t> peak{0};

@@ -24,6 +24,17 @@ struct Topology {
 
   bool same_socket(int a, int b) const { return socket_of(a) == socket_of(b); }
 
+  /// Bitmask of every core on `core`'s socket. Cores are block-distributed,
+  /// so a socket is one contiguous run of bits — this lets per-line sharer
+  /// masks be tested against a whole socket in one AND instead of a loop
+  /// over all cores.
+  std::uint32_t socket_mask(int core) const {
+    const int base = socket_of(core) * cores_per_socket;
+    const std::uint32_t run =
+        cores_per_socket >= 32 ? ~0u : (1u << cores_per_socket) - 1u;
+    return run << base;
+  }
+
   /// The paper's 20-core, 2-socket Xeon E5-2650 testbed.
   static Topology paper_testbed() { return Topology{2, 10}; }
 };

@@ -1,0 +1,119 @@
+// Coverage for the shared bench plumbing: BenchArgs --jobs parsing, the
+// sweep helpers in fig_common.hpp, and the jobs=1 sequential fallback of
+// run_figure_sweep (every figure binary routes its spec list through it).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fig_common.hpp"
+
+namespace euno {
+namespace {
+
+stats::BenchArgs parse(std::vector<std::string> argv_strings) {
+  argv_strings.insert(argv_strings.begin(), "bench");
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size());
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  return stats::BenchArgs::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchArgs, JobsDefaultsToSequential) {
+  EXPECT_EQ(parse({}).jobs, 1);
+  EXPECT_EQ(parse({"--quick"}).jobs, 1);
+}
+
+TEST(BenchArgs, JobsEqualsForm) {
+  EXPECT_EQ(parse({"--jobs=3"}).jobs, 3);
+  EXPECT_EQ(parse({"--jobs=16"}).jobs, 16);
+}
+
+TEST(BenchArgs, JobsTwoTokenForm) {
+  EXPECT_EQ(parse({"--jobs", "5"}).jobs, 5);
+  const auto a = parse({"--jobs", "2", "--quick"});
+  EXPECT_EQ(a.jobs, 2);
+  EXPECT_TRUE(a.quick);
+}
+
+TEST(BenchArgs, JobsAutoPicksHardwareConcurrency) {
+  // "auto" must resolve to something usable on any host, including ones
+  // where hardware_concurrency() reports 0.
+  EXPECT_GE(parse({"--jobs=auto"}).jobs, 1);
+  EXPECT_GE(parse({"--jobs", "auto"}).jobs, 1);
+}
+
+TEST(BenchArgs, JobsClampsNonsenseToSequential) {
+  EXPECT_EQ(parse({"--jobs=0"}).jobs, 1);
+  EXPECT_EQ(parse({"--jobs=-4"}).jobs, 1);
+}
+
+TEST(BenchArgs, JobsComposesWithOtherFlags) {
+  const auto a = parse({"--csv", "--jobs=4", "--ops=123", "--seed=7"});
+  EXPECT_TRUE(a.csv);
+  EXPECT_EQ(a.jobs, 4);
+  EXPECT_EQ(a.ops_per_thread, 123u);
+  EXPECT_EQ(a.seed, 7u);
+}
+
+TEST(FigCommon, SweepHelpers) {
+  EXPECT_EQ(bench::thread_sweep(/*quick=*/true), (std::vector<int>{4, 16}));
+  const auto full = bench::thread_sweep(/*quick=*/false);
+  ASSERT_FALSE(full.empty());
+  EXPECT_EQ(full.front(), 1);
+  EXPECT_EQ(full.back(), 20);  // the paper testbed's core count
+  for (std::size_t i = 1; i < full.size(); ++i) {
+    EXPECT_LT(full[i - 1], full[i]);
+  }
+
+  EXPECT_EQ(bench::theta_sweep(/*quick=*/true).size(), 2u);
+  const auto thetas = bench::theta_sweep(/*quick=*/false);
+  ASSERT_FALSE(thetas.empty());
+  EXPECT_EQ(thetas.front(), 0.0);
+  EXPECT_EQ(thetas.back(), 0.99);
+
+  EXPECT_EQ(bench::figure_tree_kinds().size(), 4u);
+}
+
+TEST(FigCommon, FigureSpecHonorsArgs) {
+  auto args = parse({"--ops=77", "--keys=1024", "--seed=9"});
+  const auto spec = bench::figure_spec(args);
+  EXPECT_EQ(spec.ops_per_thread, 77u);
+  EXPECT_EQ(spec.workload.key_range, 1024u);
+  EXPECT_EQ(spec.workload.seed, 9u);
+  EXPECT_EQ(spec.preload, 512u);
+}
+
+TEST(FigCommon, RunFigureSweepSequentialFallback) {
+  // jobs=1 (the default) must be the plain sequential loop: identical to
+  // calling run_sim_experiment per spec, in order.
+  auto args = parse({});
+  ASSERT_EQ(args.jobs, 1);
+
+  auto spec = bench::figure_spec(args);
+  spec.workload.key_range = 1 << 14;
+  spec.preload = spec.workload.key_range / 2;
+  spec.ops_per_thread = 200;
+  spec.threads = 4;
+  spec.machine.arena_bytes = 256ull << 20;
+
+  std::vector<driver::ExperimentSpec> specs;
+  for (auto kind :
+       {driver::TreeKind::kHtmBPTree, driver::TreeKind::kEuno}) {
+    spec.tree = kind;
+    specs.push_back(spec);
+  }
+
+  const auto swept = bench::run_figure_sweep(specs, args);
+  ASSERT_EQ(swept.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto direct = driver::run_sim_experiment(specs[i]);
+    EXPECT_EQ(swept[i].sim_cycles, direct.sim_cycles);
+    EXPECT_EQ(swept[i].ops, direct.ops);
+    EXPECT_EQ(swept[i].aborts_total, direct.aborts_total);
+    EXPECT_EQ(swept[i].mem_accesses, direct.mem_accesses);
+  }
+}
+
+}  // namespace
+}  // namespace euno

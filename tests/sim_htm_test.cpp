@@ -391,5 +391,34 @@ TEST(SimHtm, ActiveCountTracksTransactions) {
   sim.run();
 }
 
+TEST(SimHtm, RepeatAccessesDoNotGrowTxSets) {
+  // The per-line tx bitmasks dedup set tracking: hammering one line many
+  // times must record exactly one read-set and one write-set line (the undo
+  // log, by contrast, grows per write access — rollback needs every value).
+  Simulation sim(small_config());
+  auto* x = alloc_u64(sim, LineKind::kRecord);
+  auto* y = alloc_u64(sim, LineKind::kRecord);
+  sim.spawn(0, [&](int core) {
+    sim.htm().tx_begin(core);
+    for (int i = 0; i < 100; ++i) {
+      sim.mem_access(x, 8, false);
+      (void)*x;
+    }
+    EXPECT_EQ(sim.htm().tx_read_set_lines(core), 1u);
+    for (int i = 0; i < 100; ++i) {
+      sim.mem_access(y, 8, true);
+      *y = static_cast<std::uint64_t>(i);
+    }
+    EXPECT_EQ(sim.htm().tx_write_set_lines(core), 1u);
+    // A write to an already-read line upgrades without a duplicate entry.
+    sim.mem_access(x, 8, true);
+    *x = 5;
+    EXPECT_EQ(sim.htm().tx_read_set_lines(core), 1u);
+    EXPECT_EQ(sim.htm().tx_write_set_lines(core), 2u);
+    sim.htm().tx_commit(core);
+  });
+  sim.run();
+}
+
 }  // namespace
 }  // namespace euno::sim
