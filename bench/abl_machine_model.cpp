@@ -31,6 +31,7 @@ struct PairedRun {
 
   void run_and_emit(const euno::stats::BenchArgs& args, stats::Table* table) {
     const auto results = bench::run_figure_sweep(specs, args);
+    bench::emit_artifacts(args, "abl_machine_model", specs, results);
     for (std::size_t i = 0; i < labels.size(); ++i) {
       const auto& base = results[2 * i];
       const auto& euno_r = results[2 * i + 1];

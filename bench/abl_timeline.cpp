@@ -18,6 +18,7 @@ struct Timeline {
   std::uint64_t bucket_cycles = 0;
   // per bucket: aborts, fallbacks, ccm-engage, ccm-bypass, splits
   std::vector<std::array<std::uint64_t, 5>> buckets;
+  std::vector<sim::TraceEvent> events;  // kept for --trace export
 };
 
 template <class MakeTree>
@@ -51,7 +52,8 @@ Timeline run_traced(const driver::ExperimentSpec& spec, MakeTree make,
   Timeline tl;
   tl.bucket_cycles = simulation.max_clock() / static_cast<std::uint64_t>(n_buckets) + 1;
   tl.buckets.assign(static_cast<std::size_t>(n_buckets), {});
-  for (const auto& ev : simulation.trace()) {
+  tl.events = simulation.trace_events();
+  for (const auto& ev : tl.events) {
     auto& b = tl.buckets[std::min<std::size_t>(ev.clock / tl.bucket_cycles,
                                                tl.buckets.size() - 1)];
     switch (static_cast<ctx::TraceCode>(ev.code)) {
@@ -105,5 +107,18 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(windows are equal slices of each run's simulated time; the two\n"
       "columnsets come from separate runs and differ in absolute span)\n");
+  if (!args.trace_path.empty()) {
+    const std::vector<obs::TraceProcess> procs = {
+        {"HTM-B+Tree 20t zipfian=0.90", spec.ghz, &base.events},
+        {"Euno-B+Tree 20t zipfian=0.90", spec.ghz, &euno.events},
+    };
+    if (obs::write_chrome_trace(args.trace_path.c_str(), procs)) {
+      std::fprintf(stderr, "wrote trace to %s\n", args.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: failed writing trace to %s\n",
+                   args.trace_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

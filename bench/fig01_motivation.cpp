@@ -22,15 +22,18 @@ int main(int argc, char** argv) {
   const auto results = bench::run_figure_sweep(specs, args);
 
   stats::Table table({"theta", "throughput_mops", "aborts_per_op", "fallbacks",
-                      "wasted_cycles_pct"});
+                      "wasted_cycles_pct", "p50_cyc", "p99_cyc"});
   for (std::size_t i = 0; i < thetas.size(); ++i) {
     const auto& r = results[i];
     table.add_row({stats::Table::num(thetas[i]),
                    stats::Table::num(r.throughput_mops),
                    stats::Table::num(r.aborts_per_op),
                    stats::Table::num(r.fallbacks),
-                   stats::Table::num(100 * r.wasted_cycle_frac, 1)});
+                   stats::Table::num(100 * r.wasted_cycle_frac, 1),
+                   stats::Table::num(r.lat_p50, 0),
+                   stats::Table::num(r.lat_p99, 0)});
   }
   table.print(args.csv);
+  bench::emit_artifacts(args, "fig01_motivation", specs, results);
   return 0;
 }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   stats::Table table({"theta", "aborts_per_op", "same_record_pct",
                       "diff_record_pct", "metadata_pct", "lock_subscr_pct",
-                      "capacity_other_pct"});
+                      "capacity_other_pct", "p50_cyc", "p99_cyc"});
   for (std::size_t i = 0; i < thetas.size(); ++i) {
     const double theta = thetas[i];
     const auto& r = results[i];
@@ -41,9 +41,18 @@ int main(int argc, char** argv) {
                    pct(r.conflicts_true_same_record), pct(r.conflicts_false_record),
                    pct(r.conflicts_false_metadata),
                    pct(r.conflicts_lock_subscription),
-                   pct(r.aborts_capacity + r.aborts_other)});
+                   pct(r.aborts_capacity + r.aborts_other),
+                   stats::Table::num(r.lat_p50, 0),
+                   stats::Table::num(r.lat_p99, 0)});
   }
   table.print(args.csv);
+  // With --json, the contention channel is live: show where the aborts of the
+  // most contended point actually landed (leaf-level attribution).
+  if (!results.empty()) {
+    bench::print_hot_lines(bench::point_label(specs.back()).c_str(),
+                           results.back(), args.csv);
+  }
+  bench::emit_artifacts(args, "fig02_abort_analysis", specs, results);
   std::printf(
       "\nNote: lock_subscr aborts are casualties of fallback-lock acquisition\n"
       "(the retry cascade the collapse feeds on); the paper folds them into\n"

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const auto results = bench::run_figure_sweep(specs, args);
 
   stats::Table table({"theta", "tree", "throughput_mops", "aborts_per_op",
-                      "instr_per_op", "wasted_pct"});
+                      "instr_per_op", "wasted_pct", "p50_cyc", "p99_cyc"});
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& r = results[i];
     table.add_row({stats::Table::num(specs[i].workload.dist_param),
@@ -32,8 +32,11 @@ int main(int argc, char** argv) {
                    stats::Table::num(r.throughput_mops),
                    stats::Table::num(r.aborts_per_op),
                    stats::Table::num(r.instructions_per_op, 0),
-                   stats::Table::num(100 * r.wasted_cycle_frac, 1)});
+                   stats::Table::num(100 * r.wasted_cycle_frac, 1),
+                   stats::Table::num(r.lat_p50, 0),
+                   stats::Table::num(r.lat_p99, 0)});
   }
   table.print(args.csv);
+  bench::emit_artifacts(args, "fig08_throughput", specs, results);
   return 0;
 }

@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 9", "aborts/op, Euno vs. baseline", spec);
 
   stats::Table table({"theta", "tree", "aborts_per_op", "same_record",
-                      "diff_record", "metadata", "upper_aborts", "lower_aborts"});
+                      "diff_record", "metadata", "upper_aborts", "lower_aborts",
+                      "p99_wasted_cyc"});
   const std::vector<double> thetas =
       args.quick ? std::vector<double>{0.9} : std::vector<double>{0.5, 0.7, 0.9, 0.99};
   std::vector<driver::ExperimentSpec> specs;
@@ -37,8 +38,11 @@ int main(int argc, char** argv) {
                    stats::Table::num(r.conflicts_false_record / ops, 3),
                    stats::Table::num(r.conflicts_false_metadata / ops, 3),
                    stats::Table::num(r.upper_aborts),
-                   stats::Table::num(r.lower_aborts)});
+                   stats::Table::num(r.lower_aborts),
+                   stats::Table::num(static_cast<std::uint64_t>(
+                       r.abort_wasted.percentile(0.99)))});
   }
   table.print(args.csv);
+  bench::emit_artifacts(args, "fig09_abort_compare", specs, results);
   return 0;
 }

@@ -40,15 +40,18 @@ int main(int argc, char** argv) {
   const auto results = bench::run_figure_sweep(specs, args);
 
   stats::Table table({"panel", "theta", "threads", "tree", "throughput_mops",
-                      "aborts_per_op"});
+                      "aborts_per_op", "p50_cyc", "p99_cyc"});
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& r = results[i];
     table.add_row({panels[i], stats::Table::num(specs[i].workload.dist_param),
                    stats::Table::num(static_cast<std::uint64_t>(specs[i].threads)),
                    driver::tree_kind_name(specs[i].tree),
                    stats::Table::num(r.throughput_mops),
-                   stats::Table::num(r.aborts_per_op)});
+                   stats::Table::num(r.aborts_per_op),
+                   stats::Table::num(r.lat_p50, 0),
+                   stats::Table::num(r.lat_p99, 0)});
   }
   table.print(args.csv);
+  bench::emit_artifacts(args, "fig10_scalability", specs, results);
   return 0;
 }

@@ -51,15 +51,19 @@ int main(int argc, char** argv) {
   const auto results = bench::run_figure_sweep(specs, args);
 
   stats::Table table(
-      {"panel", "threads", "tree", "throughput_mops", "aborts_per_op"});
+      {"panel", "threads", "tree", "throughput_mops", "aborts_per_op",
+       "p50_cyc", "p99_cyc"});
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& r = results[i];
     table.add_row({panels[i],
                    stats::Table::num(static_cast<std::uint64_t>(specs[i].threads)),
                    driver::tree_kind_name(specs[i].tree),
                    stats::Table::num(r.throughput_mops),
-                   stats::Table::num(r.aborts_per_op)});
+                   stats::Table::num(r.aborts_per_op),
+                   stats::Table::num(r.lat_p50, 0),
+                   stats::Table::num(r.lat_p99, 0)});
   }
   table.print(args.csv);
+  bench::emit_artifacts(args, "fig12_distributions", specs, results);
   return 0;
 }

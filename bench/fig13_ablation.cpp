@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   const auto results = bench::run_figure_sweep(specs, args);
 
   stats::Table table({"contention", "config", "throughput_mops", "relative",
-                      "aborts_per_op", "wasted_pct"});
+                      "aborts_per_op", "wasted_pct", "p50_cyc", "p99_cyc"});
   double baseline = 0;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto kind = specs[i].tree;
@@ -51,8 +51,11 @@ int main(int argc, char** argv) {
                    stats::Table::num(r.throughput_mops),
                    stats::Table::num(r.throughput_mops / baseline, 2) + "x",
                    stats::Table::num(r.aborts_per_op, 3),
-                   stats::Table::num(100 * r.wasted_cycle_frac, 1)});
+                   stats::Table::num(100 * r.wasted_cycle_frac, 1),
+                   stats::Table::num(r.lat_p50, 0),
+                   stats::Table::num(r.lat_p99, 0)});
   }
   table.print(args.csv);
+  bench::emit_artifacts(args, "fig13_ablation", specs, results);
   return 0;
 }

@@ -17,6 +17,8 @@
 
 #include "driver/experiment.hpp"
 #include "driver/parallel.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "stats/report.hpp"
 
 namespace euno::bench {
@@ -43,7 +45,78 @@ inline driver::ExperimentSpec figure_spec(const stats::BenchArgs& args) {
   spec.threads = 16;
   spec.ops_per_thread = args.ops_per_thread ? args.ops_per_thread : 2000;
   spec.machine.arena_bytes = 3ull << 30;
+  // Observability: latency percentiles go into every figure table; the
+  // contention and trace channels switch on only when their output files were
+  // requested. None of this changes any simulated quantity (see src/obs).
+  spec.obs.latency = true;
+  spec.obs.contention = !args.json_path.empty();
+  spec.obs.trace = !args.trace_path.empty();
   return spec;
+}
+
+/// Short per-sweep-point label used for trace process names and manifests.
+inline std::string point_label(const driver::ExperimentSpec& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %dt %s=%.2f",
+                driver::tree_kind_name(s.tree).c_str(), s.threads,
+                workload::dist_kind_name(s.workload.dist).c_str(),
+                s.workload.dist_param);
+  return buf;
+}
+
+/// Writes the `--trace=` Chrome trace and/or the `--json=` run manifest for a
+/// completed sweep. Call after run_figure_sweep in every figure binary.
+inline void emit_artifacts(const stats::BenchArgs& args, const char* bench,
+                           const std::vector<driver::ExperimentSpec>& specs,
+                           const std::vector<driver::ExperimentResult>& results) {
+  if (!args.trace_path.empty()) {
+    std::vector<obs::TraceProcess> procs;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].trace.empty()) continue;
+      procs.push_back(
+          obs::TraceProcess{point_label(specs[i]), specs[i].ghz, &results[i].trace});
+    }
+    if (obs::write_chrome_trace(args.trace_path.c_str(), procs)) {
+      std::fprintf(stderr, "wrote trace (%zu processes) to %s\n", procs.size(),
+                   args.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: failed writing trace to %s\n",
+                   args.trace_path.c_str());
+      std::exit(1);
+    }
+  }
+  if (!args.json_path.empty()) {
+    if (obs::write_manifest(args.json_path, bench, specs.data(), results.data(),
+                            results.size())) {
+      std::fprintf(stderr, "wrote manifest (%zu points) to %s\n", results.size(),
+                   args.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: failed writing manifest to %s\n",
+                   args.json_path.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+/// Prints the top-K hottest-lines attribution table for one sweep point
+/// (requires the contention channel; silently skips when it was off).
+inline void print_hot_lines(const char* what,
+                            const driver::ExperimentResult& r, bool csv) {
+  if (r.hot_lines.empty()) return;
+  std::printf("\n-- hottest cache lines: %s --\n", what);
+  stats::Table t({"node", "line", "aborts", "same_record", "false_record",
+                  "false_metadata", "lock_subscr"});
+  for (const auto& hl : r.hot_lines) {
+    auto k = [&](htm::ConflictKind c) {
+      return stats::Table::num(hl.conflicts[static_cast<std::size_t>(c)]);
+    };
+    t.add_row({hl.label(), stats::Table::num(hl.line),
+               stats::Table::num(hl.aborts), k(htm::ConflictKind::kTrueSameRecord),
+               k(htm::ConflictKind::kFalseRecord),
+               k(htm::ConflictKind::kFalseMetadata),
+               k(htm::ConflictKind::kLockSubscription)});
+  }
+  t.print(csv);
 }
 
 inline const char* kFigureTrees[] = {"HTM-B+Tree", "Masstree", "HTM-Masstree",

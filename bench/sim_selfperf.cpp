@@ -7,7 +7,11 @@
 // Metrics:
 //   - wall_ns_per_access: host nanoseconds per instrumented memory access,
 //     measured over a high-contention 16-thread Euno run (the hot path:
-//     mem_access -> doom check -> coherence cost -> HTM protocol).
+//     mem_access -> doom check -> coherence cost -> HTM protocol), with
+//     observability OFF — the number PR-over-PR regression checks gate on.
+//   - obs_on_wall_ns_per_access: the same run with every obs channel ON
+//     (latency + contention + trace), tracking the cost of instrumentation;
+//     the sim results must stay bit-identical either way.
 //   - sweep_experiments_per_min: experiments per minute for the standard
 //     quick Figure-10 sweep (4 panels x {4,16} threads x 4 trees = 32 cells),
 //     sequential and — when the host has cores — with --jobs=auto.
@@ -15,6 +19,7 @@
 #include <cstdio>
 
 #include "fig_common.hpp"
+#include "obs/json.hpp"
 
 using namespace euno;
 
@@ -41,6 +46,7 @@ int main(int argc, char** argv) {
   hot.preload = hot.workload.key_range / 2;
   hot.threads = 16;
   hot.machine.arena_bytes = 512ull << 20;
+  hot.obs = {};  // instrumentation OFF: this is the gated regression number
   if (args.ops_per_thread == 0) hot.ops_per_thread = args.quick ? 4000 : 20000;
   bench::print_header("Self-perf", "simulator host-side performance", hot);
 
@@ -53,8 +59,28 @@ int main(int argc, char** argv) {
       hr.mem_accesses > 0 ? hot_ms * 1e6 / static_cast<double>(hr.mem_accesses)
                           : 0;
 
+  // Same run, all observability channels on: the delta is the full cost of
+  // instrumentation, and the simulated quantities must not move at all.
+  auto hot_obs = hot;
+  hot_obs.obs.latency = true;
+  hot_obs.obs.contention = true;
+  hot_obs.obs.trace = true;
+  const auto o0 = std::chrono::steady_clock::now();
+  const auto orr = driver::run_sim_experiment(hot_obs);
+  const auto o1 = std::chrono::steady_clock::now();
+  const double obs_ms = wall_ms(o0, o1);
+  const double obs_ns_per_access =
+      orr.mem_accesses > 0 ? obs_ms * 1e6 / static_cast<double>(orr.mem_accesses)
+                           : 0;
+  const bool obs_identical = orr.sim_cycles == hr.sim_cycles &&
+                             orr.aborts_total == hr.aborts_total &&
+                             orr.mem_accesses == hr.mem_accesses;
+  const double obs_overhead_pct =
+      ns_per_access > 0 ? 100.0 * (obs_ns_per_access / ns_per_access - 1.0) : 0;
+
   // --- Part 2: sweep throughput (experiments/minute, quick fig10 sweep) ---
   auto sweep_spec = bench::figure_spec(args);
+  sweep_spec.obs = {};  // comparable across PRs: harness cost only
   sweep_spec.ops_per_thread = args.ops_per_thread ? args.ops_per_thread : 600;
   static constexpr double kThetas[] = {0.2, 0.6, 0.9, 0.99};
   std::vector<driver::ExperimentSpec> specs;
@@ -94,6 +120,10 @@ int main(int argc, char** argv) {
 
   stats::Table table({"metric", "value"});
   table.add_row({"wall_ns_per_access", stats::Table::num(ns_per_access, 1)});
+  table.add_row({"obs_on_wall_ns_per_access",
+                 stats::Table::num(obs_ns_per_access, 1)});
+  table.add_row({"obs_overhead_pct", stats::Table::num(obs_overhead_pct, 1)});
+  table.add_row({"obs_bit_identical", obs_identical ? "yes" : "NO"});
   table.add_row({"hot_run_accesses", stats::Table::num(hr.mem_accesses)});
   table.add_row({"hot_run_ms", stats::Table::num(hot_ms, 1)});
   table.add_row({"sweep_cells", stats::Table::num(
@@ -111,25 +141,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_sim_selfperf.json\n");
     return 1;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"sim_selfperf\",\n"
-               "  \"wall_ns_per_access\": %.2f,\n"
-               "  \"hot_run_accesses\": %llu,\n"
-               "  \"hot_run_ms\": %.2f,\n"
-               "  \"sweep_cells\": %zu,\n"
-               "  \"sweep_seq_ms\": %.2f,\n"
-               "  \"sweep_seq_experiments_per_min\": %.2f,\n"
-               "  \"sweep_jobs\": %d,\n"
-               "  \"sweep_par_ms\": %.2f,\n"
-               "  \"sweep_par_experiments_per_min\": %.2f,\n"
-               "  \"parallel_speedup\": %.3f,\n"
-               "  \"parallel_bit_identical\": %s\n"
-               "}\n",
-               ns_per_access, static_cast<unsigned long long>(hr.mem_accesses),
-               hot_ms, specs.size(), seq_ms, seq_epm, jobs, par_ms, par_epm,
-               seq_ms / par_ms, identical ? "true" : "false");
+  {
+    obs::JsonWriter w(f);
+    w.begin_object();
+    w.kv("bench", "sim_selfperf");
+    w.kv("wall_ns_per_access", ns_per_access, 2);
+    w.kv("obs_on_wall_ns_per_access", obs_ns_per_access, 2);
+    w.kv("obs_overhead_pct", obs_overhead_pct, 2);
+    w.kv("obs_bit_identical", obs_identical);
+    w.kv("hot_run_accesses", hr.mem_accesses);
+    w.kv("hot_run_ms", hot_ms, 2);
+    w.kv("sweep_cells", static_cast<std::uint64_t>(specs.size()));
+    w.kv("sweep_seq_ms", seq_ms, 2);
+    w.kv("sweep_seq_experiments_per_min", seq_epm, 2);
+    w.kv("sweep_jobs", jobs);
+    w.kv("sweep_par_ms", par_ms, 2);
+    w.kv("sweep_par_experiments_per_min", par_epm, 2);
+    w.kv("parallel_speedup", seq_ms / par_ms, 3);
+    w.kv("parallel_bit_identical", identical);
+    w.end_object();
+    std::fputc('\n', f);
+  }
   std::fclose(f);
   std::printf("\nwrote BENCH_sim_selfperf.json\n");
-  return identical ? 0 : 1;
+  return identical && obs_identical ? 0 : 1;
 }

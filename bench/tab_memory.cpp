@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
                    "1 line/leaf (in leaf alloc)"});
   }
   table.print(args.csv);
+  bench::emit_artifacts(args, "tab_memory", specs, results);
   std::printf(
       "\nNote: Euno leaves also carry fixed per-leaf lines (CCM vector,\n"
       "control line, per-segment metadata), which is why the structural\n"

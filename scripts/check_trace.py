@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by --trace=FILE.
+
+Checks (exit nonzero on any failure):
+  1. The file parses as JSON and has a traceEvents list.
+  2. Every event carries the fields its phase requires (name/ph/pid/tid/ts,
+     dur for X, args.name for M name-setters).
+  3. Every X (complete) event has dur >= 0.
+  4. Within each (pid, tid) track, X events obey stack nesting: a span that
+     starts inside another span must also end inside it (the invariant
+     Perfetto's track builder requires).
+
+Usage: check_trace.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} TRACE.json")
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("top-level 'traceEvents' missing or not a list")
+    if not events:
+        fail("traceEvents is empty")
+
+    tracks = {}  # (pid, tid) -> list of (ts, dur)
+    n_x = n_i = n_m = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph is None:
+            fail(f"event #{i} has no 'ph'")
+        for field in ("pid", "tid"):
+            if field not in ev:
+                fail(f"event #{i} (ph={ph}) missing '{field}'")
+        if ph == "M":
+            n_m += 1
+            if "name" not in ev:
+                fail(f"metadata event #{i} missing 'name'")
+            continue
+        if "ts" not in ev:
+            fail(f"event #{i} (ph={ph}) missing 'ts'")
+        if "name" not in ev:
+            fail(f"event #{i} (ph={ph}) missing 'name'")
+        if ph == "X":
+            n_x += 1
+            dur = ev.get("dur")
+            if dur is None:
+                fail(f"X event #{i} ('{ev['name']}') missing 'dur'")
+            if dur < 0:
+                fail(f"X event #{i} ('{ev['name']}') has negative dur {dur}")
+            tracks.setdefault((ev["pid"], ev["tid"]), []).append(
+                (ev["ts"], dur, ev["name"])
+            )
+        elif ph == "i":
+            n_i += 1
+        else:
+            fail(f"event #{i} has unexpected phase {ph!r}")
+
+    # Nesting check per track: sort by (ts asc, dur desc) — outer spans first
+    # at equal start — then sweep with a stack of end times.
+    eps = 1e-5  # µs timestamps round at 6 decimals; a cycle is >= 1e-4 µs
+    for (pid, tid), spans in tracks.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # end times of open spans
+        for ts, dur, name in spans:
+            while stack and ts >= stack[-1] - eps:
+                stack.pop()
+            end = ts + dur
+            if stack and end > stack[-1] + eps:
+                fail(
+                    f"track pid={pid} tid={tid}: span '{name}' "
+                    f"[{ts}, {end}) overlaps its enclosing span ending at "
+                    f"{stack[-1]} without nesting"
+                )
+            stack.append(end)
+
+    print(
+        f"check_trace: OK: {len(events)} events "
+        f"({n_x} spans, {n_i} instants, {n_m} metadata) "
+        f"on {len(tracks)} span tracks"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -538,6 +538,7 @@ class EunoBPTree {
     l->mode.store(1, std::memory_order_relaxed);  // start optimistic (bypass)
     c.tag_memory(l, kCacheLineSize, sim::LineKind::kLeafMeta);
     c.tag_memory(&l->ccm[0], kCacheLineSize, sim::LineKind::kCCM);
+    c.note_node(l, sizeof(Leaf), 0);
     return l;
   }
 
@@ -546,6 +547,7 @@ class EunoBPTree {
                                              MemClass::kReservedKeys,
                                              sim::LineKind::kRecord));
     new (r) Reserved();
+    c.note_node(r, sizeof(Reserved), 0);
     return r;
   }
 
@@ -553,6 +555,7 @@ class EunoBPTree {
     auto* n = static_cast<INode*>(c.alloc(sizeof(INode), MemClass::kInternalNode,
                                           sim::LineKind::kTreeMeta));
     new (n) INode();
+    c.note_node(n, sizeof(INode), 1);
     return n;
   }
 

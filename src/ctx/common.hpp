@@ -21,6 +21,7 @@
 
 #include "htm/abort.hpp"
 #include "htm/policy.hpp"
+#include "obs/event.hpp"
 #include "util/cacheline.hpp"
 
 namespace euno::ctx {
@@ -36,15 +37,9 @@ enum class TxSite : std::uint8_t {
 };
 
 /// Event codes recorded into the simulation trace (Context::note_event and
-/// the txn() helper). Timeline benches bucket these by simulated time.
-enum class TraceCode : std::uint8_t {
-  kAbort = 1,
-  kFallback = 2,
-  kAdaptiveToFull = 3,    // a leaf's detector engaged the CCM
-  kAdaptiveToBypass = 4,  // a leaf went back to bypass mode
-  kLeafSplit = 5,
-  kLeafMerge = 6,
-};
+/// the txn() helper). The vocabulary lives in obs/event.hpp — shared with
+/// the simulator's run-slice recording and the Chrome-trace exporter.
+using TraceCode = obs::EventCode;
 
 /// Per-invocation result of Context::txn(), consumed by adaptive contention
 /// control (Euno's per-leaf detector watches the abort count of each lower

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
 
 #include "ctx/common.hpp"
+#include "obs/histogram.hpp"
 #include "htm/policy.hpp"
 #include "htm/rtm.hpp"
 #include "sim/line.hpp"
@@ -192,11 +194,26 @@ class NativeCtx {
 
   // ---- annotations ----
 
-  void note_event(TraceCode) {}
+  void note_event(TraceCode, std::uint8_t = 0, std::uint8_t = 0) {}
+  void note_node(void*, std::size_t, std::uint8_t) {}
   void set_op_target(std::uint64_t) {}
   void clear_op_target() {}
   void compute(std::uint64_t) {}
   void spin_pause() { cpu_relax(); }
+
+  // ---- observability ----
+
+  /// Wall-clock nanoseconds (the native analogue of the simulated cycle
+  /// clock; per-op latency histograms record in this unit natively).
+  std::uint64_t now() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void set_observer(obs::ThreadObs* o) { obs_ = o; }
+  obs::ThreadObs* observer() { return obs_; }
 
  private:
   NativeEnv* env_;
@@ -204,6 +221,7 @@ class NativeCtx {
   bool in_tx_ = false;
   bool in_fallback_ = false;
   SiteStats stats_{};
+  obs::ThreadObs* obs_ = nullptr;
 };
 
 }  // namespace euno::ctx

@@ -12,6 +12,7 @@
 
 #include "ctx/common.hpp"
 #include "htm/policy.hpp"
+#include "obs/histogram.hpp"
 #include "sim/engine.hpp"
 #include "sim/txabort.hpp"
 #include "util/assert.hpp"
@@ -29,6 +30,15 @@ class SimCtx {
   SiteStats& stats() { return stats_; }
   const SiteStats& stats() const { return stats_; }
   sim::Simulation& simulation() { return *sim_; }
+
+  /// This core's simulated clock (cycles); the timestamp source for the
+  /// per-op latency histograms.
+  std::uint64_t now() const { return sim_->clock_of(core_); }
+
+  /// Observability sink for this thread (nullptr = off). The driver hands
+  /// each simulated thread its own ThreadObs, so recording is lock-free.
+  void set_observer(obs::ThreadObs* o) { obs_ = o; }
+  obs::ThreadObs* observer() { return obs_; }
 
   // ---- transactions ----
 
@@ -49,6 +59,8 @@ class SimCtx {
 
       st.attempts++;
       const std::uint64_t start_clock = sim_->clock_of(core_);
+      sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kTxBegin),
+                         static_cast<std::uint8_t>(site), 0);
       htm_model.tx_begin(core_);
       sim_->charge(cfg.htm.tx_begin_cost);
       bool aborted = false;
@@ -72,11 +84,15 @@ class SimCtx {
         sim_->charge(cfg.htm.tx_commit_cost);
         sim_->counters(core_).cycles_in_tx += sim_->clock_of(core_) - start_clock;
         st.commits++;
+        sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kTxCommit),
+                           static_cast<std::uint8_t>(site), 0);
         return out;
       }
       htm_model.on_abort_handled(core_);
       sim_->charge(cfg.htm.abort_penalty);
-      sim_->counters(core_).cycles_wasted += sim_->clock_of(core_) - start_clock;
+      const std::uint64_t wasted = sim_->clock_of(core_) - start_clock;
+      sim_->counters(core_).cycles_wasted += wasted;
+      if (obs_ != nullptr) obs_->abort_wasted.record(wasted);
       if (r.reason == htm::AbortReason::kExplicit &&
           r.xabort_payload == htm::xabort_code::kFallbackLocked) {
         r.reason = htm::AbortReason::kLockBusy;
@@ -101,10 +117,14 @@ class SimCtx {
     }
     st.fallbacks++;
     sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kFallback), 0, 0);
+    sim_->record_trace(
+        static_cast<std::uint8_t>(TraceCode::kFallbackAcquired), 0, 0);
     in_fallback_ = true;
     body();
     in_fallback_ = false;
     atomic_store<std::uint32_t>(lock.word, 0);
+    sim_->record_trace(
+        static_cast<std::uint8_t>(TraceCode::kFallbackReleased), 0, 0);
     st.commits++;
     out.used_fallback = true;
     return out;
@@ -203,8 +223,18 @@ class SimCtx {
 
   // ---- annotations ----
 
-  void note_event(TraceCode code) {
-    sim_->record_trace(static_cast<std::uint8_t>(code), 0, 0);
+  void note_event(TraceCode code, std::uint8_t a = 0, std::uint8_t b = 0) {
+    sim_->record_trace(static_cast<std::uint8_t>(code), a, b);
+  }
+
+  /// Annotate a freshly allocated tree node for contention attribution:
+  /// level 0 = leaf, 1+ = interior. No-op unless the experiment enabled the
+  /// contention channel.
+  void note_node(void* p, std::size_t bytes, std::uint8_t level) {
+    obs::NodeRegistry* reg = sim_->node_registry();
+    if (reg != nullptr) {
+      reg->register_node(sim_->arena().line_index(p), (bytes + 63) / 64, level);
+    }
   }
   void set_op_target(std::uint64_t key) { sim_->htm().set_op_target(core_, key); }
   void clear_op_target() { sim_->htm().clear_op_target(core_); }
@@ -216,6 +246,7 @@ class SimCtx {
   int core_;
   bool in_fallback_ = false;
   SiteStats stats_{};
+  obs::ThreadObs* obs_ = nullptr;
 };
 
 }  // namespace euno::ctx

@@ -34,12 +34,18 @@ std::string tree_kind_name(TreeKind k) {
 
 namespace {
 
+/// Rows kept in the hottest-lines attribution table.
+constexpr std::size_t kHotLinesTopK = 16;
+
 template <class Tree, class Ctx>
 void run_ops(Tree& tree, Ctx& c, OpStream& stream, std::uint64_t n,
              std::uint32_t scan_len) {
   std::vector<trees::KV> scan_buf(scan_len);
+  obs::ThreadObs* tobs = c.observer();
   for (std::uint64_t i = 0; i < n; ++i) {
     const Op op = stream.next();
+    c.note_event(ctx::TraceCode::kOpBegin, static_cast<std::uint8_t>(op.type));
+    const std::uint64_t t0 = tobs != nullptr ? c.now() : 0;
     switch (op.type) {
       case OpType::kGet: {
         trees::Value v;
@@ -56,7 +62,28 @@ void run_ops(Tree& tree, Ctx& c, OpStream& stream, std::uint64_t n,
         (void)tree.erase(c, op.key);
         break;
     }
+    if (tobs != nullptr) tobs->op_latency.record(c.now() - t0);
+    c.note_event(ctx::TraceCode::kOpEnd, static_cast<std::uint8_t>(op.type));
   }
+}
+
+/// Folds the enabled observability channels of one finished run into the
+/// result: merge per-thread histograms, surface latency percentiles, pull
+/// the hottest-lines table and the merged event stream.
+void finalize_obs(const obs::ObsOptions& opt, std::vector<obs::ThreadObs>& tobs,
+                  const obs::ContentionMap* cmap, const obs::NodeRegistry* reg,
+                  ExperimentResult* r) {
+  if (opt.latency) {
+    for (const auto& t : tobs) {
+      r->op_latency.merge(t.op_latency);
+      r->abort_wasted.merge(t.abort_wasted);
+    }
+    r->lat_p50 = static_cast<double>(r->op_latency.percentile(0.50));
+    r->lat_p90 = static_cast<double>(r->op_latency.percentile(0.90));
+    r->lat_p99 = static_cast<double>(r->op_latency.percentile(0.99));
+    r->lat_p999 = static_cast<double>(r->op_latency.percentile(0.999));
+  }
+  if (cmap != nullptr) r->hot_lines = cmap->top_k(kHotLinesTopK, reg);
 }
 
 void aggregate_stats(const ctx::SiteStats& s, ExperimentResult* r) {
@@ -105,6 +132,18 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   sim::Simulation simulation(spec.machine);
   MemStats::instance().reset();
 
+  // Observability channels: enabled before the tree exists so node
+  // allocations register, but recording charges no simulated cycles — the
+  // machine model cannot see any of this.
+  const obs::ObsOptions obs_opt =
+      obs::kCompiledIn ? spec.obs : obs::ObsOptions{};
+  obs::ContentionMap cmap;
+  obs::NodeRegistry node_reg;
+  if (obs_opt.contention) simulation.enable_contention(&cmap, &node_reg);
+  if (obs_opt.trace) simulation.enable_trace();
+  std::vector<obs::ThreadObs> tobs(
+      obs_opt.latency ? static_cast<std::size_t>(spec.threads) : 0);
+
   ctx::SimCtx setup(simulation, 0);
   auto tree = make(setup);
   preload_tree(tree, setup, spec.workload, spec.preload, spec.preload_stride);
@@ -113,6 +152,7 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   for (int t = 0; t < spec.threads; ++t) {
     simulation.spawn(t, [&, t](int core) {
       ctx::SimCtx c(simulation, core);
+      if (!tobs.empty()) c.set_observer(&tobs[static_cast<std::size_t>(t)]);
       OpStream stream(spec.workload, t);
       run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
       stats[static_cast<std::size_t>(t)] = c.stats();
@@ -146,6 +186,10 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
   r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
 
+  finalize_obs(obs_opt, tobs, obs_opt.contention ? &cmap : nullptr, &node_reg,
+               &r);
+  if (obs_opt.trace) r.trace = simulation.trace_events();
+
   ctx::SimCtx teardown(simulation, 0);
   tree.destroy(teardown);
   return r;
@@ -159,12 +203,16 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
   auto tree = make(setup);
   preload_tree(tree, setup, spec.workload, spec.preload, spec.preload_stride);
 
+  const bool latency_on = obs::kCompiledIn && spec.obs.latency;
+  std::vector<obs::ThreadObs> tobs(
+      latency_on ? static_cast<std::size_t>(spec.threads) : 0);
   std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   for (int t = 0; t < spec.threads; ++t) {
     workers.emplace_back([&, t] {
       ctx::NativeCtx c(env, t);
+      if (!tobs.empty()) c.set_observer(&tobs[static_cast<std::size_t>(t)]);
       OpStream stream(spec.workload, t);
       run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
       stats[static_cast<std::size_t>(t)] = c.stats();
@@ -184,6 +232,12 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
   r.mem_total = ms.tree_live_bytes();
   r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
   r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
+
+  // Native runs have no simulated clock: latency percentiles come out in
+  // wall nanoseconds; the contention and trace channels are sim-only.
+  obs::ObsOptions native_opt{};
+  native_opt.latency = latency_on;
+  finalize_obs(native_opt, tobs, nullptr, nullptr, &r);
 
   ctx::NativeCtx teardown(env, 0);
   tree.destroy(teardown);

@@ -8,9 +8,14 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/euno_config.hpp"
 #include "htm/policy.hpp"
+#include "obs/contention.hpp"
+#include "obs/event.hpp"
+#include "obs/histogram.hpp"
+#include "obs/options.hpp"
 #include "sim/machine.hpp"
 #include "workload/ycsb.hpp"
 
@@ -49,6 +54,10 @@ struct ExperimentSpec {
   /// Simulated core frequency used to convert cycles → ops/s (paper testbed:
   /// 2.3 GHz).
   double ghz = 2.3;
+  /// Observability channels (all off by default; see src/obs). Collection
+  /// never advances simulated time, so enabling any channel leaves every
+  /// simulated quantity bit-identical.
+  obs::ObsOptions obs{};
 };
 
 struct ExperimentResult {
@@ -80,6 +89,20 @@ struct ExperimentResult {
   std::uint64_t mem_total = 0;
   std::uint64_t mem_reserved = 0;
   std::uint64_t mem_ccm = 0;
+  // ---- observability (populated per ExperimentSpec::obs; zero when off) ----
+  // Per-op latency percentiles in simulated cycles (obs.latency channel).
+  double lat_p50 = 0;
+  double lat_p90 = 0;
+  double lat_p99 = 0;
+  double lat_p999 = 0;
+  /// Full per-op latency histogram (cycles; native: wall nanoseconds).
+  obs::LatencyHistogram op_latency;
+  /// Per-aborted-attempt wasted cycles.
+  obs::LatencyHistogram abort_wasted;
+  /// Top-K hottest cache lines by conflict aborts (obs.contention channel).
+  std::vector<obs::HotLine> hot_lines;
+  /// Merged clock-ordered event stream (obs.trace channel).
+  std::vector<obs::TraceEvent> trace;
 };
 
 /// Runs the spec on the simulated multicore. Deterministic for a given spec.

@@ -18,8 +18,27 @@ bool cpuid_has_rtm() {
 #endif
 }
 
+bool asan_active() {
+#if defined(__SANITIZE_ADDRESS__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
 bool probe_rtm() {
   if constexpr (!kRtmCompiled) return false;
+  // ASan's shadow-memory accesses and runtime calls inside a transaction
+  // abort it at unpredictable points (an instrumented body can commit,
+  // spuriously abort, or never reach its xabort). Report RTM unusable so
+  // the native path takes the fallback lock instead.
+  if (asan_active()) return false;
   if (!cpuid_has_rtm()) return false;
 #if defined(EUNO_HAVE_RTM)
   // TSX may be enumerated but disabled (TSX_CTRL / TAA mitigations): then

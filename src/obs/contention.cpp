@@ -1,0 +1,52 @@
+#include "obs/contention.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace euno::obs {
+
+std::string HotLine::label() const {
+  char buf[64];
+  if (node_level == kNoLevel) {
+    std::snprintf(buf, sizeof(buf), "-/%s", kind.c_str());
+  } else if (node_level == 0) {
+    std::snprintf(buf, sizeof(buf), "leaf#%u/%s", node_id, kind.c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "L%u#%u/%s", node_level, node_id,
+                  kind.c_str());
+  }
+  return buf;
+}
+
+std::uint64_t ContentionMap::total_aborts() const {
+  std::uint64_t n = 0;
+  for (const auto& [line, c] : lines_) n += c.aborts;
+  return n;
+}
+
+std::vector<HotLine> ContentionMap::top_k(std::size_t k,
+                                          const NodeRegistry* reg) const {
+  std::vector<HotLine> all;
+  all.reserve(lines_.size());
+  for (const auto& [line, c] : lines_) {
+    HotLine h;
+    h.line = line;
+    h.kind = c.kind;
+    h.aborts = c.aborts;
+    std::copy(std::begin(c.conflicts), std::end(c.conflicts),
+              std::begin(h.conflicts));
+    if (reg != nullptr) {
+      const auto e = reg->lookup(line);
+      h.node_id = e.node_id;
+      h.node_level = e.level;
+    }
+    all.push_back(std::move(h));
+  }
+  std::sort(all.begin(), all.end(), [](const HotLine& a, const HotLine& b) {
+    return a.aborts != b.aborts ? a.aborts > b.aborts : a.line < b.line;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace euno::obs

@@ -1,0 +1,46 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+
+namespace euno::obs {
+
+std::uint64_t LatencyHistogram::bucket_lower_bound(std::uint32_t idx) {
+  if (idx < kSub) return idx;
+  const std::uint32_t octave = idx / kSub;  // 1-based above the unit range
+  const std::uint32_t sub = idx % kSub;
+  const int exp = kSubBits - 1 + static_cast<int>(octave);
+  return (1ull << exp) + (static_cast<std::uint64_t>(sub) << (exp - kSubBits));
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const {
+  if (n_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th sample (1-based, nearest-rank method: ceil(q*n),
+  // clamped to [1, n] — so q=1 is the max sample and a 1-in-n outlier is
+  // caught by q >= 1 - 1/n).
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n_)));
+  if (rank < 1) rank = 1;
+  if (rank > n_) rank = n_;
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return bucket_lower_bound(i);
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  for (std::uint32_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+  n_ += o.n_;
+  sum_ += o.sum_;
+  if (o.max_ > max_) max_ = o.max_;
+}
+
+void LatencyHistogram::reset() {
+  counts_.fill(0);
+  n_ = sum_ = max_ = 0;
+}
+
+}  // namespace euno::obs

@@ -1,0 +1,117 @@
+#include "obs/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace euno::obs {
+
+void JsonWriter::comma_for_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted its comma and the ':'
+  }
+  if (!stack_.empty()) {
+    EUNO_ASSERT_MSG(stack_.back() == Scope::kArray,
+                    "object members need key() before value()");
+    if (!first_.back()) raw(",");
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::key(const char* name) {
+  EUNO_ASSERT_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                  "key() outside an object");
+  EUNO_ASSERT_MSG(!pending_key_, "two keys in a row");
+  if (!first_.back()) raw(",");
+  first_.back() = false;
+  write_escaped(name);
+  raw(":");
+  pending_key_ = true;
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  raw("{");
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  EUNO_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject);
+  stack_.pop_back();
+  first_.pop_back();
+  raw("}");
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  raw("[");
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  EUNO_ASSERT(!stack_.empty() && stack_.back() == Scope::kArray);
+  stack_.pop_back();
+  first_.pop_back();
+  raw("]");
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  std::fprintf(out_, "%" PRIu64, v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  std::fprintf(out_, "%" PRId64, v);
+}
+
+void JsonWriter::value(double v, int prec) {
+  comma_for_value();
+  if (!std::isfinite(v)) {
+    raw("null");  // JSON has no inf/nan
+    return;
+  }
+  std::fprintf(out_, "%.*f", prec, v);
+}
+
+void JsonWriter::value(bool v) {
+  comma_for_value();
+  raw(v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  comma_for_value();
+  raw("null");
+}
+
+void JsonWriter::value(const char* s) {
+  comma_for_value();
+  write_escaped(s);
+}
+
+void JsonWriter::write_escaped(const char* s) {
+  std::fputc('"', out_);
+  for (const char* p = s; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"': raw("\\\""); break;
+      case '\\': raw("\\\\"); break;
+      case '\n': raw("\\n"); break;
+      case '\r': raw("\\r"); break;
+      case '\t': raw("\\t"); break;
+      default:
+        if (c < 0x20) {
+          std::fprintf(out_, "\\u%04x", c);
+        } else {
+          std::fputc(*p, out_);
+        }
+    }
+  }
+  std::fputc('"', out_);
+}
+
+}  // namespace euno::obs

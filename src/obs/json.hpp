@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer used by the trace exporter and the run
+// manifests. Not on any hot path; correctness over speed, with proper string
+// escaping and deterministic number formatting (fixed precision, no
+// locale dependence) so identical runs serialize byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace euno::obs {
+
+class JsonWriter {
+ public:
+  /// Writes to `out` (not owned; caller opens/closes).
+  explicit JsonWriter(std::FILE* out) : out_(out) {}
+
+  // Values (usable at top level, as array elements, or after key()).
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v, int prec = 3);
+  void value(bool v);
+  void value(const char* s);
+  void value(const std::string& s) { value(s.c_str()); }
+  void null();
+
+  // Structure.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const char* name);
+
+  // Shorthands.
+  template <class T>
+  void kv(const char* name, T v) {
+    key(name);
+    value(v);
+  }
+  void kv(const char* name, double v, int prec) {
+    key(name);
+    value(v, prec);
+  }
+
+  /// True if every begin_* was matched by an end_* (sanity check for tests).
+  bool balanced() const { return stack_.empty(); }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void comma_for_value();
+  void write_escaped(const char* s);
+  void raw(const char* s) { std::fputs(s, out_); }
+
+  std::FILE* out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;  // parallel to stack_: no comma needed yet
+  bool pending_key_ = false;
+};
+
+}  // namespace euno::obs

@@ -1,0 +1,176 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+
+#include "htm/abort.hpp"
+#include "obs/json.hpp"
+#include "workload/distributions.hpp"
+
+namespace euno::obs {
+
+namespace {
+
+void write_histogram(JsonWriter& w, const char* name,
+                     const LatencyHistogram& h) {
+  w.key(name);
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("sum", h.sum());
+  w.kv("max", h.max());
+  w.kv("mean", h.mean(), 3);
+  w.kv("p50", h.percentile(0.50));
+  w.kv("p90", h.percentile(0.90));
+  w.kv("p99", h.percentile(0.99));
+  w.kv("p999", h.percentile(0.999));
+  // Compact sparse form: [lower_bound, count] per non-empty bucket.
+  w.key("buckets");
+  w.begin_array();
+  h.for_each_bucket([&](std::uint64_t lower, std::uint64_t count) {
+    w.begin_array();
+    w.value(lower);
+    w.value(count);
+    w.end_array();
+  });
+  w.end_array();
+  w.end_object();
+}
+
+void write_spec(JsonWriter& w, const driver::ExperimentSpec& s) {
+  w.key("spec");
+  w.begin_object();
+  w.kv("tree", driver::tree_kind_name(s.tree));
+  w.kv("threads", s.threads);
+  w.kv("ops_per_thread", s.ops_per_thread);
+  w.kv("preload", s.preload);
+  w.kv("preload_stride", static_cast<std::uint64_t>(s.preload_stride));
+  w.kv("ghz", s.ghz, 3);
+  w.key("workload");
+  w.begin_object();
+  w.kv("key_range", s.workload.key_range);
+  w.kv("dist", workload::dist_kind_name(s.workload.dist));
+  w.kv("dist_param", s.workload.dist_param, 4);
+  w.kv("scramble", s.workload.scramble);
+  w.kv("scan_len", static_cast<std::uint64_t>(s.workload.scan_len));
+  w.kv("seed", s.workload.seed);
+  w.key("mix");
+  w.begin_object();
+  w.kv("get_pct", s.workload.mix.get_pct);
+  w.kv("put_pct", s.workload.mix.put_pct);
+  w.kv("scan_pct", s.workload.mix.scan_pct);
+  w.kv("delete_pct", s.workload.mix.delete_pct);
+  w.end_object();
+  w.end_object();
+  w.key("policy");
+  w.begin_object();
+  w.kv("conflict_retries", s.policy.conflict_retries);
+  w.kv("capacity_retries", s.policy.capacity_retries);
+  w.kv("other_retries", s.policy.other_retries);
+  w.end_object();
+  w.key("machine");
+  w.begin_object();
+  w.kv("write_capacity_lines",
+       static_cast<std::uint64_t>(s.machine.htm.write_capacity_lines));
+  w.kv("read_capacity_lines",
+       static_cast<std::uint64_t>(s.machine.htm.read_capacity_lines));
+  w.kv("abort_penalty", static_cast<std::uint64_t>(s.machine.htm.abort_penalty));
+  w.kv("arena_bytes", s.machine.arena_bytes);
+  w.end_object();
+  w.key("obs");
+  w.begin_object();
+  w.kv("latency", s.obs.latency);
+  w.kv("contention", s.obs.contention);
+  w.kv("trace", s.obs.trace);
+  w.end_object();
+  w.end_object();
+}
+
+void write_result(JsonWriter& w, const driver::ExperimentResult& r) {
+  w.key("result");
+  w.begin_object();
+  w.kv("ops", r.ops);
+  w.kv("sim_cycles", r.sim_cycles);
+  w.kv("throughput_mops", r.throughput_mops, 4);
+  w.kv("aborts_per_op", r.aborts_per_op, 5);
+  w.kv("commits", r.commits);
+  w.kv("attempts", r.attempts);
+  w.kv("fallbacks", r.fallbacks);
+  w.kv("aborts_total", r.aborts_total);
+  w.kv("aborts_conflict", r.aborts_conflict);
+  w.kv("aborts_capacity", r.aborts_capacity);
+  w.kv("aborts_other", r.aborts_other);
+  w.kv("conflicts_true_same_record", r.conflicts_true_same_record);
+  w.kv("conflicts_false_record", r.conflicts_false_record);
+  w.kv("conflicts_false_metadata", r.conflicts_false_metadata);
+  w.kv("conflicts_lock_subscription", r.conflicts_lock_subscription);
+  w.kv("upper_aborts", r.upper_aborts);
+  w.kv("lower_aborts", r.lower_aborts);
+  w.kv("mono_aborts", r.mono_aborts);
+  w.kv("mem_accesses", r.mem_accesses);
+  w.kv("instructions_per_op", r.instructions_per_op, 3);
+  w.kv("wasted_cycle_frac", r.wasted_cycle_frac, 5);
+  w.kv("mem_total", r.mem_total);
+  w.kv("mem_reserved", r.mem_reserved);
+  w.kv("mem_ccm", r.mem_ccm);
+  w.kv("lat_p50", r.lat_p50, 1);
+  w.kv("lat_p90", r.lat_p90, 1);
+  w.kv("lat_p99", r.lat_p99, 1);
+  w.kv("lat_p999", r.lat_p999, 1);
+  write_histogram(w, "latency_cycles", r.op_latency);
+  write_histogram(w, "abort_wasted_cycles", r.abort_wasted);
+  w.key("hot_lines");
+  w.begin_array();
+  for (const auto& hl : r.hot_lines) {
+    w.begin_object();
+    w.kv("line", hl.line);
+    w.kv("kind", hl.kind);
+    w.kv("label", hl.label());
+    w.kv("node_id", static_cast<std::uint64_t>(hl.node_id));
+    w.kv("node_level", hl.node_level == kNoLevel
+                           ? static_cast<std::int64_t>(-1)
+                           : static_cast<std::int64_t>(hl.node_level));
+    w.kv("aborts", hl.aborts);
+    w.key("conflicts");
+    w.begin_object();
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(htm::ConflictKind::kCount); ++k) {
+      w.kv(std::string(
+               htm::conflict_kind_name(static_cast<htm::ConflictKind>(k)))
+               .c_str(),
+           hl.conflicts[k]);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+bool write_manifest(const std::string& path, const std::string& bench,
+                    const driver::ExperimentSpec* specs,
+                    const driver::ExperimentResult* results, std::size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  JsonWriter w(f);
+  w.begin_object();
+  w.kv("schema", kManifestSchema);
+  w.kv("bench", bench.c_str());
+  w.kv("points", static_cast<std::uint64_t>(n));
+  w.key("sweep");
+  w.begin_array();
+  for (std::size_t i = 0; i < n; ++i) {
+    w.begin_object();
+    write_spec(w, specs[i]);
+    write_result(w, results[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::fputc('\n', f);
+  const bool ok = w.balanced() && std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace euno::obs

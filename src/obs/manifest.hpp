@@ -1,0 +1,29 @@
+// JSON run-manifest emitter: the full record of a bench sweep.
+//
+// One manifest carries every (ExperimentSpec, ExperimentResult) pair of a
+// sweep — spec fields, throughput/abort decomposition, latency percentiles,
+// compact histograms, and the hottest-lines table — in a stable key order
+// with no timestamps, so two runs of the same binary produce byte-identical
+// files (the determinism tests diff them directly).
+//
+// This header lives in src/obs but compiles into euno_driver: the schema is
+// defined by ExperimentSpec/Result, and obs must not depend on the driver.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "driver/experiment.hpp"
+
+namespace euno::obs {
+
+/// Manifest schema identifier, bumped on incompatible layout changes.
+inline constexpr const char* kManifestSchema = "euno.run_manifest.v1";
+
+/// Writes the manifest for a sweep of `n` points to `path`. Returns false on
+/// I/O failure. `bench` names the producing binary (e.g. "fig02").
+bool write_manifest(const std::string& path, const std::string& bench,
+                    const driver::ExperimentSpec* specs,
+                    const driver::ExperimentResult* results, std::size_t n);
+
+}  // namespace euno::obs

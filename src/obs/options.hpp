@@ -1,0 +1,37 @@
+// Observability gating.
+//
+// Two gates, both defaulting to "collection off":
+//   - compile time: -DEUNO_OBS=OFF (CMake) defines EUNO_OBS_ENABLED=0 and
+//     turns every obs recording helper into a no-op the optimizer deletes;
+//   - run time: ObsOptions in the ExperimentSpec. All fields default to
+//     false, so an un-instrumented run executes exactly the pre-obs hot path
+//     (a single predictable branch per recording site).
+//
+// Collection never advances simulated time: observability is invisible to
+// the machine model, so enabling it cannot change any experiment's numbers
+// (enforced by obs_overhead_test).
+#pragma once
+
+#ifndef EUNO_OBS_ENABLED
+#define EUNO_OBS_ENABLED 1
+#endif
+
+namespace euno::obs {
+
+/// True when the obs subsystem is compiled in (-DEUNO_OBS=ON, the default).
+inline constexpr bool kCompiledIn = EUNO_OBS_ENABLED != 0;
+
+/// Runtime switches carried by ExperimentSpec. Each independently enables
+/// one collection channel; everything defaults to off.
+struct ObsOptions {
+  /// Per-op latency and per-attempt abort-wasted-cycle histograms.
+  bool latency = false;
+  /// Per-cache-line conflict/abort attribution (top-K hottest lines).
+  bool contention = false;
+  /// Transaction event trace (Chrome trace-event export via --trace=FILE).
+  bool trace = false;
+
+  bool any() const { return kCompiledIn && (latency || contention || trace); }
+};
+
+}  // namespace euno::obs

@@ -1,0 +1,59 @@
+// Chrome trace-event export (chrome://tracing / Perfetto) for simulation
+// event streams.
+//
+// The raw per-core event stream (obs::TraceEvent) is paired offline into
+// spans: operation spans contain transaction-attempt spans and fallback
+// critical sections; scheduler run slices (fiber resume → suspend bursts) go
+// on a separate per-core lane because an operation may straddle a preemption
+// point (the lanes would otherwise partially overlap, which the trace-event
+// format forbids within one track). Simulated cycles convert to trace
+// microseconds via the experiment's GHz.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace euno::obs {
+
+/// One paired span on a core's timeline, [begin, end) in simulated cycles.
+struct TraceSpan {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  EventCode code = EventCode::kNone;  // kOpBegin / kTxBegin / kFallbackAcquired
+  std::uint8_t arg_a = 0;             // op type / tx site
+  bool aborted = false;               // tx attempts only
+  std::uint8_t abort_reason = 0;
+  std::uint8_t abort_conflict = 0;
+};
+
+/// A core's paired timeline: nested op/tx/fallback spans, the separate
+/// scheduler-run lane, and point events (splits, mode switches, ...).
+struct CoreTimeline {
+  std::vector<TraceSpan> spans;      // in begin order; properly nested
+  std::vector<TraceSpan> run_spans;  // scheduler bursts (own lane)
+  std::vector<TraceEvent> instants;
+};
+
+/// Pairs a merged event stream into per-core timelines. Unmatched begins are
+/// closed at the stream's maximum clock; unmatched ends are dropped.
+std::map<int, CoreTimeline> build_timelines(
+    const std::vector<TraceEvent>& events);
+
+/// One traced experiment = one trace "process" (Perfetto groups its per-core
+/// tracks under this name).
+struct TraceProcess {
+  std::string name;
+  double ghz = 2.3;
+  const std::vector<TraceEvent>* events = nullptr;
+};
+
+/// Writes all processes into one Chrome trace-event JSON file.
+/// Returns false (and reports to stderr) if the file can't be written.
+bool write_chrome_trace(const char* path,
+                        const std::vector<TraceProcess>& processes);
+
+}  // namespace euno::obs

@@ -50,6 +50,12 @@ class SharedArena {
 
   LineState& line_at(std::uint64_t index) { return shadow_[index]; }
 
+  /// Inverse of line_at: the index of a shadow record (used by contention
+  /// attribution, which sees only the LineState on the conflict path).
+  std::uint64_t state_index(const LineState& s) const {
+    return static_cast<std::uint64_t>(&s - shadow_);
+  }
+
   /// Tag the lines covered by [p, p+bytes) with a semantic kind.
   void tag(void* p, std::size_t bytes, LineKind kind);
 

@@ -14,6 +14,28 @@
 #include <cstdio>
 #include <cstdlib>
 
+// Under ASan every stack switch must be bracketed with
+// __sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber so the
+// fake-stack machinery and shadow poisoning follow the fiber, not the OS
+// thread. engine.hpp already forces the ucontext path for sanitizer builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define EUNO_SIM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EUNO_SIM_ASAN_FIBERS 1
+#endif
+#endif
+#if defined(EUNO_SIM_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#define EUNO_ASAN_START_SWITCH(save, bottom, size) \
+  __sanitizer_start_switch_fiber((save), (bottom), (size))
+#define EUNO_ASAN_FINISH_SWITCH(fake, bottom, size) \
+  __sanitizer_finish_switch_fiber((fake), (bottom), (size))
+#else
+#define EUNO_ASAN_START_SWITCH(save, bottom, size) ((void)0)
+#define EUNO_ASAN_FINISH_SWITCH(fake, bottom, size) ((void)0)
+#endif
+
 namespace euno::sim {
 
 namespace {
@@ -119,6 +141,10 @@ void Simulation::spawn(int core, std::function<void(int)> body) {
 
 void Simulation::fiber_main(int index) {
   Fiber& f = *fibers_[static_cast<std::size_t>(index)];
+  // First time on this fiber's stack: complete the switch resume() started,
+  // learning the scheduler stack's bounds for the switches back.
+  EUNO_ASAN_FINISH_SWITCH(f.fake_stack, &sched_stack_bottom_,
+                          &sched_stack_size_);
   try {
     f.body(f.core);
   } catch (const TxAbortException&) {
@@ -135,7 +161,9 @@ void Simulation::fiber_main(int index) {
   // below is only the ucontext fallback's exit path.
   ::_longjmp(sched_jb_, 1);
 #endif
-  // uc_link returns to main_uctx_ when fiber_main returns.
+  // uc_link returns to main_uctx_ when fiber_main returns. A null save slot
+  // tells ASan this fiber's fake stack dies with it.
+  EUNO_ASAN_START_SWITCH(nullptr, sched_stack_bottom_, sched_stack_size_);
 }
 
 void Simulation::resume(Fiber& f) {
@@ -150,7 +178,9 @@ void Simulation::resume(Fiber& f) {
   }
 #else
   f.started = true;
+  EUNO_ASAN_START_SWITCH(&sched_fake_stack_, f.stack, f.stack_bytes);
   swapcontext(&main_uctx_, &f.uctx);
+  EUNO_ASAN_FINISH_SWITCH(sched_fake_stack_, nullptr, nullptr);
 #endif
 }
 
@@ -179,8 +209,18 @@ void Simulation::run() {
     // runnable clock (the new heap top, now that `f` is out of the heap).
     yield_threshold_ = runnable_.empty() ? ~0ull : runnable_.front().clock;
     current_ = &f;
+    if (trace_on_) [[unlikely]] {
+      trace_buf_[static_cast<std::size_t>(f.core)].push_back(TraceEvent{
+          f.clock, static_cast<std::uint8_t>(f.core),
+          static_cast<std::uint8_t>(obs::EventCode::kRunBegin), 0, 0});
+    }
     resume(f);
     current_ = nullptr;
+    if (trace_on_) [[unlikely]] {
+      trace_buf_[static_cast<std::size_t>(f.core)].push_back(TraceEvent{
+          f.clock, static_cast<std::uint8_t>(f.core),
+          static_cast<std::uint8_t>(obs::EventCode::kRunEnd), 0, 0});
+    }
     if (!f.done) {
       runnable_.push_back(RunnableEntry{f.clock, index});
       std::push_heap(runnable_.begin(), runnable_.end(), std::greater<>{});
@@ -197,7 +237,10 @@ void Simulation::yield_to_scheduler() {
 #if defined(EUNO_SIM_FAST_SWITCH)
   if (_setjmp(f->jb) == 0) ::_longjmp(sched_jb_, 1);
 #else
+  EUNO_ASAN_START_SWITCH(&f->fake_stack, sched_stack_bottom_,
+                         sched_stack_size_);
   swapcontext(&f->uctx, &main_uctx_);
+  EUNO_ASAN_FINISH_SWITCH(f->fake_stack, nullptr, nullptr);
 #endif
 }
 
@@ -211,6 +254,38 @@ void Simulation::compute(std::uint64_t n) {
   if (current_ == nullptr) return;
   counters_[current_->core].instructions += n;
   charge(n);
+}
+
+void Simulation::enable_trace() {
+  if constexpr (!obs::kCompiledIn) return;
+  trace_on_ = true;
+  if (trace_buf_.empty()) {
+    trace_buf_.resize(static_cast<std::size_t>(MachineConfig::kMaxCores));
+  }
+}
+
+std::vector<TraceEvent> Simulation::trace_events() const {
+  std::vector<TraceEvent> merged;
+  std::size_t total = 0;
+  for (const auto& buf : trace_buf_) total += buf.size();
+  merged.reserve(total);
+  for (const auto& buf : trace_buf_) {
+    merged.insert(merged.end(), buf.begin(), buf.end());
+  }
+  // Stable: equal-clock events keep core order, and each core's events are
+  // already recorded in its own clock order, so per-core pairing survives.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.clock < b.clock;
+                   });
+  return merged;
+}
+
+void Simulation::enable_contention(obs::ContentionMap* map,
+                                   obs::NodeRegistry* reg) {
+  if constexpr (!obs::kCompiledIn) return;
+  node_registry_ = reg;
+  htm_->set_contention_map(map);
 }
 
 int Simulation::current_core() const {

@@ -43,16 +43,23 @@
 #include <ucontext.h>
 #include <vector>
 
+#include "obs/contention.hpp"
+#include "obs/event.hpp"
 #include "sim/arena.hpp"
 #include "sim/htm.hpp"
 #include "sim/machine.hpp"
 #include "sim/memmodel.hpp"
 #include "util/assert.hpp"
 
-#if defined(__SANITIZE_THREAD__)
+// Sanitizers cannot follow the raw _setjmp/_longjmp stack switches: TSan
+// loses the happens-before graph, and ASan's longjmp interceptor tries to
+// unpoison "the" stack across two unrelated ones. Under either sanitizer we
+// fall back to ucontext switching (and, for ASan, annotate every switch with
+// __sanitizer_start/finish_switch_fiber — see engine.cpp).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
 #define EUNO_SIM_UCONTEXT_ONLY 1
 #elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
 #define EUNO_SIM_UCONTEXT_ONLY 1
 #endif
 #endif
@@ -62,15 +69,10 @@
 
 namespace euno::sim {
 
-/// One recorded simulation event (aborts, fallbacks, mode switches, ...).
-/// Cheap and fixed-size; recording is off unless enable_trace() was called.
-struct TraceEvent {
-  std::uint64_t clock;
-  std::uint8_t core;
-  std::uint8_t code;  // ctx::TraceCode / tree-defined
-  std::uint8_t arg_a;  // e.g. AbortReason
-  std::uint8_t arg_b;  // e.g. ConflictKind
-};
+/// One recorded simulation event (aborts, fallbacks, tx/op boundaries, run
+/// slices, ...). Cheap and fixed-size; recording is off unless
+/// enable_trace() was called. The canonical type lives in obs/event.hpp.
+using TraceEvent = obs::TraceEvent;
 
 /// Per-core cost/usage counters (simulated).
 struct CoreCounters {
@@ -163,16 +165,27 @@ class Simulation {
   SimHTM& htm() { return *htm_; }
   const MachineConfig& config() const { return cfg_; }
 
-  /// Event tracing (for timeline analyses; off by default).
-  void enable_trace() { trace_on_ = true; }
+  /// Event tracing (timeline analyses, --trace export; off by default).
+  /// Events land in per-core buffers so recording never interleaves cores;
+  /// trace_events() merges them back into one clock-ordered stream.
+  void enable_trace();
+  bool trace_enabled() const { return trace_on_; }
   void record_trace(std::uint8_t code, std::uint8_t a, std::uint8_t b) {
-    if (trace_on_ && current_ != nullptr) {
-      trace_.push_back(TraceEvent{current_->clock,
-                                  static_cast<std::uint8_t>(current_->core), code,
-                                  a, b});
+    if (trace_on_ && current_ != nullptr) [[unlikely]] {
+      trace_buf_[static_cast<std::size_t>(current_->core)].push_back(
+          TraceEvent{current_->clock, static_cast<std::uint8_t>(current_->core),
+                     code, a, b});
     }
   }
-  const std::vector<TraceEvent>& trace() const { return trace_; }
+  /// All recorded events merged across cores, ordered by clock (stable: a
+  /// core's own events keep their recording order).
+  std::vector<TraceEvent> trace_events() const;
+
+  /// Contention attribution (off by default): conflict aborts recorded into
+  /// `map`, node annotations from the trees into `reg`. Both are caller-owned
+  /// and must outlive run(). Pass nullptrs to disable again.
+  void enable_contention(obs::ContentionMap* map, obs::NodeRegistry* reg);
+  obs::NodeRegistry* node_registry() { return node_registry_; }
 
   /// Internal: fiber trampoline target.
   void fiber_main(int index);
@@ -184,6 +197,7 @@ class Simulation {
     void* stack = nullptr;
     std::size_t stack_bytes = 0;
     std::function<void(int)> body;
+    void* fake_stack = nullptr;  // ASan fake-stack handle while suspended
     int core = -1;
     std::uint64_t clock = 0;
     bool started = false;
@@ -210,11 +224,18 @@ class Simulation {
   std::vector<RunnableEntry> runnable_;  // min-heap; excludes current_
   ucontext_t main_uctx_{};
   std::jmp_buf sched_jb_{};  // re-armed before every resume (fast-switch path)
+  // ASan fiber bookkeeping: the scheduler stack's fake-stack handle while a
+  // fiber runs, and its bounds (learned at the first fiber entry) so fibers
+  // can annotate the switch back. Unused outside ASan builds.
+  void* sched_fake_stack_ = nullptr;
+  const void* sched_stack_bottom_ = nullptr;
+  std::size_t sched_stack_size_ = 0;
   Fiber* current_ = nullptr;
   std::uint64_t yield_threshold_ = ~0ull;
   bool running_ = false;
   bool trace_on_ = false;
-  std::vector<TraceEvent> trace_;
+  std::vector<std::vector<TraceEvent>> trace_buf_;  // per core; see enable_trace
+  obs::NodeRegistry* node_registry_ = nullptr;
 };
 
 /// The simulation owning the currently-executing fiber, if any (fiber-local

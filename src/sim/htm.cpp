@@ -136,6 +136,9 @@ void SimHTM::on_conflict(int core, const LineState& line,
     victims &= victims - 1;
     const auto kind = classify(v, core, line);
     if (first_kind == htm::ConflictKind::kUnknown) first_kind = kind;
+    if (cmap_ != nullptr) {
+      cmap_->record(arena_.state_index(line), line_kind_name(line.kind), kind);
+    }
     abort_remote(v, kind);
   }
 
@@ -146,6 +149,10 @@ void SimHTM::on_conflict(int core, const LineState& line,
   // non-transactional strong-atomicity kills don't perturb the stream.
   if (tx_[core].active && cfg_.htm.mutual_abort_pct != 0 &&
       mutual_rng_.next_bounded(100) < cfg_.htm.mutual_abort_pct) {
+    if (cmap_ != nullptr) {
+      cmap_->record(arena_.state_index(line), line_kind_name(line.kind),
+                    first_kind);
+    }
     abort_self(core, htm::AbortReason::kConflict, 0, first_kind);
   }
 }

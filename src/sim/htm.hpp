@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "htm/abort.hpp"
+#include "obs/contention.hpp"
 #include "sim/arena.hpp"
 #include "sim/machine.hpp"
 #include "sim/txabort.hpp"
@@ -124,6 +125,10 @@ class SimHTM {
     return tx_[core].write_lines.size();
   }
 
+  /// Contention attribution sink (nullptr = off, the default). Recording
+  /// happens only on the conflict cold path, so the fast path is untouched.
+  void set_contention_map(obs::ContentionMap* map) { cmap_ = map; }
+
  private:
   struct UndoEntry {
     void* addr;
@@ -163,6 +168,7 @@ class SimHTM {
   const MachineConfig& cfg_;
   std::vector<TxDesc> tx_;
   Xoshiro256 mutual_rng_{0xE40};
+  obs::ContentionMap* cmap_ = nullptr;
 };
 
 }  // namespace euno::sim

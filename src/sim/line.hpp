@@ -17,6 +17,18 @@ enum class LineKind : std::uint8_t {
   kFallbackLock,  // the subscribed HTM fallback lock word
 };
 
+constexpr const char* line_kind_name(LineKind k) {
+  switch (k) {
+    case LineKind::kOther: return "other";
+    case LineKind::kRecord: return "record";
+    case LineKind::kLeafMeta: return "leaf_meta";
+    case LineKind::kTreeMeta: return "tree_meta";
+    case LineKind::kCCM: return "ccm";
+    case LineKind::kFallbackLock: return "fallback_lock";
+  }
+  return "?";
+}
+
 /// 24-byte shadow record per 64-byte line. Indexed directly from the arena
 /// offset, so lookup is two shifts and an add.
 struct LineState {

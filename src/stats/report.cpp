@@ -22,9 +22,23 @@ std::string Table::num(std::uint64_t v) {
 
 void Table::print(bool csv) const {
   if (csv) {
-    auto emit = [](const std::vector<std::string>& cells) {
+    // RFC 4180: cells containing separators, quotes, or line breaks are
+    // quoted, with embedded quotes doubled.
+    auto emit_cell = [](const std::string& cell) {
+      if (cell.find_first_of(",\"\r\n") == std::string::npos) {
+        std::fputs(cell.c_str(), stdout);
+        return;
+      }
+      std::fputc('"', stdout);
+      for (char ch : cell) {
+        if (ch == '"') std::fputc('"', stdout);
+        std::fputc(ch, stdout);
+      }
+      std::fputc('"', stdout);
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
       for (std::size_t i = 0; i < cells.size(); ++i) {
-        std::fputs(cells[i].c_str(), stdout);
+        emit_cell(cells[i]);
         std::fputc(i + 1 < cells.size() ? ',' : '\n', stdout);
       }
     };
@@ -55,12 +69,35 @@ void Table::print(bool csv) const {
 
 namespace {
 
-int parse_jobs(const char* v) {
+constexpr const char* kUsage =
+    "flags: --csv  --quick  --ops=<per-thread>  --keys=<range>  --seed=<n>  "
+    "--jobs=<n|auto>  --trace=<file>  --json=<file>\n";
+
+[[noreturn]] void usage_error(const char* arg) {
+  std::fprintf(stderr, "unrecognized or malformed flag: %s\n%s", arg, kUsage);
+  std::exit(2);
+}
+
+/// Strict decimal parse: the whole token must be digits ("4x" is rejected,
+/// not truncated to 4).
+std::uint64_t parse_u64(const char* arg, const char* v) {
+  if (*v < '0' || *v > '9') usage_error(arg);  // no sign/whitespace/empty
+  char* end = nullptr;
+  const std::uint64_t n = std::strtoull(v, &end, 10);
+  if (*end != '\0') usage_error(arg);
+  return n;
+}
+
+int parse_jobs(const char* arg, const char* v) {
   if (std::strcmp(v, "auto") == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
   }
-  const long n = std::strtol(v, nullptr, 10);
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (*v == '\0' || *end != '\0') usage_error(arg);
+  // Well-formed but out-of-range values clamp to sequential (documented
+  // behavior relied on by scripts); only malformed input is rejected.
   return n < 1 ? 1 : static_cast<int>(n);
 }
 
@@ -79,20 +116,26 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (std::strcmp(arg, "--quick") == 0) {
       a.quick = true;
     } else if (const char* v = value("--ops=")) {
-      a.ops_per_thread = std::strtoull(v, nullptr, 10);
+      a.ops_per_thread = parse_u64(arg, v);
     } else if (const char* v2 = value("--keys=")) {
-      a.key_range = std::strtoull(v2, nullptr, 10);
+      a.key_range = parse_u64(arg, v2);
     } else if (const char* v3 = value("--seed=")) {
-      a.seed = std::strtoull(v3, nullptr, 10);
+      a.seed = parse_u64(arg, v3);
     } else if (const char* v4 = value("--jobs=")) {
-      a.jobs = parse_jobs(v4);
+      a.jobs = parse_jobs(arg, v4);
     } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
-      a.jobs = parse_jobs(argv[++i]);
+      a.jobs = parse_jobs(arg, argv[++i]);
+    } else if (const char* v5 = value("--trace=")) {
+      if (*v5 == '\0') usage_error(arg);
+      a.trace_path = v5;
+    } else if (const char* v6 = value("--json=")) {
+      if (*v6 == '\0') usage_error(arg);
+      a.json_path = v6;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf(
-          "flags: --csv  --quick  --ops=<per-thread>  --keys=<range>  "
-          "--seed=<n>  --jobs=<n|auto>\n");
+      std::fputs(kUsage, stdout);
       std::exit(0);
+    } else {
+      usage_error(arg);
     }
   }
   return a;

@@ -39,7 +39,16 @@ struct BenchArgs {
   /// results are bit-identical either way. Accepts `--jobs=N` and `--jobs N`;
   /// `--jobs=auto` selects the host's hardware concurrency.
   int jobs = 1;
+  /// `--trace=FILE`: write a Chrome trace-event JSON (Perfetto-loadable) of
+  /// the sweep's traced cells. Empty = tracing off.
+  std::string trace_path;
+  /// `--json=FILE`: write the JSON run manifest (specs + results +
+  /// histograms + hot-lines). Empty = no manifest.
+  std::string json_path;
 
+  /// Strict: an unknown flag or malformed numeric value prints usage to
+  /// stderr and exits with status 2 (well-formed out-of-range --jobs values
+  /// still clamp to 1, as before).
   static BenchArgs parse(int argc, char** argv);
 };
 

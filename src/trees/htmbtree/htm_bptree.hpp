@@ -221,6 +221,7 @@ class HtmBPTree {
     if (!is_leaf) {
       c.tag_memory(n, sizeof(Node), sim::LineKind::kTreeMeta);
     }
+    c.note_node(n, sizeof(Node), is_leaf ? 0 : 1);
     return n;
   }
 

@@ -226,6 +226,7 @@ class OlcBPTree {
     c.tag_memory(n, kCacheLineSize,
                  is_leaf ? sim::LineKind::kLeafMeta : sim::LineKind::kTreeMeta);
     if (!is_leaf) c.tag_memory(&n->idx, sizeof(n->idx), sim::LineKind::kTreeMeta);
+    c.note_node(n, sizeof(Node), is_leaf ? 0 : 1);
     return n;
   }
 

@@ -1,0 +1,150 @@
+// Unit tests for the log-bucketed latency histogram: exact bucket-boundary
+// behavior, percentile semantics, and merge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace euno::obs {
+namespace {
+
+TEST(Histogram, UnitBucketsBelowSubResolution) {
+  // Values below 2^kSubBits = 32 land in exact unit buckets.
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_lower_bound(
+                  LatencyHistogram::bucket_of(v)),
+              v);
+  }
+}
+
+TEST(Histogram, LowerBoundRoundTripsAtBoundaries) {
+  // For every octave boundary and its neighbors: bucket_lower_bound of
+  // bucket_of(v) must be <= v, and v must be below the next bucket's bound.
+  std::vector<std::uint64_t> probes;
+  for (int e = 5; e < LatencyHistogram::kMaxExp; ++e) {
+    const std::uint64_t base = 1ull << e;
+    probes.insert(probes.end(), {base - 1, base, base + 1});
+    // sub-bucket width at this octave
+    const std::uint64_t w = base >> LatencyHistogram::kSubBits;
+    probes.insert(probes.end(), {base + w - 1, base + w, base + 3 * w + 7});
+  }
+  for (std::uint64_t v : probes) {
+    const auto idx = LatencyHistogram::bucket_of(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets) << "v=" << v;
+    const auto lower = LatencyHistogram::bucket_lower_bound(idx);
+    EXPECT_LE(lower, v) << "v=" << v;
+    if (idx + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_GT(LatencyHistogram::bucket_lower_bound(idx + 1), v) << "v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, LowerBoundsAreStrictlyMonotonic) {
+  for (std::uint32_t i = 1; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_LT(LatencyHistogram::bucket_lower_bound(i - 1),
+              LatencyHistogram::bucket_lower_bound(i))
+        << "i=" << i;
+  }
+}
+
+TEST(Histogram, HugeValuesClampIntoTopBucket) {
+  const auto top = LatencyHistogram::kBuckets - 1;
+  EXPECT_EQ(LatencyHistogram::bucket_of(~0ull), top);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1ull << LatencyHistogram::kMaxExp),
+            top);
+}
+
+TEST(Histogram, RelativeErrorBoundedBySubBucketWidth) {
+  // The HDR guarantee: bucket lower bound is within one sub-bucket width
+  // (2^-kSubBits ≈ 3.1%) of the recorded value.
+  for (std::uint64_t v : {100ull, 999ull, 12345ull, 1048577ull, 987654321ull}) {
+    const auto lower =
+        LatencyHistogram::bucket_lower_bound(LatencyHistogram::bucket_of(v));
+    EXPECT_LE(static_cast<double>(v - lower) / static_cast<double>(v),
+              1.0 / LatencyHistogram::kSub)
+        << "v=" << v;
+  }
+}
+
+TEST(Histogram, CountSumMaxMean) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, PercentilesOnExactUnitValues) {
+  // 1..100 in unit buckets: nearest-rank percentiles are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 31; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  EXPECT_EQ(h.percentile(0.5), 16u);
+  EXPECT_EQ(h.percentile(1.0), 31u);
+}
+
+TEST(Histogram, PercentileReturnsBucketLowerBound) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(100);
+  h.record(1000000);
+  const auto p50 = h.percentile(0.50);
+  EXPECT_EQ(p50, LatencyHistogram::bucket_lower_bound(
+                     LatencyHistogram::bucket_of(100)));
+  const auto p999 = h.percentile(0.999);
+  EXPECT_EQ(p999, LatencyHistogram::bucket_lower_bound(
+                      LatencyHistogram::bucket_of(1000000)));
+  // p99 with 100 samples: rank 99 of 100 still falls in the 100s.
+  EXPECT_EQ(h.percentile(0.98), p50);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.record(5);
+  a.record(50);
+  b.record(500);
+  b.record(5000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 5555u);
+  EXPECT_EQ(a.max(), 5000u);
+  EXPECT_EQ(a.percentile(0.0), 5u);
+  EXPECT_GE(a.percentile(1.0), LatencyHistogram::bucket_lower_bound(
+                                   LatencyHistogram::bucket_of(5000)));
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+TEST(Histogram, ForEachBucketVisitsInValueOrder) {
+  LatencyHistogram h;
+  h.record(3);
+  h.record(3);
+  h.record(70000);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen;
+  h.for_each_bucket([&](std::uint64_t lower, std::uint64_t count) {
+    seen.emplace_back(lower, count);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, 3u);
+  EXPECT_EQ(seen[0].second, 2u);
+  EXPECT_LE(seen[1].first, 70000u);
+  EXPECT_EQ(seen[1].second, 1u);
+}
+
+}  // namespace
+}  // namespace euno::obs

@@ -43,6 +43,26 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(out, "a,b\n1,x\n2,y\n");
 }
 
+TEST(Table, CsvQuotesCellsWithSeparators) {
+  // RFC 4180: commas, quotes and newlines force quoting; embedded quotes
+  // double.
+  Table t({"label", "note"});
+  t.add_row({"mix 20/80", "high, contended"});
+  t.add_row({"say \"hi\"", "line\nbreak"});
+  const auto out = capture_stdout([&] { t.print(/*csv=*/true); });
+  EXPECT_EQ(out,
+            "label,note\n"
+            "mix 20/80,\"high, contended\"\n"
+            "\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(Table, CsvLeavesPlainCellsUnquoted) {
+  Table t({"h"});
+  t.add_row({"plain_cell-1.5"});
+  const auto out = capture_stdout([&] { t.print(/*csv=*/true); });
+  EXPECT_EQ(out, "h\nplain_cell-1.5\n");
+}
+
 TEST(Table, AlignedOutputContainsAllCells) {
   Table t({"column", "v"});
   t.add_row({"row_one", "12.5"});
@@ -76,10 +96,43 @@ TEST(BenchArgs, ParsesEveryFlag) {
   EXPECT_EQ(a.seed, 7u);
 }
 
-TEST(BenchArgs, IgnoresUnknownFlags) {
-  const char* argv[] = {"bench", "--frobnicate", "--csv"};
+TEST(BenchArgs, ParsesArtifactPaths) {
+  const char* argv[] = {"bench", "--trace=/tmp/t.json", "--json=/tmp/r.json"};
   const auto a = BenchArgs::parse(3, const_cast<char**>(argv));
-  EXPECT_TRUE(a.csv);
+  EXPECT_EQ(a.trace_path, "/tmp/t.json");
+  EXPECT_EQ(a.json_path, "/tmp/r.json");
+}
+
+using BenchArgsDeathTest = ::testing::Test;
+
+TEST(BenchArgsDeathTest, RejectsUnknownFlags) {
+  const char* argv[] = {"bench", "--frobnicate"};
+  EXPECT_EXIT(BenchArgs::parse(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "unrecognized or malformed flag");
+}
+
+TEST(BenchArgsDeathTest, RejectsMalformedNumbers) {
+  const char* jobs[] = {"bench", "--jobs=4x"};
+  EXPECT_EXIT(BenchArgs::parse(2, const_cast<char**>(jobs)),
+              ::testing::ExitedWithCode(2), "--jobs=4x");
+  const char* ops[] = {"bench", "--ops=12q"};
+  EXPECT_EXIT(BenchArgs::parse(2, const_cast<char**>(ops)),
+              ::testing::ExitedWithCode(2), "--ops=12q");
+  const char* seed[] = {"bench", "--seed="};
+  EXPECT_EXIT(BenchArgs::parse(2, const_cast<char**>(seed)),
+              ::testing::ExitedWithCode(2), "--seed=");
+  const char* neg[] = {"bench", "--keys=-5"};
+  EXPECT_EXIT(BenchArgs::parse(2, const_cast<char**>(neg)),
+              ::testing::ExitedWithCode(2), "--keys=-5");
+}
+
+TEST(BenchArgs, WellFormedOutOfRangeJobsStillClamps) {
+  // Rejection is for malformed input only; numeric nonsense keeps the
+  // documented clamp-to-sequential behavior (scripts rely on it).
+  const char* argv[] = {"bench", "--jobs=0"};
+  EXPECT_EQ(BenchArgs::parse(2, const_cast<char**>(argv)).jobs, 1);
+  const char* argv2[] = {"bench", "--jobs=-4"};
+  EXPECT_EQ(BenchArgs::parse(2, const_cast<char**>(argv2)).jobs, 1);
 }
 
 }  // namespace
