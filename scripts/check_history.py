@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validates a euno.history.v1 JSON file produced by lin_explore --history=FILE.
+
+Checks (exit nonzero on any failure):
+  1. The file parses as JSON, carries schema "euno.history.v1", and has the
+     required top-level fields (spec, schedule, cores, truncated, ops).
+  2. Every op carries the fields its kind requires (op/core/inv/res/key;
+     value for put and found-get; found for get/erase; limit+out for scan).
+  3. Every op has inv <= res (invocation before response on the global
+     step axis) and a core in [-1, cores) — core -1 marks preload writes.
+  4. Per core, ops are sequential: sorted by inv, and each op's inv is at
+     or after the previous op's res (fibers run one op at a time).
+  5. Scan output is a list of [key, value] pairs in strictly increasing key
+     order starting at or after the scan's start key.
+
+Usage: check_history.py HISTORY.json
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_history: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(op, i, field, types):
+    if field not in op:
+        fail(f"op #{i} ({op.get('op')}) missing '{field}'")
+    if not isinstance(op[field], types):
+        fail(f"op #{i} field '{field}' has type {type(op[field]).__name__}")
+    return op[field]
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} HISTORY.json")
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    if doc.get("schema") != "euno.history.v1":
+        fail(f"schema is {doc.get('schema')!r}, want 'euno.history.v1'")
+    for field, types in (
+        ("spec", str),
+        ("schedule", str),
+        ("cores", int),
+        ("truncated", bool),
+        ("ops", list),
+    ):
+        if field not in doc:
+            fail(f"top-level '{field}' missing")
+        if not isinstance(doc[field], types):
+            fail(f"top-level '{field}' has type {type(doc[field]).__name__}")
+    ops = doc["ops"]
+    if not ops:
+        fail("ops is empty")
+    cores = doc["cores"]
+
+    by_core = {}  # core -> list of (inv, res, index)
+    counts = {"get": 0, "put": 0, "erase": 0, "scan": 0}
+    for i, op in enumerate(ops):
+        if not isinstance(op, dict):
+            fail(f"op #{i} is not an object")
+        kind = op.get("op")
+        if kind not in counts:
+            fail(f"op #{i} has unexpected kind {kind!r}")
+        counts[kind] += 1
+        core = require(op, i, "core", int)
+        inv = require(op, i, "inv", int)
+        res = require(op, i, "res", int)
+        key = require(op, i, "key", int)
+        if inv > res:
+            fail(f"op #{i} has inv {inv} > res {res}")
+        if not -1 <= core < cores:
+            fail(f"op #{i} has core {core}, want -1..{cores - 1}")
+        if kind == "put":
+            require(op, i, "value", int)
+        elif kind == "get":
+            found = require(op, i, "found", bool)
+            if found:
+                require(op, i, "value", int)
+        elif kind == "erase":
+            require(op, i, "found", bool)
+        elif kind == "scan":
+            require(op, i, "limit", int)
+            out = require(op, i, "out", list)
+            if len(out) > op["limit"]:
+                fail(f"scan #{i} returned {len(out)} > limit {op['limit']}")
+            prev = None
+            for j, pair in enumerate(out):
+                if (
+                    not isinstance(pair, list)
+                    or len(pair) != 2
+                    or not all(isinstance(x, int) for x in pair)
+                ):
+                    fail(f"scan #{i} out[{j}] is not a [key, value] int pair")
+                if pair[0] < key:
+                    fail(f"scan #{i} out[{j}] key {pair[0]} below start {key}")
+                if prev is not None and pair[0] <= prev:
+                    fail(f"scan #{i} out keys not strictly increasing at [{j}]")
+                prev = pair[0]
+        by_core.setdefault(core, []).append((inv, res, i))
+
+    # Per-core ops must be sequential and non-overlapping: a fiber finishes
+    # one operation (res) before invoking the next (inv). Preload writes
+    # (core -1) are exempt — they all carry the same degenerate interval.
+    for core, spans in by_core.items():
+        if core < 0:
+            continue
+        spans.sort()
+        for (inv_a, res_a, ia), (inv_b, _res_b, ib) in zip(spans, spans[1:]):
+            if inv_b < res_a:
+                fail(
+                    f"core {core}: op #{ib} invokes at {inv_b} before "
+                    f"op #{ia} responds at {res_a}"
+                )
+
+    print(
+        f"check_history: OK: {len(ops)} ops on {len(by_core)} cores "
+        f"({counts['get']} get, {counts['put']} put, "
+        f"{counts['erase']} erase, {counts['scan']} scan)"
+    )
+
+
+if __name__ == "__main__":
+    main()

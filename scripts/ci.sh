@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point. One job per invocation:
+#
+#   scripts/ci.sh default   # release-ish build, full test suite
+#   scripts/ci.sh tsan      # ThreadSanitizer build, thread-heavy suites only
+#
+# The tsan job rebuilds with -DEUNO_TSAN=ON and runs the `parallel` label
+# (the OS-thread sweep runner) plus the `lin` label (the linearizability
+# suite, whose lin_explore fixture fans runs out across threads via --jobs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+job="${1:-default}"
+
+case "$job" in
+  default)
+    cmake -B build -S .
+    cmake --build build -j
+    ctest --test-dir build --output-on-failure -j "$(nproc)"
+    ;;
+  tsan)
+    cmake -B build-tsan -S . -DEUNO_TSAN=ON
+    cmake --build build-tsan -j
+    ctest --test-dir build-tsan --output-on-failure -L "parallel|lin"
+    ;;
+  *)
+    echo "usage: $0 [default|tsan]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,46 @@
+#include "check/explore.hpp"
+
+#include "util/assert.hpp"
+
+namespace euno::check {
+
+std::optional<std::vector<std::uint32_t>> ScheduleExplorer::next() {
+  if (exhausted_) return std::nullopt;
+  if (opt_.max_schedules != 0 && started_ >= opt_.max_schedules)
+    return std::nullopt;
+  if (first_) {
+    first_ = false;
+    ++started_;
+    return std::vector<std::uint32_t>{};  // pure round-robin default
+  }
+  EUNO_ASSERT_MSG(have_report_, "report() the previous run before next()");
+  have_report_ = false;
+
+  // Advance the deepest branch point with an untried alternative whose
+  // deviation count stays within budget; everything deeper is truncated
+  // (runs at the default and gets its turn via this same rule later).
+  for (std::size_t i = last_.size(); i-- > 0;) {
+    const auto& d = last_[i];
+    const std::uint32_t r = rank_of(d.chosen, d.preferred);
+    if (r + 1 >= d.arity) continue;  // all alternatives here tried
+    std::uint32_t deviations = 1;    // position i moves to rank >= 1
+    for (std::size_t j = 0; j < i; ++j)
+      if (rank_of(last_[j].chosen, last_[j].preferred) > 0) ++deviations;
+    if (deviations > opt_.max_preemptions) continue;
+    std::vector<std::uint32_t> prefix;
+    prefix.reserve(i + 1);
+    for (std::size_t j = 0; j < i; ++j) prefix.push_back(last_[j].chosen);
+    prefix.push_back(value_of(r + 1, d.preferred));
+    ++started_;
+    return prefix;
+  }
+  exhausted_ = true;
+  return std::nullopt;
+}
+
+void ScheduleExplorer::report(const std::vector<sim::ScheduleDecision>& decisions) {
+  last_ = decisions;
+  have_report_ = true;
+}
+
+}  // namespace euno::check

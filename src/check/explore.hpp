@@ -1,0 +1,87 @@
+// Bounded systematic schedule exploration (stateless, CHESS-style).
+//
+// The engine's systematic schedule mode (sim/schedule.hpp) replays a choice
+// prefix at the branch points of a run and records the full decision trace
+// (arity + chosen + round-robin default at every point where more than one
+// fiber was runnable). ScheduleExplorer turns that into a depth-first
+// enumeration of the schedule tree:
+//
+//   explorer e(opts);
+//   while (auto prefix = e.next()) {
+//     policy.choices = *prefix;           // run the workload under `policy`
+//     e.report(sim.schedule_decisions()); // trace of the run just executed
+//   }
+//
+// Enumeration works like an odometer over the last run's trace: advance the
+// deepest branch point that still has an untried alternative, truncate
+// everything deeper (those positions fall back to the round-robin default
+// and their subtrees are visited later via this same rule). Alternatives at
+// one position are ordered by *rank* — rank 0 is the default choice, ranks
+// 1.. are the deviations in value order — so "the run we already did" is
+// never re-emitted, and the preemption bound has a crisp meaning: a prefix
+// is admissible iff it contains at most `max_preemptions` non-default
+// choices. The bound makes exploration tractable the same way CHESS's
+// preemption bounding does: most concurrency bugs need only 1–2 preemptions
+// at the right places.
+//
+// Exhaustive for tiny configurations (2–3 fibers, a handful of ops) within
+// the preemption budget; `max_schedules` caps the walk for everything else.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/schedule.hpp"
+
+namespace euno::check {
+
+struct ExploreOptions {
+  /// Maximum non-default scheduling choices per schedule (0 = only the
+  /// default round-robin schedule).
+  std::uint32_t max_preemptions = 2;
+  /// Stop after this many schedules (0 = run until the tree is exhausted).
+  std::uint64_t max_schedules = 0;
+};
+
+class ScheduleExplorer {
+ public:
+  explicit ScheduleExplorer(ExploreOptions opt = {}) : opt_(opt) {}
+
+  /// Choice prefix for the next schedule to run, or nullopt when done
+  /// (exhausted() distinguishes "tree fully visited" from "hit
+  /// max_schedules"). The first call returns the empty prefix (pure
+  /// round-robin). Each next() must be followed by report() before the
+  /// next next().
+  std::optional<std::vector<std::uint32_t>> next();
+
+  /// Decision trace of the run just executed (Simulation::
+  /// schedule_decisions() after run()).
+  void report(const std::vector<sim::ScheduleDecision>& decisions);
+
+  std::uint64_t schedules_started() const { return started_; }
+  /// True once every schedule within the preemption budget has been run.
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  // Alternatives at a branch point in canonical rank order: rank 0 is the
+  // default (preferred) choice, ranks 1..arity-1 enumerate the remaining
+  // values in increasing order.
+  static std::uint32_t rank_of(std::uint32_t chosen, std::uint32_t preferred) {
+    if (chosen == preferred) return 0;
+    return chosen < preferred ? chosen + 1 : chosen;
+  }
+  static std::uint32_t value_of(std::uint32_t rank, std::uint32_t preferred) {
+    if (rank == 0) return preferred;
+    return rank <= preferred ? rank - 1 : rank;
+  }
+
+  ExploreOptions opt_;
+  std::vector<sim::ScheduleDecision> last_;
+  bool first_ = true;
+  bool have_report_ = false;
+  bool exhausted_ = false;
+  std::uint64_t started_ = 0;
+};
+
+}  // namespace euno::check

@@ -1,0 +1,86 @@
+#include "check/history.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace euno::check {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kGet: return "get";
+    case OpKind::kPut: return "put";
+    case OpKind::kErase: return "erase";
+    case OpKind::kScan: return "scan";
+  }
+  return "?";
+}
+
+std::vector<HistoryEvent> HistoryRecorder::merged() const {
+  std::vector<HistoryEvent> all = preload_;
+  for (const auto& v : per_core_) all.insert(all.end(), v.begin(), v.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const HistoryEvent& a, const HistoryEvent& b) {
+                     if (a.inv != b.inv) return a.inv < b.inv;
+                     if (a.res != b.res) return a.res < b.res;
+                     return a.core < b.core;
+                   });
+  return all;
+}
+
+std::size_t HistoryRecorder::size() const {
+  std::size_t n = preload_.size();
+  for (const auto& v : per_core_) n += v.size();
+  return n;
+}
+
+void write_history_json(std::FILE* out, const std::vector<HistoryEvent>& events,
+                        const HistoryMeta& meta) {
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "euno.history.v1");
+  w.kv("spec", meta.spec);
+  w.kv("schedule", meta.schedule);
+  w.kv("cores", meta.cores);
+  w.kv("truncated", meta.truncated);
+  w.key("ops");
+  w.begin_array();
+  for (const auto& ev : events) {
+    w.begin_object();
+    w.kv("op", op_kind_name(ev.op));
+    w.kv("core", ev.core);
+    w.kv("inv", ev.inv);
+    w.kv("res", ev.res);
+    w.kv("key", ev.key);
+    switch (ev.op) {
+      case OpKind::kPut:
+        w.kv("value", ev.value);
+        break;
+      case OpKind::kGet:
+        w.kv("found", ev.found);
+        if (ev.found) w.kv("value", ev.value);
+        break;
+      case OpKind::kErase:
+        w.kv("found", ev.found);
+        break;
+      case OpKind::kScan:
+        w.kv("limit", static_cast<std::uint64_t>(ev.limit));
+        w.key("out");
+        w.begin_array();
+        for (const auto& kv : ev.scan_out) {
+          w.begin_array();
+          w.value(kv.first);
+          w.value(kv.second);
+          w.end_array();
+        }
+        w.end_array();
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::fputc('\n', out);
+}
+
+}  // namespace euno::check

@@ -1,0 +1,101 @@
+// Operation-history recording for linearizability checking.
+//
+// A history is the list of completed operations of one simulated run, each
+// stamped with an invoke/response interval on the engine's *global step*
+// axis (Simulation::global_step(): one tick per instrumented access). That
+// axis is a valid real-time order under every schedule policy — per-core
+// simulated clocks are not, once the random/systematic schedulers decouple
+// execution order from clock order — and reading it costs zero simulated
+// cycles, so recording never perturbs the interleaving under test.
+//
+// Recording protocol (see check/harness.hpp for the driver):
+//   ev.inv = sim.global_step();   // before the first instrumented access
+//   <run the tree operation>
+//   ev.res = sim.global_step();   // after the last instrumented access
+// The operation's linearization point lies in (inv, res]; operation A
+// strictly precedes B iff A.res <= B.inv (A's accesses all happened before
+// B's first). Setup-phase operations (preload) run outside any fiber, where
+// the step counter does not advance: they get the degenerate interval
+// [s, s] and precede every fiber operation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trees/common.hpp"
+
+namespace euno::check {
+
+using trees::KV;
+using trees::Key;
+using trees::Value;
+
+enum class OpKind : std::uint8_t { kGet, kPut, kErase, kScan };
+
+const char* op_kind_name(OpKind k);
+
+/// One completed operation. `value` is the value written (put) or returned
+/// (get, valid iff found); `found` is the get/erase result. Scans store the
+/// start key in `key`, the requested count in `limit` and the returned pairs
+/// in `scan_out` (the checker decomposes them into per-key read witnesses).
+struct HistoryEvent {
+  std::uint64_t inv = 0;
+  std::uint64_t res = 0;
+  OpKind op = OpKind::kGet;
+  std::int32_t core = -1;  // -1: setup phase (preload)
+  Key key = 0;
+  Value value = 0;
+  bool found = false;
+  std::uint32_t limit = 0;
+  std::vector<KV> scan_out;
+};
+
+/// Collects events into per-core buffers (fibers never interleave within one
+/// host call, so appends need no synchronization on the single sim thread)
+/// and merges them into one inv-ordered history at the end.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(int cores) : per_core_(static_cast<std::size_t>(cores)) {}
+
+  void record(int core, HistoryEvent ev) {
+    per_core_[static_cast<std::size_t>(core)].push_back(std::move(ev));
+  }
+
+  /// Setup-phase put (outside any fiber): degenerate interval [step, step].
+  void record_preload(Key k, Value v, std::uint64_t step) {
+    HistoryEvent ev;
+    ev.inv = ev.res = step;
+    ev.op = OpKind::kPut;
+    ev.core = -1;
+    ev.key = k;
+    ev.value = v;
+    preload_.push_back(std::move(ev));
+  }
+
+  /// All events merged, sorted by (inv, res, core).
+  std::vector<HistoryEvent> merged() const;
+
+  std::size_t size() const;
+
+ private:
+  std::vector<HistoryEvent> preload_;
+  std::vector<std::vector<HistoryEvent>> per_core_;
+};
+
+/// Run metadata serialized alongside the history (`euno.history.v1`):
+/// everything needed to replay the run that produced it.
+struct HistoryMeta {
+  std::string spec;      // harness spec string (LinSpec::to_string())
+  std::string schedule;  // sim::SchedulePolicy::to_string()
+  int cores = 0;
+  bool truncated = false;  // run hit SchedulePolicy::max_steps
+};
+
+/// Serialize a history as `euno.history.v1` JSON (validated by
+/// scripts/check_history.py). `out` is caller-owned.
+void write_history_json(std::FILE* out, const std::vector<HistoryEvent>& events,
+                        const HistoryMeta& meta);
+
+}  // namespace euno::check

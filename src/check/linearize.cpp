@@ -1,0 +1,329 @@
+#include "check/linearize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "util/assert.hpp"
+
+namespace euno::check {
+namespace {
+
+/// Register state of one key: (present, value); value meaningful iff present.
+struct RegState {
+  bool present = false;
+  Value value = 0;
+  bool operator<(const RegState& o) const {
+    if (present != o.present) return present < o.present;
+    return value < o.value;
+  }
+  bool operator==(const RegState& o) const {
+    return present == o.present && (!present || value == o.value);
+  }
+};
+
+/// One single-key witness operation (tree op or scan-derived read witness).
+struct Op {
+  std::uint64_t inv = 0;
+  std::uint64_t res = 0;
+  OpKind op = OpKind::kGet;  // kGet / kPut / kErase only
+  Value value = 0;
+  bool found = false;
+  const HistoryEvent* src = nullptr;
+};
+
+/// Strict real-time precedence on the global step axis. Degenerate
+/// zero-length intervals at the same step (setup-phase preloads, which all
+/// share one step value) are concurrent with each other, not mutually
+/// preceding.
+bool precedes(const Op& a, const Op& b) {
+  if (a.res > b.inv) return false;
+  if (a.inv == a.res && b.inv == b.res && a.res == b.inv) return false;
+  return true;
+}
+
+/// Apply `o` to state `st` if legal; returns false when the observed result
+/// is impossible in `st`.
+bool apply(const Op& o, const RegState& st, RegState* out) {
+  switch (o.op) {
+    case OpKind::kPut:
+      *out = RegState{true, o.value};
+      return true;
+    case OpKind::kGet:
+      if (o.found != st.present) return false;
+      if (o.found && st.value != o.value) return false;
+      *out = st;
+      return true;
+    case OpKind::kErase:
+      if (o.found != st.present) return false;
+      *out = RegState{false, 0};
+      return true;
+    case OpKind::kScan: break;  // decomposed before reaching here
+  }
+  return false;
+}
+
+std::string format_op(const Op& o) {
+  char buf[160];
+  const int core = o.src != nullptr ? o.src->core : -1;
+  const char* via = (o.src != nullptr && o.src->op == OpKind::kScan)
+                        ? " (scan witness)" : "";
+  switch (o.op) {
+    case OpKind::kPut:
+      std::snprintf(buf, sizeof(buf),
+                    "[%llu,%llu] core%d put(v=%llu)%s",
+                    static_cast<unsigned long long>(o.inv),
+                    static_cast<unsigned long long>(o.res), core,
+                    static_cast<unsigned long long>(o.value), via);
+      break;
+    case OpKind::kGet:
+      if (o.found) {
+        std::snprintf(buf, sizeof(buf),
+                      "[%llu,%llu] core%d get -> v=%llu%s",
+                      static_cast<unsigned long long>(o.inv),
+                      static_cast<unsigned long long>(o.res), core,
+                      static_cast<unsigned long long>(o.value), via);
+      } else {
+        std::snprintf(buf, sizeof(buf), "[%llu,%llu] core%d get -> absent%s",
+                      static_cast<unsigned long long>(o.inv),
+                      static_cast<unsigned long long>(o.res), core, via);
+      }
+      break;
+    case OpKind::kErase:
+      std::snprintf(buf, sizeof(buf), "[%llu,%llu] core%d erase -> %s",
+                    static_cast<unsigned long long>(o.inv),
+                    static_cast<unsigned long long>(o.res), core,
+                    o.found ? "hit" : "miss");
+      break;
+    default:
+      buf[0] = '\0';
+  }
+  return buf;
+}
+
+std::string format_states(const std::vector<RegState>& sts) {
+  std::string s = "{";
+  for (std::size_t i = 0; i < sts.size(); ++i) {
+    if (i > 0) s += ", ";
+    if (!sts[i].present) {
+      s += "absent";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "v=%llu",
+                    static_cast<unsigned long long>(sts[i].value));
+      s += buf;
+    }
+  }
+  s += "}";
+  return s;
+}
+
+/// Exhaustive per-segment search: all register states reachable after
+/// linearizing every op in `ops`, starting from any state in `in`. Empty
+/// result == the segment is not linearizable from those entry states.
+std::vector<RegState> segment_states(const std::vector<Op>& ops,
+                                     const std::vector<RegState>& in,
+                                     std::uint64_t* states_explored) {
+  const std::size_t n = ops.size();
+  EUNO_ASSERT(n <= 64);
+  const std::uint64_t full = n == 64 ? ~0ull : (1ull << n) - 1;
+
+  // pred[i]: bitmask of ops that strictly precede op i. Op i may be
+  // linearized next iff every predecessor is already done.
+  std::vector<std::uint64_t> pred(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j && precedes(ops[j], ops[i])) pred[i] |= 1ull << j;
+
+  std::set<std::tuple<std::uint64_t, bool, Value>> visited;
+  std::set<RegState> out;
+  // Explicit stack (depth <= 64, but keep the hot loop allocation-free-ish).
+  struct Frame {
+    std::uint64_t mask;
+    RegState st;
+  };
+  std::vector<Frame> stack;
+  for (const RegState& st : in) stack.push_back(Frame{0, st});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const auto key = std::make_tuple(f.mask, f.st.present, f.st.value);
+    if (!visited.insert(key).second) continue;
+    ++*states_explored;
+    if (f.mask == full) {
+      out.insert(f.st);
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t bit = 1ull << i;
+      if (f.mask & bit) continue;
+      if ((pred[i] & ~f.mask) != 0) continue;  // a predecessor still pending
+      RegState next;
+      if (!apply(ops[i], f.st, &next)) continue;
+      stack.push_back(Frame{f.mask | bit, next});
+    }
+  }
+  return std::vector<RegState>(out.begin(), out.end());
+}
+
+/// Greedy delta-shrink of an infeasible segment: drop ops (latest first)
+/// while the remainder stays infeasible from the same entry states. The
+/// shrunk core is a debugging aid — the reported violation is the full
+/// segment's infeasibility.
+std::vector<std::size_t> shrink_core(const std::vector<Op>& ops,
+                                     const std::vector<RegState>& in,
+                                     std::uint64_t* states_explored) {
+  std::vector<std::size_t> keep(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) keep[i] = i;
+  for (std::size_t drop = ops.size(); drop-- > 0;) {
+    auto it = std::find(keep.begin(), keep.end(), drop);
+    if (it == keep.end()) continue;
+    std::vector<std::size_t> trial(keep);
+    trial.erase(trial.begin() + (it - keep.begin()));
+    std::vector<Op> sub;
+    for (std::size_t i : trial) sub.push_back(ops[i]);
+    if (segment_states(sub, in, states_explored).empty()) keep = std::move(trial);
+  }
+  return keep;
+}
+
+}  // namespace
+
+CheckResult check_history(const std::vector<HistoryEvent>& events,
+                          const CheckOptions& opt) {
+  CheckResult result;
+
+  // Key universe: every key some operation could have touched. Scans derive
+  // absence witnesses only for universe keys — a key with no operations at
+  // all has a trivially consistent (always-absent) history.
+  std::set<Key> universe;
+  for (const auto& ev : events) {
+    if (ev.op == OpKind::kScan) {
+      for (const auto& kv : ev.scan_out) universe.insert(kv.first);
+    } else {
+      universe.insert(ev.key);
+    }
+  }
+
+  // Per-key projections.
+  std::map<Key, std::vector<Op>> by_key;
+  for (const auto& ev : events) {
+    if (ev.op != OpKind::kScan) {
+      Op o;
+      o.inv = ev.inv;
+      o.res = ev.res;
+      o.op = ev.op;
+      o.value = ev.value;
+      o.found = ev.found;
+      o.src = &ev;
+      by_key[ev.key].push_back(o);
+      continue;
+    }
+    // Scan decomposition. Returned pairs -> found witnesses. The absence
+    // window is [start, upper): when the scan filled its limit, only keys
+    // below the last returned key were provably passed over; otherwise the
+    // scan saw the end of the tree and the window is unbounded.
+    std::set<Key> returned;
+    for (const auto& kv : ev.scan_out) {
+      Op o;
+      o.inv = ev.inv;
+      o.res = ev.res;
+      o.op = OpKind::kGet;
+      o.value = kv.second;
+      o.found = true;
+      o.src = &ev;
+      by_key[kv.first].push_back(o);
+      returned.insert(kv.first);
+    }
+    if (ev.limit == 0) continue;
+    const bool saw_end = ev.scan_out.size() < ev.limit;
+    const Key upper = saw_end ? ~0ull : ev.scan_out.back().first;
+    for (auto it = universe.lower_bound(ev.key); it != universe.end(); ++it) {
+      const Key k = *it;
+      if (!saw_end && k >= upper) break;
+      if (returned.count(k)) continue;
+      Op o;
+      o.inv = ev.inv;
+      o.res = ev.res;
+      o.op = OpKind::kGet;
+      o.found = false;
+      o.src = &ev;
+      by_key[k].push_back(o);
+    }
+  }
+
+  for (auto& [key, ops] : by_key) {
+    ++result.keys_checked;
+    std::stable_sort(ops.begin(), ops.end(), [](const Op& a, const Op& b) {
+      if (a.inv != b.inv) return a.inv < b.inv;
+      return a.res < b.res;
+    });
+
+    std::vector<RegState> states{RegState{false, 0}};
+    std::size_t seg_begin = 0;
+    std::size_t seg_index = 0;
+    std::uint64_t max_res = 0;
+    bool abandoned = false;
+    for (std::size_t i = 0; i <= ops.size() && !abandoned; ++i) {
+      const bool cut = i == ops.size() || (i > seg_begin && ops[i].inv >= max_res);
+      if (i < ops.size()) max_res = std::max(max_res, ops[i].res);
+      if (!cut) continue;
+      std::vector<Op> seg(ops.begin() + static_cast<std::ptrdiff_t>(seg_begin),
+                          ops.begin() + static_cast<std::ptrdiff_t>(i));
+      seg_begin = i;
+      if (seg.empty()) continue;
+      ++result.segments;
+      result.max_segment_ops = std::max(result.max_segment_ops, seg.size());
+      if (seg.size() > opt.max_segment_ops) {
+        result.complete = false;  // skip the rest of this key: state unknown
+        abandoned = true;
+        break;
+      }
+      auto next = segment_states(seg, states, &result.states_explored);
+      if (next.empty()) {
+        result.ok = false;
+        Violation v;
+        v.key = key;
+        v.segment_index = seg_index;
+        v.entry_states = format_states(states);
+        std::set<const HistoryEvent*> srcs;
+        for (const Op& o : seg)
+          if (o.src != nullptr && srcs.insert(o.src).second)
+            v.window.push_back(*o.src);
+        std::vector<std::size_t> core(seg.size());
+        for (std::size_t c = 0; c < seg.size(); ++c) core[c] = c;
+        if (seg.size() <= opt.max_shrink_ops)
+          core = shrink_core(seg, states, &result.states_explored);
+        for (std::size_t c : core) v.core.push_back(format_op(seg[c]));
+        result.violations.push_back(std::move(v));
+        abandoned = true;  // no consistent state to continue from
+        break;
+      }
+      states = std::move(next);
+      ++seg_index;
+    }
+  }
+  return result;
+}
+
+std::string describe_violation(const Violation& v) {
+  std::string s;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "linearizability violation on key %llu (segment %zu, %zu ops, "
+                "entry states %s):\n",
+                static_cast<unsigned long long>(v.key), v.segment_index,
+                v.window.size(), v.entry_states.c_str());
+  s += buf;
+  s += "  no linearization explains this infeasible core:\n";
+  for (const auto& line : v.core) {
+    s += "    ";
+    s += line;
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace euno::check

@@ -1,0 +1,95 @@
+// Linearizability checker over recorded operation histories.
+//
+// Wing–Gong style search, made tractable by two standard decompositions:
+//
+//  1. Per-key partitioning. get/put/erase on a key-value map are per-key
+//     register operations, and linearizability is compositional (Herlihy &
+//     Wing): a history is linearizable iff its projection onto every key is.
+//     Each key is checked as an independent register (present?, value).
+//
+//  2. Quiescent-point segmentation with state-set forwarding. Within one
+//     key's projection, sort by invocation step and cut between consecutive
+//     operations whenever the next invocation is at or after every earlier
+//     response — all earlier operations strictly precede all later ones, so
+//     any linearization orders the segments back to back. Each segment is
+//     solved by exhaustive search seeded with the *set* of register states
+//     reachable at the previous cut; the set of end states feeds the next
+//     segment. Forwarding the full set (not one witness state) keeps the
+//     per-segment decomposition both sound and complete.
+//
+// The per-segment search is a DFS over linearization prefixes: a remaining
+// operation can be appended iff no other remaining operation strictly
+// precedes it (A precedes B iff A.res <= B.inv on the global step axis) and
+// it is legal in the current register state (put: always, -> (present, v);
+// get found=v: present with value v; get !found: absent; erase true:
+// present -> absent; erase false: absent). States are memoized on
+// (done-bitmask, register state), so segments are capped at 64 operations
+// (CheckOptions::max_segment_ops); worst-case work per segment is
+// O(2^n * n * |values|), in practice far smaller because precedence and
+// legality prune most prefixes.
+//
+// Scans are decomposed into independent single-key read witnesses sharing
+// the scan's interval: each returned pair is a get(found); each key of the
+// history's key universe inside the scanned window but missing from the
+// output is a get(!found). The witnesses are NOT required to share one
+// linearization point — the trees promise per-leaf-chunk atomicity for
+// multi-leaf scans, not whole-scan atomicity, and each chunk's reads do
+// linearize individually inside the scan's interval. This is a sound
+// necessary condition (no false positives on correct trees) that still
+// catches torn values, resurrected keys and vanished preloaded keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+
+namespace euno::check {
+
+struct CheckOptions {
+  /// Hard cap on operations per (key, segment): the DFS memoizes on a
+  /// 64-bit done-bitmask. An oversized segment marks the result incomplete
+  /// and skips the rest of that key instead of exploding.
+  std::size_t max_segment_ops = 64;
+  /// Violation windows larger than this skip the greedy core-shrinking pass
+  /// (each shrink step re-runs the segment search).
+  std::size_t max_shrink_ops = 32;
+};
+
+/// One non-linearizable (key, segment): no ordering of the segment's
+/// operations consistent with real-time precedence explains the observed
+/// results from any register state reachable at the segment boundary.
+struct Violation {
+  Key key = 0;
+  std::size_t segment_index = 0;
+  /// The violating segment's operations (original events; a scan appears
+  /// once even when several of its witnesses are involved).
+  std::vector<HistoryEvent> window;
+  /// Greedily shrunk infeasible core of the segment's witness operations,
+  /// formatted one per line — the usual read-the-counterexample entry point.
+  std::vector<std::string> core;
+  /// Register states reachable at the segment's left boundary.
+  std::string entry_states;
+};
+
+struct CheckResult {
+  bool ok = true;
+  /// False when a segment exceeded max_segment_ops and was skipped; `ok`
+  /// then only covers what was checked.
+  bool complete = true;
+  std::size_t keys_checked = 0;
+  std::size_t segments = 0;
+  std::size_t max_segment_ops = 0;  // largest segment encountered
+  std::uint64_t states_explored = 0;
+  std::vector<Violation> violations;
+};
+
+/// Check a complete history (every invocation has its response recorded).
+CheckResult check_history(const std::vector<HistoryEvent>& events,
+                          const CheckOptions& opt = {});
+
+/// Multi-line human-readable rendering of one violation.
+std::string describe_violation(const Violation& v);
+
+}  // namespace euno::check

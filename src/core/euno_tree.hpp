@@ -117,7 +117,7 @@ class EunoBPTree {
         // The mark says "absent" — but only trust it if the leaf has not
         // been split since the upper region located it (the key may have
         // moved to a sibling).
-        const bool still_valid = c.read(leaf->seqno) == seq;
+        const bool still_valid = reread_seq_valid(c, leaf, seq);
         if (slot >= 0) ccm_unlock(c, leaf, slot);
         if (still_valid) {
           found = false;
@@ -130,7 +130,7 @@ class EunoBPTree {
       const auto txo = c.txn(ctx::TxSite::kLower, shared_->lock, cfg_.policy, [&] {
         oc = LowerOutcome::kDone;
         found = false;
-        if (c.read(leaf->seqno) != seq) {
+        if (!reread_seq_valid(c, leaf, seq)) {
           oc = LowerOutcome::kRetryRoot;
           return;
         }
@@ -527,6 +527,28 @@ class EunoBPTree {
   };
 
   enum class LowerOutcome { kDone, kRetryRoot, kNeedSplitLock };
+
+  /// Re-validate a leaf's seqno against the value captured by upper_locate:
+  /// the read path's defense against racing splits (the key may have moved
+  /// to a sibling since the upper region resolved the leaf).
+  ///
+  /// The linearizability mutation self-test (tests/lin_mutation_test.cpp)
+  /// compiles this header with EUNO_LIN_MUTATION_SKIP_SEQ_RECHECK defined,
+  /// turning the *get-path* re-checks into unconditional successes; reads
+  /// then trust stale leaves across splits and the checker in src/check must
+  /// flag the resulting vanished-key reads. Write paths keep their checks —
+  /// a broken write path corrupts the structure instead of producing the
+  /// clean wrong answers the self-test is calibrated to catch.
+  static bool reread_seq_valid(Ctx& c, Leaf* leaf, std::uint64_t seq) {
+#if defined(EUNO_LIN_MUTATION_SKIP_SEQ_RECHECK)
+    (void)c;
+    (void)leaf;
+    (void)seq;
+    return true;
+#else
+    return c.read(leaf->seqno) == seq;
+#endif
+  }
 
   // ---- allocation ----
 

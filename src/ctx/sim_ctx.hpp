@@ -70,6 +70,10 @@ class SimCtx {
         if (atomic_load(lock.word) != 0) {
           htm_model.tx_abort_explicit(core_, htm::xabort_code::kFallbackLocked);
         }
+        // Schedule-exploration hooks (no-op under the default policy): may
+        // deschedule this fiber with the transaction open, or doom it on
+        // the spot (throws through the explicit-abort path).
+        sim_->sched_tx_begin(core_);
         body();
         htm_model.tx_commit(core_);
       } catch (const sim::TxAbortException& e) {

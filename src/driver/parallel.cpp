@@ -13,43 +13,45 @@ int default_jobs(int cap) {
   return n < 1 ? 1 : (n > cap ? cap : n);
 }
 
-std::vector<ExperimentResult> run_sim_experiments(
-    std::span<const ExperimentSpec> specs, int jobs) {
-  std::vector<ExperimentResult> results(specs.size());
-  if (specs.empty()) return results;
-
+void parallel_for_each(std::size_t n, int jobs,
+                       const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
   if (jobs <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      results[i] = run_sim_experiment(specs[i]);
-    }
-    return results;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
   }
+  if (static_cast<std::size_t>(jobs) > n) jobs = static_cast<int>(n);
 
-  if (static_cast<std::size_t>(jobs) > specs.size()) {
-    jobs = static_cast<int>(specs.size());
-  }
-
-  // Work-stealing by atomic ticket: cells differ wildly in cost (a theta=0.99
+  // Work-stealing by atomic ticket: items differ wildly in cost (a theta=0.99
   // 20-thread cell runs ~10x a theta=0 single-thread one), so static slicing
   // would leave workers idle.
   std::atomic<std::size_t> next{0};
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(jobs));
   for (int j = 0; j < jobs; ++j) {
-    pool.emplace_back([&specs, &results, &next] {
+    pool.emplace_back([&body, &next, n] {
       // Redirect this worker's memory accounting to a private sink so that
-      // concurrently running experiments can't see each other's allocations
+      // concurrently running simulations can't see each other's allocations
       // (run_sim_experiment resets and reads MemStats::instance()).
       MemStats local;
       MemStats::ScopedSink sink(local);
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= specs.size()) break;
-        results[i] = run_sim_experiment(specs[i]);
+        if (i >= n) break;
+        body(i);
       }
     });
   }
   for (auto& t : pool) t.join();
+}
+
+std::vector<ExperimentResult> run_sim_experiments(
+    std::span<const ExperimentSpec> specs, int jobs) {
+  std::vector<ExperimentResult> results(specs.size());
+  parallel_for_each(specs.size(), jobs,
+                    [&specs, &results](std::size_t i) {
+                      results[i] = run_sim_experiment(specs[i]);
+                    });
   return results;
 }
 

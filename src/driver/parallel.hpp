@@ -15,12 +15,25 @@
 // concurrent access cannot change any experiment's numbers.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "driver/experiment.hpp"
 
 namespace euno::driver {
+
+/// Generic indexed fan-out: body(i) for every i in [0, n), spread across
+/// `jobs` OS worker threads with atomic-ticket work stealing (items differ
+/// wildly in cost, so static slicing would idle workers). Each worker gets a
+/// private MemStats sink, preserving the one-Simulation-per-OS-thread
+/// invariant documented above. jobs <= 1 runs the plain sequential loop on
+/// the calling thread — no pool, no sink redirection. `body` must be safe to
+/// call concurrently for distinct i (distinct result slots, no shared
+/// mutable state).
+void parallel_for_each(std::size_t n, int jobs,
+                       const std::function<void(std::size_t)>& body);
 
 /// Runs `specs` across `jobs` OS worker threads (jobs <= 1: strictly
 /// sequential on the calling thread, no pool, no sink redirection — the

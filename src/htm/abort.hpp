@@ -29,6 +29,8 @@ namespace xabort_code {
 inline constexpr std::uint8_t kInconsistent = 0xA1;  // seqno validation failed
 inline constexpr std::uint8_t kFallbackLocked = 0xA2;  // fallback lock held
 inline constexpr std::uint8_t kUser = 0xA3;            // generic caller abort
+/// Injected by the schedule explorer's abort-storm mode (sim/schedule.hpp).
+inline constexpr std::uint8_t kSchedulerInjected = 0xA4;
 }  // namespace xabort_code
 
 /// Fine-grained cause of a *conflict* abort. Only the simulator can attribute

@@ -35,9 +35,11 @@ int SharedArena::size_class_of(std::size_t rounded) {
   // rounded is a multiple of 64.
   const auto units = rounded >> 6;
   if (units <= kLinearClasses) return static_cast<int>(units) - 1;
+  // Above the linear range: the smallest power-of-two multiple of 2 KiB that
+  // fits, i.e. kLinearClasses - 1 + ceil(log2(ceil(rounded / 2KiB))).
   const auto over = (rounded + (kLinearClasses << 6) - 1) / (kLinearClasses << 6);
   return kLinearClasses - 1 + std::bit_width(over) -
-         (std::has_single_bit(over) ? 1 : 0) + 1;
+         (std::has_single_bit(over) ? 1 : 0);
 }
 
 std::size_t SharedArena::class_bytes(int cls) {

@@ -62,15 +62,21 @@ class SharedArena {
   std::uint64_t bytes_in_use() const { return in_use_; }
   std::uint64_t high_water() const { return bump_; }
 
- private:
   // Size classes: 64-byte granular up to 2 KiB (tree nodes land here and
   // power-of-two rounding would distort the §5.7 memory measurements),
-  // power-of-two steps above.
+  // power-of-two steps above, up to 128 MiB. Public so tests can verify the
+  // boundary behaviour directly; allocation always charges the full class
+  // size, so `class_bytes(size_class_of(r)) >= r` and
+  // `size_class_of(class_bytes(c)) == c` are load-bearing invariants.
   static constexpr int kLinearClasses = 32;              // 64B .. 2KiB
   static constexpr int kNumSizeClasses = kLinearClasses + 16;  // .. 128MiB
+  /// Class index for a cache-line-rounded byte count (`rounded` must be a
+  /// positive multiple of 64).
   static int size_class_of(std::size_t rounded);
+  /// The byte capacity allocations of class `cls` actually occupy.
   static std::size_t class_bytes(int cls);
 
+ private:
   std::uintptr_t base_addr_ = 0;
   std::uint64_t capacity_ = 0;
   std::uint64_t bump_ = 0;  // bump-pointer frontier (bytes from base)

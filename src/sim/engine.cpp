@@ -190,6 +190,17 @@ void Simulation::run() {
   Simulation* prev = current_simulation();
   current_simulation() = this;
 
+  if (sched_.policy.deterministic_default()) {
+    run_deterministic_loop();
+  } else {
+    run_scheduled_loop();
+  }
+
+  current_simulation() = prev;
+  running_ = false;
+}
+
+void Simulation::run_deterministic_loop() {
   runnable_.clear();
   runnable_.reserve(fibers_.size());
   for (std::size_t i = 0; i < fibers_.size(); ++i) {
@@ -226,9 +237,158 @@ void Simulation::run() {
       std::push_heap(runnable_.begin(), runnable_.end(), std::greater<>{});
     }
   }
+}
 
-  current_simulation() = prev;
-  running_ = false;
+// Generic decision loop for the exploration policies: the running fiber
+// yields at every instrumented access (yield_threshold_ = 0), and every
+// resume is one explicit scheduling decision. Host-side cost is a fiber
+// switch per access — irrelevant for the tiny configurations the
+// linearizability harness runs, and never taken by the production policy.
+void Simulation::run_scheduled_loop() {
+  sched_.decisions.clear();
+  sched_.truncated = false;
+  sched_.force_switch = false;
+  sched_.run_start_step = step_;
+  sched_.rng = Xoshiro256(sched_.policy.seed);
+
+  std::vector<std::uint32_t> runnable;  // fiber indices, ascending
+  runnable.reserve(fibers_.size());
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    if (!fibers_[i]->done) runnable.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::uint32_t last = ~0u;
+  std::size_t choice_cursor = 0;
+  while (!runnable.empty()) {
+    const std::size_t pos = pick_runnable(runnable, last, choice_cursor);
+    const std::uint32_t index = runnable[pos];
+    runnable.erase(runnable.begin() + static_cast<std::ptrdiff_t>(pos));
+    Fiber& f = *fibers_[index];
+    yield_threshold_ = 0;  // any charge returns control: access granularity
+    current_ = &f;
+    if (trace_on_) [[unlikely]] {
+      trace_buf_[static_cast<std::size_t>(f.core)].push_back(TraceEvent{
+          f.clock, static_cast<std::uint8_t>(f.core),
+          static_cast<std::uint8_t>(obs::EventCode::kRunBegin), 0, 0});
+    }
+    resume(f);
+    current_ = nullptr;
+    if (trace_on_) [[unlikely]] {
+      trace_buf_[static_cast<std::size_t>(f.core)].push_back(TraceEvent{
+          f.clock, static_cast<std::uint8_t>(f.core),
+          static_cast<std::uint8_t>(obs::EventCode::kRunEnd), 0, 0});
+    }
+    last = index;
+    if (!f.done) {
+      runnable.insert(std::lower_bound(runnable.begin(), runnable.end(), index),
+                      index);
+    }
+  }
+}
+
+std::size_t Simulation::min_clock_pos(
+    const std::vector<std::uint32_t>& runnable) const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < runnable.size(); ++i) {
+    if (fibers_[runnable[i]]->clock < fibers_[runnable[best]]->clock) best = i;
+  }
+  return best;  // ties break toward the lower fiber index (list is sorted)
+}
+
+std::size_t Simulation::pick_runnable(const std::vector<std::uint32_t>& runnable,
+                                      std::uint32_t last,
+                                      std::size_t& choice_cursor) {
+  const std::size_t n = runnable.size();
+  const bool force = sched_.force_switch;
+  sched_.force_switch = false;
+  if (n == 1) return 0;
+
+  // Livelock safety valve: past the step budget, stop exploring and drain
+  // the run with the deterministic policy (which always terminates).
+  const auto& sp = sched_.policy;
+  if (sp.max_steps != 0 && step_ - sched_.run_start_step > sp.max_steps) {
+    sched_.truncated = true;
+    return min_clock_pos(runnable);
+  }
+
+  switch (sp.mode) {
+    case SchedulePolicy::Mode::kDeterministic: {
+      // Reached only with adversarial hooks armed: min-clock picks, but a
+      // forced switch (tx begin) must leave the yielding fiber if possible.
+      std::size_t best = ~std::size_t{0};
+      for (std::size_t i = 0; i < n; ++i) {
+        if (force && runnable[i] == last) continue;
+        if (best == ~std::size_t{0} ||
+            fibers_[runnable[i]]->clock < fibers_[runnable[best]]->clock) {
+          best = i;
+        }
+      }
+      return best == ~std::size_t{0} ? 0 : best;
+    }
+    case SchedulePolicy::Mode::kRandom: {
+      std::size_t last_pos = n;  // position of the yielding fiber, if runnable
+      for (std::size_t i = 0; i < n; ++i) {
+        if (runnable[i] == last) {
+          last_pos = i;
+          break;
+        }
+      }
+      const bool preempt =
+          force || sched_.rng.next_bounded(100) < sp.preempt_pct;
+      if (!preempt && last_pos < n) return last_pos;
+      if (last_pos < n) {
+        // Uniform among the *other* fibers: a preemption means a switch.
+        const std::size_t k = sched_.rng.next_bounded(n - 1);
+        return k + (k >= last_pos ? 1 : 0);
+      }
+      return sched_.rng.next_bounded(n);
+    }
+    case SchedulePolicy::Mode::kSystematic: {
+      // Round-robin default: the smallest fiber index above the yielding
+      // fiber, wrapping — always a switch, so spin loops cannot starve the
+      // fiber they wait on.
+      std::size_t preferred = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (runnable[i] > last) {
+          preferred = i;
+          break;
+        }
+      }
+      std::size_t chosen = preferred;
+      if (choice_cursor < sp.choices.size()) {
+        chosen = std::min<std::size_t>(sp.choices[choice_cursor], n - 1);
+      }
+      ++choice_cursor;
+      sched_.decisions.push_back(ScheduleDecision{
+          static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(chosen),
+          static_cast<std::uint32_t>(preferred)});
+      return chosen;
+    }
+  }
+  return 0;
+}
+
+void Simulation::set_schedule_policy(SchedulePolicy p) {
+  EUNO_ASSERT_MSG(!running_, "set_schedule_policy during run() is not supported");
+  sched_.policy = std::move(p);
+  sched_.hooks_armed = sched_.policy.preempt_on_tx_begin ||
+                       sched_.policy.abort_storm_pct > 0;
+  sched_.rng = Xoshiro256(sched_.policy.seed);
+}
+
+void Simulation::sched_tx_begin_slow(int core) {
+  if (current_ == nullptr) return;
+  // Storm first: a doomed transaction never gets to run, so preempting it
+  // as well would only explore redundant schedules. Throws through the
+  // explicit-abort path; SimCtx::txn's catch handles it like any abort.
+  if (sched_.policy.abort_storm_pct > 0 &&
+      sched_.rng.next_bounded(100) < sched_.policy.abort_storm_pct) {
+    htm_->tx_abort_explicit(core, htm::xabort_code::kSchedulerInjected);
+  }
+  if (sched_.policy.preempt_on_tx_begin) {
+    sched_.force_switch = true;
+    yield_to_scheduler();
+  }
 }
 
 void Simulation::yield_to_scheduler() {

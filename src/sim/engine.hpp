@@ -49,7 +49,9 @@
 #include "sim/htm.hpp"
 #include "sim/machine.hpp"
 #include "sim/memmodel.hpp"
+#include "sim/schedule.hpp"
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 // Sanitizers cannot follow the raw _setjmp/_longjmp stack switches: TSan
 // loses the happens-before graph, and ASan's longjmp interceptor tries to
@@ -121,6 +123,12 @@ class Simulation {
     // uninstrumented: there are no in-flight transactions and no clock.
     Fiber* f = current_;
     if (f == nullptr) return;
+    // Global real-time axis: one tick per instrumented access. History
+    // recording (src/check) stamps operation invoke/response with this
+    // counter, which stays a valid execution order under every schedule
+    // policy (per-core clocks only order execution under the deterministic
+    // policy).
+    ++step_;
     const int core = f->core;
     htm_->check_doomed(core);
 
@@ -187,6 +195,36 @@ class Simulation {
   void enable_contention(obs::ContentionMap* map, obs::NodeRegistry* reg);
   obs::NodeRegistry* node_registry() { return node_registry_; }
 
+  // ---- schedule exploration (src/sim/schedule.hpp, src/check) ----
+
+  /// Install a schedule policy. Must be called before run(). The default
+  /// policy keeps the optimized deterministic heap scheduler; anything else
+  /// routes run() through the generic decision loop.
+  void set_schedule_policy(SchedulePolicy p);
+  const SchedulePolicy& schedule_policy() const { return sched_.policy; }
+
+  /// Monotone count of instrumented accesses — the global real-time axis of
+  /// the run under any schedule policy. Reading it never advances simulated
+  /// time (history recording is free in simulated cycles).
+  std::uint64_t global_step() const { return step_; }
+
+  /// Branch points recorded by the last run() in systematic mode, in
+  /// decision order (empty in other modes).
+  const std::vector<ScheduleDecision>& schedule_decisions() const {
+    return sched_.decisions;
+  }
+  /// True when the last run() hit SchedulePolicy::max_steps and fell back to
+  /// the deterministic policy to terminate.
+  bool schedule_truncated() const { return sched_.truncated; }
+
+  /// Called by SimCtx::txn right after a transaction begins: applies the
+  /// adversarial hooks (preempt-on-tx-begin yields; an abort storm throws
+  /// TxAbortException via the explicit-abort path). Inline no-op unless a
+  /// hook is armed, so the production txn path is untouched.
+  void sched_tx_begin(int core) {
+    if (sched_.hooks_armed) [[unlikely]] sched_tx_begin_slow(core);
+  }
+
   /// Internal: fiber trampoline target.
   void fiber_main(int index);
 
@@ -215,6 +253,16 @@ class Simulation {
 
   void yield_to_scheduler();
   void resume(Fiber& f);
+  void run_deterministic_loop();
+  void run_scheduled_loop();
+  /// Pick the next fiber among `runnable` (sorted by fiber index) under the
+  /// installed policy. `last` is the fiber index that just yielded (~0u at
+  /// the start of the run); `choice_cursor` advances through
+  /// policy.choices in systematic mode.
+  std::size_t pick_runnable(const std::vector<std::uint32_t>& runnable,
+                            std::uint32_t last, std::size_t& choice_cursor);
+  std::size_t min_clock_pos(const std::vector<std::uint32_t>& runnable) const;
+  void sched_tx_begin_slow(int core);
 
   MachineConfig cfg_;
   std::unique_ptr<SharedArena> arena_;
@@ -236,6 +284,20 @@ class Simulation {
   bool trace_on_ = false;
   std::vector<std::vector<TraceEvent>> trace_buf_;  // per core; see enable_trace
   obs::NodeRegistry* node_registry_ = nullptr;
+  std::uint64_t step_ = 0;  // instrumented accesses; see global_step()
+
+  /// Schedule-exploration state (cold: touched only by non-default policies
+  /// and the sched_tx_begin slow path).
+  struct SchedState {
+    SchedulePolicy policy{};
+    bool hooks_armed = false;   // preempt_on_tx_begin || abort_storm_pct
+    bool force_switch = false;  // next decision must leave the current fiber
+    bool truncated = false;
+    std::uint64_t run_start_step = 0;
+    Xoshiro256 rng{1};
+    std::vector<ScheduleDecision> decisions;
+  };
+  SchedState sched_;
 };
 
 /// The simulation owning the currently-executing fiber, if any (fiber-local

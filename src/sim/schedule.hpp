@@ -1,0 +1,85 @@
+// Schedule-exploration policies for the simulated multicore.
+//
+// The engine's default scheduler is the deterministic discrete-event policy
+// (always resume the fiber with the smallest simulated clock). For
+// correctness tooling — the linearizability harness in src/check — the
+// scheduler is pluggable: a SchedulePolicy installed before run() selects
+// which runnable fiber executes at every instrumented-access boundary.
+//
+//   kDeterministic  the production policy. With preempt_on_tx_begin or an
+//                   abort storm armed it runs through the generic decision
+//                   loop (min-clock picks at access granularity), otherwise
+//                   the engine keeps its optimized heap fast path untouched.
+//   kRandom         seeded random preemption at cache-line-access
+//                   granularity: at each access, with probability
+//                   preempt_pct%, control moves to a uniformly random
+//                   runnable fiber. Fully reproducible from `seed`.
+//   kSystematic     bounded systematic exploration: every decision point
+//                   with >1 runnable fiber is a branch point. The default
+//                   choice is round-robin (guarantees progress through spin
+//                   loops); `choices` replays an explicit branch-point
+//                   prefix, and every decision taken is recorded so a
+//                   driver (check::ScheduleExplorer) can enumerate the
+//                   schedule tree run by run.
+//
+// Adversarial add-ons, combinable with any mode:
+//   preempt_on_tx_begin  deschedule a fiber the moment it opens an HTM
+//                        transaction, maximizing the window for conflicts;
+//   abort_storm_pct      doom a freshly started transaction with this
+//                        probability (explicit abort, xabort_code
+//                        kSchedulerInjected), exercising retry budgets and
+//                        fallback-lock transitions.
+//
+// A policy string (to_string/parse) identifies a schedule completely; the
+// linearizability checker prints it with every counterexample so a failure
+// replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace euno::sim {
+
+/// One recorded branch point of a systematic-mode run: `arity` runnable
+/// fibers existed, `chosen` (an index into the spawn-ordered runnable list)
+/// ran, and `preferred` is what the round-robin default would have picked.
+struct ScheduleDecision {
+  std::uint32_t arity = 0;
+  std::uint32_t chosen = 0;
+  std::uint32_t preferred = 0;
+};
+
+struct SchedulePolicy {
+  enum class Mode : std::uint8_t { kDeterministic = 0, kRandom = 1, kSystematic = 2 };
+
+  Mode mode = Mode::kDeterministic;
+  /// Seed for every stochastic draw (random-mode picks, abort storms).
+  std::uint64_t seed = 1;
+  /// kRandom: % chance at each access that the running fiber is preempted.
+  std::uint32_t preempt_pct = 100;
+  /// Force a scheduling decision (away from the current fiber) at tx begin.
+  bool preempt_on_tx_begin = false;
+  /// % chance a freshly begun transaction is doomed on the spot (0 = off).
+  std::uint32_t abort_storm_pct = 0;
+  /// kSystematic: branch-point choice prefix to replay; decisions beyond the
+  /// prefix take the round-robin default.
+  std::vector<std::uint32_t> choices;
+  /// Safety valve for exploration livelocks: after this many global steps in
+  /// one run() the scheduler reverts to the deterministic min-clock policy
+  /// (0 = unlimited). The run completes and is flagged truncated.
+  std::uint64_t max_steps = 0;
+
+  bool deterministic_default() const {
+    return mode == Mode::kDeterministic && !preempt_on_tx_begin &&
+           abort_storm_pct == 0;
+  }
+
+  /// Compact one-line descriptor, e.g. "rand,seed=7,preempt=60,txp=1,storm=20"
+  /// or "sys,choices=0.2.1". parse() inverts it (returns nullopt on garbage).
+  std::string to_string() const;
+  static std::optional<SchedulePolicy> parse(const std::string& s);
+};
+
+}  // namespace euno::sim

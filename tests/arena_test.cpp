@@ -1,0 +1,91 @@
+// SharedArena size-class boundary tests.
+//
+// The class map is 64-byte-granular up to 2 KiB and power-of-two above, up
+// to 128 MiB; allocations charge the full class size. The tests pin the
+// exact edges (64 B, 2 KiB, 2 KiB + 64, 128 MiB) and the round-trip
+// invariant class_of(bytes_of(c)) == c for every class — the latter is what
+// caught an off-by-one that pushed every above-linear allocation one class
+// (2x) too high and made 128 MiB unrepresentable.
+#include <gtest/gtest.h>
+
+#include "sim/arena.hpp"
+#include "sim/line.hpp"
+
+namespace euno::sim {
+namespace {
+
+TEST(ArenaSizeClass, LinearRegionEdges) {
+  EXPECT_EQ(SharedArena::size_class_of(64), 0);
+  EXPECT_EQ(SharedArena::class_bytes(0), 64u);
+  EXPECT_EQ(SharedArena::size_class_of(128), 1);
+  EXPECT_EQ(SharedArena::size_class_of(2048 - 64), SharedArena::kLinearClasses - 2);
+  EXPECT_EQ(SharedArena::size_class_of(2048), SharedArena::kLinearClasses - 1);
+  EXPECT_EQ(SharedArena::class_bytes(SharedArena::kLinearClasses - 1), 2048u);
+}
+
+TEST(ArenaSizeClass, PowerOfTwoRegionEdges) {
+  // First size above the linear region lands in the first pow2 class (4 KiB).
+  EXPECT_EQ(SharedArena::size_class_of(2048 + 64), SharedArena::kLinearClasses);
+  EXPECT_EQ(SharedArena::class_bytes(SharedArena::kLinearClasses), 4096u);
+  EXPECT_EQ(SharedArena::size_class_of(4096), SharedArena::kLinearClasses);
+  EXPECT_EQ(SharedArena::size_class_of(4096 + 64), SharedArena::kLinearClasses + 1);
+  EXPECT_EQ(SharedArena::class_bytes(SharedArena::kLinearClasses + 1), 8192u);
+  // The documented ceiling: 128 MiB maps to the last class exactly.
+  EXPECT_EQ(SharedArena::size_class_of(128ull << 20),
+            SharedArena::kNumSizeClasses - 1);
+  EXPECT_EQ(SharedArena::class_bytes(SharedArena::kNumSizeClasses - 1),
+            128ull << 20);
+}
+
+TEST(ArenaSizeClass, RoundTripEveryClass) {
+  for (int cls = 0; cls < SharedArena::kNumSizeClasses; ++cls) {
+    const std::size_t bytes = SharedArena::class_bytes(cls);
+    EXPECT_EQ(SharedArena::size_class_of(bytes), cls) << "bytes=" << bytes;
+    // The class size is also the largest size mapping to the class: one more
+    // cache line spills into the next class.
+    if (cls + 1 < SharedArena::kNumSizeClasses) {
+      EXPECT_EQ(SharedArena::size_class_of(bytes + 64), cls + 1)
+          << "bytes=" << bytes;
+    }
+  }
+}
+
+TEST(ArenaSizeClass, ClassSizesStrictlyIncrease) {
+  for (int cls = 1; cls < SharedArena::kNumSizeClasses; ++cls) {
+    EXPECT_GT(SharedArena::class_bytes(cls), SharedArena::class_bytes(cls - 1));
+  }
+}
+
+TEST(ArenaAlloc, ChargesFullClassAndRecycles) {
+  SharedArena arena(16ull << 20);
+  // 100 B rounds to 128 B (class 1): in_use charges the class size.
+  void* a = arena.alloc(100, MemClass::kTreeMisc, LineKind::kOther);
+  EXPECT_EQ(arena.bytes_in_use(), 128u);
+  // 3000 B rounds to 3008 B -> first pow2 class (4 KiB).
+  void* b = arena.alloc(3000, MemClass::kTreeMisc, LineKind::kOther);
+  EXPECT_EQ(arena.bytes_in_use(), 128u + 4096u);
+  arena.free(b, 3000, MemClass::kTreeMisc);
+  EXPECT_EQ(arena.bytes_in_use(), 128u);
+  // Same class again: the free list must hand the block back, not bump.
+  const std::uint64_t high = arena.high_water();
+  void* b2 = arena.alloc(2500, MemClass::kTreeMisc, LineKind::kOther);
+  EXPECT_EQ(b2, b);
+  EXPECT_EQ(arena.high_water(), high);
+  arena.free(b2, 2500, MemClass::kTreeMisc);
+  arena.free(a, 100, MemClass::kTreeMisc);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+}
+
+TEST(ArenaAlloc, LargeClassAllocationWorks) {
+  SharedArena arena(64ull << 20);
+  // A multi-MiB allocation must be representable (the old off-by-one made
+  // anything needing the last class trip the class-count assert).
+  void* p = arena.alloc(3ull << 20, MemClass::kTreeMisc, LineKind::kOther);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(arena.bytes_in_use(), 4ull << 20);  // rounded up to 4 MiB class
+  arena.free(p, 3ull << 20, MemClass::kTreeMisc);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace euno::sim

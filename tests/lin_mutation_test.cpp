@@ -1,0 +1,103 @@
+// Checker self-test: a deliberately broken tree MUST be flagged.
+//
+// This translation unit is compiled with EUNO_LIN_MUTATION_SKIP_SEQ_RECHECK
+// (see tests/CMakeLists.txt), which makes EunoBPTree's get path skip the
+// leaf-seqno re-validation — the exact defense against reading a leaf that
+// split underneath the lookup. The harness header instantiates the mutated
+// tree inside this TU only (the euno_check library contains no tree code),
+// so no other binary ever links the broken variant.
+//
+// Under the split-race pattern a reader's get then occasionally misses a
+// preloaded key that was never erased: a linearizability violation the
+// checker must report, with a seed+schedule that replays it exactly.
+#include "check/harness.hpp"
+#include "repro_main.hpp"
+
+#ifndef EUNO_LIN_MUTATION_SKIP_SEQ_RECHECK
+#error "lin_mutation_test must be compiled with EUNO_LIN_MUTATION_SKIP_SEQ_RECHECK"
+#endif
+
+namespace euno::tests {
+namespace {
+
+using check::LinKind;
+using check::LinPattern;
+using check::LinRun;
+using check::LinSpec;
+
+LinSpec mutation_spec(std::uint64_t sched_seed) {
+  LinSpec spec;
+  spec.kind = LinKind::kEunoS4;  // markbit config: both mutated sites active
+  spec.pattern = LinPattern::kSplitRace;
+  // 1 writer + 3 readers, with preloaded even keys spread across the whole
+  // insert range so nearly every split moves keys the readers are chasing.
+  // Splits keep the left leaf's marks as a conservative superset, so a
+  // reader's get on a moved-out key reaches the lower transaction — whose
+  // skipped seqno re-check is exactly the seeded bug.
+  spec.threads = 4;
+  spec.ops_per_thread = 120;
+  spec.preload = 40;
+  spec.workload_seed = 5;
+  spec.sched.mode = sim::SchedulePolicy::Mode::kRandom;
+  spec.sched.seed = sched_seed;
+  spec.sched.preempt_pct = 100;
+  return spec;
+}
+
+TEST(LinMutation, BrokenSeqRecheckIsFlaggedAndReplayable) {
+  // Sweep schedule seeds until the race window is actually hit — the
+  // mutation only misbehaves when a split lands inside a lookup.
+  std::optional<LinSpec> violating;
+  for (std::uint64_t seed = 1; seed <= 60 && !violating; ++seed) {
+    const LinSpec spec = mutation_spec(seed);
+    const LinRun run = run_lin(spec);
+    if (!run.check.ok) violating = spec;
+  }
+  ASSERT_TRUE(violating.has_value())
+      << "no schedule seed in 1..60 exposed the seeded mutation — the "
+         "checker or the adversarial scheduler lost its teeth";
+  repro_extra() = "# replay: " + check::lin_repro_line(*violating);
+
+  // The counterexample must replay deterministically: same spec, same
+  // violation, twice.
+  const LinRun a = run_lin(*violating);
+  const LinRun b = run_lin(*violating);
+  ASSERT_FALSE(a.check.ok) << "replay lost the violation";
+  ASSERT_FALSE(b.check.ok) << "second replay lost the violation";
+  ASSERT_FALSE(a.check.violations.empty());
+  ASSERT_EQ(a.check.violations.size(), b.check.violations.size());
+  EXPECT_EQ(a.check.violations[0].key, b.check.violations[0].key);
+  EXPECT_EQ(a.check.violations[0].segment_index,
+            b.check.violations[0].segment_index);
+
+  // The violation is a vanished preloaded key: preloads are even keys that
+  // are never erased, and the shrunk core names the impossible read.
+  const auto& v = a.check.violations[0];
+  EXPECT_EQ(v.key % 2, 0u) << "expected a preloaded (even) key";
+  EXPECT_FALSE(v.core.empty());
+  const std::string text = check::describe_violation(v);
+  EXPECT_NE(text.find("violation on key"), std::string::npos);
+
+  // And the printed spec string round-trips for the --replay flow.
+  const auto parsed = LinSpec::parse(violating->to_string());
+  ASSERT_TRUE(parsed.has_value());
+  const LinRun c = run_lin(*parsed);
+  EXPECT_FALSE(c.check.ok) << "parsed replay spec lost the violation";
+}
+
+// The mutation must not fire on the deterministic scheduler's serial-ish
+// interleavings *every* time — but whatever it produces, the checker result
+// itself must stay deterministic for a fixed spec.
+TEST(LinMutation, CheckerVerdictIsDeterministicPerSpec) {
+  const LinSpec spec = mutation_spec(3);
+  const LinRun a = run_lin(spec);
+  const LinRun b = run_lin(spec);
+  EXPECT_EQ(a.check.ok, b.check.ok);
+  EXPECT_EQ(a.check.violations.size(), b.check.violations.size());
+  EXPECT_EQ(a.history.size(), b.history.size());
+}
+
+}  // namespace
+}  // namespace euno::tests
+
+EUNO_TEST_MAIN_WITH_REPRO()

@@ -1,0 +1,184 @@
+// Linearizability sweep: every tree kind under the schedule-exploration
+// policies (deterministic, seeded-random preemption, preempt-on-tx-begin,
+// abort-storm injection), histories checked by src/check. Plus determinism
+// of replay (same spec => identical history) and a bounded systematic
+// exploration on a tiny configuration.
+#include <vector>
+
+#include "check/harness.hpp"
+#include "check/explore.hpp"
+#include "repro_main.hpp"
+
+namespace euno::tests {
+namespace {
+
+using check::LinKind;
+using check::LinPattern;
+using check::LinRun;
+using check::LinSpec;
+using sim::SchedulePolicy;
+
+SchedulePolicy rand_policy(std::uint64_t seed, std::uint32_t preempt_pct = 100,
+                           bool txp = false, std::uint32_t storm = 0) {
+  SchedulePolicy p;
+  p.mode = SchedulePolicy::Mode::kRandom;
+  p.seed = seed;
+  p.preempt_pct = preempt_pct;
+  p.preempt_on_tx_begin = txp;
+  p.abort_storm_pct = storm;
+  return p;
+}
+
+std::vector<LinSpec> lin_params() {
+  std::vector<LinSpec> specs;
+  for (const LinKind kind : check::kAllLinKinds) {
+    // Deterministic heap scheduler (the production interleaving).
+    {
+      LinSpec s;
+      s.kind = kind;
+      specs.push_back(s);
+    }
+    // Seeded random preemption at access granularity.
+    {
+      LinSpec s;
+      s.kind = kind;
+      s.sched = rand_policy(7);
+      specs.push_back(s);
+    }
+    // Adversarial: deschedule every fiber right after tx begin, plus a
+    // moderate random-preemption background.
+    {
+      LinSpec s;
+      s.kind = kind;
+      s.sched = rand_policy(11, 60, /*txp=*/true);
+      specs.push_back(s);
+    }
+    // Abort-storm injection: 25% of transaction begins are doomed on the
+    // spot, pushing every tree through its retry and fallback paths.
+    {
+      LinSpec s;
+      s.kind = kind;
+      s.sched = rand_policy(13, 40, /*txp=*/false, /*storm=*/25);
+      specs.push_back(s);
+    }
+    // Split-race pattern: readers chase a writer that splits leaves.
+    {
+      LinSpec s;
+      s.kind = kind;
+      s.pattern = LinPattern::kSplitRace;
+      s.preload = 12;
+      s.ops_per_thread = 48;
+      s.sched = rand_policy(17);
+      specs.push_back(s);
+    }
+  }
+  // Adaptive-enabled Euno variants (full() config: lockbits + adaptation).
+  for (const LinKind kind : {LinKind::kEunoS2, LinKind::kEunoS4}) {
+    LinSpec s;
+    s.kind = kind;
+    s.adaptive = true;
+    s.sched = rand_policy(19, 80, /*txp=*/true);
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+class LinCheck : public ::testing::TestWithParam<LinSpec> {};
+
+TEST_P(LinCheck, HistoryIsLinearizable) {
+  const LinSpec& spec = GetParam();
+  repro_extra() = "# replay: " + check::lin_repro_line(spec);
+  const LinRun run = run_lin(spec);
+  ASSERT_FALSE(run.history.empty());
+  EXPECT_TRUE(run.check.complete)
+      << "segment cap exceeded; checker result is partial";
+  EXPECT_FALSE(run.truncated) << "scheduler hit the max_steps valve";
+  std::string detail;
+  for (const auto& v : run.check.violations) detail += describe_violation(v);
+  EXPECT_TRUE(run.check.ok) << detail << check::lin_repro_line(spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrees, LinCheck, ::testing::ValuesIn(lin_params()),
+                         [](const ::testing::TestParamInfo<LinSpec>& info) {
+                           return info.param.name();
+                         });
+
+TEST(LinDeterminism, SameSpecSameHistory) {
+  LinSpec spec;
+  spec.kind = LinKind::kEunoS4;
+  spec.sched = rand_policy(23, 90, /*txp=*/true, /*storm=*/10);
+  repro_extra() = "# replay: " + check::lin_repro_line(spec);
+  const LinRun a = run_lin(spec);
+  const LinRun b = run_lin(spec);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const auto& x = a.history[i];
+    const auto& y = b.history[i];
+    ASSERT_EQ(x.inv, y.inv) << "event " << i;
+    ASSERT_EQ(x.res, y.res) << "event " << i;
+    ASSERT_EQ(x.op, y.op) << "event " << i;
+    ASSERT_EQ(x.core, y.core) << "event " << i;
+    ASSERT_EQ(x.key, y.key) << "event " << i;
+    ASSERT_EQ(x.value, y.value) << "event " << i;
+    ASSERT_EQ(x.found, y.found) << "event " << i;
+    ASSERT_EQ(x.scan_out, y.scan_out) << "event " << i;
+  }
+}
+
+TEST(LinDeterminism, SpecStringRoundTrips) {
+  LinSpec spec;
+  spec.kind = LinKind::kHtmMasstree;
+  spec.adaptive = false;
+  spec.pattern = LinPattern::kSplitRace;
+  spec.threads = 2;
+  spec.ops_per_thread = 9;
+  spec.workload_seed = 99;
+  spec.sched = rand_policy(5, 33, true, 7);
+  const auto parsed = LinSpec::parse(spec.to_string());
+  ASSERT_TRUE(parsed.has_value()) << spec.to_string();
+  EXPECT_EQ(parsed->to_string(), spec.to_string());
+}
+
+// Bounded systematic exploration of a tiny configuration: 2 fibers, a few
+// ops on one hot key pair. Every explored interleaving must linearize, and
+// the explorer must actually deviate from the default schedule.
+TEST(LinExplore, SystematicTinyConfigAllSchedulesLinearize) {
+  LinSpec spec;
+  spec.kind = LinKind::kEunoS2;
+  spec.threads = 2;
+  spec.ops_per_thread = 3;
+  spec.key_range = 2;
+  spec.preload = 1;
+  spec.sched.mode = SchedulePolicy::Mode::kSystematic;
+  spec.sched.max_steps = 200000;
+  repro_extra() = "# replay: " + check::lin_repro_line(spec);
+
+  check::ExploreOptions eo;
+  eo.max_preemptions = 1;
+  eo.max_schedules = 48;
+  check::ScheduleExplorer explorer(eo);
+  std::uint64_t runs = 0;
+  std::uint64_t deviating_runs = 0;
+  while (auto prefix = explorer.next()) {
+    LinSpec s = spec;
+    s.sched.choices = *prefix;
+    if (!prefix->empty()) ++deviating_runs;
+    const LinRun run = run_lin(s);
+    std::string detail;
+    for (const auto& v : run.check.violations) detail += describe_violation(v);
+    ASSERT_TRUE(run.check.ok)
+        << detail << "choices prefix len " << prefix->size() << "\n"
+        << check::lin_repro_line(s);
+    EXPECT_FALSE(run.truncated);
+    explorer.report(run.decisions);
+    ++runs;
+  }
+  EXPECT_EQ(runs, explorer.schedules_started());
+  EXPECT_GE(runs, 2u) << "explorer never left the default schedule";
+  EXPECT_GE(deviating_runs, 1u);
+}
+
+}  // namespace
+}  // namespace euno::tests
+
+EUNO_TEST_MAIN_WITH_REPRO()

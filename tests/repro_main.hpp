@@ -1,0 +1,57 @@
+// Repro-line test main: on any test failure, print a single copy-pastable
+// command that reruns exactly that test — binary, --gtest_filter, and
+// whatever extra context (seed, param string, replay spec) the test body
+// registered via repro_extra().
+//
+// Use in place of gtest_main:
+//   #include "repro_main.hpp"
+//   ... TESTs ...
+//   EUNO_TEST_MAIN_WITH_REPRO()
+// and in parameterized bodies:
+//   euno::tests::repro_extra() = "# replay: " + lin_repro_line(spec);
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace euno::tests {
+
+/// Extra context appended to the failing test's repro line. Cleared before
+/// every test; set it early in the body (before any assertion can fail).
+inline std::string& repro_extra() {
+  static std::string s;
+  return s;
+}
+
+inline const char*& repro_argv0() {
+  static const char* a = "<binary>";
+  return a;
+}
+
+class ReproListener : public ::testing::EmptyTestEventListener {
+  void OnTestStart(const ::testing::TestInfo&) override { repro_extra().clear(); }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    const auto* result = info.result();
+    if (result == nullptr || !result->Failed()) return;
+    std::fprintf(stderr, "REPRO: %s --gtest_filter=%s.%s%s%s\n", repro_argv0(),
+                 info.test_suite_name(), info.name(),
+                 repro_extra().empty() ? "" : "  ", repro_extra().c_str());
+  }
+};
+
+inline int run_all_tests_with_repro(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  repro_argv0() = argv[0];
+  ::testing::UnitTest::GetInstance()->listeners().Append(new ReproListener);
+  return RUN_ALL_TESTS();
+}
+
+}  // namespace euno::tests
+
+#define EUNO_TEST_MAIN_WITH_REPRO()                             \
+  int main(int argc, char** argv) {                             \
+    return euno::tests::run_all_tests_with_repro(argc, argv);   \
+  }

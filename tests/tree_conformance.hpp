@@ -99,6 +99,113 @@ void run_oracle_workload(Tree& tree, Ctx& c, std::uint64_t seed, int ops,
   }
 }
 
+/// Range/scan boundary conformance: a fixed shape with a dense block (with
+/// modulo holes), an erased band spanning several leaves, and a sparse far
+/// block — then scans aimed exactly at the edges: before the first key, on a
+/// present key, into the erased gap, between the blocks, on/after the last
+/// key, and with a limit that exactly matches the remaining population.
+/// Every scan is checked against a std::map oracle (lower_bound semantics,
+/// sorted output, and "short result implies end of tree").
+template <class Tree, class Ctx>
+void run_scan_boundary_workload(Tree& tree, Ctx& c) {
+  std::map<Key, Value> oracle;
+  for (Key k = 10; k < 300; ++k) {
+    if (k % 3 == 0) continue;  // holes inside the dense block
+    tree.put(c, k, k ^ 0xabcu);
+    oracle[k] = k ^ 0xabcu;
+  }
+  for (Key k = 1000; k < 1400; k += 7) {
+    tree.put(c, k, k * 5 + 1);
+    oracle[k] = k * 5 + 1;
+  }
+  for (Key k = 100; k < 160; ++k) {  // erase a band across leaf boundaries
+    tree.erase(c, k);
+    oracle.erase(k);
+  }
+
+  std::vector<KV> buf(600);
+  const auto check_scan = [&](Key start, std::size_t limit) {
+    ASSERT_LE(limit, buf.size());
+    const std::size_t n = tree.scan(c, start, limit, buf.data());
+    ASSERT_LE(n, limit) << "start=" << start;
+    auto it = oracle.lower_bound(start);
+    for (std::size_t j = 0; j < n; ++j, ++it) {
+      ASSERT_NE(it, oracle.end()) << "start=" << start << " pos=" << j;
+      ASSERT_EQ(buf[j].first, it->first) << "start=" << start << " pos=" << j;
+      ASSERT_EQ(buf[j].second, it->second) << "start=" << start;
+      if (j > 0) ASSERT_GT(buf[j].first, buf[j - 1].first) << "unsorted scan";
+    }
+    if (n < limit) {
+      ASSERT_EQ(it, oracle.end()) << "short scan must mean end, start=" << start;
+    }
+  };
+
+  check_scan(0, 1);            // strictly before the first key
+  check_scan(0, buf.size());   // the whole tree in one call
+  check_scan(10, 1);           // exactly the first key
+  check_scan(99, 8);           // last key before the erased band
+  check_scan(100, 8);          // first erased key -> resumes after the gap
+  check_scan(159, 8);          // last erased key
+  check_scan(160, 8);          // first key after the gap
+  check_scan(299, 4);          // dense block's upper edge
+  check_scan(300, 4);          // between the blocks
+  check_scan(1393, 4);         // the last key itself
+  check_scan(1394, 4);         // past the last key -> empty
+  check_scan(~0ull, 4);        // maximal start key
+  check_scan(1000, oracle.size());  // limit == exact remaining population
+  tree.check_invariants();
+}
+
+/// Chunked full-table sweep under simulation: scan the whole tree in chunks
+/// of several sizes (including 1), resuming each chunk at last_key + 1, and
+/// require the concatenation to equal the oracle exactly. Exercises the
+/// cross-leaf resume path that single-shot scans never hit.
+template <class Adapter>
+void run_scan_chunk_sweep_sim(std::uint64_t seed) {
+  sim::Simulation simulation(test_sim_config());
+  ctx::SimCtx c(simulation, 0);
+  auto tree = Adapter::make(c);
+
+  std::map<Key, Value> oracle;
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 3000; ++i) {
+    const Key k = rng.next_bounded(5000);
+    if (rng.next_bounded(4) == 0) {
+      tree.erase(c, k);
+      oracle.erase(k);
+    } else {
+      const Value v = rng.next();
+      tree.put(c, k, v);
+      oracle[k] = v;
+    }
+  }
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                                  std::size_t{16}, std::size_t{33},
+                                  std::size_t{128}}) {
+    std::vector<KV> buf(chunk);
+    Key start = 0;
+    std::size_t total = 0;
+    auto it = oracle.begin();
+    for (;;) {
+      const std::size_t n = tree.scan(c, start, chunk, buf.data());
+      for (std::size_t j = 0; j < n; ++j, ++it) {
+        ASSERT_NE(it, oracle.end()) << "chunk=" << chunk;
+        ASSERT_EQ(buf[j].first, it->first) << "chunk=" << chunk;
+        ASSERT_EQ(buf[j].second, it->second) << "chunk=" << chunk;
+      }
+      total += n;
+      if (n < chunk) break;
+      if (buf[n - 1].first == ~0ull) break;
+      start = buf[n - 1].first + 1;
+    }
+    ASSERT_EQ(it, oracle.end()) << "chunk=" << chunk;
+    ASSERT_EQ(total, oracle.size()) << "chunk=" << chunk;
+  }
+  tree.check_invariants();
+  tree.destroy(c);
+}
+
 /// Concurrent stress under simulation: `threads` fibers, each owning a
 /// disjoint key stripe (for exact verification) plus a shared hot set (for
 /// contention). Afterwards every striped key must be present with its final
@@ -271,6 +378,16 @@ void run_native_concurrent_stress(int threads, int ops_per_thread,
       ASSERT_TRUE(tree.get(c, k, &v));                                             \
     }                                                                              \
     tree.destroy(c);                                                               \
+  }                                                                                \
+  TEST(SuiteName, ScanBoundaryNative) {                                            \
+    ctx::NativeEnv env;                                                            \
+    ctx::NativeCtx c(env, 0);                                                      \
+    auto tree = NativeAdapter::make(c);                                            \
+    euno::tests::run_scan_boundary_workload(tree, c);                              \
+    tree.destroy(c);                                                               \
+  }                                                                                \
+  TEST(SuiteName, ScanChunkedSweepSim) {                                           \
+    euno::tests::run_scan_chunk_sweep_sim<SimAdapter>(404);                        \
   }                                                                                \
   TEST(SuiteName, SimConcurrentStress) {                                           \
     euno::tests::run_sim_concurrent_stress<SimAdapter>(8, 400, 64, 42);            \

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "core/euno_tree.hpp"
+#include "repro_main.hpp"
 #include "tree_conformance.hpp"
 #include "trees/htmbtree/htm_bptree.hpp"
 #include "trees/olc/olc_bptree.hpp"
@@ -96,6 +97,7 @@ class TreeProperty : public ::testing::TestWithParam<PropertyParam> {};
 
 TEST_P(TreeProperty, OracleAgreesWithStdMap) {
   const auto& p = GetParam();
+  repro_extra() = "# param: " + p.name() + " seed=" + std::to_string(p.seed);
   ctx::NativeEnv env;
   ctx::NativeCtx c(env, 0);
   auto tree = make_any(c, p);
@@ -145,6 +147,7 @@ TEST_P(TreeProperty, OracleAgreesWithStdMap) {
 
 TEST_P(TreeProperty, SimConcurrencyPreservesInvariants) {
   const auto& p = GetParam();
+  repro_extra() = "# param: " + p.name() + " seed=" + std::to_string(p.seed);
   sim::Simulation simulation(test_sim_config());
   ctx::SimCtx setup(simulation, 0);
   auto tree = make_any(setup, p);
@@ -212,3 +215,5 @@ INSTANTIATE_TEST_SUITE_P(AllTrees, TreeProperty,
 
 }  // namespace
 }  // namespace euno::tests
+
+EUNO_TEST_MAIN_WITH_REPRO()
