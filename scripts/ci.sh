@@ -3,10 +3,14 @@
 #
 #   scripts/ci.sh default   # release-ish build, full test suite
 #   scripts/ci.sh tsan      # ThreadSanitizer build, thread-heavy suites only
+#   scripts/ci.sh asan      # AddressSanitizer build, fault-campaign suites
 #
 # The tsan job rebuilds with -DEUNO_TSAN=ON and runs the `parallel` label
 # (the OS-thread sweep runner) plus the `lin` label (the linearizability
 # suite, whose lin_explore fixture fans runs out across threads via --jobs).
+# The asan job rebuilds with -DEUNO_ASAN=ON and runs the `fault` label (the
+# HTM fault-injection campaigns and the hardened retry/fallback paths, whose
+# abort/rollback churn is exactly where lifetime bugs would hide).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,8 +27,13 @@ case "$job" in
     cmake --build build-tsan -j
     ctest --test-dir build-tsan --output-on-failure -L "parallel|lin"
     ;;
+  asan)
+    cmake -B build-asan -S . -DEUNO_ASAN=ON
+    cmake --build build-asan -j
+    ctest --test-dir build-asan --output-on-failure -L "fault"
+    ;;
   *)
-    echo "usage: $0 [default|tsan]" >&2
+    echo "usage: $0 [default|tsan|asan]" >&2
     exit 2
     ;;
 esac

@@ -87,6 +87,10 @@ inline const char* lin_pattern_name(LinPattern p) {
 struct LinSpec {
   LinKind kind = LinKind::kEunoS4;
   bool adaptive = false;  // Euno kinds: full() config instead of with_markbits()
+  /// Run under the hardened retry policy with a hair-trigger HTM-health
+  /// monitor (any abort in a full window degrades the tree to lock-only), so
+  /// the run exercises a mid-run degradation flip under the checker.
+  bool degrade = false;
   LinPattern pattern = LinPattern::kUniformMix;
   int threads = 3;
   int ops_per_thread = 40;
@@ -103,6 +107,7 @@ struct LinSpec {
     s += "kind=";
     s += lin_kind_name(kind);
     s += adaptive ? ";adaptive=1" : "";
+    s += degrade ? ";degrade=1" : "";
     s += ";pattern=";
     s += lin_pattern_name(pattern);
     s += ";threads=" + std::to_string(threads);
@@ -137,6 +142,8 @@ struct LinSpec {
         spec.kind = *k;
       } else if (key == "adaptive") {
         spec.adaptive = val == "1";
+      } else if (key == "degrade") {
+        spec.degrade = val == "1";
       } else if (key == "pattern") {
         if (val == "mix") spec.pattern = LinPattern::kUniformMix;
         else if (val == "splitrace") spec.pattern = LinPattern::kSplitRace;
@@ -213,20 +220,29 @@ AnyLinTree wrap_lin_tree(std::shared_ptr<Tree> t) {
   return a;
 }
 
-inline AnyLinTree make_lin_tree(ctx::SimCtx& c, LinKind kind, bool adaptive) {
+inline AnyLinTree make_lin_tree(ctx::SimCtx& c, LinKind kind, bool adaptive,
+                                const htm::RetryPolicy& policy = {}) {
   using Ctx = ctx::SimCtx;
   using trees::HtmBPTree;
   using trees::OlcBPTree;
   core::EunoConfig cfg =
       adaptive ? core::EunoConfig::full() : core::EunoConfig::with_markbits();
+  cfg.policy = policy;
   switch (kind) {
-    case LinKind::kBaseline:
-      return wrap_lin_tree(std::make_shared<HtmBPTree<Ctx>>(c));
-    case LinKind::kOlc:
-      return wrap_lin_tree(std::make_shared<OlcBPTree<Ctx>>(c));
+    case LinKind::kBaseline: {
+      typename HtmBPTree<Ctx>::Options opt;
+      opt.policy = policy;
+      return wrap_lin_tree(std::make_shared<HtmBPTree<Ctx>>(c, opt));
+    }
+    case LinKind::kOlc: {
+      typename OlcBPTree<Ctx>::Options opt;
+      opt.policy = policy;
+      return wrap_lin_tree(std::make_shared<OlcBPTree<Ctx>>(c, opt));
+    }
     case LinKind::kHtmMasstree: {
       typename OlcBPTree<Ctx>::Options opt;
       opt.htm_elide = true;
+      opt.policy = policy;
       return wrap_lin_tree(std::make_shared<OlcBPTree<Ctx>>(c, opt));
     }
     case LinKind::kEunoS1:
@@ -258,7 +274,19 @@ struct LinRun {
   std::vector<sim::ScheduleDecision> decisions;
   bool truncated = false;
   std::uint64_t max_clock = 0;
+  /// HTM-health degradation flips observed across all cores (spec.degrade).
+  std::uint64_t degradations = 0;
 };
+
+/// The policy a degrade run executes under: hardened retry path plus a
+/// hair-trigger health monitor — with min_commit_pct at 100, the first
+/// window containing any abort flips the tree to lock-only mode.
+inline htm::RetryPolicy lin_degrade_policy() {
+  htm::RetryPolicy p = htm::RetryPolicy::hardened();
+  p.health_window = 16;
+  p.health_min_commit_pct = 100;
+  return p;
+}
 
 /// Execute one run: build the tree, preload, run the per-core workload under
 /// spec.sched recording the history, then check it. Also runs the tree's own
@@ -269,8 +297,11 @@ inline LinRun run_lin(const LinSpec& spec) {
   sim::Simulation simulation(mc);
   simulation.set_schedule_policy(spec.sched);
   ctx::SimCtx setup(simulation, 0);
-  AnyLinTree tree = make_lin_tree(setup, spec.kind, spec.adaptive);
+  const htm::RetryPolicy policy =
+      spec.degrade ? lin_degrade_policy() : htm::RetryPolicy{};
+  AnyLinTree tree = make_lin_tree(setup, spec.kind, spec.adaptive, policy);
   HistoryRecorder rec(spec.threads);
+  std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
 
   // kSplitRace places preloads at even slots so the writer can insert the
   // odd keys between them; kUniformMix preloads a prefix of the hot range.
@@ -288,7 +319,7 @@ inline LinRun run_lin(const LinSpec& spec) {
   auto next_insert = std::make_shared<std::uint64_t>(1);
 
   for (int t = 0; t < spec.threads; ++t) {
-    simulation.spawn(t, [&simulation, &tree, &rec, &spec, next_insert,
+    simulation.spawn(t, [&simulation, &tree, &rec, &spec, &stats, next_insert,
                          split_race, t](int core) {
       ctx::SimCtx c(simulation, core);
       Xoshiro256 rng(spec.workload_seed * 1000003 + static_cast<std::uint64_t>(t));
@@ -353,11 +384,13 @@ inline LinRun run_lin(const LinSpec& spec) {
         }
         rec.record(core, std::move(ev));
       }
+      stats[static_cast<std::size_t>(t)] = c.stats();
     });
   }
   simulation.run();
 
   LinRun out;
+  for (const auto& s : stats) out.degradations += s.total().degradations;
   out.history = rec.merged();
   out.decisions = simulation.schedule_decisions();
   out.truncated = simulation.schedule_truncated();

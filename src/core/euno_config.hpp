@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "htm/policy.hpp"
 
@@ -29,6 +31,34 @@ struct EunoConfig {
   std::uint32_t adapt_window = 32;        // ops per adaptive decision window
   std::uint32_t adapt_high_pct = 15;      // >= this abort % → high contention
   std::uint64_t rebalance_threshold = ~0ull;  // deletes before auto-rebalance
+
+  /// Reject configurations that would misbehave silently (negative retry
+  /// budgets, a zero-length adaptive window, percentages out of range).
+  /// Tree constructors call this, so a bad config fails fast with a clear
+  /// message instead of corrupting a run.
+  void validate() const {
+    policy.validate();
+    if (sched_retries < 0) {
+      throw std::invalid_argument(
+          "EunoConfig: sched_retries must be >= 0 (got " +
+          std::to_string(sched_retries) + ")");
+    }
+    if (near_full_pct < 0 || near_full_pct > 100) {
+      throw std::invalid_argument(
+          "EunoConfig: near_full_pct must be in [0, 100] (got " +
+          std::to_string(near_full_pct) + ")");
+    }
+    if (adapt_window == 0) {
+      throw std::invalid_argument(
+          "EunoConfig: adapt_window must be nonzero (a zero-op adaptive "
+          "decision window can never fire)");
+    }
+    if (adapt_high_pct > 100) {
+      throw std::invalid_argument(
+          "EunoConfig: adapt_high_pct must be <= 100 (got " +
+          std::to_string(adapt_high_pct) + ")");
+    }
+  }
 
   /// Ladder presets (Baseline is the plain HtmBPTree).
   static EunoConfig split_only() {

@@ -64,6 +64,7 @@ class EunoBPTree {
   static constexpr int kLeafCapacity = 2 * F;  // segments + reserved
 
   explicit EunoBPTree(Ctx& c, EunoConfig cfg = {}) : cfg_(cfg) {
+    cfg_.validate();
     for (int i = 0; i < kMaxSchedThreads; ++i) {
       sched_[i].value.rng = Xoshiro256(0x5eed + static_cast<std::uint64_t>(i));
     }

@@ -50,12 +50,23 @@ struct TxnOutcome {
 };
 
 /// The fallback lock for a group of HTM regions. Embedded in each tree's
-/// shared state; one full line so subscription conflicts are isolated.
+/// shared state; the lock word gets a full line so subscription conflicts
+/// are isolated. A second line carries the HTM-health monitor (DESIGN.md
+/// §10): those fields are only ever touched with host-side relaxed atomics —
+/// never through the instrumented/transactional path — so in the simulator
+/// they cost zero cycles and can never conflict, and natively they stay off
+/// the subscribed lock line.
 struct alignas(kCacheLineSize) FallbackLock {
   std::atomic<std::uint32_t> word{0};
   char pad[kCacheLineSize - sizeof(std::atomic<std::uint32_t>)]{};
+  // ---- HTM-health monitor (second line) ----
+  std::atomic<std::uint64_t> health_attempts{0};
+  std::atomic<std::uint64_t> health_commits{0};
+  std::atomic<std::uint32_t> degraded{0};  // 1 = permanently lock-only
+  char pad2[kCacheLineSize - 2 * sizeof(std::atomic<std::uint64_t>) -
+            sizeof(std::atomic<std::uint32_t>)]{};
 };
-static_assert(sizeof(FallbackLock) == kCacheLineSize);
+static_assert(sizeof(FallbackLock) == 2 * kCacheLineSize);
 
 /// Per-site transaction statistics kept by each context.
 struct SiteStats {

@@ -8,6 +8,7 @@
 // binary runs correctly on machines without TSX.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -22,6 +23,7 @@
 #include "util/assert.hpp"
 #include "util/cacheline.hpp"
 #include "util/memstats.hpp"
+#include "util/rng.hpp"
 #include "util/spinlock.hpp"
 
 namespace euno::ctx {
@@ -52,20 +54,77 @@ class NativeCtx {
 
   /// Execute `body` atomically: hardware transaction with subscribed
   /// fallback lock, retrying per `policy`, serializing on `lock` when the
-  /// budget is exhausted (or RTM is unavailable).
+  /// budget is exhausted (or RTM is unavailable). Mirrors SimCtx::txn's
+  /// hardened path with two native differences (DESIGN.md §10): wait/backoff
+  /// accounting is in spin-loop iterations rather than simulated cycles, and
+  /// there is no unsubscribed lock-timeout rescue — subscribed RTM must wait
+  /// for the release (timed-out episodes are still counted).
   template <class Body>
   TxnOutcome txn(TxSite site, FallbackLock& lock, const htm::RetryPolicy& policy,
                  Body&& body) {
     TxnOutcome out;
     auto& st = stats_.at(site);
+    // Permanent HTM-health degradation: straight to the lock.
+    if (policy.health_window != 0 &&
+        lock.degraded.load(std::memory_order_relaxed) != 0) {
+      run_fallback(lock, st, out, body);
+      return out;
+    }
+    // Fairness escape hatch.
+    if (policy.starvation_threshold != 0 &&
+        starved_ops_ >= policy.starvation_threshold) {
+      st.starvation_escapes++;
+      starved_ops_ = 0;
+      run_fallback(lock, st, out, body);
+      health_note(lock, policy, st, 1, 0);
+      return out;
+    }
     if (htm::rtm_supported()) {
       int conflict_budget = policy.conflict_retries;
       int capacity_budget = policy.capacity_retries;
       int other_budget = policy.other_retries;
+      std::uint32_t streak[static_cast<std::size_t>(htm::AbortReason::kCount)] = {};
       for (;;) {
         // Never start while the fallback lock is held: we would abort
-        // immediately on subscription.
-        while (lock.word.load(std::memory_order_acquire) != 0) cpu_relax();
+        // immediately on subscription. Anti-lemming waiters poll with
+        // exponentially spaced jittered pauses instead of camping on the
+        // line, then re-arm the budget after the release.
+        {
+          bool waited = false;
+          std::uint32_t polls = 0;
+          std::uint32_t poll_delay = policy.backoff_base;
+          while (lock.word.load(std::memory_order_acquire) != 0) {
+            waited = true;
+            if (++polls >= policy.lock_wait_spin_cap) {
+              polls = 0;
+              st.lock_wait_timeouts++;
+            }
+            if (policy.anti_lemming) {
+              const std::uint32_t d = jitter(poll_delay);
+              relax_n(d);
+              st.lock_wait_cycles += d;
+              poll_delay = std::min(poll_delay * 2, policy.backoff_cap);
+            } else {
+              cpu_relax();
+              st.lock_wait_cycles++;
+            }
+          }
+          if (waited && policy.anti_lemming) {
+            const std::uint32_t g =
+                policy.rearm_grace != 0
+                    ? static_cast<std::uint32_t>(
+                          jitter_rng_.next_bounded(policy.rearm_grace + 1))
+                    : 0;
+            if (g != 0) {
+              relax_n(g);
+              st.backoff_cycles += g;
+            }
+            conflict_budget = policy.conflict_retries;
+            capacity_budget = policy.capacity_retries;
+            other_budget = policy.other_retries;
+            for (auto& s : streak) s = 0;
+          }
+        }
         st.attempts++;
         const unsigned status = htm::rtm_begin();
         if (status == 0xFFFFFFFFu /* _XBEGIN_STARTED */) {
@@ -79,6 +138,8 @@ class NativeCtx {
           in_tx_ = false;
           htm::rtm_end();
           st.commits++;
+          if (policy.starvation_threshold != 0) starved_ops_ = 0;
+          health_note(lock, policy, st, out.aborts + 1, 1);
           return out;
         }
         in_tx_ = false;
@@ -90,25 +151,25 @@ class NativeCtx {
         if (r.reason == htm::AbortReason::kConflict) budget = &conflict_budget;
         if (r.reason == htm::AbortReason::kCapacity) budget = &capacity_budget;
         if (--*budget < 0) break;
+        // Seeded-jitter exponential backoff per abort reason (capacity
+        // aborts never back off — the footprint does not shrink by waiting).
+        if (policy.backoff && r.reason != htm::AbortReason::kCapacity) {
+          const std::uint32_t n = ++streak[static_cast<std::size_t>(r.reason)];
+          std::uint64_t d = static_cast<std::uint64_t>(policy.backoff_base)
+                            << std::min<std::uint32_t>(n - 1, 16);
+          d = std::min<std::uint64_t>(d, policy.backoff_cap);
+          const std::uint32_t j = jitter(static_cast<std::uint32_t>(d));
+          relax_n(j);
+          st.backoff_cycles += j;
+        }
       }
+      if (policy.starvation_threshold != 0) starved_ops_++;
     } else {
       st.attempts++;
     }
     // Fallback: serialize on the lock.
-    for (;;) {
-      std::uint32_t expected = 0;
-      if (lock.word.compare_exchange_weak(expected, 1, std::memory_order_acquire)) {
-        break;
-      }
-      while (lock.word.load(std::memory_order_relaxed) != 0) cpu_relax();
-    }
-    st.fallbacks++;
-    in_fallback_ = true;
-    body();
-    in_fallback_ = false;
-    lock.word.store(0, std::memory_order_release);
-    st.commits++;
-    out.used_fallback = true;
+    run_fallback(lock, st, out, body);
+    health_note(lock, policy, st, out.aborts + 1, 0);
     return out;
   }
 
@@ -216,12 +277,77 @@ class NativeCtx {
   obs::ThreadObs* observer() { return obs_; }
 
  private:
+  /// Serialize on the fallback lock and run the body under it.
+  template <class Body>
+  void run_fallback(FallbackLock& lock, htm::TxStats& st, TxnOutcome& out,
+                    Body& body) {
+    for (;;) {
+      std::uint32_t expected = 0;
+      if (lock.word.compare_exchange_weak(expected, 1,
+                                          std::memory_order_acquire)) {
+        break;
+      }
+      while (lock.word.load(std::memory_order_relaxed) != 0) cpu_relax();
+    }
+    st.fallbacks++;
+    in_fallback_ = true;
+    body();
+    in_fallback_ = false;
+    lock.word.store(0, std::memory_order_release);
+    st.commits++;
+    out.used_fallback = true;
+  }
+
+  /// Feed the tree-global HTM-health window: `attempts` tx attempts just
+  /// resolved, of which `commits` committed under HTM. When a full window's
+  /// commit rate stays below the threshold, permanently degrade the tree to
+  /// lock-only mode. Plain atomics off the transactional path; windows race
+  /// benignly (a concurrent reset only delays the verdict).
+  void health_note(FallbackLock& lock, const htm::RetryPolicy& policy,
+                   htm::TxStats& st, std::uint64_t attempts,
+                   std::uint64_t commits) {
+    if (policy.health_window == 0) return;
+    if (lock.degraded.load(std::memory_order_relaxed) != 0) return;
+    const std::uint64_t a =
+        lock.health_attempts.fetch_add(attempts, std::memory_order_relaxed) +
+        attempts;
+    const std::uint64_t c =
+        lock.health_commits.fetch_add(commits, std::memory_order_relaxed) +
+        commits;
+    if (a < policy.health_window) return;
+    if (c * 100 < a * policy.health_min_commit_pct) {
+      std::uint32_t expected = 0;
+      if (lock.degraded.compare_exchange_strong(expected, 1,
+                                                std::memory_order_relaxed)) {
+        st.degradations++;
+      }
+    } else {
+      lock.health_attempts.store(0, std::memory_order_relaxed);
+      lock.health_commits.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Seeded jitter: uniform in [d/2, d] so backed-off threads desynchronize.
+  std::uint32_t jitter(std::uint32_t d) {
+    if (d <= 1) return d;
+    return d / 2 +
+           static_cast<std::uint32_t>(jitter_rng_.next_bounded(d / 2 + 1));
+  }
+
+  /// The native unit of waiting: one pause instruction per "cycle".
+  static void relax_n(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) cpu_relax();
+  }
+
   NativeEnv* env_;
   int tid_;
   bool in_tx_ = false;
   bool in_fallback_ = false;
   SiteStats stats_{};
   obs::ThreadObs* obs_ = nullptr;
+  std::uint32_t starved_ops_ = 0;
+  Xoshiro256 jitter_rng_{0xB0FFull + 0x9E3779B97F4A7C15ull *
+                                         (static_cast<std::uint64_t>(tid_) + 1)};
 };
 
 }  // namespace euno::ctx

@@ -6,6 +6,7 @@
 // delivered as sim::TxAbortException instead of hardware rollback.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -16,6 +17,7 @@
 #include "sim/engine.hpp"
 #include "sim/txabort.hpp"
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace euno::ctx {
 
@@ -24,7 +26,11 @@ using SimEnv = sim::Simulation;
 
 class SimCtx {
  public:
-  SimCtx(sim::Simulation& simulation, int core) : sim_(&simulation), core_(core) {}
+  SimCtx(sim::Simulation& simulation, int core)
+      : sim_(&simulation),
+        core_(core),
+        jitter_rng_(0xB0FFull +
+                    0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(core + 1)) {}
 
   int tid() const { return core_; }
   SiteStats& stats() { return stats_; }
@@ -49,15 +55,92 @@ class SimCtx {
     auto& st = stats_.at(site);
     auto& htm_model = sim_->htm();
     const auto& cfg = sim_->config();
+
+    // Permanent HTM-health degradation (DESIGN.md §10): straight to the lock.
+    if (policy.health_window != 0 &&
+        lock.degraded.load(std::memory_order_relaxed) != 0) {
+      run_fallback(lock, st, out, body);
+      return out;
+    }
+    // Fairness escape hatch: a thread that exhausted its budget on too many
+    // consecutive operations serializes immediately — guaranteed progress.
+    if (policy.starvation_threshold != 0 &&
+        starved_ops_ >= policy.starvation_threshold) {
+      st.starvation_escapes++;
+      starved_ops_ = 0;
+      sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kStarvationEscape),
+                         static_cast<std::uint8_t>(site), 0);
+      run_fallback(lock, st, out, body);
+      health_note(lock, policy, st, 1, 0);
+      return out;
+    }
+
     int conflict_budget = policy.conflict_retries;
     int capacity_budget = policy.capacity_retries;
     int other_budget = policy.other_retries;
+    // Per-reason abort streaks: the exponent of the backoff series.
+    std::uint32_t streak[static_cast<std::size_t>(htm::AbortReason::kCount)] = {};
+    std::uint32_t wait_timeouts = 0;
+    bool subscribe = true;
 
     for (;;) {
       // Wait while the fallback lock is held (as native: don't even start).
-      while (atomic_load(lock.word) != 0) spin_pause();
+      // Naive policy camps on the line; the anti-lemming policy polls it
+      // with exponentially spaced jittered delays, then after the release
+      // waits a jittered grace period and re-arms the retry budget instead
+      // of stampeding with the rest of the convoy. Waited cycles are always
+      // counted (host-side; free), and each episode is bounded by
+      // lock_wait_spin_cap polls — hitting the cap counts a timeout, and
+      // after lock_wait_timeout_limit timed-out episodes the sim-only
+      // rescue stops subscribing so a leaked lock cannot hang the fiber.
+      if (subscribe) {
+        bool waited = false;
+        const std::uint64_t w0 = sim_->clock_of(core_);
+        std::uint32_t polls = 0;
+        std::uint32_t poll_delay = policy.backoff_base;
+        while (atomic_load(lock.word) != 0) {
+          waited = true;
+          if (++polls >= policy.lock_wait_spin_cap) {
+            polls = 0;
+            st.lock_wait_timeouts++;
+            sim_->record_trace(
+                static_cast<std::uint8_t>(TraceCode::kLockWaitTimeout),
+                static_cast<std::uint8_t>(site), 0);
+            if (policy.lock_wait_timeout_limit != 0 &&
+                ++wait_timeouts >= policy.lock_wait_timeout_limit) {
+              subscribe = false;
+              break;
+            }
+          }
+          if (policy.anti_lemming) {
+            sim_->charge(jitter(poll_delay));
+            poll_delay = std::min(poll_delay * 2, policy.backoff_cap);
+          } else {
+            spin_pause();
+          }
+        }
+        if (waited) {
+          st.lock_wait_cycles += sim_->clock_of(core_) - w0;
+          if (policy.anti_lemming && subscribe) {
+            const std::uint32_t g =
+                policy.rearm_grace != 0
+                    ? static_cast<std::uint32_t>(
+                          jitter_rng_.next_bounded(policy.rearm_grace + 1))
+                    : 0;
+            if (g != 0) {
+              st.backoff_cycles += g;
+              sim_->charge(g);
+            }
+            conflict_budget = policy.conflict_retries;
+            capacity_budget = policy.capacity_retries;
+            other_budget = policy.other_retries;
+            for (auto& s : streak) s = 0;
+          }
+        }
+      }
 
       st.attempts++;
+      if (!subscribe) st.unsubscribed_attempts++;
       const std::uint64_t start_clock = sim_->clock_of(core_);
       sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kTxBegin),
                          static_cast<std::uint8_t>(site), 0);
@@ -66,9 +149,15 @@ class SimCtx {
       bool aborted = false;
       htm::TxResult r{};
       try {
-        // Subscribe the fallback lock inside the transaction.
-        if (atomic_load(lock.word) != 0) {
-          htm_model.tx_abort_explicit(core_, htm::xabort_code::kFallbackLocked);
+        // Subscribe the fallback lock inside the transaction. Subscription
+        // at begin is load-bearing: checking the lock any later could let a
+        // transaction observe partial multi-line state of a fallback
+        // holder's critical section with no conflict ever firing. The only
+        // path that skips it is the explicit lock-timeout rescue above.
+        if (subscribe) {
+          if (atomic_load(lock.word) != 0) {
+            htm_model.tx_abort_explicit(core_, htm::xabort_code::kFallbackLocked);
+          }
         }
         // Schedule-exploration hooks (no-op under the default policy): may
         // deschedule this fiber with the transaction open, or doom it on
@@ -90,6 +179,8 @@ class SimCtx {
         st.commits++;
         sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kTxCommit),
                            static_cast<std::uint8_t>(site), 0);
+        if (policy.starvation_threshold != 0) starved_ops_ = 0;
+        health_note(lock, policy, st, out.aborts + 1, 1);
         return out;
       }
       htm_model.on_abort_handled(core_);
@@ -101,6 +192,16 @@ class SimCtx {
           r.xabort_payload == htm::xabort_code::kFallbackLocked) {
         r.reason = htm::AbortReason::kLockBusy;
       }
+      if (r.xabort_payload == htm::xabort_code::kFaultInjected) {
+        // Injection attribution: bursts arrive as explicit aborts, spurious
+        // per-access aborts as kOther (both tagged with the 0xA5 payload).
+        sim_->record_trace(
+            static_cast<std::uint8_t>(TraceCode::kFaultInjected),
+            static_cast<std::uint8_t>(r.reason == htm::AbortReason::kExplicit
+                                          ? obs::FaultArg::kBurst
+                                          : obs::FaultArg::kSpurious),
+            0);
+      }
       st.note_abort(r);
       out.aborts++;
       sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kAbort),
@@ -110,27 +211,35 @@ class SimCtx {
       int* budget = &other_budget;
       if (r.reason == htm::AbortReason::kConflict) budget = &conflict_budget;
       if (r.reason == htm::AbortReason::kCapacity) budget = &capacity_budget;
-      if (--*budget < 0) break;
+      if (--*budget < 0) {
+        if (subscribe) break;
+        // The unsubscribed rescue cannot serialize on the fallback lock —
+        // that lock is exactly what never came free — so re-arm and keep
+        // trying under HTM (strong atomicity keeps this sound).
+        conflict_budget = policy.conflict_retries;
+        capacity_budget = policy.capacity_retries;
+        other_budget = policy.other_retries;
+        for (auto& s : streak) s = 0;
+      }
+      // Hardened path: seeded-jitter exponential backoff per abort reason,
+      // desynchronizing mutually-destructive retry storms. Capacity aborts
+      // never back off (the footprint does not shrink by waiting).
+      if (policy.backoff && r.reason != htm::AbortReason::kCapacity) {
+        const std::uint32_t n = ++streak[static_cast<std::size_t>(r.reason)];
+        std::uint64_t d = static_cast<std::uint64_t>(policy.backoff_base)
+                          << std::min<std::uint32_t>(n - 1, 16);
+        d = std::min<std::uint64_t>(d, policy.backoff_cap);
+        const std::uint32_t j = jitter(static_cast<std::uint32_t>(d));
+        st.backoff_cycles += j;
+        sim_->charge(j);
+      }
     }
 
+    if (policy.starvation_threshold != 0) starved_ops_++;
     // Fallback path: acquire the lock (the write aborts all subscribed
     // transactions via strong atomicity), run the body plain, release.
-    for (;;) {
-      if (cas<std::uint32_t>(lock.word, 0, 1)) break;
-      spin_pause();
-    }
-    st.fallbacks++;
-    sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kFallback), 0, 0);
-    sim_->record_trace(
-        static_cast<std::uint8_t>(TraceCode::kFallbackAcquired), 0, 0);
-    in_fallback_ = true;
-    body();
-    in_fallback_ = false;
-    atomic_store<std::uint32_t>(lock.word, 0);
-    sim_->record_trace(
-        static_cast<std::uint8_t>(TraceCode::kFallbackReleased), 0, 0);
-    st.commits++;
-    out.used_fallback = true;
+    run_fallback(lock, st, out, body);
+    health_note(lock, policy, st, out.aborts + 1, 0);
     return out;
   }
 
@@ -246,11 +355,85 @@ class SimCtx {
   void spin_pause() { sim_->spin_wait(); }
 
  private:
+  /// Acquire the fallback lock, run the body serially, release. The
+  /// acquisition write aborts every subscribed transaction via strong
+  /// atomicity. Applies the lock-holder-delay fault injection (the acquirer
+  /// is "preempted" with the lock held: the stall is charged before the
+  /// body, so every waiter sees the full delayed-release window).
+  template <class Body>
+  void run_fallback(FallbackLock& lock, htm::TxStats& st, TxnOutcome& out,
+                    Body& body) {
+    for (;;) {
+      if (cas<std::uint32_t>(lock.word, 0, 1)) break;
+      spin_pause();
+    }
+    st.fallbacks++;
+    sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kFallback), 0, 0);
+    sim_->record_trace(
+        static_cast<std::uint8_t>(TraceCode::kFallbackAcquired), 0, 0);
+    const std::uint64_t hold = sim_->htm().fault_lock_hold_delay();
+    if (hold != 0) {
+      sim_->record_trace(
+          static_cast<std::uint8_t>(TraceCode::kFaultInjected),
+          static_cast<std::uint8_t>(obs::FaultArg::kLockHolderDelay), 0);
+      sim_->charge(hold);
+    }
+    in_fallback_ = true;
+    body();
+    in_fallback_ = false;
+    atomic_store<std::uint32_t>(lock.word, 0);
+    sim_->record_trace(
+        static_cast<std::uint8_t>(TraceCode::kFallbackReleased), 0, 0);
+    st.commits++;
+    out.used_fallback = true;
+  }
+
+  /// HTM-health monitor (DESIGN.md §10): accumulate this op's HTM attempt /
+  /// commit counts into the tree's shared window; when the window fills
+  /// with a commit rate below the threshold, permanently degrade the tree
+  /// to lock-only mode. All bookkeeping is host-side (zero simulated cost).
+  void health_note(FallbackLock& lock, const htm::RetryPolicy& policy,
+                   htm::TxStats& st, std::uint64_t attempts,
+                   std::uint64_t commits) {
+    if (policy.health_window == 0) return;
+    if (lock.degraded.load(std::memory_order_relaxed) != 0) return;
+    const std::uint64_t a =
+        lock.health_attempts.fetch_add(attempts, std::memory_order_relaxed) +
+        attempts;
+    const std::uint64_t c =
+        lock.health_commits.fetch_add(commits, std::memory_order_relaxed) +
+        commits;
+    if (a < policy.health_window) return;
+    if (c * 100 < a * policy.health_min_commit_pct) {
+      std::uint32_t expect = 0;
+      if (lock.degraded.compare_exchange_strong(expect, 1,
+                                                std::memory_order_relaxed)) {
+        st.degradations++;
+        sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kHtmDegraded),
+                           0, 0);
+      }
+    } else {
+      // Healthy window: start a new one.
+      lock.health_attempts.store(0, std::memory_order_relaxed);
+      lock.health_commits.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Seeded jitter: uniform in [d/2, d]. The per-core seed keeps hardened
+  /// runs deterministic and distinct across cores.
+  std::uint32_t jitter(std::uint32_t d) {
+    if (d <= 1) return d;
+    return d / 2 +
+           static_cast<std::uint32_t>(jitter_rng_.next_bounded(d / 2 + 1));
+  }
+
   sim::Simulation* sim_;
   int core_;
   bool in_fallback_ = false;
   SiteStats stats_{};
   obs::ThreadObs* obs_ = nullptr;
+  std::uint32_t starved_ops_ = 0;  // consecutive ops that exhausted the budget
+  Xoshiro256 jitter_rng_;
 };
 
 }  // namespace euno::ctx

@@ -110,6 +110,12 @@ void aggregate_stats(const ctx::SiteStats& s, ExperimentResult* r) {
   r->upper_aborts += s.at(ctx::TxSite::kUpper).total_aborts();
   r->lower_aborts += s.at(ctx::TxSite::kLower).total_aborts();
   r->mono_aborts += s.at(ctx::TxSite::kMono).total_aborts();
+  r->lock_wait_cycles += total.lock_wait_cycles;
+  r->lock_wait_timeouts += total.lock_wait_timeouts;
+  r->backoff_cycles += total.backoff_cycles;
+  r->starvation_escapes += total.starvation_escapes;
+  r->degradations += total.degradations;
+  r->unsubscribed_attempts += total.unsubscribed_attempts;
 }
 
 /// Preloads the hottest `n` ranks so the measured phase hits a warm store
@@ -189,6 +195,12 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   finalize_obs(obs_opt, tobs, obs_opt.contention ? &cmap : nullptr, &node_reg,
                &r);
   if (obs_opt.trace) r.trace = simulation.trace_events();
+
+  const sim::FaultCounters& fc = simulation.fault_counters();
+  r.faults_spurious = fc.spurious_aborts;
+  r.faults_burst = fc.burst_aborts;
+  r.faults_lock_delay = fc.lock_hold_delays;
+  r.fault_capacity_phases = fc.capacity_phases;
 
   ctx::SimCtx teardown(simulation, 0);
   tree.destroy(teardown);

@@ -81,6 +81,18 @@ struct ExperimentResult {
   std::uint64_t upper_aborts = 0;
   std::uint64_t lower_aborts = 0;
   std::uint64_t mono_aborts = 0;
+  // Hardened retry/fallback path (zero under the naive policy).
+  std::uint64_t lock_wait_cycles = 0;    // cycles spent waiting on fallback lock
+  std::uint64_t lock_wait_timeouts = 0;  // wait episodes that hit the spin cap
+  std::uint64_t backoff_cycles = 0;      // cycles spent in post-abort backoff
+  std::uint64_t starvation_escapes = 0;  // fairness-hatch trips to the lock
+  std::uint64_t degradations = 0;        // HTM-health monitor lock-only flips
+  std::uint64_t unsubscribed_attempts = 0;  // sim-only lock-timeout rescue
+  // Injected-fault accounting (sim engine only; zero when fault config off).
+  std::uint64_t faults_spurious = 0;
+  std::uint64_t faults_burst = 0;
+  std::uint64_t faults_lock_delay = 0;
+  std::uint64_t fault_capacity_phases = 0;
   // Cost accounting.
   std::uint64_t mem_accesses = 0;  // instrumented accesses (sim engine only)
   double instructions_per_op = 0;

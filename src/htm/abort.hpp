@@ -31,6 +31,10 @@ inline constexpr std::uint8_t kFallbackLocked = 0xA2;  // fallback lock held
 inline constexpr std::uint8_t kUser = 0xA3;            // generic caller abort
 /// Injected by the schedule explorer's abort-storm mode (sim/schedule.hpp).
 inline constexpr std::uint8_t kSchedulerInjected = 0xA4;
+/// Injected by the HTM fault-injection engine (sim/fault.hpp). Appears as
+/// the payload of burst aborts (reason kExplicit) and, as a diagnostic
+/// marker, of spurious aborts (reason kOther).
+inline constexpr std::uint8_t kFaultInjected = 0xA5;
 }  // namespace xabort_code
 
 /// Fine-grained cause of a *conflict* abort. Only the simulator can attribute

@@ -32,7 +32,19 @@ enum class EventCode : std::uint8_t {
   kOpEnd = 12,
   kRunBegin = 13,  // scheduler resumed this core's fiber
   kRunEnd = 14,    // fiber suspended (preempted by a smaller clock) / finished
+  // Fault-injection / hardened-fallback-path events (DESIGN.md §10):
+  kFaultInjected = 15,      // an injected fault hit this core (a=FaultArg)
+  kHtmDegraded = 16,        // HTM-health monitor flipped the tree lock-only
+  kLockWaitTimeout = 17,    // a wait-for-release episode hit the spin cap
+  kStarvationEscape = 18,   // fairness hatch sent this op straight to the lock
   kCount,
+};
+
+/// arg_a of a kFaultInjected event: which fault kind hit.
+enum class FaultArg : std::uint8_t {
+  kSpurious = 0,
+  kBurst = 1,
+  kLockHolderDelay = 2,
 };
 
 std::string_view event_code_name(EventCode c);

@@ -65,6 +65,20 @@ void write_spec(JsonWriter& w, const driver::ExperimentSpec& s) {
   w.kv("conflict_retries", s.policy.conflict_retries);
   w.kv("capacity_retries", s.policy.capacity_retries);
   w.kv("other_retries", s.policy.other_retries);
+  w.kv("backoff", s.policy.backoff);
+  w.kv("backoff_base", static_cast<std::uint64_t>(s.policy.backoff_base));
+  w.kv("backoff_cap", static_cast<std::uint64_t>(s.policy.backoff_cap));
+  w.kv("anti_lemming", s.policy.anti_lemming);
+  w.kv("rearm_grace", static_cast<std::uint64_t>(s.policy.rearm_grace));
+  w.kv("starvation_threshold",
+       static_cast<std::uint64_t>(s.policy.starvation_threshold));
+  w.kv("lock_wait_spin_cap",
+       static_cast<std::uint64_t>(s.policy.lock_wait_spin_cap));
+  w.kv("lock_wait_timeout_limit",
+       static_cast<std::uint64_t>(s.policy.lock_wait_timeout_limit));
+  w.kv("health_window", static_cast<std::uint64_t>(s.policy.health_window));
+  w.kv("health_min_commit_pct",
+       static_cast<std::uint64_t>(s.policy.health_min_commit_pct));
   w.end_object();
   w.key("machine");
   w.begin_object();
@@ -73,7 +87,41 @@ void write_spec(JsonWriter& w, const driver::ExperimentSpec& s) {
   w.kv("read_capacity_lines",
        static_cast<std::uint64_t>(s.machine.htm.read_capacity_lines));
   w.kv("abort_penalty", static_cast<std::uint64_t>(s.machine.htm.abort_penalty));
+  w.kv("mutual_abort_pct",
+       static_cast<std::uint64_t>(s.machine.htm.mutual_abort_pct));
   w.kv("arena_bytes", s.machine.arena_bytes);
+  if (s.machine.fault.any()) {
+    const sim::FaultConfig& fc = s.machine.fault;
+    w.key("fault");
+    w.begin_object();
+    w.kv("seed", fc.seed);
+    w.kv("spurious_abort_bp", static_cast<std::uint64_t>(fc.spurious_abort_bp));
+    w.kv("lock_hold_delay_pct",
+         static_cast<std::uint64_t>(fc.lock_hold_delay_pct));
+    w.kv("lock_hold_delay_cycles",
+         static_cast<std::uint64_t>(fc.lock_hold_delay_cycles));
+    w.key("capacity_schedule");
+    w.begin_array();
+    for (const auto& p : fc.capacity_schedule) {
+      w.begin_object();
+      w.kv("at_step", p.at_step);
+      w.kv("write_lines", static_cast<std::uint64_t>(p.write_lines));
+      w.kv("read_lines", static_cast<std::uint64_t>(p.read_lines));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("bursts");
+    w.begin_array();
+    for (const auto& b : fc.bursts) {
+      w.begin_object();
+      w.kv("at_step", b.at_step);
+      w.kv("length", b.length);
+      w.kv("abort_pct", static_cast<std::uint64_t>(b.abort_pct));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
   w.key("obs");
   w.begin_object();
@@ -105,6 +153,16 @@ void write_result(JsonWriter& w, const driver::ExperimentResult& r) {
   w.kv("upper_aborts", r.upper_aborts);
   w.kv("lower_aborts", r.lower_aborts);
   w.kv("mono_aborts", r.mono_aborts);
+  w.kv("lock_wait_cycles", r.lock_wait_cycles);
+  w.kv("lock_wait_timeouts", r.lock_wait_timeouts);
+  w.kv("backoff_cycles", r.backoff_cycles);
+  w.kv("starvation_escapes", r.starvation_escapes);
+  w.kv("degradations", r.degradations);
+  w.kv("unsubscribed_attempts", r.unsubscribed_attempts);
+  w.kv("faults_spurious", r.faults_spurious);
+  w.kv("faults_burst", r.faults_burst);
+  w.kv("faults_lock_delay", r.faults_lock_delay);
+  w.kv("fault_capacity_phases", r.fault_capacity_phases);
   w.kv("mem_accesses", r.mem_accesses);
   w.kv("instructions_per_op", r.instructions_per_op, 3);
   w.kv("wasted_cycle_frac", r.wasted_cycle_frac, 5);

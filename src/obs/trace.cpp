@@ -25,6 +25,10 @@ std::string_view event_code_name(EventCode c) {
     case EventCode::kOpEnd: return "op_end";
     case EventCode::kRunBegin: return "run_begin";
     case EventCode::kRunEnd: return "run_end";
+    case EventCode::kFaultInjected: return "fault_injected";
+    case EventCode::kHtmDegraded: return "htm_degraded";
+    case EventCode::kLockWaitTimeout: return "lock_wait_timeout";
+    case EventCode::kStarvationEscape: return "starvation_escape";
     case EventCode::kCount: break;
   }
   return "?";

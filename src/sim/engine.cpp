@@ -103,7 +103,10 @@ Simulation*& current_simulation() {
 Simulation::Simulation(MachineConfig cfg)
     : cfg_(cfg),
       arena_(std::make_unique<SharedArena>(cfg.arena_bytes)),
-      htm_(std::make_unique<SimHTM>(*arena_, cfg_)),
+      // The fault engine's campaign axis is this simulation's global step
+      // counter; taking its address here is safe (it is only dereferenced
+      // during run()).
+      htm_(std::make_unique<SimHTM>(*arena_, cfg_, &step_)),
       counters_(MachineConfig::kMaxCores) {}
 
 Simulation::~Simulation() {

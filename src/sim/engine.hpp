@@ -173,6 +173,10 @@ class Simulation {
   SimHTM& htm() { return *htm_; }
   const MachineConfig& config() const { return cfg_; }
 
+  /// Injected-fault counters of the run so far (sim/fault.hpp; all zero
+  /// unless MachineConfig::fault armed a campaign).
+  const FaultCounters& fault_counters() const { return htm_->fault_counters(); }
+
   /// Event tracing (timeline analyses, --trace export; off by default).
   /// Events land in per-core buffers so recording never interleaves cores;
   /// trace_events() merges them back into one clock-ordered stream.

@@ -1,0 +1,151 @@
+// Deterministic HTM fault injection (DESIGN.md §10).
+//
+// A FaultConfig scripts hostile environments on the simulator's global step
+// axis (one tick per instrumented access — the same axis the schedule
+// explorer and the history recorder use, so fault campaigns replay exactly
+// under every schedule policy):
+//   - spurious aborts: each transactional access aborts with a seeded
+//     probability (models interrupts, page faults, unfriendly instructions)
+//   - capacity schedules: the effective read/write set limits change mid-run
+//     (models SMT siblings or cache pressure shrinking the L1 share)
+//   - abort bursts: windows on the step axis during which transaction begins
+//     are doomed with a given probability (models co-located antagonists)
+//   - lock-holder delay: a fallback-lock acquirer is "preempted" with the
+//     lock held and releases late (models the descheduled-holder pathology
+//     that the lemming effect amplifies)
+//
+// All randomness is drawn from one dedicated Xoshiro256 stream seeded from
+// FaultConfig::seed, so a campaign is bit-replayable and never perturbs the
+// simulator's mutual-abort RNG: the same seed produces the same TxStats and
+// the same run manifest, with or without other fault kinds enabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace euno::sim {
+
+/// From global step `at_step` on, the effective HTM capacities (in cache
+/// lines). Entries must be sorted by at_step.
+struct CapacityPhase {
+  std::uint64_t at_step = 0;
+  std::uint32_t write_lines = 512;
+  std::uint32_t read_lines = 4096;
+};
+
+/// A scripted abort-burst window: while at_step <= step < at_step + length,
+/// each transaction begin is doomed with probability abort_pct. Windows must
+/// be sorted by at_step and non-overlapping.
+struct AbortBurst {
+  std::uint64_t at_step = 0;
+  std::uint64_t length = 0;
+  std::uint32_t abort_pct = 100;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0xFA417;
+  /// Per-transactional-access spurious-abort probability in basis points
+  /// (1/100 of a percent; 10000 = every access aborts).
+  std::uint32_t spurious_abort_bp = 0;
+  std::vector<CapacityPhase> capacity_schedule;
+  std::vector<AbortBurst> bursts;
+  /// Lock-holder preemption: with probability `lock_hold_delay_pct`, a
+  /// fallback-lock acquisition holds the lock `lock_hold_delay_cycles`
+  /// longer before running the body.
+  std::uint32_t lock_hold_delay_pct = 0;
+  std::uint64_t lock_hold_delay_cycles = 0;
+
+  bool any() const {
+    return spurious_abort_bp != 0 || !capacity_schedule.empty() ||
+           !bursts.empty() || lock_hold_delay_pct != 0;
+  }
+};
+
+/// Injection counters (host-side bookkeeping; zero simulated cost).
+struct FaultCounters {
+  std::uint64_t spurious_aborts = 0;
+  std::uint64_t burst_aborts = 0;
+  std::uint64_t lock_hold_delays = 0;
+  std::uint64_t capacity_phases = 0;  // schedule entries applied
+};
+
+/// Runtime state of the injection engine, owned by SimHTM.
+class FaultState {
+ public:
+  FaultState(const FaultConfig& cfg, const std::uint64_t* step,
+             std::uint32_t base_write_lines, std::uint32_t base_read_lines)
+      : cfg_(cfg),
+        step_(step),
+        rng_(cfg.seed),
+        write_lines_(base_write_lines),
+        read_lines_(base_read_lines),
+        on_(cfg.any()) {}
+
+  bool on() const { return on_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// Advance the capacity schedule to the current global step. Called once
+  /// per transaction begin, so the effective limits are constant within an
+  /// attempt (like a real machine reconfiguring between, not during,
+  /// transactions).
+  void refresh_capacity() {
+    while (next_phase_ < cfg_.capacity_schedule.size() &&
+           *step_ >= cfg_.capacity_schedule[next_phase_].at_step) {
+      write_lines_ = cfg_.capacity_schedule[next_phase_].write_lines;
+      read_lines_ = cfg_.capacity_schedule[next_phase_].read_lines;
+      ++next_phase_;
+      ++counters_.capacity_phases;
+    }
+  }
+  std::uint32_t write_lines() const { return write_lines_; }
+  std::uint32_t read_lines() const { return read_lines_; }
+
+  /// Draw the spurious-abort coin for one transactional access.
+  bool draw_spurious() {
+    if (cfg_.spurious_abort_bp == 0) return false;
+    if (rng_.next_bounded(10000) >= cfg_.spurious_abort_bp) return false;
+    ++counters_.spurious_aborts;
+    return true;
+  }
+
+  /// Draw the burst coin for one transaction begin.
+  bool draw_burst() {
+    while (burst_ < cfg_.bursts.size() &&
+           *step_ >= cfg_.bursts[burst_].at_step + cfg_.bursts[burst_].length) {
+      ++burst_;
+    }
+    if (burst_ >= cfg_.bursts.size()) return false;
+    const AbortBurst& b = cfg_.bursts[burst_];
+    if (*step_ < b.at_step) return false;
+    if (b.abort_pct < 100 && rng_.next_bounded(100) >= b.abort_pct) return false;
+    ++counters_.burst_aborts;
+    return true;
+  }
+
+  /// Extra cycles a fallback-lock acquirer holds the lock (0 = no injection).
+  std::uint64_t draw_lock_hold_delay() {
+    if (cfg_.lock_hold_delay_pct == 0) return 0;
+    if (cfg_.lock_hold_delay_pct < 100 &&
+        rng_.next_bounded(100) >= cfg_.lock_hold_delay_pct) {
+      return 0;
+    }
+    ++counters_.lock_hold_delays;
+    return cfg_.lock_hold_delay_cycles;
+  }
+
+ private:
+  FaultConfig cfg_;  // owned copy: stable regardless of the caller's lifetime
+  const std::uint64_t* step_;
+  Xoshiro256 rng_;
+  FaultCounters counters_{};
+  std::size_t next_phase_ = 0;
+  std::size_t burst_ = 0;
+  std::uint32_t write_lines_;
+  std::uint32_t read_lines_;
+  bool on_;
+};
+
+}  // namespace euno::sim

@@ -5,8 +5,15 @@
 
 namespace euno::sim {
 
-SimHTM::SimHTM(SharedArena& arena, const MachineConfig& cfg)
-    : arena_(arena), cfg_(cfg), tx_(MachineConfig::kMaxCores) {}
+SimHTM::SimHTM(SharedArena& arena, const MachineConfig& cfg,
+               const std::uint64_t* global_step)
+    : arena_(arena),
+      cfg_(cfg),
+      tx_(MachineConfig::kMaxCores),
+      fault_(cfg.fault, global_step != nullptr ? global_step : &zero_step_,
+             cfg.htm.write_capacity_lines, cfg.htm.read_capacity_lines),
+      eff_wcap_(cfg.htm.write_capacity_lines),
+      eff_rcap_(cfg.htm.read_capacity_lines) {}
 
 void SimHTM::tx_begin(int core) {
   auto& d = tx_[core];
@@ -29,6 +36,25 @@ void SimHTM::tx_begin(int core) {
   d.undo.clear();
   d.frees.clear();
   EUNO_ASSERT_MSG(d.allocs.empty(), "tx allocations leaked from a prior attempt");
+  if (fault_.on()) [[unlikely]] {
+    // Capacity schedules take effect at transaction begin (constant within
+    // an attempt). Burst windows doom the transaction on the spot: tx_begin
+    // runs outside the retry loop's try block, so the abort is delivered
+    // like a remote kill — mirror abort_remote (roll back, a pure no-op on
+    // the now-empty sets except for clearing `active`) and leave the result
+    // pending for check_doomed to raise at the next instrumented access,
+    // which in SimCtx::txn is the subscription load, before the body runs.
+    fault_.refresh_capacity();
+    eff_wcap_ = fault_.write_lines();
+    eff_rcap_ = fault_.read_lines();
+    if (fault_.draw_burst()) {
+      rollback_and_clear(core);
+      d.doomed = true;
+      d.pending = htm::TxResult{htm::AbortReason::kExplicit,
+                                htm::xabort_code::kFaultInjected,
+                                htm::ConflictKind::kUnknown};
+    }
+  }
 }
 
 void SimHTM::tx_commit(int core) {

@@ -25,6 +25,7 @@
 #include "htm/abort.hpp"
 #include "obs/contention.hpp"
 #include "sim/arena.hpp"
+#include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "sim/txabort.hpp"
 #include "util/memstats.hpp"
@@ -34,7 +35,11 @@ namespace euno::sim {
 
 class SimHTM {
  public:
-  SimHTM(SharedArena& arena, const MachineConfig& cfg);
+  /// `global_step` points at the engine's instrumented-access counter — the
+  /// time axis of fault campaigns (capacity schedules, burst windows). When
+  /// null (standalone unit tests), the fault engine sees a frozen step 0.
+  SimHTM(SharedArena& arena, const MachineConfig& cfg,
+         const std::uint64_t* global_step = nullptr);
 
   /// Declare the key the core's current operation targets (used only for
   /// conflict classification; valid both inside and outside transactions).
@@ -79,9 +84,21 @@ class SimHTM {
     auto& d = tx_[core];
     if (!d.active) return;
 
+    // Fault injection: spurious per-access aborts (off-path unless a fault
+    // campaign armed the engine). Effective capacities below come from the
+    // campaign's schedule when one is installed (eff_wcap_/eff_rcap_ equal
+    // the machine limits otherwise).
+    if (fault_.on()) [[unlikely]] {
+      if (fault_.draw_spurious()) {
+        abort_self(core, htm::AbortReason::kOther,
+                   htm::xabort_code::kFaultInjected,
+                   htm::ConflictKind::kUnknown);
+      }
+    }
+
     if (is_write) {
       if (!(line.tx_writer & mask)) {
-        if (d.write_lines.size() >= cfg_.htm.write_capacity_lines) [[unlikely]] {
+        if (d.write_lines.size() >= eff_wcap_) [[unlikely]] {
           abort_self(core, htm::AbortReason::kCapacity, 0,
                      htm::ConflictKind::kUnknown);
         }
@@ -93,7 +110,7 @@ class SimHTM {
       d.undo.push_back(u);
     } else {
       if (!((line.tx_readers | line.tx_writer) & mask)) {
-        if (d.read_lines.size() >= cfg_.htm.read_capacity_lines) [[unlikely]] {
+        if (d.read_lines.size() >= eff_rcap_) [[unlikely]] {
           abort_self(core, htm::AbortReason::kCapacity, 0,
                      htm::ConflictKind::kUnknown);
         }
@@ -128,6 +145,20 @@ class SimHTM {
   /// Contention attribution sink (nullptr = off, the default). Recording
   /// happens only on the conflict cold path, so the fast path is untouched.
   void set_contention_map(obs::ContentionMap* map) { cmap_ = map; }
+
+  // ---- fault injection (sim/fault.hpp) ----
+
+  /// Counters of injected faults so far (surfaced in ExperimentResult and
+  /// the run manifest).
+  const FaultCounters& fault_counters() const { return fault_.counters(); }
+
+  /// Lock-holder-delay draw for one fallback-lock acquisition, in extra
+  /// cycles to hold before running the body (0 = no injection). Called by
+  /// SimCtx::txn on the fallback path.
+  std::uint64_t fault_lock_hold_delay() {
+    if (!fault_.on()) return 0;
+    return fault_.draw_lock_hold_delay();
+  }
 
  private:
   struct UndoEntry {
@@ -169,6 +200,13 @@ class SimHTM {
   std::vector<TxDesc> tx_;
   Xoshiro256 mutual_rng_{0xE40};
   obs::ContentionMap* cmap_ = nullptr;
+  std::uint64_t zero_step_ = 0;  // step source for standalone construction
+  FaultState fault_;
+  // Effective capacity limits (== machine limits unless a capacity schedule
+  // advanced them; refreshed at each tx_begin so they are constant within an
+  // attempt).
+  std::uint32_t eff_wcap_;
+  std::uint32_t eff_rcap_;
 };
 
 }  // namespace euno::sim

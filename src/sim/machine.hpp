@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "sim/fault.hpp"
 #include "util/topology.hpp"
 
 namespace euno::sim {
@@ -61,6 +62,10 @@ struct MachineConfig {
   LatencyModel latency{};
   HtmLimits htm{};
   OpCosts costs{};
+
+  /// Deterministic HTM fault injection (sim/fault.hpp; off by default —
+  /// the default config injects nothing and leaves every run bit-identical).
+  FaultConfig fault{};
 
   /// Arena backing all simulated shared memory (virtual reservation;
   /// committed lazily by the OS).

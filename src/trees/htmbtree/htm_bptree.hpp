@@ -41,6 +41,7 @@ class HtmBPTree {
   /// Builds an empty tree. `c` is any context of the engine the tree will
   /// live on (used for shared-memory allocation).
   explicit HtmBPTree(Ctx& c, Options opt = {}) : opt_(opt) {
+    opt_.policy.validate();
     shared_ = static_cast<Shared*>(
         c.alloc(sizeof(Shared), MemClass::kTreeMisc, sim::LineKind::kTreeMeta));
     new (shared_) Shared();

@@ -48,6 +48,7 @@ class OlcBPTree {
   };
 
   explicit OlcBPTree(Ctx& c, Options opt = {}) : opt_(opt) {
+    opt_.policy.validate();
     shared_ = static_cast<Shared*>(
         c.alloc(sizeof(Shared), MemClass::kTreeMisc, sim::LineKind::kTreeMeta));
     new (shared_) Shared();

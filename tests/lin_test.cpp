@@ -80,6 +80,17 @@ std::vector<LinSpec> lin_params() {
     s.sched = rand_policy(19, 80, /*txp=*/true);
     specs.push_back(s);
   }
+  // Graceful degradation under an abort storm: the hardened policy with a
+  // hair-trigger health monitor must flip each HTM-using tree to lock-only
+  // mid-run without the history ceasing to linearize.
+  for (const LinKind kind : {LinKind::kBaseline, LinKind::kHtmMasstree,
+                             LinKind::kEunoS2, LinKind::kEunoS4}) {
+    LinSpec s;
+    s.kind = kind;
+    s.degrade = true;
+    s.sched = rand_policy(29, 50, /*txp=*/false, /*storm=*/60);
+    specs.push_back(s);
+  }
   return specs;
 }
 
@@ -96,6 +107,10 @@ TEST_P(LinCheck, HistoryIsLinearizable) {
   std::string detail;
   for (const auto& v : run.check.violations) detail += describe_violation(v);
   EXPECT_TRUE(run.check.ok) << detail << check::lin_repro_line(spec);
+  if (spec.degrade) {
+    EXPECT_GE(run.degradations, 1u)
+        << "degrade spec never tripped the HTM-health monitor";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTrees, LinCheck, ::testing::ValuesIn(lin_params()),
@@ -129,6 +144,7 @@ TEST(LinDeterminism, SpecStringRoundTrips) {
   LinSpec spec;
   spec.kind = LinKind::kHtmMasstree;
   spec.adaptive = false;
+  spec.degrade = true;
   spec.pattern = LinPattern::kSplitRace;
   spec.threads = 2;
   spec.ops_per_thread = 9;

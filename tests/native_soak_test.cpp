@@ -64,3 +64,74 @@ TEST(NativeSoak, AllTrees) {
     typename trees::OlcBPTree<ctx::NativeCtx>::Options o; o.htm_elide = true;
     return trees::OlcBPTree<ctx::NativeCtx>(c, o); }, 8, 150000);
 }
+
+// Same soak under the hardened retry policy: backoff, anti-lemming waiting
+// and the starvation hatch must not perturb correctness on real threads.
+TEST(NativeSoak, HardenedPolicyAllTrees) {
+  const htm::RetryPolicy hp = htm::RetryPolicy::hardened();
+  soak("euno-hardened", [hp](ctx::NativeCtx& c){
+    core::EunoConfig cfg = core::EunoConfig::full(); cfg.policy = hp;
+    return core::EunoBPTree<ctx::NativeCtx>(c, cfg); }, 8, 100000);
+  soak("baseline-hardened", [hp](ctx::NativeCtx& c){
+    typename trees::HtmBPTree<ctx::NativeCtx>::Options o; o.policy = hp;
+    return trees::HtmBPTree<ctx::NativeCtx>(c, o); }, 8, 100000);
+  soak("htm-masstree-hardened", [hp](ctx::NativeCtx& c){
+    typename trees::OlcBPTree<ctx::NativeCtx>::Options o;
+    o.htm_elide = true; o.policy = hp;
+    return trees::OlcBPTree<ctx::NativeCtx>(c, o); }, 8, 100000);
+}
+
+// Abort-storm soak at the context level: threads hammer one transactional
+// counter while user-aborting half their HTM attempts, bounded by wall
+// clock. Every txn() call must commit its increment exactly once (aborted
+// attempts roll back in hardware; fallback runs are serial), whether or not
+// the machine has RTM. Exercises the hardened wait/backoff/starvation paths
+// under a real abort storm when RTM is present.
+TEST(NativeSoak, AbortStormCountsExactly) {
+  constexpr int kThreads = 8;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  ctx::NativeEnv env;
+  alignas(128) static ctx::FallbackLock lock;
+  lock.word.store(0);
+  lock.degraded.store(0);
+  lock.health_attempts.store(0);
+  lock.health_commits.store(0);
+  static std::uint64_t counter;
+  counter = 0;
+
+  htm::RetryPolicy policy = htm::RetryPolicy::hardened();
+  policy.lock_wait_spin_cap = 1u << 12;
+
+  std::vector<std::uint64_t> committed(kThreads, 0);
+  std::vector<std::thread> ws;
+  for (int t = 0; t < kThreads; ++t) {
+    ws.emplace_back([&, t] {
+      ctx::NativeCtx c(env, t);
+      Xoshiro256 rng(0x570AA + t);
+      std::uint64_t ops = 0;
+      while (ops < 200000) {
+        if ((ops & 1023) == 0 &&
+            std::chrono::steady_clock::now() >= deadline) {
+          break;
+        }
+        const bool storm = rng.next_bounded(2) == 0;
+        c.txn(ctx::TxSite::kMono, lock, policy, [&] {
+          // Only HTM attempts may abort; the fallback path runs the body to
+          // completion under the lock.
+          if (storm && !c.in_fallback()) c.tx_abort_user();
+          const std::uint64_t v = c.read(counter);
+          c.write(counter, v + 1);
+        });
+        ++ops;
+      }
+      committed[static_cast<std::size_t>(t)] = ops;
+    });
+  }
+  for (auto& w : ws) w.join();
+
+  std::uint64_t total = 0;
+  for (auto v : committed) total += v;
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(counter, total) << "lost or duplicated transactional increments";
+}
