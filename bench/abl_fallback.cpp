@@ -30,7 +30,8 @@ driver::ExperimentSpec with_policy(driver::ExperimentSpec s,
 int main(int argc, char** argv) {
   const auto args = stats::BenchArgs::parse(argc, argv);
   auto spec = bench::figure_spec(args);
-  spec.tree = driver::TreeKind::kHtmBPTree;  // the policy-sensitive baseline
+  // The policy-sensitive baseline by default; --tree swaps the subject.
+  spec.tree = bench::selected_tree_kind(args, driver::TreeKind::kHtmBPTree);
   spec.workload.dist_param = 0.9;
   spec.workload.key_range = 1 << 12;
   if (args.ops_per_thread == 0) spec.ops_per_thread = 1500;

@@ -17,14 +17,16 @@ using namespace euno;
 namespace {
 
 struct PairedRun {
-  std::vector<driver::ExperimentSpec> specs;  // baseline/Euno interleaved
+  /// The comparison subject (Euno by default; --tree swaps it).
+  driver::TreeKind subject = driver::TreeKind::kEuno;
+  std::vector<driver::ExperimentSpec> specs;  // baseline/subject interleaved
   std::vector<std::pair<std::string, std::string>> labels;  // (knob, value)
 
   void add(driver::ExperimentSpec spec, const std::string& knob,
            const std::string& value) {
     spec.tree = driver::TreeKind::kHtmBPTree;
     specs.push_back(spec);
-    spec.tree = driver::TreeKind::kEuno;
+    spec.tree = subject;
     specs.push_back(spec);
     labels.emplace_back(knob, value);
   }
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
   stats::Table table({"knob", "value", "base_mops", "base_ab/op", "euno_mops",
                       "euno_ab/op", "euno/base"});
   PairedRun runs;
+  runs.subject = bench::selected_tree_kind(args, driver::TreeKind::kEuno);
 
   for (std::uint32_t pct : args.quick ? std::vector<std::uint32_t>{0, 50}
                                       : std::vector<std::uint32_t>{0, 25, 50,

@@ -71,6 +71,9 @@ RunResult run_for_segments(int s, const driver::ExperimentSpec& spec,
 
 int main(int argc, char** argv) {
   const auto args = stats::BenchArgs::parse(argc, argv);
+  bench::restrict_tree_selection(
+      args, {driver::TreeKind::kEuno},
+      "this bench ablates Euno-B+Tree internals (S, scheduler, adaptive)");
   auto spec = bench::figure_spec(args);
   if (args.ops_per_thread == 0) spec.ops_per_thread = 1500;
 

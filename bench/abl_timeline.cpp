@@ -73,6 +73,10 @@ Timeline run_traced(const driver::ExperimentSpec& spec, MakeTree make,
 
 int main(int argc, char** argv) {
   const auto args = stats::BenchArgs::parse(argc, argv);
+  bench::restrict_tree_selection(
+      args, {},
+      "the timeline inherently compares the monolithic baseline against"
+      " Euno-B+Tree");
   auto spec = bench::figure_spec(args);
   spec.workload.dist_param = 0.9;
   spec.threads = 20;

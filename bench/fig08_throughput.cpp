@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   std::vector<driver::ExperimentSpec> specs;
   for (double theta : bench::theta_sweep(args.quick)) {
     spec.workload.dist_param = theta;
-    for (auto kind : bench::figure_tree_kinds()) {
+    for (auto kind : bench::figure_tree_kinds(args)) {
       spec.tree = kind;
       specs.push_back(spec);
     }

@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   std::vector<driver::ExperimentSpec> specs;
   for (double theta : thetas) {
     spec.workload.dist_param = theta;
-    for (auto kind : {driver::TreeKind::kHtmBPTree, driver::TreeKind::kEuno}) {
+    for (auto kind : bench::selected_tree_kinds(
+             args, {driver::TreeKind::kHtmBPTree, driver::TreeKind::kEuno})) {
       spec.tree = kind;
       specs.push_back(spec);
     }

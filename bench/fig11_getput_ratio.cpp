@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     spec.workload.mix.put_pct = 100 - panel.get_pct;
     for (int threads : bench::thread_sweep(args.quick)) {
       spec.threads = threads;
-      for (auto kind : bench::figure_tree_kinds()) {
+      for (auto kind : bench::figure_tree_kinds(args)) {
         spec.tree = kind;
         specs.push_back(spec);
         panels.push_back(panel.panel);

@@ -26,10 +26,13 @@ int main(int argc, char** argv) {
       driver::TreeKind::kEunoMarkbits, driver::TreeKind::kEunoAdaptive,
   };
 
+  const std::vector<driver::TreeKind> ladder = bench::selected_tree_kinds(
+      args, std::vector<driver::TreeKind>(std::begin(kLadder), std::end(kLadder)));
+
   std::vector<driver::ExperimentSpec> specs;
   for (double theta : {0.9, 0.2}) {
     spec.workload.dist_param = theta;
-    for (auto kind : kLadder) {
+    for (auto kind : ladder) {
       spec.tree = kind;
       specs.push_back(spec);
     }
@@ -49,7 +52,9 @@ int main(int argc, char** argv) {
                        ? "Baseline"
                        : driver::tree_kind_name(kind),
                    stats::Table::num(r.throughput_mops),
-                   stats::Table::num(r.throughput_mops / baseline, 2) + "x",
+                   baseline > 0
+                       ? stats::Table::num(r.throughput_mops / baseline, 2) + "x"
+                       : "--",
                    stats::Table::num(r.aborts_per_op, 3),
                    stats::Table::num(100 * r.wasted_cycle_frac, 1),
                    stats::Table::num(r.lat_p50, 0),

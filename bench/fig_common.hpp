@@ -14,12 +14,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 
 #include "driver/experiment.hpp"
 #include "driver/parallel.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
 #include "stats/report.hpp"
+#include "trees/registry.hpp"
 
 namespace euno::bench {
 
@@ -119,12 +122,72 @@ inline void print_hot_lines(const char* what,
   t.print(csv);
 }
 
-inline const char* kFigureTrees[] = {"HTM-B+Tree", "Masstree", "HTM-Masstree",
-                                     "Euno-B+Tree"};
+/// Prints the registered-tree listing (slug + display name) and exits 2 —
+/// the uniform rejection path for an unknown `--tree=` value.
+[[noreturn]] inline void unknown_tree_exit(const std::string& name) {
+  std::fprintf(stderr, "unknown tree '%s'; registered trees:\n", name.c_str());
+  for (const auto& e : trees::tree_registry().entries()) {
+    std::fprintf(stderr, "  %-14s %s\n", e.name.c_str(), e.display.c_str());
+  }
+  std::exit(2);
+}
 
+/// Resolves `--tree=` against the registry. Returns nullptr when the flag
+/// was not given; exits 2 (with the registered list) on an unknown name.
+inline const trees::TreeEntry* selected_tree(const stats::BenchArgs& args) {
+  if (args.tree.empty()) return nullptr;
+  const trees::TreeEntry* e = trees::tree_registry().by_name(args.tree);
+  if (e == nullptr) unknown_tree_exit(args.tree);
+  return e;
+}
+
+/// The kinds a sweep should run: the single `--tree=` selection when given,
+/// otherwise the bench's default list.
+inline std::vector<driver::TreeKind> selected_tree_kinds(
+    const stats::BenchArgs& args, std::vector<driver::TreeKind> defaults) {
+  const trees::TreeEntry* e = selected_tree(args);
+  if (e != nullptr) return {e->kind};
+  return defaults;
+}
+
+/// Single-tree benches: the `--tree=` selection when given, else the default.
+inline driver::TreeKind selected_tree_kind(const stats::BenchArgs& args,
+                                           driver::TreeKind default_kind) {
+  const trees::TreeEntry* e = selected_tree(args);
+  return e != nullptr ? e->kind : default_kind;
+}
+
+/// Benches that ablate one structure's internals accept `--tree=` only as a
+/// restriction: unknown names exit 2 with the registered list (via
+/// selected_tree), and known-but-unsupported selections exit 2 with the
+/// bench's reason. Returns the selection (nullptr when the flag was absent).
+inline const trees::TreeEntry* restrict_tree_selection(
+    const stats::BenchArgs& args,
+    std::initializer_list<driver::TreeKind> supported, const char* why) {
+  const trees::TreeEntry* e = selected_tree(args);
+  if (e == nullptr) return nullptr;
+  for (driver::TreeKind k : supported) {
+    if (k == e->kind) return e;
+  }
+  std::fprintf(stderr, "--tree=%s is not supported by this bench: %s\n",
+               e->name.c_str(), why);
+  std::exit(2);
+}
+
+/// The default figure sweep rows, registry-driven: every tree registered
+/// with caps.figure_default, in registration order.
 inline std::vector<driver::TreeKind> figure_tree_kinds() {
-  return {driver::TreeKind::kHtmBPTree, driver::TreeKind::kMasstree,
-          driver::TreeKind::kHtmMasstree, driver::TreeKind::kEuno};
+  std::vector<driver::TreeKind> kinds;
+  for (const auto& e : trees::tree_registry().entries()) {
+    if (e.caps.figure_default) kinds.push_back(e.kind);
+  }
+  return kinds;
+}
+
+/// figure_tree_kinds with the uniform `--tree=` narrowing applied.
+inline std::vector<driver::TreeKind> figure_tree_kinds(
+    const stats::BenchArgs& args) {
+  return selected_tree_kinds(args, figure_tree_kinds());
 }
 
 inline std::vector<double> theta_sweep(bool quick) {

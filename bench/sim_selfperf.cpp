@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     sweep_spec.workload.dist_param = theta;
     for (int threads : bench::thread_sweep(/*quick=*/true)) {
       sweep_spec.threads = threads;
-      for (auto kind : bench::figure_tree_kinds()) {
+      for (auto kind : bench::figure_tree_kinds(args)) {
         sweep_spec.tree = kind;
         specs.push_back(sweep_spec);
       }

@@ -56,12 +56,15 @@ int main(int argc, char** argv) {
     rows.push_back(un);
   }
 
-  // Two specs per row (baseline, then Euno), flattened for the sweep runner.
+  // Two specs per row (baseline, then the subject — Euno by default,
+  // --tree swaps it), flattened for the sweep runner.
+  const driver::TreeKind subject =
+      bench::selected_tree_kind(args, driver::TreeKind::kEuno);
   std::vector<driver::ExperimentSpec> specs;
   for (auto& row : rows) {
     row.spec.tree = driver::TreeKind::kHtmBPTree;
     specs.push_back(row.spec);
-    row.spec.tree = driver::TreeKind::kEuno;
+    row.spec.tree = subject;
     specs.push_back(row.spec);
   }
   const auto results = bench::run_figure_sweep(specs, args);

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Golden-manifest regression check.
+
+Usage: check_manifest_stable.py PRODUCED GOLDEN
+
+Compares a freshly produced euno.run_manifest.v1 file against a checked-in
+golden byte-for-byte. The simulator is deterministic and the manifest writer
+emits a canonical layout, so ANY byte difference means a tree kind's
+simulated behaviour (or the manifest schema) changed — exactly what the
+layering refactor must not do. On mismatch, prints the first differing JSON
+path to make the drift attributable, then fails.
+"""
+import json
+import sys
+
+
+def first_diff(a, b, path="$"):
+    """Returns a human-readable path to the first structural difference."""
+    if type(a) is not type(b):
+        return f"{path}: type {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, dict):
+        for k in a:
+            if k not in b:
+                return f"{path}.{k}: missing from golden"
+            d = first_diff(a[k], b[k], f"{path}.{k}")
+            if d:
+                return d
+        for k in b:
+            if k not in a:
+                return f"{path}.{k}: missing from produced"
+        return None
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            d = first_diff(x, y, f"{path}[{i}]")
+            if d:
+                return d
+        return None
+    if a != b:
+        return f"{path}: {a!r} != {b!r}"
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    produced_path, golden_path = sys.argv[1], sys.argv[2]
+    with open(produced_path, "rb") as f:
+        produced_bytes = f.read()
+    with open(golden_path, "rb") as f:
+        golden_bytes = f.read()
+
+    produced = json.loads(produced_bytes)
+    if produced.get("schema") != "euno.run_manifest.v1":
+        print(f"FAIL: {produced_path} is not a euno.run_manifest.v1 file",
+              file=sys.stderr)
+        return 1
+
+    if produced_bytes == golden_bytes:
+        tree = produced["sweep"][0]["spec"]["tree"] if produced["sweep"] else "?"
+        print(f"OK: {produced_path} is byte-identical to golden ({tree},"
+              f" {produced['points']} points, {len(golden_bytes)} bytes)")
+        return 0
+
+    golden = json.loads(golden_bytes)
+    diff = first_diff(produced, golden)
+    print(f"FAIL: {produced_path} differs from golden {golden_path}",
+          file=sys.stderr)
+    print(f"  first difference: {diff if diff else 'byte-level only (formatting)'}",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

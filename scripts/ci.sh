@@ -4,6 +4,7 @@
 #   scripts/ci.sh default   # release-ish build, full test suite
 #   scripts/ci.sh tsan      # ThreadSanitizer build, thread-heavy suites only
 #   scripts/ci.sh asan      # AddressSanitizer build, fault-campaign suites
+#   scripts/ci.sh ubsan     # UBSan-only build, conformance + fault suites
 #
 # The tsan job rebuilds with -DEUNO_TSAN=ON and runs the `parallel` label
 # (the OS-thread sweep runner) plus the `lin` label (the linearizability
@@ -11,6 +12,11 @@
 # The asan job rebuilds with -DEUNO_ASAN=ON and runs the `fault` label (the
 # HTM fault-injection campaigns and the hardened retry/fallback paths, whose
 # abort/rollback churn is exactly where lifetime bugs would hide).
+# The ubsan job rebuilds with -DEUNO_UBSAN=ON (UBSan alone, no ASan shadow)
+# and runs the `conformance` label — the per-tree suites plus the
+# registry-driven sweep over every registered structure, where layout-layer
+# arithmetic (bitmask shifts, placement news, union reinterpretation) would
+# surface UB — together with the `fault` label.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,8 +38,13 @@ case "$job" in
     cmake --build build-asan -j
     ctest --test-dir build-asan --output-on-failure -L "fault"
     ;;
+  ubsan)
+    cmake -B build-ubsan -S . -DEUNO_UBSAN=ON
+    cmake --build build-ubsan -j
+    ctest --test-dir build-ubsan --output-on-failure -L "conformance|fault"
+    ;;
   *)
-    echo "usage: $0 [default|tsan|asan]" >&2
+    echo "usage: $0 [default|tsan|asan|ubsan]" >&2
     exit 2
     ;;
 esac

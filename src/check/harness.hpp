@@ -28,7 +28,9 @@
 #include "ctx/sim_ctx.hpp"
 #include "sim/engine.hpp"
 #include "sim/schedule.hpp"
+#include "trees/algo/euno_skiplist.hpp"
 #include "trees/htmbtree/htm_bptree.hpp"
+#include "trees/lockbtree/lock_bptree.hpp"
 #include "trees/olc/olc_bptree.hpp"
 #include "util/rng.hpp"
 
@@ -42,12 +44,15 @@ enum class LinKind {
   kEunoS2,
   kEunoS4,
   kEunoS8,
+  kEunoSkipList,  // EunoSkipList: partitioned towers over EunoHtmPolicy
+  kLockCoupling,  // LockBPTree: pessimistic hand-over-hand latching
 };
 
 inline constexpr LinKind kAllLinKinds[] = {
-    LinKind::kBaseline, LinKind::kOlc,    LinKind::kHtmMasstree,
-    LinKind::kEunoS1,   LinKind::kEunoS2, LinKind::kEunoS4,
-    LinKind::kEunoS8,
+    LinKind::kBaseline,     LinKind::kOlc,    LinKind::kHtmMasstree,
+    LinKind::kEunoS1,       LinKind::kEunoS2, LinKind::kEunoS4,
+    LinKind::kEunoS8,       LinKind::kEunoSkipList,
+    LinKind::kLockCoupling,
 };
 
 inline const char* lin_kind_name(LinKind k) {
@@ -59,6 +64,8 @@ inline const char* lin_kind_name(LinKind k) {
     case LinKind::kEunoS2: return "EunoS2";
     case LinKind::kEunoS4: return "EunoS4";
     case LinKind::kEunoS8: return "EunoS8";
+    case LinKind::kEunoSkipList: return "EunoSkipList";
+    case LinKind::kLockCoupling: return "LockCoupling";
   }
   return "?";
 }
@@ -253,6 +260,17 @@ inline AnyLinTree make_lin_tree(ctx::SimCtx& c, LinKind kind, bool adaptive,
       return wrap_lin_tree(std::make_shared<core::EunoBPTree<Ctx, 16, 4>>(c, cfg));
     case LinKind::kEunoS8:
       return wrap_lin_tree(std::make_shared<core::EunoBPTree<Ctx, 16, 8>>(c, cfg));
+    case LinKind::kEunoSkipList:
+      // Direct instantiation (not the registry factory) on purpose: the
+      // mutation self-test compiles this TU with the seq-recheck knocked
+      // out, and the skiplist's get path must pick up the same mutation.
+      return wrap_lin_tree(
+          std::make_shared<trees::algo::EunoSkipList<Ctx, 16, 4>>(c, cfg));
+    case LinKind::kLockCoupling: {
+      typename trees::LockBPTree<Ctx>::Options opt;
+      opt.policy = policy;
+      return wrap_lin_tree(std::make_shared<trees::LockBPTree<Ctx>>(c, opt));
+    }
   }
   return {};
 }

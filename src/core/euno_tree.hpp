@@ -1,50 +1,29 @@
 // Euno-B+Tree: the paper's primary contribution (§4) — a concurrent B+Tree
 // that stays scalable under contention by applying the four Eunomia design
-// guidelines:
+// guidelines (split HTM regions, scattered leaf layout, conflict-control
+// module, adaptive concurrency control).
 //
-//  1. Split HTM regions (§4.1, Algorithm 2): every operation runs an *upper*
-//     transaction (index traversal, low conflict) and a *lower* transaction
-//     (leaf access, high conflict), stitched together by a per-leaf sequence
-//     number. The lower region validates the seqno recorded by the upper
-//     region; only a concurrent split forces a retry from the root —
-//     ordinary conflicts retry just the lower region.
-//  2. Scattered leaf layout (§4.2.2): leaf records live in S segments, each
-//     sorted internally, each on its own cache line(s) with its own count.
-//     A per-thread randomized write scheduler spreads inserts across
-//     segments, so concurrent inserts to one leaf touch different lines.
-//     Overflow compacts segments into the sorted *reserved keys* buffer;
-//     splits sort-and-redistribute (Figure 7). S=1 degenerates to the
-//     conventional consecutive layout (the "+Split HTM only" ablation).
-//  3. Conflict-control module (§4.1, Figure 5): per-leaf bit vector of
-//     2F hashed slots; the LOCK bit serializes same-key operations before
-//     they enter the lower region, the MARK bit is a Bloom-style existence
-//     filter that lets misses skip the leaf entirely.
-//  4. Adaptive concurrency control: a per-leaf detector watches lower-region
-//     abort rates over a window and bypasses the CCM while contention is
-//     low. Inserts still set MARK bits in bypass mode — marks must never
-//     have false negatives (a clear bit short-circuits gets).
+// Since the layering refactor the implementation is composed from three
+// layers, and this header is the stable spelling of that composition:
 //
-// Deletions tombstone records, clear mark bits only when no other live key
-// hashes to the slot, and defer rebalancing: merge passes run when the
-// delete count crosses a threshold (or on demand), retiring emptied leaves
-// through epoch-based reclamation (standing in for DBX's GC, §4.2.4).
+//   - trees/node/partitioned.hpp — the S-segment partitioned leaf layout,
+//     reserved-keys overflow buffer, and record-routing primitives;
+//   - sync/euno_htm.hpp          — the Eunomia synchronization policy:
+//     upper/lower HTM regions, seqno stitch validation, CCM lock/mark bits,
+//     adaptive bypass, advisory split lock, randomized write scheduler;
+//   - trees/algo/euno_bptree.hpp — the B+Tree algorithm written against the
+//     two layers above.
+//
+// The composition is held to byte-identical simulator results by the golden
+// manifest fixtures (`ctest -L golden`). The same policy + layout also back
+// the Euno-SkipList (trees/algo/euno_skiplist.hpp), which is the point of
+// the split: the Eunomia scheme is a reusable synchronization pattern, not
+// a B+Tree implementation detail.
 #pragma once
 
-#include <algorithm>
-#include <bit>
-#include <cstdint>
-#include <vector>
-
 #include "core/euno_config.hpp"
-#include "ctx/common.hpp"
-#include "sim/line.hpp"
+#include "trees/algo/euno_bptree.hpp"
 #include "trees/common.hpp"
-#include "util/assert.hpp"
-#include "util/cacheline.hpp"
-#include "util/epoch.hpp"
-#include "util/hash.hpp"
-#include "util/memstats.hpp"
-#include "util/rng.hpp"
 
 namespace euno::core {
 
@@ -53,1444 +32,6 @@ using trees::Key;
 using trees::Value;
 
 template <class Ctx, int F = trees::kDefaultFanout, int S = 4>
-class EunoBPTree {
-  static_assert(F >= 4 && S >= 1 && F % S == 0, "segments must tile the fanout");
-  static_assert(2 * F + 16 <= 64,
-                "CCM + control state must fit one cache line; mask is u64");
-
- public:
-  static constexpr int kSlotsPerSeg = F / S;
-  static constexpr int kCcmSlots = 2 * F;  // §4.1: vector length 2x fanout
-  static constexpr int kLeafCapacity = 2 * F;  // segments + reserved
-
-  explicit EunoBPTree(Ctx& c, EunoConfig cfg = {}) : cfg_(cfg) {
-    cfg_.validate();
-    for (int i = 0; i < kMaxSchedThreads; ++i) {
-      sched_[i].value.rng = Xoshiro256(0x5eed + static_cast<std::uint64_t>(i));
-    }
-    shared_ = static_cast<Shared*>(
-        c.alloc(sizeof(Shared), MemClass::kTreeMisc, sim::LineKind::kTreeMeta));
-    new (shared_) Shared();
-    shared_->root = alloc_leaf(c);
-    shared_->root_level = 0;
-    c.tag_memory(&shared_->lock, sizeof(ctx::FallbackLock),
-                 sim::LineKind::kFallbackLock);
-  }
-
-  EunoBPTree(const EunoBPTree&) = delete;
-  EunoBPTree& operator=(const EunoBPTree&) = delete;
-
-  /// Frees every node. Must be called quiesced.
-  void destroy(Ctx& c) {
-    if (shared_ == nullptr) return;
-    epochs_.drain_all();
-    destroy_rec(c, shared_->root, shared_->root_level);
-    c.free(shared_, sizeof(Shared), MemClass::kTreeMisc);
-    shared_ = nullptr;
-  }
-
-  // ------------------------------------------------------------------
-  // Point operations (Algorithm 2)
-  // ------------------------------------------------------------------
-
-  /// Point lookup (Algorithm 2): upper-region traversal, CCM admission,
-  /// seqno-validated lower region. Returns true and fills `*out` when the
-  /// key is present. Linearizable with concurrent puts/erases.
-  bool get(Ctx& c, Key key, Value* out) {
-    auto guard = epochs_.pin(epoch_tid(c));
-    c.set_op_target(key);
-    bool found = false;
-    Value val = 0;
-    for (;;) {
-      auto [leaf, seq] = upper_locate(c, key);
-      const bool bypass = use_bypass(c, leaf);
-      int slot = -1;
-      bool marked = true;
-      if (cfg_.ccm_lockbits && !bypass) {
-        auto [s_, old] = ccm_acquire(c, leaf, key, /*set_mark=*/false);
-        slot = s_;
-        marked = (old & kMark) != 0;
-      } else if (cfg_.ccm_markbits && !bypass) {
-        marked = ccm_marked(c, leaf, key);
-      }
-
-      if (cfg_.ccm_markbits && !bypass && !marked) {
-        // The mark says "absent" — but only trust it if the leaf has not
-        // been split since the upper region located it (the key may have
-        // moved to a sibling).
-        const bool still_valid = reread_seq_valid(c, leaf, seq);
-        if (slot >= 0) ccm_unlock(c, leaf, slot);
-        if (still_valid) {
-          found = false;
-          break;
-        }
-        continue;  // retry from root
-      }
-
-      LowerOutcome oc = LowerOutcome::kDone;
-      const auto txo = c.txn(ctx::TxSite::kLower, shared_->lock, cfg_.policy, [&] {
-        oc = LowerOutcome::kDone;
-        found = false;
-        if (!reread_seq_valid(c, leaf, seq)) {
-          oc = LowerOutcome::kRetryRoot;
-          return;
-        }
-        Record* r = find_record(c, leaf, key);
-        if (r != nullptr) {
-          found = true;
-          val = c.read(r->value);
-        }
-      });
-      adapt_note(c, leaf, txo);
-      if (slot >= 0) ccm_unlock(c, leaf, slot);
-      if (oc == LowerOutcome::kDone) break;
-    }
-    c.clear_op_target();
-    if (found && out != nullptr) *out = val;
-    return found;
-  }
-
-  /// Insert `key` or update its value in place (the paper's `put`).
-  /// Inserts go through the randomized write scheduler into a leaf segment;
-  /// overflow compacts into reserved keys; full leaves split under the
-  /// advisory lock (Algorithm 3).
-  void put(Ctx& c, Key key, Value value) {
-    {
-      auto guard = epochs_.pin(epoch_tid(c));
-      put_pinned(c, key, value);
-    }
-  }
-
-  /// Remove `key`; returns true if it was present. Records are removed from
-  /// their segment (or tombstoned in reserved keys); the mark bit is cleared
-  /// only when no other live key shares its CCM slot. Rebalancing is
-  /// deferred until `rebalance_threshold` deletions accumulate (§4.2.4).
-  bool erase(Ctx& c, Key key) {
-    bool removed = false;
-    bool run_rebalance = false;
-    {
-      auto guard = epochs_.pin(epoch_tid(c));
-      removed = erase_pinned(c, key);
-      if (removed) {
-        const auto n = c.fetch_add(shared_->delete_count, std::uint64_t{1}) + 1;
-        if (n >= cfg_.rebalance_threshold) {
-          c.atomic_store(shared_->delete_count, std::uint64_t{0});
-          run_rebalance = true;
-        }
-      }
-    }
-    if (run_rebalance) rebalance(c);
-    return removed;
-  }
-
-  /// Range scan (§4.2.4): per-leaf, the advisory lock is taken and the live
-  /// records are merged sorted into a transient reserved-keys buffer inside
-  /// the lower region, then copied out. The scan is atomic per leaf (each
-  /// leaf is read in one HTM region) but not across leaves, as in the paper.
-  std::size_t scan(Ctx& c, Key start, std::size_t max_items, KV* out) {
-    auto guard = epochs_.pin(epoch_tid(c));
-    c.set_op_target(start);
-    std::size_t got = 0;
-    Leaf* leaf = nullptr;
-    Leaf* next = nullptr;
-
-    // First leaf: seqno-validated.
-    for (;;) {
-      auto [l, seq] = upper_locate(c, start);
-      leaf = l;
-      leaf_lock(c, leaf);
-      bool ok = false;
-      c.txn(ctx::TxSite::kLower, shared_->lock, cfg_.policy, [&] {
-        got = 0;
-        ok = false;
-        if (c.read(leaf->seqno) != seq) return;
-        ok = true;
-        next = c.read(leaf->next);
-        scan_leaf(c, leaf, start, max_items, out, &got);
-      });
-      leaf_unlock(c, leaf);
-      if (ok) break;
-    }
-
-    // Chain: splits only move suffixes rightward and merges leave dead
-    // leaves readable, so following `next` cannot skip keys.
-    while (got < max_items && next != nullptr) {
-      leaf = next;
-      leaf_lock(c, leaf);
-      // Transaction bodies re-execute on abort: rewind the output cursor at
-      // the top so a retried attempt cannot emit duplicates.
-      const std::size_t base = got;
-      c.txn(ctx::TxSite::kLower, shared_->lock, cfg_.policy, [&] {
-        got = base;
-        next = c.read(leaf->next);
-        scan_leaf(c, leaf, start, max_items, out, &got);
-      });
-      leaf_unlock(c, leaf);
-    }
-    c.clear_op_target();
-    return got;
-  }
-
-  // ------------------------------------------------------------------
-  // Deferred rebalance (§4.2.4)
-  // ------------------------------------------------------------------
-
-  /// One merge pass over the leaf chain: adjacent sibling leaves under the
-  /// same parent whose combined live count fits comfortably are merged; the
-  /// emptied leaf is unlinked and retired through epoch reclamation.
-  /// Returns the number of merges performed.
-  std::size_t rebalance(Ctx& c) {
-    auto guard = epochs_.pin(epoch_tid(c));
-    std::size_t merges = 0;
-    auto [leaf, seq] = upper_locate(c, 0);
-    (void)seq;
-    Leaf* a = leaf;
-    while (a != nullptr) {
-      Leaf* b = c.read(a->next);
-      if (b == nullptr) break;
-      if (!merge_candidate(c, a, b)) {
-        a = b;
-        continue;
-      }
-      leaf_lock(c, a);
-      leaf_lock(c, b);
-      bool merged = false;
-      c.txn(ctx::TxSite::kLower, shared_->lock, cfg_.policy, [&] {
-        merged = try_merge(c, a, b);
-      });
-      leaf_unlock(c, b);
-      leaf_unlock(c, a);
-      if (merged) {
-        ++merges;
-        c.note_event(ctx::TraceCode::kLeafMerge);
-        retire_leaf(c, b);
-        // `a` has a new next; stay on `a`.
-      } else {
-        a = b;
-      }
-    }
-    return merges;
-  }
-
-  // ------------------------------------------------------------------
-  // Uninstrumented verification helpers (quiesced use only)
-  // ------------------------------------------------------------------
-
-  std::size_t size_slow() const {
-    std::size_t n = 0;
-    walk_leaves([&](const Leaf* leaf) { n += live_count_raw(leaf); });
-    return n;
-  }
-
-  int height() const { return static_cast<int>(shared_->root_level) + 1; }
-
-  void check_invariants() const {
-    check_node(shared_->root, shared_->root_level, nullptr, 0, ~0ull, true);
-    // Leaf chain visits exactly the live leaves, in ascending key order.
-    std::vector<const Leaf*> in_order;
-    collect_leaves(shared_->root, shared_->root_level, &in_order);
-    const Leaf* chain = in_order.empty() ? nullptr : in_order.front();
-    for (const Leaf* expected : in_order) {
-      EUNO_ASSERT_MSG(chain == expected, "leaf chain must match tree order");
-      chain = chain->next;
-    }
-    Key prev = 0;
-    bool first = true;
-    for (const Leaf* leaf : in_order) {
-      auto recs = gather_raw(leaf);
-      for (const auto& r : recs) {
-        EUNO_ASSERT_MSG(first || r.key > prev, "live keys must ascend globally");
-        prev = r.key;
-        first = false;
-      }
-      if (cfg_.ccm_markbits) {
-        for (const auto& r : recs) {
-          EUNO_ASSERT_MSG(leaf->ccm[slot_of(r.key)].load(std::memory_order_relaxed) &
-                              kMark,
-                          "live key must have its mark bit set");
-        }
-      }
-    }
-  }
-
-  // ------------------------------------------------------------------
-  // Bulk loading (extension)
-  // ------------------------------------------------------------------
-
-  /// Builds a packed tree from `n` strictly-ascending records, bottom-up:
-  /// each leaf holds up to F records in its (sorted) reserved-keys buffer
-  /// with empty segments — exactly the post-split state of Figure 7d — and
-  /// interior levels are assembled above them. Must be called on an empty,
-  /// quiesced tree; far cheaper than n individual puts.
-  void bulk_load(Ctx& c, const KV* sorted, std::size_t n) {
-    EUNO_ASSERT_MSG(shared_->root_level == 0 &&
-                        live_count_raw(static_cast<Leaf*>(shared_->root)) == 0,
-                    "bulk_load requires an empty tree");
-    for (std::size_t i = 1; i < n; ++i) {
-      EUNO_ASSERT_MSG(sorted[i - 1].first < sorted[i].first,
-                      "bulk_load input must be strictly ascending");
-    }
-    if (n == 0) return;
-
-    // Build the leaf level.
-    std::vector<std::pair<Key, void*>> level;  // (subtree min key, node)
-    Leaf* prev = nullptr;
-    for (std::size_t off = 0; off < n; off += F) {
-      const std::size_t take = std::min<std::size_t>(F, n - off);
-      Leaf* leaf = off == 0 ? static_cast<Leaf*>(shared_->root) : alloc_leaf(c);
-      Reserved* res = alloc_reserved(c);
-      leaf->reserved = res;
-      for (std::size_t i = 0; i < take; ++i) {
-        res->recs[i] = Record{sorted[off + i].first, sorted[off + i].second};
-      }
-      res->count = static_cast<std::uint32_t>(take);
-      res->valid = take == 64 ? ~0ull : ((1ull << take) - 1);
-      if (cfg_.ccm_markbits) {
-        for (std::size_t i = 0; i < take; ++i) {
-          leaf->ccm[slot_of(sorted[off + i].first)].store(
-              kMark, std::memory_order_relaxed);
-        }
-      }
-      if (prev != nullptr) prev->next = leaf;
-      prev = leaf;
-      level.emplace_back(sorted[off].first, leaf);
-    }
-
-    // Assemble interior levels: chunks of up to F+1 children.
-    std::uint32_t lvl = 0;
-    bool children_are_leaves = true;
-    while (level.size() > 1) {
-      ++lvl;
-      std::vector<std::pair<Key, void*>> up;
-      std::size_t off = 0;
-      while (off < level.size()) {
-        std::size_t take = std::min<std::size_t>(F + 1, level.size() - off);
-        // Never leave a 1-child remainder (interior nodes need >= 1 key).
-        if (level.size() - off - take == 1) --take;
-        INode* node = alloc_inode(c);
-        node->level = lvl;
-        node->count = static_cast<std::uint32_t>(take - 1);
-        for (std::size_t i = 0; i < take; ++i) {
-          node->children[i] = level[off + i].second;
-          if (i > 0) node->keys[i - 1] = level[off + i].first;
-          if (children_are_leaves) {
-            static_cast<Leaf*>(level[off + i].second)->parent = node;
-          } else {
-            static_cast<INode*>(level[off + i].second)->parent = node;
-          }
-        }
-        up.emplace_back(level[off].first, node);
-        off += take;
-      }
-      level.swap(up);
-      children_are_leaves = false;
-    }
-    shared_->root = level[0].second;
-    shared_->root_level = lvl;
-  }
-
-  // ------------------------------------------------------------------
-  // Introspection (extension)
-  // ------------------------------------------------------------------
-
-  /// Structural statistics, gathered uninstrumented (quiesced use).
-  struct TreeStats {
-    std::size_t leaves = 0;
-    std::size_t inodes = 0;
-    std::size_t live_records = 0;
-    std::size_t records_in_segments = 0;
-    std::size_t records_in_reserved = 0;
-    std::size_t reserved_buffers = 0;
-    std::size_t reserved_tombstones = 0;
-    std::size_t leaves_in_bypass_mode = 0;
-    std::size_t marks_set = 0;
-    /// Mark-bit false-positive estimate: fraction of set mark slots with no
-    /// live key hashing to them (conservative stale marks + collisions).
-    double mark_false_positive_rate = 0;
-    int height = 0;
-  };
-
-  TreeStats collect_stats() const {
-    TreeStats st;
-    st.height = height();
-    std::size_t stale_marks = 0;
-    walk_leaves([&](const Leaf* leaf) {
-      st.leaves++;
-      std::uint64_t used_slots = 0;
-      for (int i = 0; i < S; ++i) {
-        st.records_in_segments += leaf->segs[i].count;
-        for (std::uint32_t j = 0; j < leaf->segs[i].count; ++j) {
-          used_slots |= 1ull << slot_of(leaf->segs[i].recs[j].key);
-        }
-      }
-      if (leaf->reserved != nullptr) {
-        st.reserved_buffers++;
-        const auto live =
-            static_cast<std::size_t>(std::popcount(leaf->reserved->valid));
-        st.records_in_reserved += live;
-        st.reserved_tombstones += leaf->reserved->count - live;
-        for (std::uint32_t j = 0; j < leaf->reserved->count; ++j) {
-          if ((leaf->reserved->valid >> j) & 1) {
-            used_slots |= 1ull << slot_of(leaf->reserved->recs[j].key);
-          }
-        }
-      }
-      if (leaf->mode.load(std::memory_order_relaxed) != 0) {
-        st.leaves_in_bypass_mode++;
-      }
-      for (int sl = 0; sl < kCcmSlots; ++sl) {
-        if (leaf->ccm[sl].load(std::memory_order_relaxed) & kMark) {
-          st.marks_set++;
-          if (!((used_slots >> sl) & 1)) ++stale_marks;
-        }
-      }
-    });
-    st.live_records = st.records_in_segments + st.records_in_reserved;
-    walk_inodes(shared_->root, shared_->root_level,
-                [&](const INode*) { st.inodes++; });
-    st.mark_false_positive_rate =
-        st.marks_set > 0
-            ? static_cast<double>(stale_marks) / static_cast<double>(st.marks_set)
-            : 0.0;
-    return st;
-  }
-
-  const EunoConfig& config() const { return cfg_; }
-  EpochManager& epochs() { return epochs_; }
-
- private:
-  // ---- layout ----
-
-  struct Record {
-    Key key;
-    Value value;
-  };
-
-  /// One leaf segment: own metadata, own cache line(s) (§4.1 Figure 4).
-  struct alignas(kCacheLineSize) Segment {
-    std::uint32_t count;
-    Record recs[kSlotsPerSeg];  // sorted within the segment
-  };
-
-  /// Sorted overflow/compaction buffer ("reserved keys"). Allocated on
-  /// demand; `valid` tombstones deleted entries.
-  struct Reserved {
-    std::uint32_t count;  // entries in recs (including tombstoned)
-    std::uint32_t pad;
-    std::uint64_t valid;  // bit i => recs[i] is live
-    Record recs[F];
-  };
-
-  struct INode;
-
-  static constexpr std::uint8_t kLock = 1;
-  static constexpr std::uint8_t kMark = 2;
-
-  struct Leaf {
-    // Line 0: leaf metadata (seqno is the split version of §4.1). This line
-    // sits in every lower region's read set, so nothing that is written
-    // outside transactions may live here.
-    std::uint64_t seqno;
-    INode* parent;
-    Leaf* next;
-    Reserved* reserved;
-    std::uint32_t dead;
-    // Line 1: all non-transactional control state — the CCM bit vector, the
-    // advisory split lock, and the adaptive-contention window counters —
-    // shares one cache line. Keeping it off line 0 is essential: a CAS on
-    // the split lock or a CCM slot is a plain write, and if it shared a line
-    // with seqno it would abort every in-flight transaction on the leaf (we
-    // measured exactly that pathology before separating them). Packing all
-    // of it into ONE line matters too: every operation that consults the
-    // CCM, the mode, or the lock then touches a single extra line.
-    alignas(kCacheLineSize) std::atomic<std::uint8_t> ccm[kCcmSlots];
-    std::atomic<std::uint32_t> split_lock;
-    std::atomic<std::uint32_t> win_ops;
-    std::atomic<std::uint32_t> win_aborts;
-    std::atomic<std::uint32_t> mode;  // 1 = bypass CCM (low contention)
-    // Scattered record storage.
-    Segment segs[S];
-  };
-
-  struct INode {
-    std::uint32_t count;
-    std::uint32_t level;  // children live at level-1; level 1 children are leaves
-    INode* parent;
-    alignas(kCacheLineSize) Key keys[F];
-    alignas(kCacheLineSize) void* children[F + 1];
-  };
-
-  struct Shared {
-    ctx::FallbackLock lock;
-    void* root;
-    std::uint32_t root_level;
-    alignas(kCacheLineSize) std::atomic<std::uint64_t> delete_count;
-  };
-
-  enum class LowerOutcome { kDone, kRetryRoot, kNeedSplitLock };
-
-  /// Re-validate a leaf's seqno against the value captured by upper_locate:
-  /// the read path's defense against racing splits (the key may have moved
-  /// to a sibling since the upper region resolved the leaf).
-  ///
-  /// The linearizability mutation self-test (tests/lin_mutation_test.cpp)
-  /// compiles this header with EUNO_LIN_MUTATION_SKIP_SEQ_RECHECK defined,
-  /// turning the *get-path* re-checks into unconditional successes; reads
-  /// then trust stale leaves across splits and the checker in src/check must
-  /// flag the resulting vanished-key reads. Write paths keep their checks —
-  /// a broken write path corrupts the structure instead of producing the
-  /// clean wrong answers the self-test is calibrated to catch.
-  static bool reread_seq_valid(Ctx& c, Leaf* leaf, std::uint64_t seq) {
-#if defined(EUNO_LIN_MUTATION_SKIP_SEQ_RECHECK)
-    (void)c;
-    (void)leaf;
-    (void)seq;
-    return true;
-#else
-    return c.read(leaf->seqno) == seq;
-#endif
-  }
-
-  // ---- allocation ----
-
-  Leaf* alloc_leaf(Ctx& c) {
-    auto* l =
-        static_cast<Leaf*>(c.alloc(sizeof(Leaf), MemClass::kLeafNode,
-                                   sim::LineKind::kRecord));
-    new (l) Leaf();
-    l->mode.store(1, std::memory_order_relaxed);  // start optimistic (bypass)
-    c.tag_memory(l, kCacheLineSize, sim::LineKind::kLeafMeta);
-    c.tag_memory(&l->ccm[0], kCacheLineSize, sim::LineKind::kCCM);
-    c.note_node(l, sizeof(Leaf), 0);
-    return l;
-  }
-
-  Reserved* alloc_reserved(Ctx& c) {
-    auto* r = static_cast<Reserved*>(c.alloc(sizeof(Reserved),
-                                             MemClass::kReservedKeys,
-                                             sim::LineKind::kRecord));
-    new (r) Reserved();
-    c.note_node(r, sizeof(Reserved), 0);
-    return r;
-  }
-
-  INode* alloc_inode(Ctx& c) {
-    auto* n = static_cast<INode*>(c.alloc(sizeof(INode), MemClass::kInternalNode,
-                                          sim::LineKind::kTreeMeta));
-    new (n) INode();
-    c.note_node(n, sizeof(INode), 1);
-    return n;
-  }
-
-  void retire_leaf(Ctx& c, Leaf* leaf) {
-    Reserved* res = leaf->reserved;  // quiesced-by-seqno: safe raw read
-    if (res != nullptr) {
-      epochs_.retire(epoch_tid(c), res,
-                     c.make_deleter(sizeof(Reserved), MemClass::kReservedKeys));
-    }
-    epochs_.retire(epoch_tid(c), leaf,
-                   c.make_deleter(sizeof(Leaf), MemClass::kLeafNode));
-  }
-
-  int epoch_tid(Ctx& c) const { return c.tid() % EpochManager::kMaxThreads; }
-
-  // ---- upper region ----
-
-  std::pair<Leaf*, std::uint64_t> upper_locate(Ctx& c, Key key) {
-    Leaf* leaf = nullptr;
-    std::uint64_t seq = 0;
-    c.txn(ctx::TxSite::kUpper, shared_->lock, cfg_.policy, [&] {
-      void* n = c.read(shared_->root);
-      std::uint32_t lvl = c.read(shared_->root_level);
-      while (lvl > 0) {
-        auto* in = static_cast<INode*>(n);
-        n = c.read(in->children[child_index(c, in, key)]);
-        --lvl;
-      }
-      leaf = static_cast<Leaf*>(n);
-      seq = c.read(leaf->seqno);
-    });
-    return {leaf, seq};
-  }
-
-  int child_index(Ctx& c, INode* node, Key key) {
-    const int n = static_cast<int>(c.read(node->count));
-    int i = 0;
-    while (i < n && key >= c.read(node->keys[i])) ++i;
-    return i;
-  }
-
-  // ---- conflict-control module ----
-
-  static int slot_of(Key key) {
-    return static_cast<int>(mix64(key) & (kCcmSlots - 1));
-  }
-
-  /// Acquires the slot's LOCK bit in a single RMW, optionally setting the
-  /// MARK bit in the same operation (a put needs both — fusing them saves a
-  /// round trip on the contended CCM line). Returns the slot and the byte's
-  /// prior value (whose kMark bit is the existence hint).
-  std::pair<int, std::uint8_t> ccm_acquire(Ctx& c, Leaf* leaf, Key key,
-                                           bool set_mark) {
-    const int slot = slot_of(key);
-    const auto want = static_cast<std::uint8_t>(kLock | (set_mark ? kMark : 0));
-    for (;;) {
-      const std::uint8_t old = c.fetch_or(leaf->ccm[slot], want);
-      if (!(old & kLock)) return {slot, old};
-      // Busy: test-and-test-and-set wait (read-only spins don't steal the
-      // line from the holder).
-      do {
-        c.spin_pause();
-      } while (c.atomic_load(leaf->ccm[slot]) & kLock);
-    }
-  }
-
-  void ccm_unlock(Ctx& c, Leaf* leaf, int slot) {
-    c.fetch_and(leaf->ccm[slot], static_cast<std::uint8_t>(~kLock));
-  }
-
-  bool ccm_marked(Ctx& c, Leaf* leaf, Key key) {
-    return (c.atomic_load(leaf->ccm[slot_of(key)]) & kMark) != 0;
-  }
-
-  void ccm_set_mark(Ctx& c, Leaf* leaf, Key key) {
-    // Test-then-set: updates of existing keys find the mark already set and
-    // avoid the invalidating RMW on the (shared) CCM line.
-    const int slot = slot_of(key);
-    if ((c.atomic_load(leaf->ccm[slot]) & kMark) == 0) {
-      c.fetch_or(leaf->ccm[slot], kMark);
-    }
-  }
-
-  void ccm_clear_mark(Ctx& c, Leaf* leaf, int slot) {
-    c.fetch_and(leaf->ccm[slot], static_cast<std::uint8_t>(~kMark));
-  }
-
-  // ---- adaptive contention control ----
-
-  bool use_bypass(Ctx& c, Leaf* leaf) {
-    if (!cfg_.adaptive) return false;
-    if (!cfg_.ccm_lockbits && !cfg_.ccm_markbits) return false;
-    return c.atomic_load(leaf->mode) != 0;
-  }
-
-  void adapt_note(Ctx& c, Leaf* leaf, const ctx::TxnOutcome& txo) {
-    if (!cfg_.adaptive) return;
-    // Sample 1 in 8 operations (always sampling aborted ones): the window
-    // counters live on a shared line and full-rate RMWs on it would cost
-    // more than the CCM the detector exists to bypass.
-    auto& st = sched_[c.tid() % kMaxSchedThreads].value;
-    if (((st.op_serial++ & 7u) != 0) && txo.aborts == 0) return;
-    const std::uint32_t ops = c.fetch_add(leaf->win_ops, 1u) + 1;
-    if (txo.aborts != 0) c.fetch_add(leaf->win_aborts, txo.aborts);
-    if (ops >= cfg_.adapt_window) {
-      const std::uint32_t aborts = c.atomic_load(leaf->win_aborts);
-      c.atomic_store(leaf->win_ops, 0u);
-      c.atomic_store(leaf->win_aborts, 0u);
-      const bool high = aborts * 100 >= cfg_.adapt_window * cfg_.adapt_high_pct;
-      const std::uint32_t prev = c.atomic_load(leaf->mode);
-      if (prev != (high ? 0u : 1u)) {
-        c.note_event(high ? ctx::TraceCode::kAdaptiveToFull
-                          : ctx::TraceCode::kAdaptiveToBypass);
-      }
-      c.atomic_store(leaf->mode, high ? 0u : 1u);
-    }
-  }
-
-  // ---- leaf advisory (split) lock ----
-
-  void leaf_lock(Ctx& c, Leaf* leaf) {
-    while (!c.cas(leaf->split_lock, 0u, 1u)) c.spin_pause();
-  }
-  void leaf_unlock(Ctx& c, Leaf* leaf) {
-    c.atomic_store(leaf->split_lock, 0u);
-  }
-
-  /// Racy fill estimate used to pre-acquire the split lock (Alg. 2 line 39).
-  /// "Near full" means an insert is likely to *split*: the segments are
-  /// nearly exhausted and compaction cannot absorb them (total >= F). A leaf
-  /// whose records merely sit in reserved keys has plenty of segment room
-  /// and must not be treated as near-full, or every put would serialize on
-  /// the advisory lock forever.
-  bool leaf_near_full(Ctx& c, Leaf* leaf) {
-    std::uint32_t in_segs = 0;
-    for (int s = 0; s < S; ++s) in_segs += c.read(leaf->segs[s].count);
-    const std::uint32_t seg_free = static_cast<std::uint32_t>(F) - in_segs;
-    if (seg_free > static_cast<std::uint32_t>(S)) return false;
-    std::uint32_t total = in_segs;
-    Reserved* res = c.read(leaf->reserved);
-    if (res != nullptr) {
-      total += static_cast<std::uint32_t>(std::popcount(c.read(res->valid)));
-    }
-    return total >= static_cast<std::uint32_t>(F);
-  }
-
-  // ---- put / erase bodies ----
-
-  void put_pinned(Ctx& c, Key key, Value value) {
-    c.set_op_target(key);
-    bool force_lock = false;
-    for (;;) {
-      auto [leaf, seq] = upper_locate(c, key);
-      const bool bypass = use_bypass(c, leaf);
-      int slot = -1;
-      bool probably_insert = true;
-      if (cfg_.ccm_lockbits && !bypass) {
-        // One RMW acquires the lock bit and plants the (conservative) mark.
-        auto [s_, old] = ccm_acquire(c, leaf, key, cfg_.ccm_markbits);
-        slot = s_;
-        if (cfg_.ccm_markbits) probably_insert = (old & kMark) == 0;
-      } else if (cfg_.ccm_markbits) {
-        // Marks must stay conservative even in bypass mode: set before insert.
-        probably_insert = !ccm_marked(c, leaf, key);
-        ccm_set_mark(c, leaf, key);
-      }
-
-      // The near-full pre-lock (Alg. 2 line 39) only matters for inserts
-      // that may split; updates skip the estimate entirely. A full leaf
-      // discovered without the lock is handled by the kNeedSplitLock retry.
-      bool have_split_lock = false;
-      if (force_lock || (probably_insert && leaf_near_full(c, leaf))) {
-        leaf_lock(c, leaf);
-        have_split_lock = true;
-      }
-
-      LowerOutcome oc = LowerOutcome::kDone;
-      const auto txo = c.txn(ctx::TxSite::kLower, shared_->lock, cfg_.policy, [&] {
-        oc = LowerOutcome::kDone;
-        if (c.read(leaf->seqno) != seq) {
-          oc = LowerOutcome::kRetryRoot;
-          return;
-        }
-        Record* r = find_record(c, leaf, key);
-        if (r != nullptr) {
-          c.write(r->value, value);
-          return;
-        }
-        Leaf* target = leaf;
-        r = insert_record(c, leaf, key, have_split_lock, &oc, &target);
-        if (r != nullptr) {
-          c.write(r->value, value);
-          // A split rebuilds mark bits from pre-insert records (and may move
-          // the key's home to the new sibling): re-assert the mark on the
-          // final target, transactionally, so it commits with the insert.
-          if (cfg_.ccm_markbits) ccm_set_mark(c, target, key);
-        }
-      });
-      adapt_note(c, leaf, txo);
-      if (have_split_lock) leaf_unlock(c, leaf);
-      if (slot >= 0) ccm_unlock(c, leaf, slot);
-      if (oc == LowerOutcome::kDone) break;
-      // A full leaf discovered without the lock: restart from the root and
-      // unconditionally pre-acquire (the near-full estimate is only a hint).
-      if (oc == LowerOutcome::kNeedSplitLock) force_lock = true;
-    }
-    c.clear_op_target();
-  }
-
-  bool erase_pinned(Ctx& c, Key key) {
-    c.set_op_target(key);
-    bool removed = false;
-    for (;;) {
-      auto [leaf, seq] = upper_locate(c, key);
-      const bool bypass = use_bypass(c, leaf);
-      int slot = -1;
-      bool marked = true;
-      if (cfg_.ccm_lockbits && !bypass) {
-        auto [s_, old] = ccm_acquire(c, leaf, key, /*set_mark=*/false);
-        slot = s_;
-        marked = (old & kMark) != 0;
-      } else if (cfg_.ccm_markbits && !bypass) {
-        marked = ccm_marked(c, leaf, key);
-      }
-
-      if (cfg_.ccm_markbits && !bypass && !marked) {
-        const bool still_valid = c.read(leaf->seqno) == seq;
-        if (slot >= 0) ccm_unlock(c, leaf, slot);
-        if (still_valid) {
-          removed = false;
-          break;
-        }
-        continue;
-      }
-
-      LowerOutcome oc = LowerOutcome::kDone;
-      bool slot_still_used = true;
-      Reserved* emptied = nullptr;
-      const auto txo = c.txn(ctx::TxSite::kLower, shared_->lock, cfg_.policy, [&] {
-        oc = LowerOutcome::kDone;
-        removed = false;
-        slot_still_used = true;
-        emptied = nullptr;
-        if (c.read(leaf->seqno) != seq) {
-          oc = LowerOutcome::kRetryRoot;
-          return;
-        }
-        removed = remove_record(c, leaf, key, &emptied);
-        if (removed && cfg_.ccm_markbits) {
-          slot_still_used = any_live_key_in_slot(c, leaf, slot_of(key));
-        }
-      });
-      adapt_note(c, leaf, txo);
-      if (emptied != nullptr) {
-        epochs_.retire(epoch_tid(c), emptied,
-                       c.make_deleter(sizeof(Reserved), MemClass::kReservedKeys));
-      }
-      // Clearing a mark requires the slot lock (otherwise a concurrent
-      // same-slot insert could have its fresh mark erased → false negative).
-      if (removed && cfg_.ccm_markbits && slot >= 0 && !slot_still_used) {
-        ccm_clear_mark(c, leaf, slot);
-      }
-      if (slot >= 0) ccm_unlock(c, leaf, slot);
-      if (oc == LowerOutcome::kDone) break;
-    }
-    c.clear_op_target();
-    return removed;
-  }
-
-  // ---- lower-region record operations (inside transactions) ----
-
-  /// Searches segments (first/last fence compare, then linear — §4.1) and
-  /// the reserved buffer (binary search over the sorted live+tombstoned
-  /// entries). Returns a pointer for in-place update, or nullptr.
-  Record* find_record(Ctx& c, Leaf* leaf, Key key) {
-    // Reserved keys first: in steady state (after a compaction or split)
-    // most records live there and the sorted buffer costs a short binary
-    // search; segments are probed only on a reserved miss. A live key exists
-    // in exactly one place, so the order is free.
-    Reserved* res = c.read(leaf->reserved);
-    if (res != nullptr) {
-      const int n = static_cast<int>(c.read(res->count));
-      int lo = 0, hi = n - 1;
-      while (lo <= hi) {
-        const int mid = (lo + hi) / 2;
-        const Key k = c.read(res->recs[mid].key);
-        if (k == key) {
-          const std::uint64_t valid = c.read(res->valid);
-          if ((valid >> mid) & 1) return &res->recs[mid];
-          break;  // tombstoned here; a live copy may sit in a segment
-        }
-        if (k < key) {
-          lo = mid + 1;
-        } else {
-          hi = mid - 1;
-        }
-      }
-    }
-    for (int s = 0; s < S; ++s) {
-      Segment& seg = leaf->segs[s];
-      const int n = static_cast<int>(c.read(seg.count));
-      if (n == 0) continue;
-      if (key < c.read(seg.recs[0].key) || key > c.read(seg.recs[n - 1].key)) {
-        continue;
-      }
-      for (int i = 0; i < n; ++i) {
-        const Key k = c.read(seg.recs[i].key);
-        if (k == key) return &seg.recs[i];
-        if (k > key) break;
-      }
-    }
-    return nullptr;
-  }
-
-  /// Algorithm 3: randomized write scheduler, compaction into reserved keys
-  /// on overflow, split (under the advisory lock) when really full.
-  Record* insert_record(Ctx& c, Leaf* leaf, Key key, bool have_split_lock,
-                        LowerOutcome* oc, Leaf** target_out) {
-    *target_out = leaf;
-    int idx = sched_pick(c);
-    for (int tries = 0;
-         seg_full(c, leaf, idx) && tries < cfg_.sched_retries; ++tries) {
-      idx = sched_pick(c);
-    }
-    if (!seg_full(c, leaf, idx)) return seg_insert(c, leaf, idx, key);
-
-    const std::uint32_t total = live_count_tx(c, leaf);
-    if (total < static_cast<std::uint32_t>(F)) {
-      // Uneven distribution or reserved-absorbable overflow: move all
-      // records to reserved keys and clean the segments (Figure 6b/6c).
-      compact_to_reserved(c, leaf);
-      return seg_insert(c, leaf, sched_pick(c), key);
-    }
-
-    // Node is really full: split required (Figure 6, lines 75-86).
-    if (!have_split_lock) {
-      *oc = LowerOutcome::kNeedSplitLock;
-      return nullptr;
-    }
-    Leaf* target = split_leaf(c, leaf, key);
-    *target_out = target;
-    return seg_insert(c, target, sched_pick(c), key);
-  }
-
-  bool seg_full(Ctx& c, Leaf* leaf, int idx) {
-    return c.read(leaf->segs[idx].count) ==
-           static_cast<std::uint32_t>(kSlotsPerSeg);
-  }
-
-  /// Sorted insert into one segment (at most kSlotsPerSeg-1 shifts, all on
-  /// the segment's own cache line(s)).
-  Record* seg_insert(Ctx& c, Leaf* leaf, int idx, Key key) {
-    Segment& seg = leaf->segs[idx];
-    const int n = static_cast<int>(c.read(seg.count));
-    EUNO_ASSERT_MSG(n < kSlotsPerSeg, "scheduler must deliver a non-full segment");
-    int pos = n;
-    while (pos > 0 && c.read(seg.recs[pos - 1].key) > key) --pos;
-    for (int i = n; i > pos; --i) {
-      c.write(seg.recs[i].key, c.read(seg.recs[i - 1].key));
-      c.write(seg.recs[i].value, c.read(seg.recs[i - 1].value));
-    }
-    c.write(seg.recs[pos].key, key);
-    c.write(seg.recs[pos].value, Value{0});
-    c.write(seg.count, static_cast<std::uint32_t>(n + 1));
-    return &seg.recs[pos];
-  }
-
-  bool remove_record(Ctx& c, Leaf* leaf, Key key, Reserved** emptied) {
-    *emptied = nullptr;
-    for (int s = 0; s < S; ++s) {
-      Segment& seg = leaf->segs[s];
-      const int n = static_cast<int>(c.read(seg.count));
-      for (int i = 0; i < n; ++i) {
-        const Key k = c.read(seg.recs[i].key);
-        if (k > key) break;
-        if (k != key) continue;
-        for (int j = i; j + 1 < n; ++j) {
-          c.write(seg.recs[j].key, c.read(seg.recs[j + 1].key));
-          c.write(seg.recs[j].value, c.read(seg.recs[j + 1].value));
-        }
-        c.write(seg.count, static_cast<std::uint32_t>(n - 1));
-        return true;
-      }
-    }
-    Reserved* res = c.read(leaf->reserved);
-    if (res == nullptr) return false;
-    const int n = static_cast<int>(c.read(res->count));
-    for (int i = 0; i < n; ++i) {
-      if (c.read(res->recs[i].key) != key) continue;
-      const std::uint64_t valid = c.read(res->valid);
-      if (!((valid >> i) & 1)) return false;
-      c.write(res->valid, std::uint64_t{valid & ~(1ull << i)});
-      if ((valid & ~(1ull << i)) == 0) {
-        // Buffer emptied: detach it. Reclamation goes through the epoch
-        // manager (after the txn commits) because leaf_near_full and the
-        // merge candidate check read the buffer without a transaction.
-        c.write(leaf->reserved, static_cast<Reserved*>(nullptr));
-        *emptied = res;
-      }
-      return true;
-    }
-    return false;
-  }
-
-  bool any_live_key_in_slot(Ctx& c, Leaf* leaf, int slot) {
-    bool used = false;
-    for_each_live(c, leaf, [&](Key k, Value) {
-      if (slot_of(k) == slot) used = true;
-    });
-    return used;
-  }
-
-  std::uint32_t live_count_tx(Ctx& c, Leaf* leaf) {
-    std::uint32_t total = 0;
-    for (int s = 0; s < S; ++s) total += c.read(leaf->segs[s].count);
-    Reserved* res = c.read(leaf->reserved);
-    if (res != nullptr) {
-      total += static_cast<std::uint32_t>(std::popcount(c.read(res->valid)));
-    }
-    return total;
-  }
-
-  template <class Fn>
-  void for_each_live(Ctx& c, Leaf* leaf, Fn&& fn) {
-    for (int s = 0; s < S; ++s) {
-      Segment& seg = leaf->segs[s];
-      const int n = static_cast<int>(c.read(seg.count));
-      for (int i = 0; i < n; ++i) {
-        fn(c.read(seg.recs[i].key), c.read(seg.recs[i].value));
-      }
-    }
-    Reserved* res = c.read(leaf->reserved);
-    if (res != nullptr) {
-      const int n = static_cast<int>(c.read(res->count));
-      const std::uint64_t valid = c.read(res->valid);
-      for (int i = 0; i < n; ++i) {
-        if ((valid >> i) & 1) {
-          fn(c.read(res->recs[i].key), c.read(res->recs[i].value));
-        }
-      }
-    }
-  }
-
-  /// Gather all live records sorted (host-side scratch; cost charged).
-  std::vector<Record> gather_sorted(Ctx& c, Leaf* leaf) {
-    std::vector<Record> all;
-    all.reserve(kLeafCapacity);
-    for_each_live(c, leaf, [&](Key k, Value v) { all.push_back(Record{k, v}); });
-    std::sort(all.begin(), all.end(),
-              [](const Record& a, const Record& b) { return a.key < b.key; });
-    c.compute(all.size() * 4 + 8);  // merge-sort work
-    return all;
-  }
-
-  /// Figure 6b: move every record into reserved keys, clear the segments.
-  /// Caller guarantees the live count fits the buffer.
-  void compact_to_reserved(Ctx& c, Leaf* leaf) {
-    auto all = gather_sorted(c, leaf);
-    EUNO_ASSERT(all.size() <= static_cast<std::size_t>(F));
-    Reserved* res = c.read(leaf->reserved);
-    if (res == nullptr) {
-      res = alloc_reserved(c);
-      c.write(leaf->reserved, res);
-    }
-    write_reserved(c, res, all.data(), all.size());
-    for (int s = 0; s < S; ++s) c.write(leaf->segs[s].count, 0u);
-  }
-
-  void write_reserved(Ctx& c, Reserved* res, const Record* recs, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      c.write(res->recs[i].key, recs[i].key);
-      c.write(res->recs[i].value, recs[i].value);
-    }
-    c.write(res->count, static_cast<std::uint32_t>(n));
-    c.write(res->valid, std::uint64_t{n == 64 ? ~0ull : ((1ull << n) - 1)});
-  }
-
-  /// §4.2.3 sorting-split-reorganizing. Requires the advisory split lock.
-  /// Returns the node that should receive `key`.
-  Leaf* split_leaf(Ctx& c, Leaf* leaf, Key key) {
-    auto all = gather_sorted(c, leaf);
-    const std::size_t half = all.size() / 2;
-    EUNO_ASSERT(half >= 1 && all.size() - half <= static_cast<std::size_t>(F));
-
-    Leaf* right = alloc_leaf(c);
-    Reserved* rres = alloc_reserved(c);
-    c.write(right->reserved, rres);
-    write_reserved(c, rres, all.data() + half, all.size() - half);
-
-    Reserved* lres = c.read(leaf->reserved);
-    if (lres == nullptr) {
-      lres = alloc_reserved(c);
-      c.write(leaf->reserved, lres);
-    }
-    write_reserved(c, lres, all.data(), half);
-    for (int s = 0; s < S; ++s) c.write(leaf->segs[s].count, 0u);
-
-    c.write(right->next, c.read(leaf->next));
-    c.write(leaf->next, right);
-    c.write(right->parent, c.read(leaf->parent));
-    c.write(leaf->seqno, c.read(leaf->seqno) + 1);  // Alg. 3 line 80
-
-    if (cfg_.ccm_markbits) {
-      // Only the fresh right leaf gets exact marks (its CCM line is private
-      // until the split commits, so this costs no conflicts). The left leaf
-      // keeps its existing marks: a conservative superset — moved-out keys
-      // degrade to false positives, which is safe and cheap, whereas
-      // rewriting the left CCM line inside the split transaction would let
-      // every concurrent non-transactional CCM operation abort the split.
-      rebuild_marks(c, right, all.data() + half, all.size() - half);
-    }
-
-    const Key sep = all[half].key;
-    insert_into_parent(c, leaf, sep, right);
-    c.note_event(ctx::TraceCode::kLeafSplit);
-    return key >= sep ? right : leaf;
-  }
-
-  /// Recompute mark bits from the live keys, preserving concurrent holders'
-  /// LOCK bits. Runs inside the split transaction, so the rebuild commits
-  /// atomically with the record movement.
-  void rebuild_marks(Ctx& c, Leaf* leaf, const Record* recs, std::size_t n) {
-    std::uint64_t marked = 0;
-    for (std::size_t i = 0; i < n; ++i) marked |= 1ull << slot_of(recs[i].key);
-    for (int s = 0; s < kCcmSlots; ++s) {
-      const std::uint8_t old = c.atomic_load(leaf->ccm[s]);
-      const std::uint8_t want = static_cast<std::uint8_t>(
-          (old & kLock) | (((marked >> s) & 1) ? kMark : 0));
-      if (want != old) c.atomic_store(leaf->ccm[s], want);
-    }
-  }
-
-  void insert_into_parent(Ctx& c, Leaf* left, Key sep, Leaf* right) {
-    INode* parent = c.read(left->parent);
-    if (parent == nullptr) {
-      INode* root = make_new_root(c, left, sep, right, 1);
-      c.write(left->parent, root);
-      c.write(right->parent, root);
-      return;
-    }
-    insert_into_inode(c, parent, sep, right, /*child_is_leaf=*/true);
-  }
-
-  INode* make_new_root(Ctx& c, void* left, Key sep, void* right,
-                       std::uint32_t level) {
-    INode* root = alloc_inode(c);
-    c.write(root->count, 1u);
-    c.write(root->level, level);
-    c.write(root->keys[0], sep);
-    c.write(root->children[0], left);
-    c.write(root->children[1], right);
-    c.write(shared_->root, static_cast<void*>(root));
-    c.write(shared_->root_level, level);
-    return root;
-  }
-
-  void insert_into_inode(Ctx& c, INode* node, Key sep, void* right_child,
-                         bool child_is_leaf) {
-    if (c.read(node->count) == static_cast<std::uint32_t>(F)) {
-      node = split_inode(c, node, sep);
-    }
-    const int n = static_cast<int>(c.read(node->count));
-    int pos = n;
-    while (pos > 0 && c.read(node->keys[pos - 1]) > sep) --pos;
-    for (int i = n; i > pos; --i) {
-      c.write(node->keys[i], c.read(node->keys[i - 1]));
-      c.write(node->children[i + 1], c.read(node->children[i]));
-    }
-    c.write(node->keys[pos], sep);
-    c.write(node->children[pos + 1], right_child);
-    c.write(node->count, static_cast<std::uint32_t>(n + 1));
-    set_parent(c, right_child, child_is_leaf, node);
-  }
-
-  void set_parent(Ctx& c, void* child, bool child_is_leaf, INode* parent) {
-    if (child_is_leaf) {
-      c.write(static_cast<Leaf*>(child)->parent, parent);
-    } else {
-      c.write(static_cast<INode*>(child)->parent, parent);
-    }
-  }
-
-  INode* split_inode(Ctx& c, INode* node, Key sep) {
-    INode* right = alloc_inode(c);
-    constexpr int kHalf = F / 2;
-    const std::uint32_t level = c.read(node->level);
-    const Key mid = c.read(node->keys[kHalf]);
-    c.write(right->level, level);
-    for (int i = kHalf + 1; i < F; ++i) {
-      c.write(right->keys[i - kHalf - 1], c.read(node->keys[i]));
-    }
-    const bool children_are_leaves = level == 1;
-    for (int i = kHalf + 1; i <= F; ++i) {
-      void* child = c.read(node->children[i]);
-      c.write(right->children[i - kHalf - 1], child);
-      set_parent(c, child, children_are_leaves, right);
-    }
-    c.write(right->count, static_cast<std::uint32_t>(F - kHalf - 1));
-    c.write(node->count, static_cast<std::uint32_t>(kHalf));
-
-    INode* parent = c.read(node->parent);
-    if (parent == nullptr) {
-      INode* root = make_new_root(c, node, mid, right, level + 1);
-      c.write(node->parent, root);
-      c.write(right->parent, root);
-    } else {
-      insert_into_inode(c, parent, mid, right, /*child_is_leaf=*/false);
-    }
-    return sep >= mid ? right : node;
-  }
-
-  // ---- scan helper ----
-
-  /// §4.2.4: under the advisory lock, move and sort the leaf's records.
-  /// With cfg_.scan_compacts the result lands in the reserved-keys buffer —
-  /// segments are cleared and consecutive scans reuse the sorted layout
-  /// (the fast path below). Otherwise a transient buffer is used and freed
-  /// at commit.
-  void scan_leaf(Ctx& c, Leaf* leaf, Key start, std::size_t max_items, KV* out,
-                 std::size_t* got) {
-    // Fast path: a previously-compacted leaf (all records already sorted in
-    // reserved keys, segments empty) is read out directly.
-    if (cfg_.scan_compacts && scan_fast_path(c, leaf, start, max_items, out, got)) {
-      return;
-    }
-    auto all = gather_sorted(c, leaf);
-    if (all.empty()) return;
-
-    if (cfg_.scan_compacts && all.size() <= static_cast<std::size_t>(F)) {
-      // Paper behaviour: stash the sorted records in reserved keys, clear
-      // the segments, emit from the compacted buffer.
-      Reserved* res = c.read(leaf->reserved);
-      if (res == nullptr) {
-        res = alloc_reserved(c);
-        c.write(leaf->reserved, res);
-      }
-      write_reserved(c, res, all.data(), all.size());
-      for (int s = 0; s < S; ++s) c.write(leaf->segs[s].count, 0u);
-      for (std::size_t i = 0; i < all.size() && *got < max_items; ++i) {
-        if (all[i].key < start) continue;
-        out[(*got)++] = KV{all[i].key, all[i].value};
-      }
-      return;
-    }
-
-    // Transient-buffer variant (also taken when the live count exceeds the
-    // reserved capacity): allocated for the scan, freed at commit.
-    auto* transient = static_cast<Reserved*>(c.alloc(
-        sizeof(Reserved) * 2, MemClass::kReservedKeys, sim::LineKind::kRecord));
-    auto* trecs = reinterpret_cast<Record*>(transient);
-    for (std::size_t i = 0; i < all.size(); ++i) {
-      c.write(trecs[i].key, all[i].key);
-      c.write(trecs[i].value, all[i].value);
-    }
-    for (std::size_t i = 0; i < all.size() && *got < max_items; ++i) {
-      const Key k = c.read(trecs[i].key);
-      if (k < start) continue;
-      out[(*got)++] = KV{k, c.read(trecs[i].value)};
-    }
-    c.free(transient, sizeof(Reserved) * 2, MemClass::kReservedKeys);
-  }
-
-  /// Reads a leaf whose records already sit fully sorted in reserved keys.
-  /// Returns false if any segment holds records (slow path required).
-  bool scan_fast_path(Ctx& c, Leaf* leaf, Key start, std::size_t max_items,
-                      KV* out, std::size_t* got) {
-    for (int s = 0; s < S; ++s) {
-      if (c.read(leaf->segs[s].count) != 0) return false;
-    }
-    Reserved* res = c.read(leaf->reserved);
-    if (res == nullptr) return true;  // empty leaf: nothing to emit
-    const int n = static_cast<int>(c.read(res->count));
-    const std::uint64_t valid = c.read(res->valid);
-    for (int i = 0; i < n && *got < max_items; ++i) {
-      if (!((valid >> i) & 1)) continue;
-      const Key k = c.read(res->recs[i].key);
-      if (k < start) continue;
-      out[(*got)++] = KV{k, c.read(res->recs[i].value)};
-    }
-    return true;
-  }
-
-  // ---- rebalance helpers ----
-
-  bool merge_candidate(Ctx& c, Leaf* a, Leaf* b) {
-    if (c.read(a->dead) || c.read(b->dead)) return false;
-    INode* pa = c.read(a->parent);
-    INode* pb = c.read(b->parent);
-    if (pa == nullptr || pa != pb) return false;
-    if (c.read(pa->count) < 2) return false;
-    std::uint32_t total = 0;
-    for (int s = 0; s < S; ++s) {
-      total += c.read(a->segs[s].count) + c.read(b->segs[s].count);
-    }
-    Reserved* ra = c.read(a->reserved);
-    Reserved* rb = c.read(b->reserved);
-    if (ra) total += static_cast<std::uint32_t>(std::popcount(c.read(ra->valid)));
-    if (rb) total += static_cast<std::uint32_t>(std::popcount(c.read(rb->valid)));
-    return total <= static_cast<std::uint32_t>(F);
-  }
-
-  /// Transactional merge of b into a. Returns false if validation failed
-  /// (layout changed since the racy candidate check).
-  bool try_merge(Ctx& c, Leaf* a, Leaf* b) {
-    if (c.read(a->dead) || c.read(b->dead)) return false;
-    if (c.read(a->next) != b) return false;
-    INode* parent = c.read(a->parent);
-    if (parent == nullptr || parent != c.read(b->parent)) return false;
-    const int pcount = static_cast<int>(c.read(parent->count));
-    if (pcount < 2) return false;
-    if (live_count_tx(c, a) + live_count_tx(c, b) >
-        static_cast<std::uint32_t>(F)) {
-      return false;
-    }
-
-    // Locate b among the parent's children (it has a left sibling in the
-    // same parent, so its index is >= 1).
-    int bi = -1;
-    for (int i = 1; i <= pcount; ++i) {
-      if (c.read(parent->children[i]) == static_cast<void*>(b)) {
-        bi = i;
-        break;
-      }
-    }
-    if (bi < 0 || c.read(parent->children[bi - 1]) != static_cast<void*>(a)) {
-      return false;
-    }
-
-    auto all_a = gather_sorted(c, a);
-    auto all_b = gather_sorted(c, b);
-    all_a.insert(all_a.end(), all_b.begin(), all_b.end());
-
-    Reserved* res = c.read(a->reserved);
-    if (res == nullptr) {
-      res = alloc_reserved(c);
-      c.write(a->reserved, res);
-    }
-    write_reserved(c, res, all_a.data(), all_a.size());
-    for (int s = 0; s < S; ++s) c.write(a->segs[s].count, 0u);
-
-    c.write(a->next, c.read(b->next));
-    c.write(a->seqno, c.read(a->seqno) + 1);
-    c.write(b->seqno, c.read(b->seqno) + 1);
-    c.write(b->dead, 1u);
-
-    for (int i = bi; i < pcount; ++i) {
-      c.write(parent->keys[i - 1], c.read(parent->keys[i]));
-      c.write(parent->children[i], c.read(parent->children[i + 1]));
-    }
-    c.write(parent->count, static_cast<std::uint32_t>(pcount - 1));
-
-    if (cfg_.ccm_markbits) rebuild_marks(c, a, all_a.data(), all_a.size());
-    return true;
-  }
-
-  // ---- write scheduler (per-thread, host-side state) ----
-
-  int sched_pick(Ctx& c) {
-    if constexpr (S == 1) {
-      return 0;
-    } else {
-      auto& st = sched_[c.tid() % kMaxSchedThreads].value;
-      int idx = static_cast<int>(st.rng.next_bounded(S));
-      // §4.2.2: never repeat the previous draw.
-      if (idx == st.last) idx = (idx + 1) % S;
-      st.last = idx;
-      c.compute(4);
-      return idx;
-    }
-  }
-
-  // ---- uninstrumented verification ----
-
-  std::size_t live_count_raw(const Leaf* leaf) const {
-    std::size_t total = 0;
-    for (int s = 0; s < S; ++s) total += leaf->segs[s].count;
-    if (leaf->reserved != nullptr) {
-      total += static_cast<std::size_t>(std::popcount(leaf->reserved->valid));
-    }
-    return total;
-  }
-
-  std::vector<Record> gather_raw(const Leaf* leaf) const {
-    std::vector<Record> all;
-    for (int s = 0; s < S; ++s) {
-      for (std::uint32_t i = 0; i < leaf->segs[s].count; ++i) {
-        all.push_back(leaf->segs[s].recs[i]);
-      }
-    }
-    if (leaf->reserved != nullptr) {
-      for (std::uint32_t i = 0; i < leaf->reserved->count; ++i) {
-        if ((leaf->reserved->valid >> i) & 1) {
-          all.push_back(leaf->reserved->recs[i]);
-        }
-      }
-    }
-    std::sort(all.begin(), all.end(),
-              [](const Record& a, const Record& b) { return a.key < b.key; });
-    return all;
-  }
-
-  template <class Fn>
-  void walk_leaves(Fn&& fn) const {
-    walk_leaves_rec(shared_->root, shared_->root_level, fn);
-  }
-
-  template <class Fn>
-  void walk_inodes(void* node, std::uint32_t level, Fn&& fn) const {
-    if (level == 0) return;
-    auto* in = static_cast<const INode*>(node);
-    fn(in);
-    for (std::uint32_t i = 0; i <= in->count; ++i) {
-      walk_inodes(in->children[i], level - 1, fn);
-    }
-  }
-
-  template <class Fn>
-  void walk_leaves_rec(void* node, std::uint32_t level, Fn&& fn) const {
-    if (level == 0) {
-      fn(static_cast<const Leaf*>(node));
-      return;
-    }
-    auto* in = static_cast<const INode*>(node);
-    for (std::uint32_t i = 0; i <= in->count; ++i) {
-      walk_leaves_rec(in->children[i], level - 1, fn);
-    }
-  }
-
-  void collect_leaves(void* node, std::uint32_t level,
-                      std::vector<const Leaf*>* out) const {
-    walk_leaves_rec(node, level, [out](const Leaf* l) { out->push_back(l); });
-  }
-
-  void check_node(void* node, std::uint32_t level, const INode* parent, Key lo,
-                  Key hi, bool lo_open) const {
-    if (level == 0) {
-      auto* leaf = static_cast<const Leaf*>(node);
-      EUNO_ASSERT(leaf->parent == parent);
-      EUNO_ASSERT(!leaf->dead);
-      for (int s = 0; s < S; ++s) {
-        const auto& seg = leaf->segs[s];
-        EUNO_ASSERT(seg.count <= static_cast<std::uint32_t>(kSlotsPerSeg));
-        for (std::uint32_t i = 0; i + 1 < seg.count; ++i) {
-          EUNO_ASSERT_MSG(seg.recs[i].key < seg.recs[i + 1].key,
-                          "segment keys must ascend");
-        }
-      }
-      if (leaf->reserved != nullptr) {
-        const auto* res = leaf->reserved;
-        EUNO_ASSERT(res->count <= static_cast<std::uint32_t>(F));
-        for (std::uint32_t i = 0; i + 1 < res->count; ++i) {
-          EUNO_ASSERT_MSG(res->recs[i].key < res->recs[i + 1].key,
-                          "reserved keys must ascend");
-        }
-      }
-      auto recs = gather_raw(leaf);
-      for (std::size_t i = 0; i < recs.size(); ++i) {
-        EUNO_ASSERT_MSG(i == 0 || recs[i].key > recs[i - 1].key,
-                        "duplicate live key in leaf");
-        EUNO_ASSERT_MSG(lo_open || recs[i].key >= lo, "key below bound");
-        EUNO_ASSERT_MSG(recs[i].key < hi, "key above bound");
-      }
-      return;
-    }
-    auto* in = static_cast<const INode*>(node);
-    EUNO_ASSERT(in->parent == parent);
-    EUNO_ASSERT(in->level == level);
-    EUNO_ASSERT(in->count >= 1 && in->count <= static_cast<std::uint32_t>(F));
-    for (std::uint32_t i = 0; i + 1 < in->count; ++i) {
-      EUNO_ASSERT_MSG(in->keys[i] < in->keys[i + 1], "inode keys must ascend");
-    }
-    for (std::uint32_t i = 0; i < in->count; ++i) {
-      EUNO_ASSERT_MSG(lo_open || in->keys[i] >= lo, "separator below bound");
-      EUNO_ASSERT_MSG(in->keys[i] < hi, "separator above bound");
-    }
-    for (std::uint32_t i = 0; i <= in->count; ++i) {
-      const Key child_lo = (i == 0) ? lo : in->keys[i - 1];
-      const Key child_hi = (i == in->count) ? hi : in->keys[i];
-      check_node(in->children[i], level - 1, in, child_lo, child_hi,
-                 lo_open && i == 0);
-    }
-  }
-
-  void destroy_rec(Ctx& c, void* node, std::uint32_t level) {
-    if (level == 0) {
-      auto* leaf = static_cast<Leaf*>(node);
-      if (leaf->reserved != nullptr) {
-        c.free(leaf->reserved, sizeof(Reserved), MemClass::kReservedKeys);
-      }
-      c.free(leaf, sizeof(Leaf), MemClass::kLeafNode);
-      return;
-    }
-    auto* in = static_cast<INode*>(node);
-    for (std::uint32_t i = 0; i <= in->count; ++i) {
-      destroy_rec(c, in->children[i], level - 1);
-    }
-    c.free(in, sizeof(INode), MemClass::kInternalNode);
-  }
-
-  // ---- members ----
-
-  static constexpr int kMaxSchedThreads = 64;
-  struct SchedState {
-    Xoshiro256 rng{0x5eed};
-    int last = -1;
-    std::uint32_t op_serial = 0;
-  };
-
-  EunoConfig cfg_;
-  Shared* shared_ = nullptr;
-  EpochManager epochs_{EpochManager::kMaxThreads};
-  CacheAligned<SchedState> sched_[kMaxSchedThreads];
-};
+using EunoBPTree = trees::algo::EunoBPTree<Ctx, F, S>;
 
 }  // namespace euno::core

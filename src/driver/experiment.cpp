@@ -4,11 +4,9 @@
 #include <thread>
 #include <vector>
 
-#include "core/euno_tree.hpp"
 #include "ctx/native_ctx.hpp"
 #include "ctx/sim_ctx.hpp"
-#include "trees/htmbtree/htm_bptree.hpp"
-#include "trees/olc/olc_bptree.hpp"
+#include "trees/registry.hpp"
 #include "util/memstats.hpp"
 
 namespace euno::driver {
@@ -18,18 +16,7 @@ using workload::OpStream;
 using workload::OpType;
 
 std::string tree_kind_name(TreeKind k) {
-  switch (k) {
-    case TreeKind::kHtmBPTree: return "HTM-B+Tree";
-    case TreeKind::kMasstree: return "Masstree";
-    case TreeKind::kHtmMasstree: return "HTM-Masstree";
-    case TreeKind::kEuno: return "Euno-B+Tree";
-    case TreeKind::kEunoSplit: return "+Split HTM";
-    case TreeKind::kEunoPart: return "+Part Leaf";
-    case TreeKind::kEunoLockbits: return "+CCM lockbits";
-    case TreeKind::kEunoMarkbits: return "+CCM markbits";
-    case TreeKind::kEunoAdaptive: return "+Adaptive";
-  }
-  return "?";
+  return trees::tree_registry().expect(k).display;
 }
 
 namespace {
@@ -151,7 +138,8 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
       obs_opt.latency ? static_cast<std::size_t>(spec.threads) : 0);
 
   ctx::SimCtx setup(simulation, 0);
-  auto tree = make(setup);
+  auto tree_owner = make(setup);
+  auto& tree = *tree_owner;
   preload_tree(tree, setup, spec.workload, spec.preload, spec.preload_stride);
 
   std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
@@ -212,7 +200,8 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
   ctx::NativeEnv env(64);
   MemStats::instance().reset();
   ctx::NativeCtx setup(env, 0);
-  auto tree = make(setup);
+  auto tree_owner = make(setup);
+  auto& tree = *tree_owner;
   preload_tree(tree, setup, spec.workload, spec.preload, spec.preload_stride);
 
   const bool latency_on = obs::kCompiledIn && spec.obs.latency;
@@ -256,94 +245,22 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
   return r;
 }
 
-template <class Ctx>
-core::EunoConfig euno_config_for(TreeKind k) {
-  using core::EunoConfig;
-  switch (k) {
-    case TreeKind::kEunoSplit:
-    case TreeKind::kEunoPart:
-      return EunoConfig::split_only();
-    case TreeKind::kEunoLockbits:
-      return EunoConfig::with_lockbits();
-    case TreeKind::kEunoMarkbits:
-      return EunoConfig::with_markbits();
-    default:
-      return EunoConfig::full();
-  }
-}
-
-template <class Runner>
-ExperimentResult dispatch(const ExperimentSpec& spec, Runner runner) {
-  using CtxT = typename Runner::CtxT;
-  switch (spec.tree) {
-    case TreeKind::kHtmBPTree:
-      return runner.template run<trees::HtmBPTree<CtxT>>([&](CtxT& c) {
-        typename trees::HtmBPTree<CtxT>::Options opt;
-        opt.policy = spec.policy;
-        return trees::HtmBPTree<CtxT>(c, opt);
-      });
-    case TreeKind::kMasstree:
-      return runner.template run<trees::OlcBPTree<CtxT>>([&](CtxT& c) {
-        typename trees::OlcBPTree<CtxT>::Options opt;
-        opt.policy = spec.policy;
-        return trees::OlcBPTree<CtxT>(c, opt);
-      });
-    case TreeKind::kHtmMasstree:
-      return runner.template run<trees::OlcBPTree<CtxT>>([&](CtxT& c) {
-        typename trees::OlcBPTree<CtxT>::Options opt;
-        opt.htm_elide = true;
-        opt.policy = spec.policy;
-        return trees::OlcBPTree<CtxT>(c, opt);
-      });
-    case TreeKind::kEunoSplit:
-      return runner.template run<core::EunoBPTree<CtxT, 16, 1>>([&](CtxT& c) {
-        auto cfg = euno_config_for<CtxT>(spec.tree);
-        cfg.policy = spec.policy;
-        return core::EunoBPTree<CtxT, 16, 1>(c, cfg);
-      });
-    case TreeKind::kEuno:
-    case TreeKind::kEunoPart:
-    case TreeKind::kEunoLockbits:
-    case TreeKind::kEunoMarkbits:
-    case TreeKind::kEunoAdaptive:
-      return runner.template run<core::EunoBPTree<CtxT, 16, 4>>([&](CtxT& c) {
-        auto cfg = euno_config_for<CtxT>(spec.tree);
-        cfg.policy = spec.policy;
-        return core::EunoBPTree<CtxT, 16, 4>(c, cfg);
-      });
-  }
-  EUNO_ASSERT_MSG(false, "unknown tree kind");
-  return {};
-}
-
-struct SimRunner {
-  using CtxT = ctx::SimCtx;
-  const ExperimentSpec& spec;
-  template <class Tree, class Make>
-  ExperimentResult run(Make make) {
-    return run_sim_with(spec, make);
-  }
-};
-
-struct NativeRunner {
-  using CtxT = ctx::NativeCtx;
-  const ExperimentSpec& spec;
-  template <class Tree, class Make>
-  ExperimentResult run(Make make) {
-    return run_native_with(spec, make);
-  }
-};
-
 }  // namespace
 
 ExperimentResult run_sim_experiment(const ExperimentSpec& spec) {
-  SimRunner runner{spec};
-  return dispatch(spec, runner);
+  const trees::TreeEntry& entry = trees::tree_registry().expect(spec.tree);
+  trees::TreeBuildOptions opt;
+  opt.policy = spec.policy;
+  return run_sim_with(spec,
+                      [&](ctx::SimCtx& c) { return entry.make_sim(c, opt); });
 }
 
 ExperimentResult run_native_experiment(const ExperimentSpec& spec) {
-  NativeRunner runner{spec};
-  return dispatch(spec, runner);
+  const trees::TreeEntry& entry = trees::tree_registry().expect(spec.tree);
+  trees::TreeBuildOptions opt;
+  opt.policy = spec.policy;
+  return run_native_with(
+      spec, [&](ctx::NativeCtx& c) { return entry.make_native(c, opt); });
 }
 
 }  // namespace euno::driver

@@ -17,23 +17,17 @@
 #include "obs/histogram.hpp"
 #include "obs/options.hpp"
 #include "sim/machine.hpp"
+#include "trees/kinds.hpp"
 #include "workload/ycsb.hpp"
 
 namespace euno::driver {
 
-enum class TreeKind {
-  kHtmBPTree,    // baseline: monolithic HTM region (DBX)
-  kMasstree,     // OLC fine-grained baseline
-  kHtmMasstree,  // OLC with one HTM region per op (elided locks)
-  kEuno,         // Euno-B+Tree, full configuration incl. adaptive
-  // Figure 13 ablation ladder:
-  kEunoSplit,     // +Split HTM (S=1 consecutive layout, no CCM)
-  kEunoPart,      // +Part Leaf (S=4, no CCM)
-  kEunoLockbits,  // +CCM lockbits
-  kEunoMarkbits,  // +CCM markbits
-  kEunoAdaptive,  // +Adaptive (== kEuno)
-};
+/// The kind enum lives with the tree registry (src/trees/kinds.hpp); the
+/// alias keeps the driver's historical spelling working everywhere.
+using TreeKind = trees::TreeKind;
 
+/// Display name used in bench tables and run manifests — the registered
+/// entry's `display` string (e.g. "HTM-B+Tree").
 std::string tree_kind_name(TreeKind k);
 
 struct ExperimentSpec {

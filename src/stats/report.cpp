@@ -71,7 +71,7 @@ namespace {
 
 constexpr const char* kUsage =
     "flags: --csv  --quick  --ops=<per-thread>  --keys=<range>  --seed=<n>  "
-    "--jobs=<n|auto>  --trace=<file>  --json=<file>\n";
+    "--jobs=<n|auto>  --tree=<registry-name>  --trace=<file>  --json=<file>\n";
 
 [[noreturn]] void usage_error(const char* arg) {
   std::fprintf(stderr, "unrecognized or malformed flag: %s\n%s", arg, kUsage);
@@ -131,6 +131,9 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (const char* v6 = value("--json=")) {
       if (*v6 == '\0') usage_error(arg);
       a.json_path = v6;
+    } else if (const char* v7 = value("--tree=")) {
+      if (*v7 == '\0') usage_error(arg);
+      a.tree = v7;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::fputs(kUsage, stdout);
       std::exit(0);

@@ -45,6 +45,12 @@ struct BenchArgs {
   /// `--json=FILE`: write the JSON run manifest (specs + results +
   /// histograms + hot-lines). Empty = no manifest.
   std::string json_path;
+  /// `--tree=NAME`: restrict the bench to one registered tree (registry
+  /// slug, e.g. "euno" or "htm-bptree"). Empty = the bench's default tree
+  /// set. Parsing stores the raw name; benches resolve it against the tree
+  /// registry (bench::selected_tree_kinds), which exits 2 and prints the
+  /// registered list on an unknown name.
+  std::string tree;
 
   /// Strict: an unknown flag or malformed numeric value prints usage to
   /// stderr and exits with status 2 (well-formed out-of-range --jobs values

@@ -1,0 +1,114 @@
+// Synchronization policy: pessimistic lock coupling (hand-over-hand
+// latching) — the textbook pre-optimistic baseline. Every node visit
+// acquires the node's lock before reading it; descent holds the parent
+// until the child is latched, then releases; scans latch the next leaf
+// before releasing the current one.
+//
+// Implemented against the same version-protocol interface as OlcPolicy, so
+// the one optimistic algorithm body in trees/algo/bptree.hpp serves both:
+//   - stable_version = spin-acquire (CAS the lock bit), returning the
+//     pre-lock version so release/release_bump keep their OLC signatures;
+//   - validate/try_upgrade are trivially true (the node is already ours);
+//   - the on_* hooks — no-ops for OLC — are where the latches transfer:
+//     abandon/on_advance/on_leaf_done release, on_scan_handoff releases the
+//     previous leaf after the next one is held.
+//
+// Deadlock freedom: every acquisition order is top-down (parent before
+// child, including the preemptive-split path) or left-to-right along the
+// leaf chain, and this tree never merges — so the classic crabbing argument
+// applies. All OLC validation-failure restarts are dead branches here
+// (validate is constant true), which is what makes the shared body safe.
+#pragma once
+
+#include <cstdint>
+
+#include "ctx/common.hpp"
+#include "htm/policy.hpp"
+#include "trees/node/consecutive.hpp"
+
+namespace euno::sync {
+
+template <class Ctx>
+class LockCouplingPolicy {
+ public:
+  struct Options {
+    htm::RetryPolicy policy{};  // unused (no HTM), kept for uniform factories
+  };
+
+  template <int F>
+  using NodeT = trees::node::VersionedNode<F>;
+
+  static constexpr bool kOptimistic = true;
+
+  explicit LockCouplingPolicy(const Options& opt) : opt_(opt) {
+    opt_.policy.validate();
+  }
+
+  /// No HTM region: the latches are the synchronization.
+  template <class Body>
+  void run(Ctx&, ctx::FallbackLock&, Body&& body) {
+    body();
+  }
+
+  /// Acquire the node's latch (spin on the version word's lock bit) and
+  /// return the pre-lock version, so the caller's release(v) /
+  /// release_bump(v|1) unlock with or without a reader-visible change.
+  template <class Node>
+  std::uint64_t stable_version(Ctx& c, Node* n) {
+    for (;;) {
+      const std::uint64_t v = c.atomic_load(n->version);
+      if (v & 1) {
+        c.spin_pause();
+        continue;
+      }
+      if (c.cas(n->version, v, v | 1)) return v;
+      c.spin_pause();
+    }
+  }
+
+  /// The caller already holds the latch from stable_version.
+  template <class Node>
+  bool try_upgrade(Ctx&, Node*, std::uint64_t) {
+    return true;
+  }
+
+  template <class Node>
+  void release_bump(Ctx& c, Node* n, std::uint64_t v) {
+    c.atomic_store(n->version, (v & ~std::uint64_t{1}) + 2);
+  }
+
+  template <class Node>
+  void release(Ctx& c, Node* n, std::uint64_t v) {
+    c.atomic_store(n->version, v);
+  }
+
+  /// Nothing can change under the latch.
+  template <class Node>
+  bool validate(Ctx&, Node*, std::uint64_t) {
+    return true;
+  }
+
+  // ---- lock-transfer hooks ----
+
+  template <class Node>
+  void abandon(Ctx& c, Node* n, std::uint64_t v) {
+    release(c, n, v);
+  }
+  template <class Node>
+  void on_advance(Ctx& c, Node* n, std::uint64_t v) {
+    release(c, n, v);  // child is latched: let go of the parent
+  }
+  template <class Node>
+  void on_leaf_done(Ctx& c, Node* n, std::uint64_t v) {
+    release(c, n, v);
+  }
+  template <class Node>
+  void on_scan_handoff(Ctx& c, Node* prev, std::uint64_t v) {
+    release(c, prev, v);  // next leaf already latched (hand-over-hand)
+  }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace euno::sync

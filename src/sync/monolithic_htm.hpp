@@ -1,0 +1,55 @@
+// Synchronization policy: one monolithic HTM region per operation (the
+// conventional DBX scheme of §2.2, Algorithm 1). The whole operation —
+// traversal, leaf access, split propagation — is a single transaction with a
+// subscribed global fallback lock and DBX-style retry thresholds, so no
+// in-structure synchronization state is needed beyond the per-leaf version
+// number bumped on every modification.
+//
+// Composes with trees/algo/bptree.hpp (kOptimistic == false selects the
+// transactional bottom-up algorithm body over parented DbxNodes).
+#pragma once
+
+#include <cstdint>
+
+#include "ctx/common.hpp"
+#include "htm/policy.hpp"
+#include "trees/node/consecutive.hpp"
+
+namespace euno::sync {
+
+template <class Ctx>
+class MonolithicHtmPolicy {
+ public:
+  struct Options {
+    htm::RetryPolicy policy{};
+  };
+
+  template <int F>
+  using NodeT = trees::node::DbxNode<F>;
+
+  /// Selects the monolithic (single-transaction, bottom-up split) algorithm.
+  static constexpr bool kOptimistic = false;
+
+  explicit MonolithicHtmPolicy(const Options& opt) : opt_(opt) {
+    opt_.policy.validate();
+  }
+
+  /// Every operation body runs inside one HTM region.
+  template <class Body>
+  void run(Ctx& c, ctx::FallbackLock& lock, Body&& body) {
+    c.txn(ctx::TxSite::kMono, lock, opt_.policy, body);
+  }
+
+  /// Publish a leaf modification: bump the DBX-style version number. Inside
+  /// the transaction this write is what makes any two operations on one
+  /// leaf conflict — the baseline behaviour under study.
+  template <class Node>
+  void publish(Ctx& c, Node* leaf) {
+    c.write(leaf->version, c.read(leaf->version) + 1);
+  }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace euno::sync

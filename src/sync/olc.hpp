@@ -1,0 +1,130 @@
+// Synchronization policy: optimistic lock coupling (Masstree-style version
+// validation, §4.6 of Mao et al.), plus the HTM-elided variant the paper
+// calls HTM-Masstree.
+//
+//   - every node carries a version word (bit 0 = writer lock, upper bits a
+//     counter bumped on every modification);
+//   - readers never lock: stabilize, read, re-validate — restarting from
+//     the root on any change;
+//   - writers lock only the node(s) they modify via try-upgrade + restart
+//     (no hold-and-wait, hence no deadlock);
+//   - with `htm_elide`, the whole operation runs in one HTM region and lock
+//     acquisitions become subscription reads — but version bumps remain,
+//     which is exactly why HTM-Masstree "fails to scale after 8 cores".
+//
+// Composes with trees/algo/bptree.hpp (kOptimistic == true selects the
+// optimistic algorithm body over VersionedNodes). The on_* hooks are the
+// lock-transfer points a pessimistic policy needs (see lock_coupling.hpp);
+// here they are empty inline functions — zero ctx calls, so this policy is
+// ctx-for-ctx identical to the pre-layering OlcBPTree.
+#pragma once
+
+#include <cstdint>
+
+#include "ctx/common.hpp"
+#include "htm/policy.hpp"
+#include "trees/node/consecutive.hpp"
+
+namespace euno::sync {
+
+template <class Ctx>
+class OlcPolicy {
+ public:
+  struct Options {
+    bool htm_elide = false;  // HTM-Masstree: one HTM region per op
+    htm::RetryPolicy policy{};
+  };
+
+  template <int F>
+  using NodeT = trees::node::VersionedNode<F>;
+
+  static constexpr bool kOptimistic = true;
+
+  explicit OlcPolicy(const Options& opt) : opt_(opt) { opt_.policy.validate(); }
+
+  /// Runs `body` directly (fine-grained locking) or inside one HTM region
+  /// (HTM-Masstree).
+  template <class Body>
+  void run(Ctx& c, ctx::FallbackLock& lock, Body&& body) {
+    if (opt_.htm_elide) {
+      c.txn(ctx::TxSite::kMono, lock, opt_.policy, body);
+    } else {
+      body();
+    }
+  }
+
+  // ---- version protocol ----
+
+  /// Per-node bookkeeping cost of the modelled Masstree: besides the version
+  /// word itself, Masstree decodes a permutation word, checks fence keys and
+  /// handles key suffixes at every node (§4.6 of Mao et al.) — the paper
+  /// measures ~2.1x the instructions of Euno at θ=0.5, dominated by this
+  /// per-node work.
+  static constexpr std::uint32_t kNodeBookkeeping = 12;
+
+  /// Waits until unlocked and returns the version. Inside an HTM region
+  /// waiting is impossible: an observed lock (only ever set by a fallback
+  /// path) aborts.
+  template <class Node>
+  std::uint64_t stable_version(Ctx& c, Node* n) {
+    c.compute(kNodeBookkeeping);
+    for (;;) {
+      const std::uint64_t v = c.atomic_load(n->version);
+      if ((v & 1) == 0) return v;
+      if (eliding(c)) c.tx_abort_user();
+      c.spin_pause();
+    }
+  }
+
+  /// Try to move `n` from the observed stable version `v` to locked.
+  /// Under elision this is a pure validation read: HTM provides atomicity,
+  /// and writing the lock bit would only manufacture conflicts.
+  template <class Node>
+  bool try_upgrade(Ctx& c, Node* n, std::uint64_t v) {
+    if (eliding(c)) return c.atomic_load(n->version) == v;
+    return c.cas(n->version, v, v | 1);
+  }
+
+  /// Publish a modification: version += 2 from the pre-lock value, lock bit
+  /// cleared. The bump is what invalidates concurrent optimistic readers —
+  /// it must happen under elision too (HTM-Masstree's Achilles' heel).
+  template <class Node>
+  void release_bump(Ctx& c, Node* n, std::uint64_t v) {
+    c.atomic_store(n->version, (v & ~std::uint64_t{1}) + 2);
+  }
+
+  /// Release without modification.
+  template <class Node>
+  void release(Ctx& c, Node* n, std::uint64_t v) {
+    if (eliding(c)) return;  // nothing was written
+    c.atomic_store(n->version, v);
+  }
+
+  template <class Node>
+  bool validate(Ctx& c, Node* n, std::uint64_t v) {
+    return c.atomic_load(n->version) == v;
+  }
+
+  // ---- lock-transfer hooks (no-ops: optimistic readers hold nothing) ----
+
+  /// A stabilized node turned out stale before any of it was read
+  /// (root-swap check): nothing to undo.
+  template <class Node>
+  void abandon(Ctx&, Node*, std::uint64_t) {}
+  /// Descent advances from a validated parent to its child.
+  template <class Node>
+  void on_advance(Ctx&, Node*, std::uint64_t) {}
+  /// A read-only visit of `n` completed (validated).
+  template <class Node>
+  void on_leaf_done(Ctx&, Node*, std::uint64_t) {}
+  /// Scan moved to the next leaf; `prev` was validated and emitted.
+  template <class Node>
+  void on_scan_handoff(Ctx&, Node* /*prev*/, std::uint64_t) {}
+
+ private:
+  bool eliding(Ctx& c) const { return opt_.htm_elide && !c.in_fallback(); }
+
+  Options opt_;
+};
+
+}  // namespace euno::sync

@@ -1,0 +1,608 @@
+// Algorithm layer: ONE B+Tree — descent, leaf ops, split, scan — written
+// against a synchronization-policy concept and a node layout supplied by
+// that policy. Every concrete consecutive-layout tree in the repo is an
+// instantiation:
+//
+//   HtmBPTree  = BPlusTree<Ctx, sync::MonolithicHtmPolicy<Ctx>>  (DBX)
+//   OlcBPTree  = BPlusTree<Ctx, sync::OlcPolicy<Ctx>>            (Masstree /
+//                                                         HTM-Masstree)
+//   LockBPTree = BPlusTree<Ctx, sync::LockCouplingPolicy<Ctx>>
+//
+// Policy concept:
+//   struct Options;                      // ctor knobs (incl. RetryPolicy)
+//   template <int F> using NodeT = ...;  // node layout for fanout F
+//   static constexpr bool kOptimistic;   // selects the algorithm body
+//   void run(c, FallbackLock&, body);    // per-op wrapper (txn or direct)
+//   // kOptimistic == false (monolithic transaction, bottom-up splits):
+//   void publish(c, Node* leaf);         // version bump after a leaf change
+//   // kOptimistic == true (top-down preemptive splits):
+//   uint64 stable_version(c, Node*);     // stabilize (or latch) a node
+//   bool try_upgrade/validate(c, Node*, v);
+//   void release/release_bump(c, Node*, v);
+//   void abandon(c, Node*, v);           // undo stable_version, nothing read
+//   void on_advance/on_leaf_done(c, Node*, v);  // lock-transfer hooks
+//   void on_scan_handoff(c, Node* prev, v);
+//
+// The two bodies are verbatim transplants of the pre-layering HtmBPTree and
+// OlcBPTree: every ctx call, in order, is unchanged (the lock-transfer hooks
+// are empty for the HTM/OLC policies), so simulated results are bit-identical
+// — `ctest -L golden` enforces exactly that.
+#pragma once
+
+#include <cstdint>
+
+#include "ctx/common.hpp"
+#include "sim/line.hpp"
+#include "trees/common.hpp"
+#include "trees/node/consecutive.hpp"
+#include "util/assert.hpp"
+#include "util/memstats.hpp"
+
+namespace euno::trees::algo {
+
+template <class Ctx, class Policy, int F = kDefaultFanout>
+class BPlusTree {
+  static_assert(F >= 4 && F % 2 == 0, "fanout must be even and >= 4");
+
+ public:
+  using Options = typename Policy::Options;
+  using Node = typename Policy::template NodeT<F>;
+
+  /// Builds an empty tree. `c` is any context of the engine the tree will
+  /// live on (used for shared-memory allocation).
+  explicit BPlusTree(Ctx& c, Options opt = {}) : policy_(opt) {
+    shared_ = static_cast<Shared*>(
+        c.alloc(sizeof(Shared), MemClass::kTreeMisc, sim::LineKind::kTreeMeta));
+    new (shared_) Shared();
+    shared_->root = Node::alloc(c, /*is_leaf=*/true);
+    c.tag_memory(&shared_->lock, sizeof(ctx::FallbackLock),
+                 sim::LineKind::kFallbackLock);
+  }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Frees every node. Must be called quiesced (no concurrent operations).
+  void destroy(Ctx& c) {
+    if (shared_ == nullptr) return;
+    node::destroy_rec(c, shared_->root);
+    c.free(shared_, sizeof(Shared), MemClass::kTreeMisc);
+    shared_ = nullptr;
+  }
+
+  /// Point lookup. Returns true and fills `*out` if `key` is present.
+  bool get(Ctx& c, Key key, Value* out) {
+    c.set_op_target(key);
+    bool found = false;
+    Value val = 0;
+    policy_.run(c, shared_->lock, [&] {
+      if constexpr (Policy::kOptimistic) {
+        found = get_optimistic(c, key, &val);
+      } else {
+        found = false;
+        Node* leaf = descend(c, key);
+        const int idx = node::leaf_find(c, leaf, key);
+        if (idx >= 0) {
+          found = true;
+          val = c.read(leaf->recs[idx].value);
+        }
+      }
+    });
+    c.clear_op_target();
+    if (found && out != nullptr) *out = val;
+    return found;
+  }
+
+  /// Insert `key` or update its value if present (the paper's `put`).
+  void put(Ctx& c, Key key, Value value) {
+    c.set_op_target(key);
+    policy_.run(c, shared_->lock, [&] {
+      if constexpr (Policy::kOptimistic) {
+        put_optimistic(c, key, value);
+      } else {
+        Node* leaf = descend(c, key);
+        const int idx = node::leaf_find(c, leaf, key);
+        if (idx >= 0) {
+          c.write(leaf->recs[idx].value, value);
+          policy_.publish(c, leaf);
+          return;
+        }
+        insert_into_leaf(c, leaf, key, value);
+      }
+    });
+    c.clear_op_target();
+  }
+
+  /// Remove `key`. Returns true if it was present. Underfull leaves are not
+  /// rebalanced eagerly (both modelled designs defer rebalance).
+  bool erase(Ctx& c, Key key) {
+    c.set_op_target(key);
+    bool removed = false;
+    policy_.run(c, shared_->lock, [&] {
+      if constexpr (Policy::kOptimistic) {
+        removed = erase_optimistic(c, key);
+      } else {
+        removed = false;
+        Node* leaf = descend(c, key);
+        const int idx = node::leaf_find(c, leaf, key);
+        if (idx < 0) return;
+        node::leaf_remove_at(c, leaf, idx);
+        policy_.publish(c, leaf);
+        removed = true;
+      }
+    });
+    c.clear_op_target();
+    return removed;
+  }
+
+  /// Range scan: collects up to `max_items` pairs with key >= `start`, in
+  /// key order. Returns the number collected.
+  std::size_t scan(Ctx& c, Key start, std::size_t max_items, KV* out) {
+    c.set_op_target(start);
+    std::size_t got = 0;
+    policy_.run(c, shared_->lock, [&] {
+      if constexpr (Policy::kOptimistic) {
+        got = scan_optimistic(c, start, max_items, out);
+      } else {
+        got = 0;
+        Node* leaf = descend(c, start);
+        while (leaf != nullptr && got < max_items) {
+          const int n = static_cast<int>(c.read(leaf->count));
+          for (int i = 0; i < n && got < max_items; ++i) {
+            const Key k = c.read(leaf->recs[i].key);
+            if (k < start) continue;
+            out[got++] = KV{k, c.read(leaf->recs[i].value)};
+          }
+          leaf = c.read(leaf->next);
+        }
+      }
+    });
+    c.clear_op_target();
+    return got;
+  }
+
+  // ---- uninstrumented verification (quiesced use only) ----
+
+  /// Number of records. Walks the leaf chain without instrumentation.
+  std::size_t size_slow() const {
+    std::size_t n = 0;
+    for (const Node* leaf = node::leftmost_leaf(shared_->root); leaf != nullptr;
+         leaf = leaf->next) {
+      n += leaf->count;
+    }
+    return n;
+  }
+
+  int height() const { return node::tree_height(shared_->root); }
+
+  /// Structural invariants: sortedness, separator bounds, leaf-chain order,
+  /// plus the layout's own health (parent links / unlocked versions).
+  void check_invariants() const {
+    Key prev = 0;
+    bool first = true;
+    for (const Node* leaf = node::leftmost_leaf(shared_->root); leaf != nullptr;
+         leaf = leaf->next) {
+      if constexpr (Policy::kOptimistic) {
+        EUNO_ASSERT_MSG(
+            (leaf->version.load(std::memory_order_relaxed) & 1) == 0,
+            "no node may remain locked at quiescence");
+      }
+      for (std::uint32_t i = 0; i < leaf->count; ++i) {
+        EUNO_ASSERT_MSG(first || leaf->recs[i].key > prev, "leaf keys ascend");
+        prev = leaf->recs[i].key;
+        first = false;
+      }
+    }
+    if constexpr (Policy::kOptimistic) {
+      check_node_flat(shared_->root, 0, ~0ull, true);
+    } else {
+      check_node_parented(shared_->root, nullptr, 0, ~0ull, true);
+    }
+  }
+
+ private:
+  struct Shared {
+    ctx::FallbackLock lock;
+    Node* root = nullptr;
+  };
+
+  // ------------------------------------------------------------------
+  // Monolithic body (Algorithm 1): one transaction, bottom-up splits via
+  // parent pointers. Only instantiated for kOptimistic == false policies
+  // (whose node layout carries `parent`).
+  // ------------------------------------------------------------------
+
+  /// Transactional root-to-leaf traversal (Algorithm 1, lines 6-8).
+  Node* descend(Ctx& c, Key key) {
+    Node* node = c.read(shared_->root);
+    while (c.read(node->is_leaf) == 0) {
+      node = c.read(node->idx.children[node::child_index(c, node, key)]);
+    }
+    return node;
+  }
+
+  /// Sorted insert with record shift; splits when full (Alg. 1, lines 15-19).
+  void insert_into_leaf(Ctx& c, Node* leaf, Key key, Value value) {
+    if (c.read(leaf->count) == static_cast<std::uint32_t>(F)) {
+      leaf = split_leaf(c, leaf, key);
+    }
+    node::leaf_insert_sorted(c, leaf, key, value);
+    policy_.publish(c, leaf);
+  }
+
+  /// Splits a full leaf; returns the half that should receive `key`.
+  Node* split_leaf(Ctx& c, Node* leaf, Key key) {
+    Node* right = Node::alloc(c, /*is_leaf=*/true);
+    const Key sep = node::split_leaf_records(c, leaf, right);
+    insert_into_parent(c, leaf, sep, right);
+    return key >= sep ? right : leaf;
+  }
+
+  /// Inserts separator/right-child into the parent, splitting interior
+  /// nodes upward as needed (Algorithm 1, lines 17-19).
+  void insert_into_parent(Ctx& c, Node* left, Key sep, Node* right) {
+    Node* parent = c.read(left->parent);
+    if (parent == nullptr) {
+      Node* new_root = Node::alloc(c, /*is_leaf=*/false);
+      c.write(new_root->idx.keys[0], sep);
+      c.write(new_root->idx.children[0], left);
+      c.write(new_root->idx.children[1], right);
+      c.write(new_root->count, 1u);
+      c.write(left->parent, new_root);
+      c.write(right->parent, new_root);
+      c.write(shared_->root, new_root);
+      return;
+    }
+    if (c.read(parent->count) == static_cast<std::uint32_t>(F)) {
+      parent = split_internal(c, parent, sep);
+    }
+    const int n = static_cast<int>(c.read(parent->count));
+    int pos = n;
+    while (pos > 0 && c.read(parent->idx.keys[pos - 1]) > sep) --pos;
+    for (int i = n; i > pos; --i) {
+      c.write(parent->idx.keys[i], c.read(parent->idx.keys[i - 1]));
+      c.write(parent->idx.children[i + 1], c.read(parent->idx.children[i]));
+    }
+    c.write(parent->idx.keys[pos], sep);
+    c.write(parent->idx.children[pos + 1], right);
+    c.write(parent->count, static_cast<std::uint32_t>(n + 1));
+    c.write(right->parent, parent);
+    // `left` already points at this parent.
+  }
+
+  /// Splits a full interior node; returns the half that should receive a
+  /// separator equal to `sep`.
+  Node* split_internal(Ctx& c, Node* node, Key sep) {
+    Node* right = Node::alloc(c, /*is_leaf=*/false);
+    const Key mid = node::split_internal_records(
+        c, node, right, [&](Node* child) { c.write(child->parent, right); });
+    insert_into_parent(c, node, mid, right);
+    return sep >= mid ? right : node;
+  }
+
+  // ------------------------------------------------------------------
+  // Optimistic body: version-validated descent, preemptive top-down splits.
+  // The policy hooks make the same body serve true OLC (hooks empty) and
+  // pessimistic coupling (hooks transfer latches); all !validate branches
+  // are dead code under coupling, where validate is constant true.
+  // ------------------------------------------------------------------
+
+  bool get_optimistic(Ctx& c, Key key, Value* val) {
+    for (;;) {
+      Node* node = c.read(shared_->root);
+      std::uint64_t v = policy_.stable_version(c, node);
+      if (node != c.read(shared_->root)) {  // root swapped
+        policy_.abandon(c, node, v);
+        continue;
+      }
+
+      bool restart = false;
+      while (c.read(node->is_leaf) == 0) {
+        const int idx = node::child_index(c, node, key);
+        Node* child = c.read(node->idx.children[idx]);
+        if (!policy_.validate(c, node, v)) {
+          restart = true;
+          break;
+        }
+        const std::uint64_t vc = policy_.stable_version(c, child);
+        if (!policy_.validate(c, node, v)) {
+          restart = true;
+          break;
+        }
+        policy_.on_advance(c, node, v);
+        node = child;
+        v = vc;
+      }
+      if (restart) continue;
+
+      const int idx = node::leaf_find(c, node, key);
+      bool found = false;
+      Value out = 0;
+      if (idx >= 0) {
+        found = true;
+        out = c.read(node->recs[idx].value);
+      }
+      if (!policy_.validate(c, node, v)) continue;
+      policy_.on_leaf_done(c, node, v);
+      *val = out;
+      return found;
+    }
+  }
+
+  void put_optimistic(Ctx& c, Key key, Value value) {
+    for (;;) {
+      Node* node = c.read(shared_->root);
+      std::uint64_t v = policy_.stable_version(c, node);
+      if (node != c.read(shared_->root)) {
+        policy_.abandon(c, node, v);
+        continue;
+      }
+
+      // Full root (leaf or interior): grow the tree.
+      if (node::node_full(c, node)) {
+        if (!policy_.validate(c, node, v)) continue;
+        if (!policy_.try_upgrade(c, node, v)) continue;
+        grow_root(c, node, v);
+        continue;
+      }
+
+      if (descend_and_insert(c, node, v, key, value)) return;
+    }
+  }
+
+  /// Descend from a stabilized non-full `node`, splitting full children on
+  /// the way down. Returns false to restart from the root.
+  bool descend_and_insert(Ctx& c, Node* node, std::uint64_t v, Key key,
+                          Value value) {
+    while (c.read(node->is_leaf) == 0) {
+      const int idx = node::child_index(c, node, key);
+      Node* child = c.read(node->idx.children[idx]);
+      if (!policy_.validate(c, node, v)) return false;
+      std::uint64_t vc = policy_.stable_version(c, child);
+      if (!policy_.validate(c, node, v)) return false;
+
+      if (node::node_full(c, child)) {
+        // Preemptive split: lock parent then child (try-lock only — a
+        // failure releases everything and restarts, so no deadlock).
+        if (!policy_.try_upgrade(c, node, v)) return false;
+        if (!policy_.validate(c, child, vc) ||
+            !policy_.try_upgrade(c, child, vc)) {
+          policy_.release(c, node, v);
+          return false;
+        }
+        split_child(c, node, idx, child);
+        policy_.release_bump(c, child, vc | 1);
+        policy_.release_bump(c, node, v | 1);
+        return false;  // restart (either half may now host the key)
+      }
+      policy_.on_advance(c, node, v);
+      node = child;
+      v = vc;
+    }
+
+    // At a non-full (when last checked) leaf.
+    if (!policy_.try_upgrade(c, node, v)) return false;
+    if (node::node_full(c, node)) {
+      // Filled up since the parent's check; restart — the parent pass will
+      // split it preemptively.
+      policy_.release(c, node, v);
+      return false;
+    }
+    const int idx = node::leaf_find(c, node, key);
+    if (idx >= 0) {
+      c.write(node->recs[idx].value, value);
+    } else {
+      node::leaf_insert_sorted(c, node, key, value);
+    }
+    policy_.release_bump(c, node, v | 1);
+    return true;
+  }
+
+  /// Splits locked full `child` (position `idx` under locked `node`).
+  void split_child(Ctx& c, Node* node, int idx, Node* child) {
+    Node* right = Node::alloc(c, c.read(child->is_leaf) != 0);
+    Key sep;
+    if (c.read(child->is_leaf) != 0) {
+      sep = node::split_leaf_records(c, child, right);
+    } else {
+      sep = node::split_internal_records(c, child, right, [](Node*) {});
+    }
+    // Insert (sep, right) into the (locked, non-full) parent.
+    const int n = static_cast<int>(c.read(node->count));
+    for (int i = n; i > idx; --i) {
+      c.write(node->idx.keys[i], c.read(node->idx.keys[i - 1]));
+      c.write(node->idx.children[i + 1], c.read(node->idx.children[i]));
+    }
+    c.write(node->idx.keys[idx], sep);
+    c.write(node->idx.children[idx + 1], right);
+    c.write(node->count, static_cast<std::uint32_t>(n + 1));
+  }
+
+  /// Splits the locked full root and installs a new root above it.
+  void grow_root(Ctx& c, Node* root, std::uint64_t v) {
+    Node* new_root = Node::alloc(c, /*is_leaf=*/false);
+    c.write(new_root->count, 0u);
+    c.write(new_root->idx.children[0], root);
+    // Treat the old root as child 0 of the fresh root and split it there.
+    split_child(c, new_root, 0, root);
+    c.write(shared_->root, new_root);
+    policy_.release_bump(c, root, v | 1);
+  }
+
+  bool erase_optimistic(Ctx& c, Key key) {
+    for (;;) {
+      Node* node = c.read(shared_->root);
+      std::uint64_t v = policy_.stable_version(c, node);
+      if (node != c.read(shared_->root)) {
+        policy_.abandon(c, node, v);
+        continue;
+      }
+
+      bool restart = false;
+      while (c.read(node->is_leaf) == 0) {
+        const int idx = node::child_index(c, node, key);
+        Node* child = c.read(node->idx.children[idx]);
+        if (!policy_.validate(c, node, v)) {
+          restart = true;
+          break;
+        }
+        const std::uint64_t vc = policy_.stable_version(c, child);
+        if (!policy_.validate(c, node, v)) {
+          restart = true;
+          break;
+        }
+        policy_.on_advance(c, node, v);
+        node = child;
+        v = vc;
+      }
+      if (restart) continue;
+
+      const int idx = node::leaf_find(c, node, key);
+      if (idx < 0) {
+        if (!policy_.validate(c, node, v)) continue;
+        policy_.on_leaf_done(c, node, v);
+        return false;
+      }
+      if (!policy_.try_upgrade(c, node, v)) continue;
+      // Re-find under the lock: the optimistic position may be stale.
+      const int li = node::leaf_find(c, node, key);
+      if (li < 0) {
+        policy_.release(c, node, v);
+        return false;
+      }
+      node::leaf_remove_at(c, node, li);
+      policy_.release_bump(c, node, v | 1);
+      return true;
+    }
+  }
+
+  std::size_t scan_optimistic(Ctx& c, Key start, std::size_t max_items,
+                              KV* out) {
+    std::size_t got = 0;
+    Key cursor = start;
+    Node* leaf = nullptr;
+    std::uint64_t v = 0;
+
+    // Locate the first leaf optimistically.
+    for (;;) {
+      Node* node = c.read(shared_->root);
+      std::uint64_t vn = policy_.stable_version(c, node);
+      if (node != c.read(shared_->root)) {
+        policy_.abandon(c, node, vn);
+        continue;
+      }
+      bool restart = false;
+      while (c.read(node->is_leaf) == 0) {
+        const int idx = node::child_index(c, node, cursor);
+        Node* child = c.read(node->idx.children[idx]);
+        if (!policy_.validate(c, node, vn)) {
+          restart = true;
+          break;
+        }
+        const std::uint64_t vc = policy_.stable_version(c, child);
+        if (!policy_.validate(c, node, vn)) {
+          restart = true;
+          break;
+        }
+        policy_.on_advance(c, node, vn);
+        node = child;
+        vn = vc;
+      }
+      if (restart) continue;
+      leaf = node;
+      v = vn;
+      break;
+    }
+
+    while (leaf != nullptr && got < max_items) {
+      // Copy candidates, validate, then commit them to the output.
+      KV tmp[F];
+      std::size_t tn = 0;
+      const int n = static_cast<int>(c.read(leaf->count));
+      for (int i = 0; i < n; ++i) {
+        const Key k = c.read(leaf->recs[i].key);
+        if (k < cursor) continue;
+        tmp[tn++] = KV{k, c.read(leaf->recs[i].value)};
+      }
+      Node* next = c.read(leaf->next);
+      if (!policy_.validate(c, leaf, v)) {
+        // Re-locate from the cursor; nothing emitted from this attempt.
+        std::size_t sub = scan_optimistic(c, cursor, max_items - got, out + got);
+        return got + sub;
+      }
+      for (std::size_t i = 0; i < tn && got < max_items; ++i) {
+        out[got++] = tmp[i];
+        cursor = tmp[i].first + 1;
+      }
+      Node* prev = leaf;
+      const std::uint64_t pv = v;
+      leaf = next;
+      if (leaf != nullptr) v = policy_.stable_version(c, leaf);
+      policy_.on_scan_handoff(c, prev, pv);
+    }
+    if (leaf != nullptr) policy_.on_leaf_done(c, leaf, v);
+    return got;
+  }
+
+  // ---- uninstrumented structural checks ----
+
+  void check_node_parented(const Node* n, const Node* parent, Key lo, Key hi,
+                           bool lo_open) const {
+    EUNO_ASSERT(n->parent == parent);
+    EUNO_ASSERT(n->count <= static_cast<std::uint32_t>(F));
+    if (n->is_leaf) {
+      for (std::uint32_t i = 0; i + 1 < n->count; ++i) {
+        EUNO_ASSERT_MSG(n->recs[i].key < n->recs[i + 1].key, "leaf keys ascend");
+      }
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        EUNO_ASSERT_MSG(lo_open || n->recs[i].key >= lo, "key below bound");
+        EUNO_ASSERT_MSG(n->recs[i].key < hi, "key above bound");
+      }
+      return;
+    }
+    EUNO_ASSERT_MSG(n->count >= 1, "interior node must have a separator");
+    for (std::uint32_t i = 0; i + 1 < n->count; ++i) {
+      EUNO_ASSERT_MSG(n->idx.keys[i] < n->idx.keys[i + 1], "node keys ascend");
+    }
+    for (std::uint32_t i = 0; i < n->count; ++i) {
+      EUNO_ASSERT_MSG(lo_open || n->idx.keys[i] >= lo, "key below bound");
+      EUNO_ASSERT_MSG(n->idx.keys[i] < hi, "key above bound");
+    }
+    for (std::uint32_t i = 0; i <= n->count; ++i) {
+      const Key child_lo = (i == 0) ? lo : n->idx.keys[i - 1];
+      const Key child_hi = (i == n->count) ? hi : n->idx.keys[i];
+      check_node_parented(n->idx.children[i], n, child_lo, child_hi,
+                          lo_open && i == 0);
+    }
+  }
+
+  void check_node_flat(const Node* n, Key lo, Key hi, bool lo_open) const {
+    EUNO_ASSERT(n->count <= static_cast<std::uint32_t>(F));
+    if (n->is_leaf) {
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        EUNO_ASSERT_MSG(lo_open || n->recs[i].key >= lo, "key below bound");
+        EUNO_ASSERT_MSG(n->recs[i].key < hi, "key above bound");
+        EUNO_ASSERT_MSG(i == 0 || n->recs[i].key > n->recs[i - 1].key,
+                        "leaf keys ascend");
+      }
+      return;
+    }
+    EUNO_ASSERT(n->count >= 1);
+    for (std::uint32_t i = 0; i < n->count; ++i) {
+      EUNO_ASSERT_MSG(i == 0 || n->idx.keys[i] > n->idx.keys[i - 1],
+                      "inode keys ascend");
+      EUNO_ASSERT_MSG(lo_open || n->idx.keys[i] >= lo, "separator below bound");
+      EUNO_ASSERT_MSG(n->idx.keys[i] < hi, "separator above bound");
+    }
+    for (std::uint32_t i = 0; i <= n->count; ++i) {
+      const Key child_lo = (i == 0) ? lo : n->idx.keys[i - 1];
+      const Key child_hi = (i == n->count) ? hi : n->idx.keys[i];
+      check_node_flat(n->idx.children[i], child_lo, child_hi, lo_open && i == 0);
+    }
+  }
+
+  Policy policy_;
+  Shared* shared_ = nullptr;
+};
+
+}  // namespace euno::trees::algo

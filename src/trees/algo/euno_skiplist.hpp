@@ -1,0 +1,617 @@
+// Algorithm layer: the Euno-SkipList — the Eunomia synchronization pattern
+// (sync/euno_htm.hpp) and the partitioned leaf layout
+// (trees/node/partitioned.hpp) applied to a different index structure, as
+// proof that the pattern is a reusable stack, not a B+Tree implementation
+// detail. Same policy, same leaves, different algorithm:
+//
+//   - the index over the leaf chain is a skip list of immortal towers
+//     (trees/node/tower.hpp), one per leaf, with geometric heights drawn
+//     from a per-thread deterministic RNG;
+//   - the *upper* region splits once more, per level-group: one HTM region
+//     walks the tall, rarely-spliced levels [kGroupBoundary, kMaxLevel),
+//     a second walks the frequently-spliced low levels [0, kGroupBoundary)
+//     and resolves the leaf + seqno. Tower immortality and immutable
+//     keys make the handoff between the two regions safe; the leaf seqno
+//     (same stitch as the B+Tree) catches splits racing the second region;
+//   - the *lower* region is byte-for-byte the Euno-B+Tree leaf protocol:
+//     CCM lock/mark admission, adaptive bypass, randomized write scheduler,
+//     advisory split lock, seqno validation — all supplied by the shared
+//     policy;
+//   - a leaf split publishes the right sibling's tower inside the split's
+//     lower region, so routing and records commit atomically;
+//   - leaves never merge (towers are immortal); deletions tombstone and
+//     retire emptied reserved buffers through epoch reclamation.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/euno_config.hpp"
+#include "ctx/common.hpp"
+#include "sim/line.hpp"
+#include "sync/euno_htm.hpp"
+#include "trees/common.hpp"
+#include "trees/node/partitioned.hpp"
+#include "trees/node/tower.hpp"
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+#include "util/epoch.hpp"
+#include "util/memstats.hpp"
+#include "util/rng.hpp"
+
+namespace euno::trees::algo {
+
+template <class Ctx, int F = kDefaultFanout, int S = 4>
+class EunoSkipList {
+  static_assert(F >= 4 && S >= 1 && F % S == 0, "segments must tile the fanout");
+
+  /// Tall enough for ~2^12 leaves at p=1/2; beyond that the top levels
+  /// simply degrade toward a longer level-(kMaxLevel-1) walk.
+  static constexpr int kMaxLevel = 12;
+  /// Upper-region split point: levels >= the boundary traverse in the first
+  /// HTM region, levels below (where splices land most often) plus the leaf
+  /// resolve in the second — so a splice near the leaves only aborts the
+  /// short second region, not the whole index walk.
+  static constexpr int kGroupBoundary = 4;
+
+  using Leaf = node::PartitionedLeaf<F, S>;
+  using Reserved = node::Reserved<F>;
+  using Record = node::Record;
+  using Tower = node::SkipTower<Leaf, kMaxLevel>;
+  using Policy = sync::EunoHtmPolicy<Ctx>;
+
+ public:
+  static constexpr int kSlotsPerSeg = F / S;
+  static constexpr int kCcmSlots = 2 * F;
+  static constexpr int kLeafCapacity = 2 * F;
+
+  explicit EunoSkipList(Ctx& c, core::EunoConfig cfg = {}) : policy_(cfg) {
+    for (int i = 0; i < kMaxRngThreads; ++i) {
+      hrng_[i].value.rng = Xoshiro256(0x5ee9 + static_cast<std::uint64_t>(i));
+    }
+    shared_ = static_cast<Shared*>(
+        c.alloc(sizeof(Shared), MemClass::kTreeMisc, sim::LineKind::kTreeMeta));
+    new (shared_) Shared();
+    Leaf* first = Leaf::alloc(c);
+    Tower* head = Tower::alloc(c);
+    head->key = 0;
+    head->leaf = first;
+    head->height = kMaxLevel;
+    shared_->head = head;
+    c.tag_memory(&shared_->lock, sizeof(ctx::FallbackLock),
+                 sim::LineKind::kFallbackLock);
+  }
+
+  EunoSkipList(const EunoSkipList&) = delete;
+  EunoSkipList& operator=(const EunoSkipList&) = delete;
+
+  /// Frees every tower, leaf and reserved buffer. Must be called quiesced.
+  void destroy(Ctx& c) {
+    if (shared_ == nullptr) return;
+    epochs_.drain_all();
+    Tower* t = shared_->head;
+    while (t != nullptr) {
+      Tower* nt = t->next[0];
+      Leaf* leaf = t->leaf;
+      if (leaf->reserved != nullptr) {
+        c.free(leaf->reserved, sizeof(Reserved), MemClass::kReservedKeys);
+      }
+      c.free(leaf, sizeof(Leaf), MemClass::kLeafNode);
+      c.free(t, sizeof(Tower), MemClass::kInternalNode);
+      t = nt;
+    }
+    c.free(shared_, sizeof(Shared), MemClass::kTreeMisc);
+    shared_ = nullptr;
+  }
+
+  // ------------------------------------------------------------------
+  // Point operations — the leaf protocol is the Euno-B+Tree's
+  // ------------------------------------------------------------------
+
+  bool get(Ctx& c, Key key, Value* out) {
+    auto guard = epochs_.pin(epoch_tid(c));
+    c.set_op_target(key);
+    bool found = false;
+    Value val = 0;
+    for (;;) {
+      auto [leaf, seq] = upper_locate(c, key);
+      const bool bypass = policy_.use_bypass(c, leaf);
+      int slot = -1;
+      bool marked = true;
+      if (cfg().ccm_lockbits && !bypass) {
+        auto [s_, old] = policy_.ccm_acquire(c, leaf, key, /*set_mark=*/false);
+        slot = s_;
+        marked = (old & node::kCcmMark) != 0;
+      } else if (cfg().ccm_markbits && !bypass) {
+        marked = policy_.ccm_marked(c, leaf, key);
+      }
+
+      if (cfg().ccm_markbits && !bypass && !marked) {
+        const bool still_valid = Policy::reread_seq_valid(c, leaf, seq);
+        if (slot >= 0) policy_.ccm_unlock(c, leaf, slot);
+        if (still_valid) {
+          found = false;
+          break;
+        }
+        continue;  // stale routing: retry from the tower list
+      }
+
+      LowerOutcome oc = LowerOutcome::kDone;
+      const auto txo = policy_.lower(c, shared_->lock, [&] {
+        oc = LowerOutcome::kDone;
+        found = false;
+        if (!Policy::reread_seq_valid(c, leaf, seq)) {
+          oc = LowerOutcome::kRetryRoot;
+          return;
+        }
+        Record* r = node::find_record(c, leaf, key);
+        if (r != nullptr) {
+          found = true;
+          val = c.read(r->value);
+        }
+      });
+      policy_.adapt_note(c, leaf, txo);
+      if (slot >= 0) policy_.ccm_unlock(c, leaf, slot);
+      if (oc == LowerOutcome::kDone) break;
+    }
+    c.clear_op_target();
+    if (found && out != nullptr) *out = val;
+    return found;
+  }
+
+  void put(Ctx& c, Key key, Value value) {
+    auto guard = epochs_.pin(epoch_tid(c));
+    c.set_op_target(key);
+    bool force_lock = false;
+    for (;;) {
+      auto [leaf, seq] = upper_locate(c, key);
+      const bool bypass = policy_.use_bypass(c, leaf);
+      int slot = -1;
+      bool probably_insert = true;
+      if (cfg().ccm_lockbits && !bypass) {
+        auto [s_, old] = policy_.ccm_acquire(c, leaf, key, cfg().ccm_markbits);
+        slot = s_;
+        if (cfg().ccm_markbits) probably_insert = (old & node::kCcmMark) == 0;
+      } else if (cfg().ccm_markbits) {
+        probably_insert = !policy_.ccm_marked(c, leaf, key);
+        policy_.ccm_set_mark(c, leaf, key);
+      }
+
+      bool have_split_lock = false;
+      if (force_lock || (probably_insert && node::leaf_near_full(c, leaf))) {
+        policy_.leaf_lock(c, leaf);
+        have_split_lock = true;
+      }
+
+      LowerOutcome oc = LowerOutcome::kDone;
+      const auto txo = policy_.lower(c, shared_->lock, [&] {
+        oc = LowerOutcome::kDone;
+        if (c.read(leaf->seqno) != seq) {
+          oc = LowerOutcome::kRetryRoot;
+          return;
+        }
+        Record* r = node::find_record(c, leaf, key);
+        if (r != nullptr) {
+          c.write(r->value, value);
+          return;
+        }
+        Leaf* target = leaf;
+        r = insert_record(c, leaf, key, have_split_lock, &oc, &target);
+        if (r != nullptr) {
+          c.write(r->value, value);
+          if (cfg().ccm_markbits) policy_.ccm_set_mark(c, target, key);
+        }
+      });
+      policy_.adapt_note(c, leaf, txo);
+      if (have_split_lock) policy_.leaf_unlock(c, leaf);
+      if (slot >= 0) policy_.ccm_unlock(c, leaf, slot);
+      if (oc == LowerOutcome::kDone) break;
+      if (oc == LowerOutcome::kNeedSplitLock) force_lock = true;
+    }
+    c.clear_op_target();
+  }
+
+  bool erase(Ctx& c, Key key) {
+    auto guard = epochs_.pin(epoch_tid(c));
+    c.set_op_target(key);
+    bool removed = false;
+    for (;;) {
+      auto [leaf, seq] = upper_locate(c, key);
+      const bool bypass = policy_.use_bypass(c, leaf);
+      int slot = -1;
+      bool marked = true;
+      if (cfg().ccm_lockbits && !bypass) {
+        auto [s_, old] = policy_.ccm_acquire(c, leaf, key, /*set_mark=*/false);
+        slot = s_;
+        marked = (old & node::kCcmMark) != 0;
+      } else if (cfg().ccm_markbits && !bypass) {
+        marked = policy_.ccm_marked(c, leaf, key);
+      }
+
+      if (cfg().ccm_markbits && !bypass && !marked) {
+        const bool still_valid = c.read(leaf->seqno) == seq;
+        if (slot >= 0) policy_.ccm_unlock(c, leaf, slot);
+        if (still_valid) {
+          removed = false;
+          break;
+        }
+        continue;
+      }
+
+      LowerOutcome oc = LowerOutcome::kDone;
+      bool slot_still_used = true;
+      Reserved* emptied = nullptr;
+      const auto txo = policy_.lower(c, shared_->lock, [&] {
+        oc = LowerOutcome::kDone;
+        removed = false;
+        slot_still_used = true;
+        emptied = nullptr;
+        if (c.read(leaf->seqno) != seq) {
+          oc = LowerOutcome::kRetryRoot;
+          return;
+        }
+        removed = node::remove_record(c, leaf, key, &emptied);
+        if (removed && cfg().ccm_markbits) {
+          slot_still_used = any_live_key_in_slot(c, leaf, Leaf::slot_of(key));
+        }
+      });
+      policy_.adapt_note(c, leaf, txo);
+      if (emptied != nullptr) {
+        epochs_.retire(epoch_tid(c), emptied,
+                       c.make_deleter(sizeof(Reserved), MemClass::kReservedKeys));
+      }
+      if (removed && cfg().ccm_markbits && slot >= 0 && !slot_still_used) {
+        policy_.ccm_clear_mark(c, leaf, slot);
+      }
+      if (slot >= 0) policy_.ccm_unlock(c, leaf, slot);
+      if (oc == LowerOutcome::kDone) break;
+    }
+    c.clear_op_target();
+    return removed;
+  }
+
+  /// Range scan: per-leaf atomic under the advisory lock, stitched along the
+  /// leaf chain — identical protocol to the Euno-B+Tree (leaves and their
+  /// `next` links are the same layout; only the locate differs).
+  std::size_t scan(Ctx& c, Key start, std::size_t max_items, KV* out) {
+    auto guard = epochs_.pin(epoch_tid(c));
+    c.set_op_target(start);
+    std::size_t got = 0;
+    Leaf* leaf = nullptr;
+    Leaf* next = nullptr;
+
+    for (;;) {
+      auto [l, seq] = upper_locate(c, start);
+      leaf = l;
+      policy_.leaf_lock(c, leaf);
+      bool ok = false;
+      policy_.lower(c, shared_->lock, [&] {
+        got = 0;
+        ok = false;
+        if (c.read(leaf->seqno) != seq) return;
+        ok = true;
+        next = c.read(leaf->next);
+        scan_leaf(c, leaf, start, max_items, out, &got);
+      });
+      policy_.leaf_unlock(c, leaf);
+      if (ok) break;
+    }
+
+    while (got < max_items && next != nullptr) {
+      leaf = next;
+      policy_.leaf_lock(c, leaf);
+      const std::size_t base = got;
+      policy_.lower(c, shared_->lock, [&] {
+        got = base;
+        next = c.read(leaf->next);
+        scan_leaf(c, leaf, start, max_items, out, &got);
+      });
+      policy_.leaf_unlock(c, leaf);
+    }
+    c.clear_op_target();
+    return got;
+  }
+
+  // ------------------------------------------------------------------
+  // Uninstrumented verification helpers (quiesced use only)
+  // ------------------------------------------------------------------
+
+  std::size_t size_slow() const {
+    std::size_t n = 0;
+    for (const Leaf* leaf = shared_->head->leaf; leaf != nullptr;
+         leaf = leaf->next) {
+      n += node::live_count_raw(leaf);
+    }
+    return n;
+  }
+
+  /// Tallest tower in use (>= 1; the head sentinel is excluded).
+  int height() const {
+    int h = 1;
+    for (const Tower* t = shared_->head->next[0]; t != nullptr; t = t->next[0]) {
+      h = std::max(h, static_cast<int>(t->height));
+    }
+    return h;
+  }
+
+  void check_invariants() const {
+    const Tower* head = shared_->head;
+    // Every level is sorted and a sub-chain of level 0 (height > level).
+    for (int lvl = 0; lvl < kMaxLevel; ++lvl) {
+      const Tower* prev = nullptr;
+      for (const Tower* t = head->next[lvl]; t != nullptr; t = t->next[lvl]) {
+        EUNO_ASSERT_MSG(t->height > static_cast<std::uint32_t>(lvl),
+                        "tower linked above its height");
+        EUNO_ASSERT_MSG(prev == nullptr || prev->key < t->key,
+                        "tower keys must ascend per level");
+        prev = t;
+      }
+    }
+    // Level 0 enumerates every leaf, in leaf-chain order, and each tower
+    // routes exactly its leaf's key range.
+    const Leaf* chain = head->leaf;
+    const Tower* t = head;
+    Key prev_key = 0;
+    bool first = true;
+    while (t != nullptr) {
+      EUNO_ASSERT_MSG(t->leaf == chain, "tower order must match leaf chain");
+      const Tower* nxt = t->next[0];
+      const Leaf* leaf = t->leaf;
+      EUNO_ASSERT(!leaf->dead);
+      for (int s = 0; s < S; ++s) {
+        const auto& seg = leaf->segs[s];
+        EUNO_ASSERT(seg.count <= static_cast<std::uint32_t>(kSlotsPerSeg));
+        for (std::uint32_t i = 0; i + 1 < seg.count; ++i) {
+          EUNO_ASSERT_MSG(seg.recs[i].key < seg.recs[i + 1].key,
+                          "segment keys must ascend");
+        }
+      }
+      if (leaf->reserved != nullptr) {
+        const auto* res = leaf->reserved;
+        EUNO_ASSERT(res->count <= static_cast<std::uint32_t>(F));
+        for (std::uint32_t i = 0; i + 1 < res->count; ++i) {
+          EUNO_ASSERT_MSG(res->recs[i].key < res->recs[i + 1].key,
+                          "reserved keys must ascend");
+        }
+      }
+      auto recs = node::gather_raw(leaf);
+      for (const auto& r : recs) {
+        EUNO_ASSERT_MSG(t == head || r.key >= t->key,
+                        "live key below its tower's range");
+        EUNO_ASSERT_MSG(nxt == nullptr || r.key < nxt->key,
+                        "live key beyond its tower's range");
+        EUNO_ASSERT_MSG(first || r.key > prev_key, "live keys must ascend globally");
+        prev_key = r.key;
+        first = false;
+      }
+      if (cfg().ccm_markbits) {
+        for (const auto& r : recs) {
+          EUNO_ASSERT_MSG(
+              leaf->ccm[Leaf::slot_of(r.key)].load(std::memory_order_relaxed) &
+                  node::kCcmMark,
+              "live key must have its mark bit set");
+        }
+      }
+      chain = leaf->next;
+      t = nxt;
+    }
+    EUNO_ASSERT_MSG(chain == nullptr, "leaf chain longer than tower list");
+  }
+
+  const core::EunoConfig& config() const { return policy_.config(); }
+  EpochManager& epochs() { return epochs_; }
+
+ private:
+  struct Shared {
+    ctx::FallbackLock lock;
+    Tower* head;  // immutable sentinel: key 0, full height, first leaf
+  };
+
+  enum class LowerOutcome { kDone, kRetryRoot, kNeedSplitLock };
+
+  const core::EunoConfig& cfg() const { return policy_.config(); }
+
+  int epoch_tid(Ctx& c) const { return c.tid() % EpochManager::kMaxThreads; }
+
+  // ---- upper regions: split per level-group ----
+
+  /// The skip-list analogue of Algorithm 2's upper region, split once more:
+  /// region 1 walks the tall level-group, region 2 the low (hot) levels and
+  /// the leaf resolve. A splice near the leaves — by far the common case —
+  /// conflicts only with region 2. The handoff needs no validation: towers
+  /// are immortal with immutable keys, so `pred` stays a correct starting
+  /// point no matter what committed in between; only the *leaf* can go
+  /// stale, and the seqno carried to the lower region catches that.
+  std::pair<Leaf*, std::uint64_t> upper_locate(Ctx& c, Key key) {
+    Tower* pred = nullptr;
+    policy_.upper(c, shared_->lock, [&] {
+      Tower* p = c.read(shared_->head);
+      for (int lvl = kMaxLevel - 1; lvl >= kGroupBoundary; --lvl) {
+        for (;;) {
+          Tower* nxt = c.read(p->next[lvl]);
+          if (nxt == nullptr || c.read(nxt->key) > key) break;
+          p = nxt;
+        }
+      }
+      pred = p;
+    });
+    Leaf* leaf = nullptr;
+    std::uint64_t seq = 0;
+    policy_.upper(c, shared_->lock, [&] {
+      Tower* p = pred;
+      for (int lvl = kGroupBoundary - 1; lvl >= 0; --lvl) {
+        for (;;) {
+          Tower* nxt = c.read(p->next[lvl]);
+          if (nxt == nullptr || c.read(nxt->key) > key) break;
+          p = nxt;
+        }
+      }
+      leaf = c.read(p->leaf);
+      seq = c.read(leaf->seqno);
+    });
+    return {leaf, seq};
+  }
+
+  // ---- lower-region record routing ----
+
+  /// Same scheduler/compaction/split ladder as the Euno-B+Tree
+  /// (Algorithm 3); only the split's index update differs (tower splice
+  /// instead of parent insert).
+  Record* insert_record(Ctx& c, Leaf* leaf, Key key, bool have_split_lock,
+                        LowerOutcome* oc, Leaf** target_out) {
+    *target_out = leaf;
+    int idx = policy_.template sched_pick<S>(c);
+    for (int tries = 0;
+         node::seg_full(c, leaf, idx) && tries < cfg().sched_retries; ++tries) {
+      idx = policy_.template sched_pick<S>(c);
+    }
+    if (!node::seg_full(c, leaf, idx)) return node::seg_insert(c, leaf, idx, key);
+
+    const std::uint32_t total = node::live_count_tx(c, leaf);
+    if (total < static_cast<std::uint32_t>(F)) {
+      node::compact_to_reserved(c, leaf);
+      return node::seg_insert(c, leaf, policy_.template sched_pick<S>(c), key);
+    }
+
+    if (!have_split_lock) {
+      *oc = LowerOutcome::kNeedSplitLock;
+      return nullptr;
+    }
+    Leaf* target = split_leaf(c, leaf, key);
+    *target_out = target;
+    return node::seg_insert(c, target, policy_.template sched_pick<S>(c), key);
+  }
+
+  bool any_live_key_in_slot(Ctx& c, Leaf* leaf, int slot) {
+    bool used = false;
+    node::for_each_live(c, leaf, [&](Key k, Value) {
+      if (Leaf::slot_of(k) == slot) used = true;
+    });
+    return used;
+  }
+
+  /// Sorting-split-reorganizing (§4.2.3) plus the tower splice: the right
+  /// sibling's tower is published inside the same lower region that bumps
+  /// the seqno, so routing and records commit atomically. Requires the
+  /// advisory split lock.
+  Leaf* split_leaf(Ctx& c, Leaf* leaf, Key key) {
+    auto all = node::gather_sorted(c, leaf);
+    const std::size_t half = all.size() / 2;
+    EUNO_ASSERT(half >= 1 && all.size() - half <= static_cast<std::size_t>(F));
+
+    Leaf* right = Leaf::alloc(c);
+    Reserved* rres = Reserved::alloc(c);
+    c.write(right->reserved, rres);
+    node::write_reserved(c, rres, all.data() + half, all.size() - half);
+
+    Reserved* lres = c.read(leaf->reserved);
+    if (lres == nullptr) {
+      lres = Reserved::alloc(c);
+      c.write(leaf->reserved, lres);
+    }
+    node::write_reserved(c, lres, all.data(), half);
+    for (int s = 0; s < S; ++s) c.write(leaf->segs[s].count, 0u);
+
+    c.write(right->next, c.read(leaf->next));
+    c.write(leaf->next, right);
+    c.write(leaf->seqno, c.read(leaf->seqno) + 1);
+
+    if (cfg().ccm_markbits) {
+      policy_.rebuild_marks(c, right, all.data() + half, all.size() - half);
+    }
+
+    const Key sep = all[half].key;
+    insert_tower(c, sep, right);
+    c.note_event(ctx::TraceCode::kLeafSplit);
+    return key >= sep ? right : leaf;
+  }
+
+  /// Splices a new tower for `right` (range starts at `sep`) into every
+  /// level below its drawn height. Runs inside the split's lower region.
+  void insert_tower(Ctx& c, Key sep, Leaf* right) {
+    const std::uint32_t h = tower_height(c);
+    Tower* t = Tower::alloc(c);
+    c.write(t->key, sep);
+    c.write(t->leaf, right);
+    c.write(t->height, h);
+    Tower* p = c.read(shared_->head);
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      for (;;) {
+        Tower* nxt = c.read(p->next[lvl]);
+        if (nxt == nullptr || c.read(nxt->key) >= sep) break;
+        p = nxt;
+      }
+      if (lvl < static_cast<int>(h)) {
+        c.write(t->next[lvl], c.read(p->next[lvl]));
+        c.write(p->next[lvl], t);
+      }
+    }
+  }
+
+  /// Geometric height (p = 1/2) in [1, kMaxLevel] from a per-thread
+  /// deterministic stream (host-side state, like the write scheduler's).
+  std::uint32_t tower_height(Ctx& c) {
+    auto& rng = hrng_[c.tid() % kMaxRngThreads].value.rng;
+    const std::uint64_t r = rng.next() | (1ull << (kMaxLevel - 1));
+    c.compute(4);
+    return 1 + static_cast<std::uint32_t>(std::countr_zero(r));
+  }
+
+  // ---- scan helper (identical to the Euno-B+Tree's) ----
+
+  void scan_leaf(Ctx& c, Leaf* leaf, Key start, std::size_t max_items, KV* out,
+                 std::size_t* got) {
+    if (cfg().scan_compacts &&
+        node::scan_fast_path(c, leaf, start, max_items, out, got)) {
+      return;
+    }
+    auto all = node::gather_sorted(c, leaf);
+    if (all.empty()) return;
+
+    if (cfg().scan_compacts && all.size() <= static_cast<std::size_t>(F)) {
+      Reserved* res = c.read(leaf->reserved);
+      if (res == nullptr) {
+        res = Reserved::alloc(c);
+        c.write(leaf->reserved, res);
+      }
+      node::write_reserved(c, res, all.data(), all.size());
+      for (int s = 0; s < S; ++s) c.write(leaf->segs[s].count, 0u);
+      for (std::size_t i = 0; i < all.size() && *got < max_items; ++i) {
+        if (all[i].key < start) continue;
+        out[(*got)++] = KV{all[i].key, all[i].value};
+      }
+      return;
+    }
+
+    auto* transient = static_cast<Reserved*>(c.alloc(
+        sizeof(Reserved) * 2, MemClass::kReservedKeys, sim::LineKind::kRecord));
+    auto* trecs = reinterpret_cast<Record*>(transient);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      c.write(trecs[i].key, all[i].key);
+      c.write(trecs[i].value, all[i].value);
+    }
+    for (std::size_t i = 0; i < all.size() && *got < max_items; ++i) {
+      const Key k = c.read(trecs[i].key);
+      if (k < start) continue;
+      out[(*got)++] = KV{k, c.read(trecs[i].value)};
+    }
+    c.free(transient, sizeof(Reserved) * 2, MemClass::kReservedKeys);
+  }
+
+  // ---- members ----
+
+  static constexpr int kMaxRngThreads = 64;
+  struct HeightRng {
+    Xoshiro256 rng{0x5ee9};
+  };
+
+  Policy policy_;
+  Shared* shared_ = nullptr;
+  EpochManager epochs_{EpochManager::kMaxThreads};
+  CacheAligned<HeightRng> hrng_[kMaxRngThreads];
+};
+
+}  // namespace euno::trees::algo

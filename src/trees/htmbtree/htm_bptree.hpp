@@ -12,403 +12,23 @@
 // reads the record lines it scans, every update writes the line holding its
 // neighbours' keys, and every insert shifts records across many lines.
 //
-// The implementation is templated on the execution context, so the identical
-// algorithm runs under real RTM (NativeCtx) and on the simulated multicore
-// (SimCtx).
+// Since the layering refactor this tree is an instantiation of the shared
+// algorithm layer: the DBX node layout lives in trees/node/consecutive.hpp
+// (DbxNode), the monolithic-transaction policy in sync/monolithic_htm.hpp,
+// and the B+Tree algorithm itself — identical for every consecutive-layout
+// tree — in trees/algo/bptree.hpp. The composition is ctx-call-for-ctx-call
+// identical to the original monolithic implementation (held to byte-identical
+// results by `ctest -L golden`), and still runs under real RTM (NativeCtx)
+// and on the simulated multicore (SimCtx) alike.
 #pragma once
 
-#include <cstdint>
-
-#include "ctx/common.hpp"
-#include "htm/policy.hpp"
-#include "sim/line.hpp"
+#include "sync/monolithic_htm.hpp"
+#include "trees/algo/bptree.hpp"
 #include "trees/common.hpp"
-#include "util/assert.hpp"
-#include "util/cacheline.hpp"
-#include "util/memstats.hpp"
 
 namespace euno::trees {
 
 template <class Ctx, int F = kDefaultFanout>
-class HtmBPTree {
-  static_assert(F >= 4 && F % 2 == 0, "fanout must be even and >= 4");
-
- public:
-  struct Options {
-    htm::RetryPolicy policy{};
-  };
-
-  /// Builds an empty tree. `c` is any context of the engine the tree will
-  /// live on (used for shared-memory allocation).
-  explicit HtmBPTree(Ctx& c, Options opt = {}) : opt_(opt) {
-    opt_.policy.validate();
-    shared_ = static_cast<Shared*>(
-        c.alloc(sizeof(Shared), MemClass::kTreeMisc, sim::LineKind::kTreeMeta));
-    new (shared_) Shared();
-    shared_->root = alloc_node(c, /*is_leaf=*/true);
-    c.tag_memory(&shared_->lock, sizeof(ctx::FallbackLock),
-                 sim::LineKind::kFallbackLock);
-  }
-
-  HtmBPTree(const HtmBPTree&) = delete;
-  HtmBPTree& operator=(const HtmBPTree&) = delete;
-
-  /// Frees every node. Must be called quiesced (no concurrent operations).
-  void destroy(Ctx& c) {
-    if (shared_ == nullptr) return;
-    destroy_rec(c, shared_->root);
-    c.free(shared_, sizeof(Shared), MemClass::kTreeMisc);
-    shared_ = nullptr;
-  }
-
-  /// Point lookup. Returns true and fills `*out` if `key` is present.
-  bool get(Ctx& c, Key key, Value* out) {
-    c.set_op_target(key);
-    bool found = false;
-    Value val = 0;
-    c.txn(ctx::TxSite::kMono, shared_->lock, opt_.policy, [&] {
-      found = false;
-      Node* leaf = descend(c, key);
-      const int idx = leaf_find(c, leaf, key);
-      if (idx >= 0) {
-        found = true;
-        val = c.read(leaf->recs[idx].value);
-      }
-    });
-    c.clear_op_target();
-    if (found && out != nullptr) *out = val;
-    return found;
-  }
-
-  /// Insert `key` or update its value if present (the paper's `put`).
-  void put(Ctx& c, Key key, Value value) {
-    c.set_op_target(key);
-    c.txn(ctx::TxSite::kMono, shared_->lock, opt_.policy, [&] {
-      Node* leaf = descend(c, key);
-      const int idx = leaf_find(c, leaf, key);
-      if (idx >= 0) {
-        c.write(leaf->recs[idx].value, value);
-        c.write(leaf->version, c.read(leaf->version) + 1);
-        return;
-      }
-      insert_into_leaf(c, leaf, key, value);
-    });
-    c.clear_op_target();
-  }
-
-  /// Remove `key`. Returns true if it was present. Underfull leaves are not
-  /// rebalanced eagerly (the DBX scheme the paper reuses defers rebalance).
-  bool erase(Ctx& c, Key key) {
-    c.set_op_target(key);
-    bool removed = false;
-    c.txn(ctx::TxSite::kMono, shared_->lock, opt_.policy, [&] {
-      removed = false;
-      Node* leaf = descend(c, key);
-      const int idx = leaf_find(c, leaf, key);
-      if (idx < 0) return;
-      const int n = static_cast<int>(c.read(leaf->count));
-      for (int i = idx; i + 1 < n; ++i) {
-        c.write(leaf->recs[i].key, c.read(leaf->recs[i + 1].key));
-        c.write(leaf->recs[i].value, c.read(leaf->recs[i + 1].value));
-      }
-      c.write(leaf->count, static_cast<std::uint32_t>(n - 1));
-      c.write(leaf->version, c.read(leaf->version) + 1);
-      removed = true;
-    });
-    c.clear_op_target();
-    return removed;
-  }
-
-  /// Range scan: collects up to `max_items` pairs with key >= `start`, in
-  /// key order. Returns the number collected.
-  std::size_t scan(Ctx& c, Key start, std::size_t max_items, KV* out) {
-    c.set_op_target(start);
-    std::size_t got = 0;
-    c.txn(ctx::TxSite::kMono, shared_->lock, opt_.policy, [&] {
-      got = 0;
-      Node* leaf = descend(c, start);
-      while (leaf != nullptr && got < max_items) {
-        const int n = static_cast<int>(c.read(leaf->count));
-        for (int i = 0; i < n && got < max_items; ++i) {
-          const Key k = c.read(leaf->recs[i].key);
-          if (k < start) continue;
-          out[got++] = KV{k, c.read(leaf->recs[i].value)};
-        }
-        leaf = c.read(leaf->next);
-      }
-    });
-    c.clear_op_target();
-    return got;
-  }
-
-  // ---- uninstrumented helpers (single-threaded verification only) ----
-
-  /// Number of records. Walks the leaf chain without instrumentation.
-  std::size_t size_slow() const {
-    std::size_t n = 0;
-    for (const Node* leaf = leftmost_leaf(); leaf != nullptr; leaf = leaf->next) {
-      n += leaf->count;
-    }
-    return n;
-  }
-
-  /// Structural invariants: sortedness, parent links, separator bounds,
-  /// leaf-chain order. Aborts the process on violation.
-  void check_invariants() const {
-    Key prev = 0;
-    bool first = true;
-    for (const Node* leaf = leftmost_leaf(); leaf != nullptr; leaf = leaf->next) {
-      for (std::uint32_t i = 0; i < leaf->count; ++i) {
-        EUNO_ASSERT_MSG(first || leaf->recs[i].key > prev, "leaf keys must ascend");
-        prev = leaf->recs[i].key;
-        first = false;
-      }
-    }
-    check_node(shared_->root, nullptr, 0, ~0ull, true);
-  }
-
-  int height() const {
-    int h = 1;
-    for (const Node* n = shared_->root; !n->is_leaf; n = n->idx.children[0]) ++h;
-    return h;
-  }
-
- private:
-  /// A leaf record: key and value adjacent, four records per cache line —
-  /// the conventional consecutive layout under study.
-  struct Record {
-    Key key;
-    Value value;
-  };
-
-  struct Node {
-    // Conventional layout (§2.3): the node header — including the version
-    // number that DBX-style trees maintain on every modification — shares
-    // its cache line with the first records. This "pervasive shared
-    // metadata" packed against consecutive records is precisely what the
-    // paper blames for the baseline's false conflicts: every operation
-    // reads `count` (and the first record line), every modification bumps
-    // `version`, so any write to a leaf conflicts with every concurrent
-    // operation on that leaf.
-    std::uint32_t is_leaf = 0;
-    std::uint32_t count = 0;
-    std::uint64_t version = 0;  // bumped on every modification (DBX-style)
-    Node* parent = nullptr;
-    Node* next = nullptr;  // leaf chain
-
-    union {
-      Record recs[F];  // leaf payload
-      struct {
-        Key keys[F];
-        Node* children[F + 1];
-      } idx;  // interior payload
-    };
-  };
-
-  struct Shared {
-    ctx::FallbackLock lock;
-    Node* root = nullptr;
-  };
-
-  Node* alloc_node(Ctx& c, bool is_leaf) {
-    const MemClass cls = is_leaf ? MemClass::kLeafNode : MemClass::kInternalNode;
-    auto* n = static_cast<Node*>(c.alloc(sizeof(Node), cls, sim::LineKind::kRecord));
-    new (n) Node();
-    n->is_leaf = is_leaf ? 1 : 0;
-    // Leaves are tagged kRecord throughout: the header shares the first
-    // record line (see Node), so conflicts there are the paper's
-    // "different records on the same cache line" false conflicts. Interior
-    // nodes are index structure.
-    if (!is_leaf) {
-      c.tag_memory(n, sizeof(Node), sim::LineKind::kTreeMeta);
-    }
-    c.note_node(n, sizeof(Node), is_leaf ? 0 : 1);
-    return n;
-  }
-
-  void free_node(Ctx& c, Node* n) {
-    c.free(n, sizeof(Node),
-           n->is_leaf ? MemClass::kLeafNode : MemClass::kInternalNode);
-  }
-
-  void destroy_rec(Ctx& c, Node* n) {
-    if (!n->is_leaf) {
-      for (std::uint32_t i = 0; i <= n->count; ++i) {
-        destroy_rec(c, n->idx.children[i]);
-      }
-    }
-    free_node(c, n);
-  }
-
-  /// Transactional root-to-leaf traversal (Algorithm 1, lines 6-8).
-  Node* descend(Ctx& c, Key key) {
-    Node* node = c.read(shared_->root);
-    while (c.read(node->is_leaf) == 0) {
-      node = c.read(node->idx.children[child_index(c, node, key)]);
-    }
-    return node;
-  }
-
-  /// Index of the child subtree covering `key`: the number of separators
-  /// <= key (separators equal the first key of their right subtree).
-  /// Binary search, as in production trees.
-  int child_index(Ctx& c, Node* node, Key key) {
-    int lo = 0, hi = static_cast<int>(c.read(node->count));
-    while (lo < hi) {
-      const int mid = (lo + hi) / 2;
-      if (key >= c.read(node->idx.keys[mid])) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
-  }
-
-  /// Position of `key` in a leaf, or -1. Binary search over the sorted
-  /// records, as production B+Trees do: every lookup probes the middle
-  /// record lines, so operations on *different* keys of one leaf share
-  /// lines — the false-conflict surface of §2.3.
-  int leaf_find(Ctx& c, Node* leaf, Key key) {
-    int lo = 0, hi = static_cast<int>(c.read(leaf->count)) - 1;
-    while (lo <= hi) {
-      const int mid = (lo + hi) / 2;
-      const Key k = c.read(leaf->recs[mid].key);
-      if (k == key) return mid;
-      if (k < key) {
-        lo = mid + 1;
-      } else {
-        hi = mid - 1;
-      }
-    }
-    return -1;
-  }
-
-  /// Sorted insert with record shift; splits when full (Alg. 1, lines 15-19).
-  void insert_into_leaf(Ctx& c, Node* leaf, Key key, Value value) {
-    if (c.read(leaf->count) == static_cast<std::uint32_t>(F)) {
-      leaf = split_leaf(c, leaf, key);
-    }
-    const int n = static_cast<int>(c.read(leaf->count));
-    int pos = n;
-    while (pos > 0 && c.read(leaf->recs[pos - 1].key) > key) --pos;
-    for (int i = n; i > pos; --i) {
-      c.write(leaf->recs[i].key, c.read(leaf->recs[i - 1].key));
-      c.write(leaf->recs[i].value, c.read(leaf->recs[i - 1].value));
-    }
-    c.write(leaf->recs[pos].key, key);
-    c.write(leaf->recs[pos].value, value);
-    c.write(leaf->count, static_cast<std::uint32_t>(n + 1));
-    c.write(leaf->version, c.read(leaf->version) + 1);
-  }
-
-  /// Splits a full leaf; returns the half that should receive `key`.
-  Node* split_leaf(Ctx& c, Node* leaf, Key key) {
-    Node* right = alloc_node(c, /*is_leaf=*/true);
-    constexpr int kHalf = F / 2;
-    for (int i = 0; i < kHalf; ++i) {
-      c.write(right->recs[i].key, c.read(leaf->recs[kHalf + i].key));
-      c.write(right->recs[i].value, c.read(leaf->recs[kHalf + i].value));
-    }
-    c.write(right->count, static_cast<std::uint32_t>(kHalf));
-    c.write(leaf->count, static_cast<std::uint32_t>(kHalf));
-    c.write(right->next, c.read(leaf->next));
-    c.write(leaf->next, right);
-    const Key sep = c.read(right->recs[0].key);
-    insert_into_parent(c, leaf, sep, right);
-    return key >= sep ? right : leaf;
-  }
-
-  /// Inserts separator/right-child into the parent, splitting interior
-  /// nodes upward as needed (Algorithm 1, lines 17-19).
-  void insert_into_parent(Ctx& c, Node* left, Key sep, Node* right) {
-    Node* parent = c.read(left->parent);
-    if (parent == nullptr) {
-      Node* new_root = alloc_node(c, /*is_leaf=*/false);
-      c.write(new_root->idx.keys[0], sep);
-      c.write(new_root->idx.children[0], left);
-      c.write(new_root->idx.children[1], right);
-      c.write(new_root->count, 1u);
-      c.write(left->parent, new_root);
-      c.write(right->parent, new_root);
-      c.write(shared_->root, new_root);
-      return;
-    }
-    if (c.read(parent->count) == static_cast<std::uint32_t>(F)) {
-      parent = split_internal(c, parent, sep);
-    }
-    const int n = static_cast<int>(c.read(parent->count));
-    int pos = n;
-    while (pos > 0 && c.read(parent->idx.keys[pos - 1]) > sep) --pos;
-    for (int i = n; i > pos; --i) {
-      c.write(parent->idx.keys[i], c.read(parent->idx.keys[i - 1]));
-      c.write(parent->idx.children[i + 1], c.read(parent->idx.children[i]));
-    }
-    c.write(parent->idx.keys[pos], sep);
-    c.write(parent->idx.children[pos + 1], right);
-    c.write(parent->count, static_cast<std::uint32_t>(n + 1));
-    c.write(right->parent, parent);
-    // `left` already points at this parent.
-  }
-
-  /// Splits a full interior node; returns the half that should receive a
-  /// separator equal to `sep`.
-  Node* split_internal(Ctx& c, Node* node, Key sep) {
-    Node* right = alloc_node(c, /*is_leaf=*/false);
-    constexpr int kHalf = F / 2;
-    // Middle separator moves up; right node takes keys (kHalf+1 .. F-1).
-    const Key mid = c.read(node->idx.keys[kHalf]);
-    for (int i = kHalf + 1; i < F; ++i) {
-      c.write(right->idx.keys[i - kHalf - 1], c.read(node->idx.keys[i]));
-    }
-    for (int i = kHalf + 1; i <= F; ++i) {
-      Node* child = c.read(node->idx.children[i]);
-      c.write(right->idx.children[i - kHalf - 1], child);
-      c.write(child->parent, right);
-    }
-    c.write(right->count, static_cast<std::uint32_t>(F - kHalf - 1));
-    c.write(node->count, static_cast<std::uint32_t>(kHalf));
-    insert_into_parent(c, node, mid, right);
-    return sep >= mid ? right : node;
-  }
-
-  const Node* leftmost_leaf() const {
-    const Node* n = shared_->root;
-    while (!n->is_leaf) n = n->idx.children[0];
-    return n;
-  }
-
-  void check_node(const Node* n, const Node* parent, Key lo, Key hi,
-                  bool lo_open) const {
-    EUNO_ASSERT(n->parent == parent);
-    EUNO_ASSERT(n->count <= static_cast<std::uint32_t>(F));
-    if (n->is_leaf) {
-      for (std::uint32_t i = 0; i + 1 < n->count; ++i) {
-        EUNO_ASSERT_MSG(n->recs[i].key < n->recs[i + 1].key, "leaf keys ascend");
-      }
-      for (std::uint32_t i = 0; i < n->count; ++i) {
-        EUNO_ASSERT_MSG(lo_open || n->recs[i].key >= lo, "key below bound");
-        EUNO_ASSERT_MSG(n->recs[i].key < hi, "key above bound");
-      }
-      return;
-    }
-    EUNO_ASSERT_MSG(n->count >= 1, "interior node must have a separator");
-    for (std::uint32_t i = 0; i + 1 < n->count; ++i) {
-      EUNO_ASSERT_MSG(n->idx.keys[i] < n->idx.keys[i + 1], "node keys ascend");
-    }
-    for (std::uint32_t i = 0; i < n->count; ++i) {
-      EUNO_ASSERT_MSG(lo_open || n->idx.keys[i] >= lo, "key below bound");
-      EUNO_ASSERT_MSG(n->idx.keys[i] < hi, "key above bound");
-    }
-    for (std::uint32_t i = 0; i <= n->count; ++i) {
-      const Key child_lo = (i == 0) ? lo : n->idx.keys[i - 1];
-      const Key child_hi = (i == n->count) ? hi : n->idx.keys[i];
-      check_node(n->idx.children[i], n, child_lo, child_hi, lo_open && i == 0);
-    }
-  }
-
-  Options opt_;
-  Shared* shared_ = nullptr;
-};
+using HtmBPTree = algo::BPlusTree<Ctx, sync::MonolithicHtmPolicy<Ctx>, F>;
 
 }  // namespace euno::trees

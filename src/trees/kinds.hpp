@@ -1,0 +1,25 @@
+// The tree-kind vocabulary shared by the registry, the experiment driver and
+// every bench. The enum stays stable across refactors because manifests and
+// golden fixtures key on the *display names* the registry attaches to each
+// kind (see trees/registry.hpp).
+#pragma once
+
+namespace euno::trees {
+
+enum class TreeKind {
+  kHtmBPTree,    // baseline: monolithic HTM region (DBX)
+  kMasstree,     // OLC fine-grained baseline
+  kHtmMasstree,  // OLC with one HTM region per op (elided locks)
+  kEuno,         // Euno-B+Tree, full configuration incl. adaptive
+  // Figure 13 ablation ladder:
+  kEunoSplit,     // +Split HTM (S=1 consecutive layout, no CCM)
+  kEunoPart,      // +Part Leaf (S=4, no CCM)
+  kEunoLockbits,  // +CCM lockbits
+  kEunoMarkbits,  // +CCM markbits
+  kEunoAdaptive,  // +Adaptive (== kEuno)
+  // Post-refactor structures instantiated through the layered stack:
+  kEunoSkipList,  // partitioned-tower skip list through EunoHtmPolicy
+  kLockBPTree,    // pessimistic hand-over-hand baseline (LockCouplingPolicy)
+};
+
+}  // namespace euno::trees

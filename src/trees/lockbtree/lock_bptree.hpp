@@ -1,0 +1,22 @@
+// Lock-B+Tree: pessimistic hand-over-hand latching (lock coupling) — the
+// textbook pre-optimistic baseline, useful as a contention floor: every node
+// visit takes the node's latch, so hot interior nodes serialize all
+// traffic through them regardless of HTM or leaf layout.
+//
+// Exists primarily as proof that the layering composes: this tree is
+// nothing but trees/algo/bptree.hpp (the same optimistic-shaped algorithm
+// body OLC uses) instantiated with sync/lock_coupling.hpp, whose
+// "stable_version" is a latch acquisition and whose transfer hooks release
+// parent latches as descent advances. No algorithm code is specific to it.
+#pragma once
+
+#include "sync/lock_coupling.hpp"
+#include "trees/algo/bptree.hpp"
+#include "trees/common.hpp"
+
+namespace euno::trees {
+
+template <class Ctx, int F = kDefaultFanout>
+using LockBPTree = algo::BPlusTree<Ctx, sync::LockCouplingPolicy<Ctx>, F>;
+
+}  // namespace euno::trees

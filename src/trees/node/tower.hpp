@@ -1,0 +1,49 @@
+// Node/layout layer: the skip-list tower indexing a chain of partitioned
+// leaves (the Euno-SkipList's replacement for the B+Tree's interior nodes).
+//
+// A tower routes one leaf: `key` is the minimum key of `leaf` at the moment
+// the tower is published (the split separator), and `next[l]` links the
+// towers whose height exceeds `l` in ascending key order. Three properties
+// make towers safe to traverse across *separate* HTM regions (the split
+// upper regions of the Euno-SkipList):
+//
+//   - `key`, `leaf` and `height` are immutable after publication;
+//   - towers are never reclaimed (leaves never merge, so a tower's range
+//     never disappears — it only shrinks when its leaf splits again, which
+//     publishes a new tower to its right);
+//   - `next[]` pointers only ever splice new towers *in*; a traversal
+//     holding any tower therefore always sees a well-formed suffix.
+//
+// Stale routing (a split committing between the traversal and the leaf
+// access) is caught by the leaf seqno, exactly as for the B+Tree.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/line.hpp"
+#include "trees/common.hpp"
+#include "util/memstats.hpp"
+
+namespace euno::trees::node {
+
+template <class Leaf, int MaxLevel>
+struct SkipTower {
+  static constexpr int kMaxLevel = MaxLevel;
+
+  Key key;                // immutable: routes keys >= key (head: 0, all keys)
+  Leaf* leaf;             // immutable: the leaf whose range starts at `key`
+  std::uint32_t height;   // immutable: live entries in next[]
+  std::uint32_t pad;
+  SkipTower* next[MaxLevel];
+
+  template <class Ctx>
+  static SkipTower* alloc(Ctx& c) {
+    auto* t = static_cast<SkipTower*>(c.alloc(
+        sizeof(SkipTower), MemClass::kInternalNode, sim::LineKind::kTreeMeta));
+    new (t) SkipTower();
+    c.note_node(t, sizeof(SkipTower), 1);
+    return t;
+  }
+};
+
+}  // namespace euno::trees::node

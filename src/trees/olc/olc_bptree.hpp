@@ -22,553 +22,22 @@
 // (subscription reads), but version bumps on modification remain — those
 // shared-variable writes are exactly why the paper finds HTM-Masstree
 // "fails to scale after 8 cores".
+//
+// Since the layering refactor this tree is an instantiation of the shared
+// algorithm layer: the versioned node layout lives in
+// trees/node/consecutive.hpp (VersionedNode), the whole version protocol in
+// sync/olc.hpp (OlcPolicy, including `htm_elide`), and the optimistic B+Tree
+// algorithm in trees/algo/bptree.hpp — composition held to byte-identical
+// results by `ctest -L golden`.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-
-#include "ctx/common.hpp"
-#include "htm/policy.hpp"
-#include "sim/line.hpp"
+#include "sync/olc.hpp"
+#include "trees/algo/bptree.hpp"
 #include "trees/common.hpp"
-#include "util/assert.hpp"
-#include "util/cacheline.hpp"
-#include "util/memstats.hpp"
 
 namespace euno::trees {
 
 template <class Ctx, int F = kDefaultFanout>
-class OlcBPTree {
-  static_assert(F >= 4 && F % 2 == 0, "fanout must be even and >= 4");
-
- public:
-  struct Options {
-    bool htm_elide = false;  // HTM-Masstree: one HTM region per op
-    htm::RetryPolicy policy{};
-  };
-
-  explicit OlcBPTree(Ctx& c, Options opt = {}) : opt_(opt) {
-    opt_.policy.validate();
-    shared_ = static_cast<Shared*>(
-        c.alloc(sizeof(Shared), MemClass::kTreeMisc, sim::LineKind::kTreeMeta));
-    new (shared_) Shared();
-    shared_->root = alloc_node(c, /*is_leaf=*/true);
-    c.tag_memory(&shared_->lock, sizeof(ctx::FallbackLock),
-                 sim::LineKind::kFallbackLock);
-  }
-
-  OlcBPTree(const OlcBPTree&) = delete;
-  OlcBPTree& operator=(const OlcBPTree&) = delete;
-
-  void destroy(Ctx& c) {
-    if (shared_ == nullptr) return;
-    destroy_rec(c, shared_->root);
-    c.free(shared_, sizeof(Shared), MemClass::kTreeMisc);
-    shared_ = nullptr;
-  }
-
-  bool get(Ctx& c, Key key, Value* out) {
-    c.set_op_target(key);
-    bool found = false;
-    Value val = 0;
-    run(c, [&] { found = get_impl(c, key, &val); });
-    c.clear_op_target();
-    if (found && out != nullptr) *out = val;
-    return found;
-  }
-
-  void put(Ctx& c, Key key, Value value) {
-    c.set_op_target(key);
-    run(c, [&] { put_impl(c, key, value); });
-    c.clear_op_target();
-  }
-
-  bool erase(Ctx& c, Key key) {
-    c.set_op_target(key);
-    bool removed = false;
-    run(c, [&] { removed = erase_impl(c, key); });
-    c.clear_op_target();
-    return removed;
-  }
-
-  std::size_t scan(Ctx& c, Key start, std::size_t max_items, KV* out) {
-    c.set_op_target(start);
-    std::size_t got = 0;
-    run(c, [&] { got = scan_impl(c, start, max_items, out); });
-    c.clear_op_target();
-    return got;
-  }
-
-  // ---- uninstrumented verification (quiesced) ----
-
-  std::size_t size_slow() const {
-    std::size_t n = 0;
-    for (const Node* leaf = leftmost_leaf(); leaf != nullptr; leaf = leaf->next) {
-      n += leaf->count;
-    }
-    return n;
-  }
-
-  int height() const {
-    int h = 1;
-    for (const Node* n = shared_->root; !n->is_leaf; n = n->idx.children[0]) ++h;
-    return h;
-  }
-
-  void check_invariants() const {
-    Key prev = 0;
-    bool first = true;
-    for (const Node* leaf = leftmost_leaf(); leaf != nullptr; leaf = leaf->next) {
-      EUNO_ASSERT_MSG(
-          (leaf->version.load(std::memory_order_relaxed) & 1) == 0,
-          "no node may remain locked at quiescence");
-      for (std::uint32_t i = 0; i < leaf->count; ++i) {
-        EUNO_ASSERT_MSG(first || leaf->recs[i].key > prev, "leaf keys ascend");
-        prev = leaf->recs[i].key;
-        first = false;
-      }
-    }
-    check_node(shared_->root, 0, ~0ull, true);
-  }
-
- private:
-  struct Record {
-    Key key;
-    Value value;
-  };
-
-  struct Node {
-    std::atomic<std::uint64_t> version{0};  // bit0 = locked; += 2 per change
-    std::uint32_t is_leaf = 0;
-    std::uint32_t count = 0;
-    Node* next = nullptr;  // leaf chain
-
-    union alignas(kCacheLineSize) {
-      Record recs[F];
-      struct {
-        Key keys[F];
-        Node* children[F + 1];
-      } idx;
-    };
-  };
-
-  struct Shared {
-    ctx::FallbackLock lock;
-    Node* root = nullptr;
-  };
-
-  /// Runs `body` directly (fine-grained locking) or inside one HTM region
-  /// (HTM-Masstree).
-  template <class Body>
-  void run(Ctx& c, Body&& body) {
-    if (opt_.htm_elide) {
-      c.txn(ctx::TxSite::kMono, shared_->lock, opt_.policy, body);
-    } else {
-      body();
-    }
-  }
-
-  bool eliding(Ctx& c) const { return opt_.htm_elide && !c.in_fallback(); }
-
-  // ---- version protocol ----
-
-  /// Waits until unlocked and returns the version. Inside an HTM region
-  /// waiting is impossible: an observed lock (only ever set by a fallback
-  /// path) aborts.
-  /// Per-node bookkeeping cost of the modelled Masstree: besides the version
-  /// word itself, Masstree decodes a permutation word, checks fence keys and
-  /// handles key suffixes at every node (§4.6 of Mao et al.) — the paper
-  /// measures ~2.1x the instructions of Euno at θ=0.5, dominated by this
-  /// per-node work.
-  static constexpr std::uint32_t kNodeBookkeeping = 12;
-
-  std::uint64_t stable_version(Ctx& c, Node* n) {
-    c.compute(kNodeBookkeeping);
-    for (;;) {
-      const std::uint64_t v = c.atomic_load(n->version);
-      if ((v & 1) == 0) return v;
-      if (eliding(c)) c.tx_abort_user();
-      c.spin_pause();
-    }
-  }
-
-  /// Try to move `n` from the observed stable version `v` to locked.
-  /// Under elision this is a pure validation read: HTM provides atomicity,
-  /// and writing the lock bit would only manufacture conflicts.
-  bool try_upgrade(Ctx& c, Node* n, std::uint64_t v) {
-    if (eliding(c)) return c.atomic_load(n->version) == v;
-    return c.cas(n->version, v, v | 1);
-  }
-
-  /// Publish a modification: version += 2 from the pre-lock value, lock bit
-  /// cleared. The bump is what invalidates concurrent optimistic readers —
-  /// it must happen under elision too (HTM-Masstree's Achilles' heel).
-  void release_bump(Ctx& c, Node* n, std::uint64_t v) {
-    c.atomic_store(n->version, (v & ~std::uint64_t{1}) + 2);
-  }
-
-  /// Release without modification.
-  void release(Ctx& c, Node* n, std::uint64_t v) {
-    if (eliding(c)) return;  // nothing was written
-    c.atomic_store(n->version, v);
-  }
-
-  bool validate(Ctx& c, Node* n, std::uint64_t v) {
-    return c.atomic_load(n->version) == v;
-  }
-
-  // ---- node helpers ----
-
-  Node* alloc_node(Ctx& c, bool is_leaf) {
-    const MemClass cls = is_leaf ? MemClass::kLeafNode : MemClass::kInternalNode;
-    auto* n = static_cast<Node*>(c.alloc(sizeof(Node), cls, sim::LineKind::kRecord));
-    new (n) Node();
-    n->is_leaf = is_leaf ? 1 : 0;
-    c.tag_memory(n, kCacheLineSize,
-                 is_leaf ? sim::LineKind::kLeafMeta : sim::LineKind::kTreeMeta);
-    if (!is_leaf) c.tag_memory(&n->idx, sizeof(n->idx), sim::LineKind::kTreeMeta);
-    c.note_node(n, sizeof(Node), is_leaf ? 0 : 1);
-    return n;
-  }
-
-  void destroy_rec(Ctx& c, Node* n) {
-    if (!n->is_leaf) {
-      for (std::uint32_t i = 0; i <= n->count; ++i) destroy_rec(c, n->idx.children[i]);
-    }
-    c.free(n, sizeof(Node), n->is_leaf ? MemClass::kLeafNode : MemClass::kInternalNode);
-  }
-
-  int child_index(Ctx& c, Node* n, Key key) {
-    int lo = 0, hi = static_cast<int>(c.read(n->count));
-    while (lo < hi) {
-      const int mid = (lo + hi) / 2;
-      if (key >= c.read(n->idx.keys[mid])) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
-  }
-
-  int leaf_find(Ctx& c, Node* leaf, Key key) {
-    int lo = 0, hi = static_cast<int>(c.read(leaf->count)) - 1;
-    while (lo <= hi) {
-      const int mid = (lo + hi) / 2;
-      const Key k = c.read(leaf->recs[mid].key);
-      if (k == key) return mid;
-      if (k < key) {
-        lo = mid + 1;
-      } else {
-        hi = mid - 1;
-      }
-    }
-    return -1;
-  }
-
-  bool node_full(Ctx& c, Node* n) {
-    return c.read(n->count) == static_cast<std::uint32_t>(F);
-  }
-
-  // ---- operations ----
-
-  bool get_impl(Ctx& c, Key key, Value* val) {
-    for (;;) {
-      Node* node = c.read(shared_->root);
-      std::uint64_t v = stable_version(c, node);
-      if (node != c.read(shared_->root)) continue;  // root swapped
-
-      bool restart = false;
-      while (c.read(node->is_leaf) == 0) {
-        const int idx = child_index(c, node, key);
-        Node* child = c.read(node->idx.children[idx]);
-        if (!validate(c, node, v)) {
-          restart = true;
-          break;
-        }
-        const std::uint64_t vc = stable_version(c, child);
-        if (!validate(c, node, v)) {
-          restart = true;
-          break;
-        }
-        node = child;
-        v = vc;
-      }
-      if (restart) continue;
-
-      const int idx = leaf_find(c, node, key);
-      bool found = false;
-      Value out = 0;
-      if (idx >= 0) {
-        found = true;
-        out = c.read(node->recs[idx].value);
-      }
-      if (!validate(c, node, v)) continue;
-      *val = out;
-      return found;
-    }
-  }
-
-  void put_impl(Ctx& c, Key key, Value value) {
-    for (;;) {
-      Node* node = c.read(shared_->root);
-      std::uint64_t v = stable_version(c, node);
-      if (node != c.read(shared_->root)) continue;
-
-      // Full root (leaf or interior): grow the tree.
-      if (node_full(c, node)) {
-        if (!validate(c, node, v)) continue;
-        if (!try_upgrade(c, node, v)) continue;
-        grow_root(c, node, v);
-        continue;
-      }
-
-      if (descend_and_insert(c, node, v, key, value)) return;
-    }
-  }
-
-  /// Descend from a stabilized non-full `node`, splitting full children on
-  /// the way down. Returns false to restart from the root.
-  bool descend_and_insert(Ctx& c, Node* node, std::uint64_t v, Key key,
-                          Value value) {
-    while (c.read(node->is_leaf) == 0) {
-      const int idx = child_index(c, node, key);
-      Node* child = c.read(node->idx.children[idx]);
-      if (!validate(c, node, v)) return false;
-      std::uint64_t vc = stable_version(c, child);
-      if (!validate(c, node, v)) return false;
-
-      if (node_full(c, child)) {
-        // Preemptive split: lock parent then child (try-lock only — a
-        // failure releases everything and restarts, so no deadlock).
-        if (!try_upgrade(c, node, v)) return false;
-        if (!validate(c, child, vc) || !try_upgrade(c, child, vc)) {
-          release(c, node, v);
-          return false;
-        }
-        split_child(c, node, idx, child);
-        release_bump(c, child, vc | 1);
-        release_bump(c, node, v | 1);
-        return false;  // restart (either half may now host the key)
-      }
-      node = child;
-      v = vc;
-    }
-
-    // At a non-full (when last checked) leaf.
-    if (!try_upgrade(c, node, v)) return false;
-    if (node_full(c, node)) {
-      // Filled up since the parent's check; restart — the parent pass will
-      // split it preemptively.
-      release(c, node, v);
-      return false;
-    }
-    const int idx = leaf_find(c, node, key);
-    if (idx >= 0) {
-      c.write(node->recs[idx].value, value);
-    } else {
-      const int n = static_cast<int>(c.read(node->count));
-      int pos = n;
-      while (pos > 0 && c.read(node->recs[pos - 1].key) > key) --pos;
-      for (int i = n; i > pos; --i) {
-        c.write(node->recs[i].key, c.read(node->recs[i - 1].key));
-        c.write(node->recs[i].value, c.read(node->recs[i - 1].value));
-      }
-      c.write(node->recs[pos].key, key);
-      c.write(node->recs[pos].value, value);
-      c.write(node->count, static_cast<std::uint32_t>(n + 1));
-    }
-    release_bump(c, node, v | 1);
-    return true;
-  }
-
-  /// Splits locked full `child` (position `idx` under locked `node`).
-  void split_child(Ctx& c, Node* node, int idx, Node* child) {
-    Node* right = alloc_node(c, c.read(child->is_leaf) != 0);
-    constexpr int kHalf = F / 2;
-    Key sep;
-    if (c.read(child->is_leaf) != 0) {
-      for (int i = 0; i < kHalf; ++i) {
-        c.write(right->recs[i].key, c.read(child->recs[kHalf + i].key));
-        c.write(right->recs[i].value, c.read(child->recs[kHalf + i].value));
-      }
-      c.write(right->count, static_cast<std::uint32_t>(kHalf));
-      c.write(child->count, static_cast<std::uint32_t>(kHalf));
-      c.write(right->next, c.read(child->next));
-      c.write(child->next, right);
-      sep = c.read(right->recs[0].key);
-    } else {
-      sep = c.read(child->idx.keys[kHalf]);
-      for (int i = kHalf + 1; i < F; ++i) {
-        c.write(right->idx.keys[i - kHalf - 1], c.read(child->idx.keys[i]));
-      }
-      for (int i = kHalf + 1; i <= F; ++i) {
-        c.write(right->idx.children[i - kHalf - 1], c.read(child->idx.children[i]));
-      }
-      c.write(right->count, static_cast<std::uint32_t>(F - kHalf - 1));
-      c.write(child->count, static_cast<std::uint32_t>(kHalf));
-    }
-    // Insert (sep, right) into the (locked, non-full) parent.
-    const int n = static_cast<int>(c.read(node->count));
-    for (int i = n; i > idx; --i) {
-      c.write(node->idx.keys[i], c.read(node->idx.keys[i - 1]));
-      c.write(node->idx.children[i + 1], c.read(node->idx.children[i]));
-    }
-    c.write(node->idx.keys[idx], sep);
-    c.write(node->idx.children[idx + 1], right);
-    c.write(node->count, static_cast<std::uint32_t>(n + 1));
-  }
-
-  /// Splits the locked full root and installs a new root above it.
-  void grow_root(Ctx& c, Node* root, std::uint64_t v) {
-    Node* new_root = alloc_node(c, /*is_leaf=*/false);
-    c.write(new_root->count, 0u);
-    c.write(new_root->idx.children[0], root);
-    // Treat the old root as child 0 of the fresh root and split it there.
-    split_child(c, new_root, 0, root);
-    c.write(shared_->root, new_root);
-    release_bump(c, root, v | 1);
-  }
-
-  bool erase_impl(Ctx& c, Key key) {
-    for (;;) {
-      Node* node = c.read(shared_->root);
-      std::uint64_t v = stable_version(c, node);
-      if (node != c.read(shared_->root)) continue;
-
-      bool restart = false;
-      while (c.read(node->is_leaf) == 0) {
-        const int idx = child_index(c, node, key);
-        Node* child = c.read(node->idx.children[idx]);
-        if (!validate(c, node, v)) {
-          restart = true;
-          break;
-        }
-        const std::uint64_t vc = stable_version(c, child);
-        if (!validate(c, node, v)) {
-          restart = true;
-          break;
-        }
-        node = child;
-        v = vc;
-      }
-      if (restart) continue;
-
-      const int idx = leaf_find(c, node, key);
-      if (idx < 0) {
-        if (!validate(c, node, v)) continue;
-        return false;
-      }
-      if (!try_upgrade(c, node, v)) continue;
-      // Re-find under the lock: the optimistic position may be stale.
-      const int li = leaf_find(c, node, key);
-      if (li < 0) {
-        release(c, node, v);
-        return false;
-      }
-      const int n = static_cast<int>(c.read(node->count));
-      for (int i = li; i + 1 < n; ++i) {
-        c.write(node->recs[i].key, c.read(node->recs[i + 1].key));
-        c.write(node->recs[i].value, c.read(node->recs[i + 1].value));
-      }
-      c.write(node->count, static_cast<std::uint32_t>(n - 1));
-      release_bump(c, node, v | 1);
-      return true;
-    }
-  }
-
-  std::size_t scan_impl(Ctx& c, Key start, std::size_t max_items, KV* out) {
-    std::size_t got = 0;
-    Key cursor = start;
-    Node* leaf = nullptr;
-    std::uint64_t v = 0;
-
-    // Locate the first leaf optimistically.
-    for (;;) {
-      Node* node = c.read(shared_->root);
-      std::uint64_t vn = stable_version(c, node);
-      if (node != c.read(shared_->root)) continue;
-      bool restart = false;
-      while (c.read(node->is_leaf) == 0) {
-        const int idx = child_index(c, node, cursor);
-        Node* child = c.read(node->idx.children[idx]);
-        if (!validate(c, node, vn)) {
-          restart = true;
-          break;
-        }
-        const std::uint64_t vc = stable_version(c, child);
-        if (!validate(c, node, vn)) {
-          restart = true;
-          break;
-        }
-        node = child;
-        vn = vc;
-      }
-      if (restart) continue;
-      leaf = node;
-      v = vn;
-      break;
-    }
-
-    while (leaf != nullptr && got < max_items) {
-      // Copy candidates, validate, then commit them to the output.
-      KV tmp[F];
-      std::size_t tn = 0;
-      const int n = static_cast<int>(c.read(leaf->count));
-      for (int i = 0; i < n; ++i) {
-        const Key k = c.read(leaf->recs[i].key);
-        if (k < cursor) continue;
-        tmp[tn++] = KV{k, c.read(leaf->recs[i].value)};
-      }
-      Node* next = c.read(leaf->next);
-      if (!validate(c, leaf, v)) {
-        // Re-locate from the cursor; nothing emitted from this attempt.
-        std::size_t sub = scan_impl(c, cursor, max_items - got, out + got);
-        return got + sub;
-      }
-      for (std::size_t i = 0; i < tn && got < max_items; ++i) {
-        out[got++] = tmp[i];
-        cursor = tmp[i].first + 1;
-      }
-      leaf = next;
-      if (leaf != nullptr) v = stable_version(c, leaf);
-    }
-    return got;
-  }
-
-  const Node* leftmost_leaf() const {
-    const Node* n = shared_->root;
-    while (!n->is_leaf) n = n->idx.children[0];
-    return n;
-  }
-
-  void check_node(const Node* n, Key lo, Key hi, bool lo_open) const {
-    EUNO_ASSERT(n->count <= static_cast<std::uint32_t>(F));
-    if (n->is_leaf) {
-      for (std::uint32_t i = 0; i < n->count; ++i) {
-        EUNO_ASSERT_MSG(lo_open || n->recs[i].key >= lo, "key below bound");
-        EUNO_ASSERT_MSG(n->recs[i].key < hi, "key above bound");
-        EUNO_ASSERT_MSG(i == 0 || n->recs[i].key > n->recs[i - 1].key,
-                        "leaf keys ascend");
-      }
-      return;
-    }
-    EUNO_ASSERT(n->count >= 1);
-    for (std::uint32_t i = 0; i < n->count; ++i) {
-      EUNO_ASSERT_MSG(i == 0 || n->idx.keys[i] > n->idx.keys[i - 1],
-                      "inode keys ascend");
-      EUNO_ASSERT_MSG(lo_open || n->idx.keys[i] >= lo, "separator below bound");
-      EUNO_ASSERT_MSG(n->idx.keys[i] < hi, "separator above bound");
-    }
-    for (std::uint32_t i = 0; i <= n->count; ++i) {
-      const Key child_lo = (i == 0) ? lo : n->idx.keys[i - 1];
-      const Key child_hi = (i == n->count) ? hi : n->idx.keys[i];
-      check_node(n->idx.children[i], child_lo, child_hi, lo_open && i == 0);
-    }
-  }
-
-  Options opt_;
-  Shared* shared_ = nullptr;
-};
+using OlcBPTree = algo::BPlusTree<Ctx, sync::OlcPolicy<Ctx>, F>;
 
 }  // namespace euno::trees

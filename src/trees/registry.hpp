@@ -1,0 +1,143 @@
+// Self-registering tree registry: name → factory + capability flags.
+//
+// Every concurrent tree the repo can run registers one TreeEntry (see
+// builtin_trees.cpp), carrying
+//   - the CLI slug (`--tree=htm-bptree`),
+//   - the display name used in bench tables and run manifests (these are
+//     load-bearing: golden manifests compare them byte-for-byte),
+//   - capability flags (which default sweeps include it, whether it runs
+//     under the linearizability harness, ...),
+//   - type-erased factories over both execution contexts.
+//
+// The driver's run_sim_experiment/run_native_experiment, fig_common.hpp and
+// the lin/fault suites all dispatch through here: adding a structure to the
+// whole bench/test surface is one registration.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "htm/policy.hpp"
+#include "trees/common.hpp"
+#include "trees/kinds.hpp"
+
+namespace euno::ctx {
+class SimCtx;
+class NativeCtx;
+}  // namespace euno::ctx
+
+namespace euno::trees {
+
+/// Construction knobs every registered factory understands. Today this is
+/// just the HTM retry policy (the one per-spec knob the driver forwarded to
+/// every tree constructor); structure-specific configuration is captured by
+/// the registering factory itself.
+struct TreeBuildOptions {
+  htm::RetryPolicy policy{};
+};
+
+/// Type-erased tree interface over one execution context. The virtual hop is
+/// host-side only — the simulator charges cost exclusively through ctx
+/// calls, so dispatching through AnyTree is invisible to simulated results.
+template <class Ctx>
+class AnyTree {
+ public:
+  virtual ~AnyTree() = default;
+  virtual bool get(Ctx& c, Key k, Value* v) = 0;
+  virtual void put(Ctx& c, Key k, Value v) = 0;
+  virtual bool erase(Ctx& c, Key k) = 0;
+  virtual std::size_t scan(Ctx& c, Key start, std::size_t n, KV* out) = 0;
+  virtual void check_invariants() = 0;
+  virtual std::size_t size_slow() = 0;
+  virtual void destroy(Ctx& c) = 0;
+};
+
+template <class Ctx, class Tree>
+class AnyTreeOf final : public AnyTree<Ctx> {
+ public:
+  template <class Make>
+  AnyTreeOf(Ctx& c, Make&& make) : tree_(make(c)) {}
+
+  bool get(Ctx& c, Key k, Value* v) override { return tree_.get(c, k, v); }
+  void put(Ctx& c, Key k, Value v) override { tree_.put(c, k, v); }
+  bool erase(Ctx& c, Key k) override { return tree_.erase(c, k); }
+  std::size_t scan(Ctx& c, Key start, std::size_t n, KV* out) override {
+    return tree_.scan(c, start, n, out);
+  }
+  void check_invariants() override { tree_.check_invariants(); }
+  std::size_t size_slow() override { return tree_.size_slow(); }
+  void destroy(Ctx& c) override { tree_.destroy(c); }
+
+  Tree& tree() { return tree_; }
+
+ private:
+  Tree tree_;
+};
+
+/// Capability flags consumed by fig_common.hpp (default sweep membership)
+/// and the registry-driven conformance/lin suites.
+struct TreeCaps {
+  /// Appears in the default four-tree figure sweeps (fig08/10/11/12, ...).
+  bool figure_default = false;
+  /// Member of the Figure 13 cumulative ablation ladder.
+  bool ablation_rung = false;
+  /// Uses HTM regions (can degrade / be fault-injected at tx granularity).
+  bool uses_htm = true;
+  /// Built on the paper's partitioned-leaf pattern (segments + seqno + CCM).
+  bool partitioned_leaves = false;
+  /// Swept by the linearizability harness's registry-driven specs.
+  bool lin = true;
+};
+
+struct TreeEntry {
+  TreeKind kind{};
+  std::string name;     // registry/CLI slug, e.g. "htm-bptree"
+  std::string display;  // table/manifest name, e.g. "HTM-B+Tree"
+  TreeCaps caps{};
+  std::unique_ptr<AnyTree<ctx::SimCtx>> (*make_sim)(ctx::SimCtx&,
+                                                    const TreeBuildOptions&) =
+      nullptr;
+  std::unique_ptr<AnyTree<ctx::NativeCtx>> (*make_native)(
+      ctx::NativeCtx&, const TreeBuildOptions&) = nullptr;
+};
+
+class TreeRegistry {
+ public:
+  static TreeRegistry& instance();
+
+  /// Registers one tree. Duplicate kinds or names assert: names are CLI
+  /// surface and kinds key the driver dispatch, so collisions are bugs.
+  void add(TreeEntry e);
+
+  /// Entries in registration order (the order listings and sweeps use).
+  const std::vector<TreeEntry>& entries() const { return entries_; }
+
+  const TreeEntry* by_name(const std::string& name) const;
+  const TreeEntry* by_kind(TreeKind kind) const;
+  /// by_kind that asserts the kind is registered (driver dispatch path).
+  const TreeEntry& expect(TreeKind kind) const;
+
+ private:
+  std::vector<TreeEntry> entries_;
+};
+
+/// The one registry, with the built-in trees guaranteed registered. Always
+/// use this accessor (not TreeRegistry::instance() directly): it anchors the
+/// builtin registration TU so a static-library link can't drop it.
+TreeRegistry& tree_registry();
+
+/// Static-initialization helper behind EUNO_REGISTER_TREE.
+struct TreeRegistrar {
+  explicit TreeRegistrar(TreeEntry e);
+};
+
+/// Registers a tree at static-initialization time:
+///   EUNO_REGISTER_TREE(my_tree, TreeEntry{...});
+/// TUs outside the euno_trees library must additionally be anchored (linked
+/// object files are enough; archive members need a referenced symbol).
+#define EUNO_REGISTER_TREE(ident, ...) \
+  static const ::euno::trees::TreeRegistrar euno_tree_registrar_##ident{__VA_ARGS__}
+
+}  // namespace euno::trees

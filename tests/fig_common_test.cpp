@@ -3,10 +3,12 @@
 // run_figure_sweep (every figure binary routes its spec list through it).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "fig_common.hpp"
+#include "trees/registry.hpp"
 
 namespace euno {
 namespace {
@@ -72,7 +74,17 @@ TEST(FigCommon, SweepHelpers) {
   EXPECT_EQ(thetas.front(), 0.0);
   EXPECT_EQ(thetas.back(), 0.99);
 
-  EXPECT_EQ(bench::figure_tree_kinds().size(), 4u);
+  // The default figure sweep is exactly the registry's figure_default set:
+  // the paper's four trees plus the post-refactor Euno-SkipList.
+  const auto kinds = bench::figure_tree_kinds();
+  std::size_t expected = 0;
+  for (const auto& e : trees::tree_registry().entries()) {
+    if (e.caps.figure_default) ++expected;
+  }
+  EXPECT_EQ(kinds.size(), expected);
+  EXPECT_EQ(kinds.size(), 5u);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), trees::TreeKind::kEunoSkipList),
+            kinds.end());
 }
 
 TEST(FigCommon, FigureSpecHonorsArgs) {

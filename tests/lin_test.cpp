@@ -84,7 +84,8 @@ std::vector<LinSpec> lin_params() {
   // hair-trigger health monitor must flip each HTM-using tree to lock-only
   // mid-run without the history ceasing to linearize.
   for (const LinKind kind : {LinKind::kBaseline, LinKind::kHtmMasstree,
-                             LinKind::kEunoS2, LinKind::kEunoS4}) {
+                             LinKind::kEunoS2, LinKind::kEunoS4,
+                             LinKind::kEunoSkipList}) {
     LinSpec s;
     s.kind = kind;
     s.degrade = true;

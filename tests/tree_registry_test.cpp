@@ -1,0 +1,107 @@
+// Registry contract tests: lookup round trips, uniqueness of the CLI and
+// manifest surfaces, capability expectations for the built-ins, and factory
+// presence over both contexts.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "trees/registry.hpp"
+
+namespace euno::tests {
+namespace {
+
+using trees::TreeKind;
+using trees::tree_registry;
+
+TEST(TreeRegistry, NameKindRoundTrip) {
+  for (const auto& e : tree_registry().entries()) {
+    const auto* by_name = tree_registry().by_name(e.name);
+    ASSERT_NE(by_name, nullptr) << e.name;
+    EXPECT_EQ(by_name->kind, e.kind) << e.name;
+    const auto* by_kind = tree_registry().by_kind(e.kind);
+    ASSERT_NE(by_kind, nullptr) << e.name;
+    EXPECT_EQ(by_kind->name, e.name);
+    EXPECT_EQ(&tree_registry().expect(e.kind), by_kind);
+  }
+}
+
+TEST(TreeRegistry, UnknownNameIsNull) {
+  EXPECT_EQ(tree_registry().by_name("no-such-tree"), nullptr);
+  EXPECT_EQ(tree_registry().by_name(""), nullptr);
+  EXPECT_EQ(tree_registry().by_name("Euno-B+Tree"), nullptr)
+      << "display names are not CLI slugs";
+}
+
+TEST(TreeRegistry, SlugsAndDisplayNamesAreUnique) {
+  std::set<std::string> names;
+  std::set<std::string> displays;
+  for (const auto& e : tree_registry().entries()) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate slug " << e.name;
+    EXPECT_TRUE(displays.insert(e.display).second)
+        << "duplicate display name " << e.display;
+  }
+}
+
+TEST(TreeRegistry, EveryEntryHasBothFactories) {
+  for (const auto& e : tree_registry().entries()) {
+    EXPECT_NE(e.make_sim, nullptr) << e.name;
+    EXPECT_NE(e.make_native, nullptr) << e.name;
+  }
+}
+
+TEST(TreeRegistry, BuiltinsPresentWithExpectedCaps) {
+  // The paper's four figure trees plus the post-refactor Euno-SkipList.
+  std::size_t figure = 0;
+  for (const auto& e : tree_registry().entries()) {
+    if (e.caps.figure_default) ++figure;
+  }
+  EXPECT_EQ(figure, 5u);
+
+  const auto* euno = tree_registry().by_name("euno");
+  ASSERT_NE(euno, nullptr);
+  EXPECT_TRUE(euno->caps.figure_default);
+  EXPECT_TRUE(euno->caps.partitioned_leaves);
+  EXPECT_EQ(euno->display, "Euno-B+Tree");
+
+  const auto* skiplist = tree_registry().by_name("euno-skiplist");
+  ASSERT_NE(skiplist, nullptr);
+  EXPECT_EQ(skiplist->kind, TreeKind::kEunoSkipList);
+  EXPECT_TRUE(skiplist->caps.figure_default);
+  EXPECT_TRUE(skiplist->caps.partitioned_leaves);
+  EXPECT_TRUE(skiplist->caps.uses_htm);
+  EXPECT_EQ(skiplist->display, "Euno-SkipList");
+
+  const auto* lock = tree_registry().by_name("lock-bptree");
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(lock->kind, TreeKind::kLockBPTree);
+  EXPECT_FALSE(lock->caps.figure_default);
+  EXPECT_FALSE(lock->caps.uses_htm);
+
+  const auto* masstree = tree_registry().by_name("masstree");
+  ASSERT_NE(masstree, nullptr);
+  EXPECT_FALSE(masstree->caps.uses_htm);
+
+  // Figure 13 ladder: exactly the five cumulative rungs plus the baseline.
+  std::size_t rungs = 0;
+  for (const auto& e : tree_registry().entries()) {
+    if (e.caps.ablation_rung) ++rungs;
+  }
+  EXPECT_EQ(rungs, 6u);
+}
+
+TEST(TreeRegistry, RegistrationOrderStartsWithTheOriginalNine) {
+  // Listings, default sweeps and the golden fixtures depend on the original
+  // entries keeping their positions; post-refactor structures append.
+  const auto& entries = tree_registry().entries();
+  ASSERT_GE(entries.size(), 9u);
+  const char* expected[] = {"htm-bptree",    "masstree",      "htm-masstree",
+                            "euno",          "euno-split",    "euno-part",
+                            "euno-lockbits", "euno-markbits", "euno-adaptive"};
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(entries[i].name, expected[i]) << "position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace euno::tests
