@@ -73,11 +73,15 @@ inline void emit_artifacts(const stats::BenchArgs& args, const char* bench,
                            const std::vector<driver::ExperimentSpec>& specs,
                            const std::vector<driver::ExperimentResult>& results) {
   if (!args.trace_path.empty()) {
+    // Results carry the trace still ring-encoded; decode here, at export
+    // time (the decoded vectors must outlive write_chrome_trace).
+    std::vector<std::vector<obs::TraceEvent>> decoded(results.size());
     std::vector<obs::TraceProcess> procs;
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (results[i].trace.empty()) continue;
+      decoded[i] = results[i].trace.merged();
       procs.push_back(
-          obs::TraceProcess{point_label(specs[i]), specs[i].ghz, &results[i].trace});
+          obs::TraceProcess{point_label(specs[i]), specs[i].ghz, &decoded[i]});
     }
     if (obs::write_chrome_trace(args.trace_path.c_str(), procs)) {
       std::fprintf(stderr, "wrote trace (%zu processes) to %s\n", procs.size(),

@@ -4,10 +4,14 @@
 // instrumented-access overhead (host cost of simulating one access).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/euno_tree.hpp"
 #include "ctx/native_ctx.hpp"
 #include "ctx/sim_ctx.hpp"
 #include "trees/htmbtree/htm_bptree.hpp"
+#include "trees/node/simd_search.hpp"
 #include "trees/olc/olc_bptree.hpp"
 #include "workload/distributions.hpp"
 
@@ -93,6 +97,88 @@ void BM_NativePut_Euno(benchmark::State& state) {
   tree.destroy(c);
 }
 BENCHMARK(BM_NativePut_Euno);
+
+// ---- in-node key search: scalar reference vs the dispatched kernels ----
+//
+// Args: node size n (separator count / record count). Probe keys are
+// precomputed outside the timed loop; roughly half hit, half miss, cycled
+// so the branch predictor can't lock onto one outcome. Compare
+// BM_SearchCountLe_* against BM_SearchCountLe_Scalar at the same n for the
+// SIMD speedup (ISSUE acceptance: >= 1.5x at fanout >= 16).
+
+constexpr int kProbeCount = 1024;
+
+std::vector<std::uint64_t> search_keys(int n) {
+  std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+  std::uint64_t k = 100;
+  for (int i = 0; i < n; ++i) {
+    k += 17;
+    keys[static_cast<std::size_t>(i)] = k;
+  }
+  return keys;
+}
+
+std::vector<std::uint64_t> search_probes(const std::vector<std::uint64_t>& keys) {
+  Xoshiro256 rng(41);
+  std::vector<std::uint64_t> probes(kProbeCount);
+  for (int i = 0; i < kProbeCount; ++i) {
+    const std::uint64_t base =
+        keys[rng.next_bounded(static_cast<std::uint64_t>(keys.size()))];
+    probes[static_cast<std::size_t>(i)] = (i & 1) ? base : base + 1;  // hit/miss
+  }
+  return probes;
+}
+
+void run_count_le(benchmark::State& state,
+                  const trees::node::simd::SearchKernels& k) {
+  const int n = static_cast<int>(state.range(0));
+  const auto keys = search_keys(n);
+  const auto probes = search_probes(keys);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        k.count_le(keys.data(), n, probes[i++ & (kProbeCount - 1)]));
+  }
+  state.SetLabel(k.name);
+}
+
+void run_find_eq_pairs(benchmark::State& state,
+                       const trees::node::simd::SearchKernels& k) {
+  const int n = static_cast<int>(state.range(0));
+  const auto keys = search_keys(n);
+  const auto probes = search_probes(keys);
+  std::vector<std::uint64_t> kv(2 * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    kv[2 * static_cast<std::size_t>(i)] = keys[static_cast<std::size_t>(i)];
+    kv[2 * static_cast<std::size_t>(i) + 1] = static_cast<std::uint64_t>(i);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        k.find_eq_pairs(kv.data(), n, probes[i++ & (kProbeCount - 1)]));
+  }
+  state.SetLabel(k.name);
+}
+
+void BM_SearchCountLe_Scalar(benchmark::State& state) {
+  run_count_le(state, trees::node::simd::scalar_kernels());
+}
+BENCHMARK(BM_SearchCountLe_Scalar)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SearchCountLe_Simd(benchmark::State& state) {
+  run_count_le(state, trees::node::simd::active_kernels());
+}
+BENCHMARK(BM_SearchCountLe_Simd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SearchFindEq_Scalar(benchmark::State& state) {
+  run_find_eq_pairs(state, trees::node::simd::scalar_kernels());
+}
+BENCHMARK(BM_SearchFindEq_Scalar)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SearchFindEq_Simd(benchmark::State& state) {
+  run_find_eq_pairs(state, trees::node::simd::active_kernels());
+}
+BENCHMARK(BM_SearchFindEq_Simd)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_SimInstrumentedAccess(benchmark::State& state) {
   // Host-side cost of one simulated memory access (the simulator's

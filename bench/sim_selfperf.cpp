@@ -20,6 +20,7 @@
 
 #include "fig_common.hpp"
 #include "obs/json.hpp"
+#include "trees/node/simd_search.hpp"
 
 using namespace euno;
 
@@ -28,6 +29,52 @@ namespace {
 double wall_ms(std::chrono::steady_clock::time_point t0,
                std::chrono::steady_clock::time_point t1) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// ---- in-node search kernel timing (scalar vs dispatched SIMD) ----
+
+std::vector<std::uint64_t> search_keys(int n) {
+  std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+  std::uint64_t k = 100;
+  for (auto& slot : keys) slot = (k += 17);
+  return keys;
+}
+
+// Alternating hit/miss probes, cycled so the branch predictor can't lock
+// onto one outcome.
+std::vector<std::uint64_t> search_probes(const std::vector<std::uint64_t>& keys) {
+  constexpr int kProbes = 1024;
+  Xoshiro256 rng(41);
+  std::vector<std::uint64_t> probes(kProbes);
+  for (int i = 0; i < kProbes; ++i) {
+    const std::uint64_t base =
+        keys[rng.next_bounded(static_cast<std::uint64_t>(keys.size()))];
+    probes[static_cast<std::size_t>(i)] = (i & 1) ? base : base + 1;
+  }
+  return probes;
+}
+
+// ns/op for one kernel over prebuilt data. `sink` accumulates the results
+// (printed once by the caller) to defeat dead-code elimination.
+double time_search_ns(int (*kern)(const std::uint64_t*, int, std::uint64_t),
+                      const std::uint64_t* data, int n,
+                      const std::vector<std::uint64_t>& probes,
+                      std::uint64_t* sink) {
+  const std::size_t mask = probes.size() - 1;
+  constexpr int kIters = 2'000'000;
+  std::uint64_t acc = 0;
+  // Warm-up pass faults the pages in and primes the predictor.
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    acc += static_cast<std::uint64_t>(kern(data, n, probes[i]));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    acc += static_cast<std::uint64_t>(
+        kern(data, n, probes[static_cast<std::size_t>(i) & mask]));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  *sink += acc;
+  return wall_ms(t0, t1) * 1e6 / kIters;
 }
 
 }  // namespace
@@ -78,6 +125,36 @@ int main(int argc, char** argv) {
   const double obs_overhead_pct =
       ns_per_access > 0 ? 100.0 * (obs_ns_per_access / ns_per_access - 1.0) : 0;
 
+  // --- Part 1.5: in-node search kernels, scalar vs dispatched SIMD ---
+  // Fanout-16 sorted separators / records — the shape every descent level
+  // probes. The ISSUE gate is simd_speedup_count_le >= 1.5 at fanout >= 16
+  // (checked by scripts/check_selfperf.py against the budget file).
+  constexpr int kSearchFanout = 16;
+  const auto& scalar_k = trees::node::simd::scalar_kernels();
+  const auto& simd_k = trees::node::simd::active_kernels();
+  const auto keys = search_keys(kSearchFanout);
+  const auto probes = search_probes(keys);
+  std::vector<std::uint64_t> kv(2 * keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    kv[2 * i] = keys[i];
+    kv[2 * i + 1] = i;
+  }
+  std::uint64_t sink = 0;
+  const double count_le_scalar_ns = time_search_ns(
+      scalar_k.count_le, keys.data(), kSearchFanout, probes, &sink);
+  const double count_le_simd_ns = time_search_ns(
+      simd_k.count_le, keys.data(), kSearchFanout, probes, &sink);
+  const double find_eq_scalar_ns = time_search_ns(
+      scalar_k.find_eq_pairs, kv.data(), kSearchFanout, probes, &sink);
+  const double find_eq_simd_ns = time_search_ns(
+      simd_k.find_eq_pairs, kv.data(), kSearchFanout, probes, &sink);
+  const double speedup_count_le =
+      count_le_simd_ns > 0 ? count_le_scalar_ns / count_le_simd_ns : 0;
+  const double speedup_find_eq =
+      find_eq_simd_ns > 0 ? find_eq_scalar_ns / find_eq_simd_ns : 0;
+  std::printf("search kernel: %s (sink %llu)\n", simd_k.name,
+              static_cast<unsigned long long>(sink & 1));
+
   // --- Part 2: sweep throughput (experiments/minute, quick fig10 sweep) ---
   auto sweep_spec = bench::figure_spec(args);
   sweep_spec.obs = {};  // comparable across PRs: harness cost only
@@ -126,6 +203,13 @@ int main(int argc, char** argv) {
   table.add_row({"obs_bit_identical", obs_identical ? "yes" : "NO"});
   table.add_row({"hot_run_accesses", stats::Table::num(hr.mem_accesses)});
   table.add_row({"hot_run_ms", stats::Table::num(hot_ms, 1)});
+  table.add_row({"simd_kernel", simd_k.name});
+  table.add_row({"count_le_scalar_ns", stats::Table::num(count_le_scalar_ns, 2)});
+  table.add_row({"count_le_simd_ns", stats::Table::num(count_le_simd_ns, 2)});
+  table.add_row({"simd_speedup_count_le", stats::Table::num(speedup_count_le, 2)});
+  table.add_row({"find_eq_scalar_ns", stats::Table::num(find_eq_scalar_ns, 2)});
+  table.add_row({"find_eq_simd_ns", stats::Table::num(find_eq_simd_ns, 2)});
+  table.add_row({"simd_speedup_find_eq", stats::Table::num(speedup_find_eq, 2)});
   table.add_row({"sweep_cells", stats::Table::num(
                                     static_cast<std::uint64_t>(specs.size()))});
   table.add_row({"sweep_seq_experiments_per_min", stats::Table::num(seq_epm, 1)});
@@ -151,6 +235,14 @@ int main(int argc, char** argv) {
     w.kv("obs_bit_identical", obs_identical);
     w.kv("hot_run_accesses", hr.mem_accesses);
     w.kv("hot_run_ms", hot_ms, 2);
+    w.kv("simd_kernel", simd_k.name);
+    w.kv("search_fanout", kSearchFanout);
+    w.kv("count_le_scalar_ns", count_le_scalar_ns, 3);
+    w.kv("count_le_simd_ns", count_le_simd_ns, 3);
+    w.kv("simd_speedup_count_le", speedup_count_le, 3);
+    w.kv("find_eq_scalar_ns", find_eq_scalar_ns, 3);
+    w.kv("find_eq_simd_ns", find_eq_simd_ns, 3);
+    w.kv("simd_speedup_find_eq", speedup_find_eq, 3);
     w.kv("sweep_cells", static_cast<std::uint64_t>(specs.size()));
     w.kv("sweep_seq_ms", seq_ms, 2);
     w.kv("sweep_seq_experiments_per_min", seq_epm, 2);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Golden-manifest regression check.
 
-Usage: check_manifest_stable.py PRODUCED GOLDEN
+Usage: check_manifest_stable.py [--ignore-obs-config] PRODUCED GOLDEN
 
 Compares a freshly produced euno.run_manifest.v1 file against a checked-in
 golden byte-for-byte. The simulator is deterministic and the manifest writer
@@ -9,9 +9,26 @@ emits a canonical layout, so ANY byte difference means a tree kind's
 simulated behaviour (or the manifest schema) changed — exactly what the
 layering refactor must not do. On mismatch, prints the first differing JSON
 path to make the drift attributable, then fails.
+
+With --ignore-obs-config the comparison is structural and each sweep
+point's spec.obs subtree is dropped from both sides first. This is the
+obs-invariance gate: a manifest produced with different observability
+channels enabled (e.g. tracing on) must agree with the golden on every
+simulated quantity — results, histograms, abort counts — differing only in
+the recorded obs configuration itself. Any other difference means an obs
+channel perturbed the simulation.
 """
 import json
 import sys
+
+
+def strip_obs_config(doc):
+    """Removes spec.obs from every sweep point (mutates and returns doc)."""
+    for point in doc.get("sweep", []):
+        spec = point.get("spec")
+        if isinstance(spec, dict):
+            spec.pop("obs", None)
+    return doc
 
 
 def first_diff(a, b, path="$"):
@@ -43,10 +60,12 @@ def first_diff(a, b, path="$"):
 
 
 def main():
-    if len(sys.argv) != 3:
+    args = [a for a in sys.argv[1:] if a != "--ignore-obs-config"]
+    ignore_obs = "--ignore-obs-config" in sys.argv[1:]
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    produced_path, golden_path = sys.argv[1], sys.argv[2]
+    produced_path, golden_path = args
     with open(produced_path, "rb") as f:
         produced_bytes = f.read()
     with open(golden_path, "rb") as f:
@@ -57,6 +76,19 @@ def main():
         print(f"FAIL: {produced_path} is not a euno.run_manifest.v1 file",
               file=sys.stderr)
         return 1
+
+    if ignore_obs:
+        golden = json.loads(golden_bytes)
+        diff = first_diff(strip_obs_config(produced), strip_obs_config(golden))
+        if diff:
+            print(f"FAIL: {produced_path} differs from golden {golden_path} "
+                  f"beyond the obs configuration", file=sys.stderr)
+            print(f"  first difference: {diff}", file=sys.stderr)
+            return 1
+        tree = produced["sweep"][0]["spec"]["tree"] if produced["sweep"] else "?"
+        print(f"OK: {produced_path} matches golden modulo spec.obs ({tree},"
+              f" {produced['points']} points)")
+        return 0
 
     if produced_bytes == golden_bytes:
         tree = produced["sweep"][0]["spec"]["tree"] if produced["sweep"] else "?"

@@ -9,6 +9,11 @@ Checks (exit nonzero on any failure):
   4. Within each (pid, tid) track, X events obey stack nesting: a span that
      starts inside another span must also end inside it (the invariant
      Perfetto's track builder requires).
+  5. Within each (pid, tid) track, events of one phase appear in the file
+     in non-decreasing ts order. The exporter writes each lane's spans
+     sorted by begin and its instants in per-core clock order, so a
+     violation means the per-core event rings were flushed or merged out
+     of order upstream.
 
 Usage: check_trace.py TRACE.json
 """
@@ -39,6 +44,7 @@ def main():
         fail("traceEvents is empty")
 
     tracks = {}  # (pid, tid) -> list of (ts, dur)
+    last_ts = {}  # (pid, tid, ph) -> ts of the previous event in file order
     n_x = n_i = n_m = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -58,6 +64,15 @@ def main():
             fail(f"event #{i} (ph={ph}) missing 'ts'")
         if "name" not in ev:
             fail(f"event #{i} (ph={ph}) missing 'name'")
+        lane_key = (ev["pid"], ev["tid"], ph)
+        prev = last_ts.get(lane_key)
+        if prev is not None and ev["ts"] < prev:
+            fail(
+                f"event #{i} ('{ev['name']}', ph={ph}) on track "
+                f"pid={ev['pid']} tid={ev['tid']}: ts {ev['ts']} goes "
+                f"backwards (previous {prev}) — lane not clock-monotonic"
+            )
+        last_ts[lane_key] = ev["ts"]
         if ph == "X":
             n_x += 1
             dur = ev.get("dur")

@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
 # CI entry point. One job per invocation:
 #
-#   scripts/ci.sh default   # release-ish build, full test suite
+#   scripts/ci.sh default   # release-ish build, full test suite + perf gate
 #   scripts/ci.sh tsan      # ThreadSanitizer build, thread-heavy suites only
 #   scripts/ci.sh asan      # AddressSanitizer build, fault-campaign suites
 #   scripts/ci.sh ubsan     # UBSan-only build, conformance + fault suites
+#
+# The default job finishes with the self-perf regression gate: it runs
+# bench/sim_selfperf --quick (which emits the BENCH_sim_selfperf.json
+# artifact in the build directory) and checks the numbers against
+# bench/selfperf_budget.json via scripts/check_selfperf.py — failing on a
+# >15% ns-per-access regression, obs-on overhead above 25%, SIMD search
+# speedups below their floors, or any bit-identity tripwire.
 #
 # The tsan job rebuilds with -DEUNO_TSAN=ON and runs the `parallel` label
 # (the OS-thread sweep runner) plus the `lin` label (the linearizability
@@ -27,6 +34,8 @@ case "$job" in
     cmake -B build -S .
     cmake --build build -j
     ctest --test-dir build --output-on-failure -j "$(nproc)"
+    (cd build && ./bench/sim_selfperf --quick)
+    python3 scripts/check_selfperf.py build/BENCH_sim_selfperf.json
     ;;
   tsan)
     cmake -B build-tsan -S . -DEUNO_TSAN=ON

@@ -42,6 +42,13 @@ class NativeEnv {
 
 class NativeCtx {
  public:
+  /// Reads and writes hit raw process memory (no instrumentation layer), so
+  /// node search may use vectorized kernels that load several slots per
+  /// instruction (trees/node/simd_search.hpp). SimCtx lacks this flag: its
+  /// per-element instrumented reads define the simulated cost model and the
+  /// golden manifests, and must stay scalar.
+  static constexpr bool kRawMemory = true;
+
   NativeCtx(NativeEnv& env, int tid) : env_(&env), tid_(tid) {
     EUNO_ASSERT(tid >= 0 && tid < env.max_threads());
   }
@@ -261,6 +268,18 @@ class NativeCtx {
   void clear_op_target() {}
   void compute(std::uint64_t) {}
   void spin_pause() { cpu_relax(); }
+
+  /// Software prefetch of `bytes` starting at `p` (read intent, all cache
+  /// levels): the tree walks hint the next node while validating the
+  /// current one. Prefetch never faults, so no address check is needed
+  /// beyond null (skipped to avoid polluting the TLB with page-zero walks).
+  void prefetch(const void* p, std::size_t bytes = kCacheLineSize) const {
+    if (p == nullptr) return;
+    const char* q = static_cast<const char*>(p);
+    for (std::size_t off = 0; off < bytes; off += kCacheLineSize) {
+      __builtin_prefetch(q + off, /*rw=*/0, /*locality=*/3);
+    }
+  }
 
   // ---- observability ----
 

@@ -179,6 +179,7 @@ class SimCtx {
         st.commits++;
         sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kTxCommit),
                            static_cast<std::uint8_t>(site), 0);
+        sim_->flush_trace();  // transaction boundary: drain this core's ring
         if (policy.starvation_threshold != 0) starved_ops_ = 0;
         health_note(lock, policy, st, out.aborts + 1, 1);
         return out;
@@ -207,6 +208,7 @@ class SimCtx {
       sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kAbort),
                          static_cast<std::uint8_t>(r.reason),
                          static_cast<std::uint8_t>(r.conflict));
+      sim_->flush_trace();  // transaction boundary: drain this core's ring
       if (r.reason == htm::AbortReason::kLockBusy) continue;
       int* budget = &other_budget;
       if (r.reason == htm::AbortReason::kConflict) budget = &conflict_budget;
@@ -353,6 +355,12 @@ class SimCtx {
   void clear_op_target() { sim_->htm().clear_op_target(core_); }
   void compute(std::uint64_t n) { sim_->compute(n); }
   void spin_pause() { sim_->spin_wait(); }
+
+  /// Software prefetch hint. Meaningless under simulation (the cost model
+  /// charges per instrumented access, and a hint must not move simulated
+  /// time), so this is a no-op; NativeCtx maps it to real prefetch
+  /// instructions.
+  void prefetch(const void*, std::size_t = 0) const {}
 
  private:
   /// Acquire the fallback lock, run the body serially, release. The

@@ -182,7 +182,7 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
 
   finalize_obs(obs_opt, tobs, obs_opt.contention ? &cmap : nullptr, &node_reg,
                &r);
-  if (obs_opt.trace) r.trace = simulation.trace_events();
+  if (obs_opt.trace) r.trace = simulation.take_trace();
 
   const sim::FaultCounters& fc = simulation.fault_counters();
   r.faults_spurious = fc.spurious_aborts;

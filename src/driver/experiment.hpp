@@ -16,6 +16,7 @@
 #include "obs/event.hpp"
 #include "obs/histogram.hpp"
 #include "obs/options.hpp"
+#include "obs/ring.hpp"
 #include "sim/machine.hpp"
 #include "trees/kinds.hpp"
 #include "workload/ycsb.hpp"
@@ -107,8 +108,11 @@ struct ExperimentResult {
   obs::LatencyHistogram abort_wasted;
   /// Top-K hottest cache lines by conflict aborts (obs.contention channel).
   std::vector<obs::HotLine> hot_lines;
-  /// Merged clock-ordered event stream (obs.trace channel).
-  std::vector<obs::TraceEvent> trace;
+  /// Recorded event streams (obs.trace channel), handed back still in the
+  /// engine's compact per-core encoding: materializing ~2 TraceEvents per
+  /// instrumented access would dominate a traced run's wall time. Call
+  /// trace.merged() for the flat clock-ordered vector.
+  obs::TraceStream trace;
 };
 
 /// Runs the spec on the simulated multicore. Deterministic for a given spec.

@@ -16,13 +16,18 @@ std::uint64_t LatencyHistogram::percentile(double q) const {
   if (n_ == 0) return 0;
   if (q < 0) q = 0;
   if (q > 1) q = 1;
-  // Rank of the q-th sample (1-based, nearest-rank method: ceil(q*n),
-  // clamped to [1, n] — so q=1 is the max sample and a 1-in-n outlier is
-  // caught by q >= 1 - 1/n).
-  auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(n_)));
+  // Rank of the q-th sample (1-based, nearest-rank method: ceil(q*w),
+  // clamped to [1, w] — so q=1 is the max sample and a 1-in-w outlier is
+  // caught by q >= 1 - 1/w). The rank base is the total bucket weight,
+  // which equals n_ exactly for an unsampled histogram and is the sampled
+  // estimate of it otherwise (the bucket counts are weighted the same way,
+  // so ranks and counts stay commensurable).
+  const std::uint64_t w = bucket_weight_;
+  if (w == 0) return max_;
+  auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(w)));
   if (rank < 1) rank = 1;
-  if (rank > n_) rank = n_;
+  if (rank > w) rank = w;
   std::uint64_t seen = 0;
   for (std::uint32_t i = 0; i < kBuckets; ++i) {
     seen += counts_[i];
@@ -36,11 +41,23 @@ void LatencyHistogram::merge(const LatencyHistogram& o) {
   n_ += o.n_;
   sum_ += o.sum_;
   if (o.max_ > max_) max_ = o.max_;
+  bucket_weight_ += o.bucket_weight_;
+  // The merged distribution is as coarse as its coarsest input; keep the
+  // recording state coherent in case more records arrive post-merge.
+  if (o.sample_shift_ > sample_shift_) {
+    sample_shift_ = o.sample_shift_;
+    sample_mask_ = o.sample_mask_;
+  }
+  if (o.next_tier_ > next_tier_) next_tier_ = o.next_tier_;
 }
 
 void LatencyHistogram::reset() {
   counts_.fill(0);
   n_ = sum_ = max_ = 0;
+  bucket_weight_ = 0;
+  sample_mask_ = 0;
+  sample_shift_ = 0;
+  next_tier_ = kExactRecords;
 }
 
 }  // namespace euno::obs

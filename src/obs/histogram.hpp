@@ -5,6 +5,18 @@
 // is split into 2^kSubBits sub-buckets, giving a bounded ~3% relative error
 // across the full range. Everything else (percentiles, merge, iteration) is
 // offline and lives in histogram.cpp.
+//
+// Sampling: the first kExactRecords values are bucketed exactly; past that
+// the histogram switches to power-of-two sampling — every 2^shift-th record
+// lands in its bucket with weight 2^shift, the shift widening by 4 bits per
+// tier as the record count grows. count/sum/max/mean stay exact at every
+// size (they are updated on every record); only the bucket *distribution*
+// becomes a deterministic sample. The sampling decision is a function of
+// n_ alone (no RNG), so identical record streams yield identical
+// histograms, and a histogram that never crosses the threshold — every
+// golden-manifest workload — is bit-identical to the pre-sampling
+// implementation, percentiles included (the rank base, bucket_weight_,
+// equals n_ exactly until sampling engages).
 #pragma once
 
 #include <array>
@@ -41,17 +53,43 @@ class LatencyHistogram {
   /// Inclusive lower bound of the value range mapping to bucket `idx`.
   static std::uint64_t bucket_lower_bound(std::uint32_t idx);
 
+  /// Records below this count are bucketed exactly; see the header comment.
+  static constexpr std::uint64_t kExactRecords = 8192;
+  /// Shift added per sampling tier (1-in-16, then 1-in-256, ...).
+  static constexpr std::uint32_t kShiftStep = 4;
+  static constexpr std::uint32_t kMaxShift = 12;
+
   void record(std::uint64_t v) {
     if constexpr (!kCompiledIn) return;
-    counts_[bucket_of(v)]++;
     n_++;
     sum_ += v;
     if (v > max_) max_ = v;
+    if ((n_ & sample_mask_) == 0) [[likely]] {
+      counts_[bucket_of(v)] += 1ull << sample_shift_;
+      bucket_weight_ += 1ull << sample_shift_;
+    }
+    if (n_ >= next_tier_) [[unlikely]] {  // >=: merge() can jump n_ past it
+      sample_shift_ =
+          sample_shift_ + kShiftStep < kMaxShift ? sample_shift_ + kShiftStep
+                                                 : kMaxShift;
+      sample_mask_ = (1ull << sample_shift_) - 1;
+      // Each tier covers 2^(2*kShiftStep) times more records than the last,
+      // keeping the number of bucketed samples per tier roughly constant.
+      next_tier_ = sample_shift_ >= kMaxShift
+                       ? ~0ull
+                       : next_tier_ << (2 * kShiftStep);
+    }
   }
 
   std::uint64_t count() const { return n_; }
   std::uint64_t sum() const { return sum_; }
   std::uint64_t max() const { return max_; }
+  /// Current sampling shift: 0 = every record bucketed (exact histogram).
+  std::uint32_t sample_shift() const { return sample_shift_; }
+  bool sampled() const { return sample_shift_ != 0; }
+  /// Total weight across buckets — the percentile rank base. Equals count()
+  /// exactly until sampling engages; approximates it after.
+  std::uint64_t bucket_weight() const { return bucket_weight_; }
   double mean() const {
     return n_ ? static_cast<double>(sum_) / static_cast<double>(n_) : 0.0;
   }
@@ -77,6 +115,10 @@ class LatencyHistogram {
   std::uint64_t n_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t max_ = 0;
+  std::uint64_t bucket_weight_ = 0;
+  std::uint64_t sample_mask_ = 0;  // (1 << sample_shift_) - 1
+  std::uint64_t next_tier_ = kExactRecords;
+  std::uint32_t sample_shift_ = 0;
 };
 
 /// Per-thread observation sink handed to the contexts and the op loop; owns

@@ -18,6 +18,17 @@ void write_histogram(JsonWriter& w, const char* name,
   w.kv("sum", h.sum());
   w.kv("max", h.max());
   w.kv("mean", h.mean(), 3);
+  // Sampled histograms only (histogram.hpp header comment): the exact
+  // record count is `count` above; the bucket counts are a 1-in-2^shift
+  // deterministic sample, each carrying 2^shift weight, summing to
+  // `sample_weight`. Scale bucket counts by count/sample_weight to
+  // reconstruct estimated exact counts. Omitted entirely for unsampled
+  // histograms so small (golden) manifests are byte-identical to the
+  // pre-sampling writer.
+  if (h.sampled()) {
+    w.kv("sample_shift", static_cast<std::uint64_t>(h.sample_shift()));
+    w.kv("sample_weight", h.bucket_weight());
+  }
   w.kv("p50", h.percentile(0.50));
   w.kv("p90", h.percentile(0.90));
   w.kv("p99", h.percentile(0.99));

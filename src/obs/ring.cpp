@@ -1,0 +1,71 @@
+#include "obs/ring.hpp"
+
+#include <algorithm>
+
+namespace euno::obs {
+
+std::vector<TraceEvent> merge_ring_events(const std::vector<EventRing>& rings) {
+  std::vector<TraceEvent> merged;
+  // Decode each core's ring; a per-core stream comes back in recording
+  // order, which for a core is its own clock order.
+  std::vector<std::vector<TraceEvent>> per_core(rings.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    rings[i].decode(static_cast<int>(i), &per_core[i]);
+    total += per_core[i].size();
+  }
+  merged.reserve(total);
+
+  // K-way merge by (clock, core): see the declaration for the ordering
+  // contract. The inner while drains a cursor's run of events below the
+  // heap's next-best clock with one comparison per event — under the
+  // deterministic scheduler a core's whole run slice usually satisfies
+  // this, so heap operations happen per slice, not per event.
+  struct Cursor {
+    std::uint64_t clock;
+    std::uint32_t core;
+    const TraceEvent* it;
+    const TraceEvent* end;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(per_core.size());
+  for (std::size_t i = 0; i < per_core.size(); ++i) {
+    if (!per_core[i].empty()) {
+      heap.push_back(Cursor{per_core[i].front().clock,
+                            static_cast<std::uint32_t>(i), per_core[i].data(),
+                            per_core[i].data() + per_core[i].size()});
+    }
+  }
+  if (heap.size() == 1) {
+    merged = std::move(per_core[heap.front().core]);
+    return merged;
+  }
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    return a.clock != b.clock ? a.clock > b.clock : a.core > b.core;
+  };
+  std::make_heap(heap.begin(), heap.end(), later);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Cursor& c = heap.back();
+    if (heap.size() == 1) {
+      merged.insert(merged.end(), c.it, c.end);
+      heap.pop_back();
+      break;
+    }
+    const Cursor& next = heap.front();
+    do {
+      merged.push_back(*c.it++);
+    } while (c.it != c.end &&
+             (c.it->clock < next.clock ||
+              (c.it->clock == next.clock && c.core < next.core)));
+    if (c.it != c.end) {
+      c.clock = c.it->clock;
+      std::push_heap(heap.begin(), heap.end(), later);
+    } else {
+      heap.pop_back();
+    }
+  }
+  return merged;
+}
+
+}  // namespace euno::obs

@@ -139,6 +139,10 @@ void Simulation::spawn(int core, std::function<void(int)> body) {
   makecontext(&fiber->uctx, reinterpret_cast<void (*)()>(trampoline), 3,
               static_cast<unsigned>(bits >> 32), static_cast<unsigned>(bits),
               static_cast<unsigned>(fibers_.size()));
+  if (core_fiber_.size() <= static_cast<std::size_t>(core)) {
+    core_fiber_.resize(static_cast<std::size_t>(core) + 1, nullptr);
+  }
+  core_fiber_[static_cast<std::size_t>(core)] = fiber.get();
   fibers_.push_back(std::move(fiber));
 }
 
@@ -223,17 +227,20 @@ void Simulation::run_deterministic_loop() {
     // runnable clock (the new heap top, now that `f` is out of the heap).
     yield_threshold_ = runnable_.empty() ? ~0ull : runnable_.front().clock;
     current_ = &f;
-    if (trace_on_) [[unlikely]] {
-      trace_buf_[static_cast<std::size_t>(f.core)].push_back(TraceEvent{
-          f.clock, static_cast<std::uint8_t>(f.core),
-          static_cast<std::uint8_t>(obs::EventCode::kRunBegin), 0, 0});
+    obs::EventRing* ring =
+        trace_on_ ? &trace_buf_[static_cast<std::size_t>(f.core)] : nullptr;
+    active_ring_ = ring;
+    if (ring != nullptr) [[unlikely]] {
+      ring->append(f.clock,
+                   static_cast<std::uint8_t>(obs::EventCode::kRunBegin), 0, 0);
     }
     resume(f);
     current_ = nullptr;
-    if (trace_on_) [[unlikely]] {
-      trace_buf_[static_cast<std::size_t>(f.core)].push_back(TraceEvent{
-          f.clock, static_cast<std::uint8_t>(f.core),
-          static_cast<std::uint8_t>(obs::EventCode::kRunEnd), 0, 0});
+    active_ring_ = nullptr;
+    if (ring != nullptr) [[unlikely]] {
+      ring->append(f.clock, static_cast<std::uint8_t>(obs::EventCode::kRunEnd),
+                   0, 0);
+      ring->flush();
     }
     if (!f.done) {
       runnable_.push_back(RunnableEntry{f.clock, index});
@@ -269,17 +276,20 @@ void Simulation::run_scheduled_loop() {
     Fiber& f = *fibers_[index];
     yield_threshold_ = 0;  // any charge returns control: access granularity
     current_ = &f;
-    if (trace_on_) [[unlikely]] {
-      trace_buf_[static_cast<std::size_t>(f.core)].push_back(TraceEvent{
-          f.clock, static_cast<std::uint8_t>(f.core),
-          static_cast<std::uint8_t>(obs::EventCode::kRunBegin), 0, 0});
+    obs::EventRing* ring =
+        trace_on_ ? &trace_buf_[static_cast<std::size_t>(f.core)] : nullptr;
+    active_ring_ = ring;
+    if (ring != nullptr) [[unlikely]] {
+      ring->append(f.clock,
+                   static_cast<std::uint8_t>(obs::EventCode::kRunBegin), 0, 0);
     }
     resume(f);
     current_ = nullptr;
-    if (trace_on_) [[unlikely]] {
-      trace_buf_[static_cast<std::size_t>(f.core)].push_back(TraceEvent{
-          f.clock, static_cast<std::uint8_t>(f.core),
-          static_cast<std::uint8_t>(obs::EventCode::kRunEnd), 0, 0});
+    active_ring_ = nullptr;
+    if (ring != nullptr) [[unlikely]] {
+      ring->append(f.clock, static_cast<std::uint8_t>(obs::EventCode::kRunEnd),
+                   0, 0);
+      ring->flush();
     }
     last = index;
     if (!f.done) {
@@ -428,20 +438,19 @@ void Simulation::enable_trace() {
 }
 
 std::vector<TraceEvent> Simulation::trace_events() const {
-  std::vector<TraceEvent> merged;
-  std::size_t total = 0;
-  for (const auto& buf : trace_buf_) total += buf.size();
-  merged.reserve(total);
-  for (const auto& buf : trace_buf_) {
-    merged.insert(merged.end(), buf.begin(), buf.end());
+  return obs::merge_ring_events(trace_buf_);
+}
+
+obs::TraceStream Simulation::take_trace() {
+  EUNO_ASSERT_MSG(!running_, "take_trace during run() is not supported");
+  obs::TraceStream stream(std::move(trace_buf_));
+  trace_buf_.clear();  // moved-from: make the empty state explicit
+  if (trace_on_) {
+    // Keep the invariant enable_trace() established: rings exist for every
+    // core while tracing is on (a subsequent run() records again).
+    trace_buf_.resize(static_cast<std::size_t>(MachineConfig::kMaxCores));
   }
-  // Stable: equal-clock events keep core order, and each core's events are
-  // already recorded in its own clock order, so per-core pairing survives.
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.clock < b.clock;
-                   });
-  return merged;
+  return stream;
 }
 
 void Simulation::enable_contention(obs::ContentionMap* map,
@@ -454,13 +463,6 @@ void Simulation::enable_contention(obs::ContentionMap* map,
 int Simulation::current_core() const {
   EUNO_ASSERT(current_ != nullptr);
   return current_->core;
-}
-
-std::uint64_t Simulation::clock_of(int core) const {
-  for (const auto& f : fibers_) {
-    if (f->core == core) return f->clock;
-  }
-  return 0;
 }
 
 std::uint64_t Simulation::max_clock() const {

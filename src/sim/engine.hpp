@@ -45,6 +45,7 @@
 
 #include "obs/contention.hpp"
 #include "obs/event.hpp"
+#include "obs/ring.hpp"
 #include "sim/arena.hpp"
 #include "sim/htm.hpp"
 #include "sim/machine.hpp"
@@ -165,7 +166,12 @@ class Simulation {
   int current_core() const;
   bool in_fiber() const { return current_ != nullptr; }
 
-  std::uint64_t clock_of(int core) const;
+  std::uint64_t clock_of(int core) const {
+    const auto i = static_cast<std::size_t>(core);
+    return i < core_fiber_.size() && core_fiber_[i] != nullptr
+               ? core_fiber_[i]->clock
+               : 0;
+  }
   std::uint64_t max_clock() const;
   CoreCounters& counters(int core) { return counters_[core]; }
 
@@ -178,20 +184,35 @@ class Simulation {
   const FaultCounters& fault_counters() const { return htm_->fault_counters(); }
 
   /// Event tracing (timeline analyses, --trace export; off by default).
-  /// Events land in per-core buffers so recording never interleaves cores;
-  /// trace_events() merges them back into one clock-ordered stream.
+  /// Events land in per-core rings (compact varint/delta encoding; see
+  /// obs/ring.hpp) so recording never interleaves cores; trace_events()
+  /// decodes and merges them back into one clock-ordered stream.
   void enable_trace();
   bool trace_enabled() const { return trace_on_; }
   void record_trace(std::uint8_t code, std::uint8_t a, std::uint8_t b) {
-    if (trace_on_ && current_ != nullptr) [[unlikely]] {
-      trace_buf_[static_cast<std::size_t>(current_->core)].push_back(
-          TraceEvent{current_->clock, static_cast<std::uint8_t>(current_->core),
-                     code, a, b});
+    // active_ring_ is non-null exactly while a fiber runs with tracing on
+    // (the run loops cache &trace_buf_[core] around each resume), so the
+    // disabled-tracing hot path is a single pointer test.
+    if (active_ring_ != nullptr) [[unlikely]] {
+      active_ring_->append(current_->clock, code, a, b);
     }
   }
+  /// Flush the running core's event ring (SimCtx calls this at transaction
+  /// boundaries; the run loops flush at every scheduler switch).
+  void flush_trace() {
+    if (active_ring_ != nullptr) [[unlikely]] active_ring_->flush();
+  }
   /// All recorded events merged across cores, ordered by clock (stable: a
-  /// core's own events keep their recording order).
+  /// core's own events keep their recording order, equal clocks keep core
+  /// order — bit-identical to the concat+stable_sort this replaced).
+  /// Decodes eagerly; for the cheap hand-off used by experiments, see
+  /// take_trace().
   std::vector<TraceEvent> trace_events() const;
+
+  /// Move the recorded trace out of the engine, still encoded (no decode or
+  /// merge — a pointer move; the caller decodes lazily via
+  /// obs::TraceStream::merged()). The engine's buffers reset to empty.
+  obs::TraceStream take_trace();
 
   /// Contention attribution (off by default): conflict aborts recorded into
   /// `map`, node annotations from the trees into `reg`. Both are caller-owned
@@ -286,7 +307,11 @@ class Simulation {
   std::uint64_t yield_threshold_ = ~0ull;
   bool running_ = false;
   bool trace_on_ = false;
-  std::vector<std::vector<TraceEvent>> trace_buf_;  // per core; see enable_trace
+  std::vector<obs::EventRing> trace_buf_;  // per core; see enable_trace
+  obs::EventRing* active_ring_ = nullptr;  // == &trace_buf_[current core] or null
+  // core -> fiber lookup (indexed by core id; fibers_ owns stable pointers),
+  // so clock_of() is O(1) — it sits on the latency channel's per-op path.
+  std::vector<Fiber*> core_fiber_;
   obs::NodeRegistry* node_registry_ = nullptr;
   std::uint64_t step_ = 0;  // instrumented accesses; see global_step()
 

@@ -216,7 +216,11 @@ class BPlusTree {
   Node* descend(Ctx& c, Key key) {
     Node* node = c.read(shared_->root);
     while (c.read(node->is_leaf) == 0) {
-      node = c.read(node->idx.children[node::child_index(c, node, key)]);
+      Node* child = c.read(node->idx.children[node::child_index(c, node, key)]);
+      // Issue the child's lines together: the in-node search would demand
+      // them one at a time behind its compare chain.
+      c.prefetch(child, sizeof(*child));
+      node = child;
     }
     return node;
   }
@@ -300,6 +304,7 @@ class BPlusTree {
       while (c.read(node->is_leaf) == 0) {
         const int idx = node::child_index(c, node, key);
         Node* child = c.read(node->idx.children[idx]);
+        c.prefetch(child, sizeof(*child));  // overlaps the validations below
         if (!policy_.validate(c, node, v)) {
           restart = true;
           break;
@@ -357,6 +362,7 @@ class BPlusTree {
     while (c.read(node->is_leaf) == 0) {
       const int idx = node::child_index(c, node, key);
       Node* child = c.read(node->idx.children[idx]);
+      c.prefetch(child, sizeof(*child));
       if (!policy_.validate(c, node, v)) return false;
       std::uint64_t vc = policy_.stable_version(c, child);
       if (!policy_.validate(c, node, v)) return false;
@@ -442,6 +448,7 @@ class BPlusTree {
       while (c.read(node->is_leaf) == 0) {
         const int idx = node::child_index(c, node, key);
         Node* child = c.read(node->idx.children[idx]);
+        c.prefetch(child, sizeof(*child));  // overlaps the validations below
         if (!policy_.validate(c, node, v)) {
           restart = true;
           break;
@@ -495,6 +502,7 @@ class BPlusTree {
       while (c.read(node->is_leaf) == 0) {
         const int idx = node::child_index(c, node, cursor);
         Node* child = c.read(node->idx.children[idx]);
+        c.prefetch(child, sizeof(*child));
         if (!policy_.validate(c, node, vn)) {
           restart = true;
           break;

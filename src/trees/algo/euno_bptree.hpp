@@ -491,6 +491,10 @@ class EunoBPTree {
         auto* in = static_cast<INode*>(n);
         n = c.read(in->children[node::inode_child_index(c, in, key)]);
         --lvl;
+        // Issue the child's lines while the loop overhead retires: a whole
+        // INode for interior levels, the leaf's metadata + control lines
+        // (the probe touches segments we can't predict) at the bottom.
+        c.prefetch(n, lvl > 0 ? sizeof(INode) : 2 * kCacheLineSize);
       }
       leaf = static_cast<Leaf*>(n);
       seq = c.read(leaf->seqno);

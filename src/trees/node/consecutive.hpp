@@ -21,10 +21,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/line.hpp"
 #include "trees/common.hpp"
+#include "trees/node/simd_search.hpp"
 #include "util/cacheline.hpp"
 #include "util/memstats.hpp"
 
@@ -114,9 +116,16 @@ struct VersionedNode {
 
 /// Index of the child subtree covering `key`: the number of separators
 /// <= key (separators equal the first key of their right subtree).
-/// Binary search, as in production trees.
+/// Binary search, as in production trees. Raw-memory contexts (NativeCtx)
+/// take the vectorized count_le instead — same result on the sorted
+/// separator array; the instrumented path must stay per-element c.read()
+/// because those accesses define the simulated cost model.
 template <class Ctx, class Node>
 int child_index(Ctx& c, Node* n, Key key) {
+  if constexpr (ctx_raw_memory_v<Ctx>) {
+    const int cnt = static_cast<int>(c.read(n->count));
+    return simd::count_le(&n->idx.keys[0], cnt, key);
+  }
   int lo = 0, hi = static_cast<int>(c.read(n->count));
   while (lo < hi) {
     const int mid = (lo + hi) / 2;
@@ -135,6 +144,14 @@ int child_index(Ctx& c, Node* n, Key key) {
 /// of §2.3.
 template <class Ctx, class Node>
 int leaf_find(Ctx& c, Node* leaf, Key key) {
+  if constexpr (ctx_raw_memory_v<Ctx>) {
+    static_assert(sizeof(Record) == 2 * sizeof(std::uint64_t) &&
+                      offsetof(Record, key) == 0,
+                  "find_eq_pairs assumes interleaved {key, value} u64 pairs");
+    const int cnt = static_cast<int>(c.read(leaf->count));
+    return simd::find_eq_pairs(
+        reinterpret_cast<const std::uint64_t*>(&leaf->recs[0]), cnt, key);
+  }
   int lo = 0, hi = static_cast<int>(c.read(leaf->count)) - 1;
   while (lo <= hi) {
     const int mid = (lo + hi) / 2;

@@ -148,9 +148,14 @@ struct EunoINode {
 // ---- interior search ----
 
 /// Linear separator scan (fanout-sized interior nodes on dedicated lines).
+/// Raw-memory contexts take the vectorized count_le — on the sorted
+/// separator array it returns the same index the linear scan would.
 template <class Ctx, class INode>
 int inode_child_index(Ctx& c, INode* node, Key key) {
   const int n = static_cast<int>(c.read(node->count));
+  if constexpr (ctx_raw_memory_v<Ctx>) {
+    return simd::count_le(&node->keys[0], n, key);
+  }
   int i = 0;
   while (i < n && key >= c.read(node->keys[i])) ++i;
   return i;
@@ -163,6 +168,35 @@ int inode_child_index(Ctx& c, INode* node, Key key) {
 /// then linear — §4.1). Returns a pointer for in-place update, or nullptr.
 template <class Ctx, class Leaf>
 Record* find_record(Ctx& c, Leaf* leaf, Key key) {
+  if constexpr (ctx_raw_memory_v<Ctx>) {
+    // Vectorized probe: equality-only, so the sorted-order fence compares
+    // and the binary search add nothing — find_eq_pairs sweeps the short
+    // arrays directly. Keys are unique within the reserved buffer (it is
+    // rebuilt from the live set on compaction), so the first hit is the
+    // only hit; a tombstoned hit falls through to the segments exactly
+    // like the instrumented path.
+    static_assert(sizeof(Record) == 2 * sizeof(std::uint64_t) &&
+                      offsetof(Record, key) == 0,
+                  "find_eq_pairs assumes interleaved {key, value} u64 pairs");
+    auto* res = c.read(leaf->reserved);
+    if (res != nullptr) {
+      const int n = static_cast<int>(c.read(res->count));
+      const int idx = simd::find_eq_pairs(
+          reinterpret_cast<const std::uint64_t*>(&res->recs[0]), n, key);
+      if (idx >= 0 && ((c.read(res->valid) >> idx) & 1)) {
+        return &res->recs[idx];
+      }
+    }
+    for (int s = 0; s < Leaf::kSegments; ++s) {
+      auto& seg = leaf->segs[s];
+      const int n = static_cast<int>(c.read(seg.count));
+      if (n == 0) continue;
+      const int idx = simd::find_eq_pairs(
+          reinterpret_cast<const std::uint64_t*>(&seg.recs[0]), n, key);
+      if (idx >= 0) return &seg.recs[idx];
+    }
+    return nullptr;
+  }
   // Reserved keys first: in steady state (after a compaction or split)
   // most records live there and the sorted buffer costs a short binary
   // search; segments are probed only on a reserved miss. A live key exists

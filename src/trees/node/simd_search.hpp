@@ -1,0 +1,76 @@
+// Vectorized in-node key search for the layouts in trees/node/.
+//
+// Two kernel families cover every node probe the tree algorithms perform:
+//
+//   count_le(keys, n, key)   — number of keys <= key in a sorted u64 array.
+//     Serves child_index (consecutive layout, binary search semantics) and
+//     inode_child_index (partitioned layout, linear scan semantics): on a
+//     sorted separator array both definitions equal the first index whose
+//     key exceeds `key`.
+//   find_eq_pairs(kv, n, key) — index of the record whose key equals `key`
+//     in an array of n {key, value} u64 pairs (interleaved, stride 2), or
+//     -1. Serves leaf_find and the partitioned leaf's reserved-buffer and
+//     hash-segment probes (unsorted arrays are fine: only equality is
+//     tested).
+//
+// Three implementations — scalar, SSE2 (x86-64 baseline), AVX2 — selected
+// once at load time by CPUID (__builtin_cpu_supports). Set EUNO_NO_SIMD=1
+// in the environment to force scalar for debugging. All variants process
+// only full vectors inside [0, n) with a scalar tail, so they never read
+// past the n-th element (nodes keep slots beyond `count` uninitialized).
+//
+// These kernels read raw memory with multi-element loads, so they are only
+// legal under contexts that declare `kRawMemory` (NativeCtx). The simulated
+// context must keep the scalar per-element c.read() loops: instrumented
+// accesses define the simulated cost model and the golden manifests.
+// ctx_raw_memory_v below is the trait the node headers dispatch on; it
+// defaults to false (instrumented) for any context that doesn't opt in.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace euno::trees::node {
+
+template <class Ctx, class = void>
+struct ctx_raw_memory : std::false_type {};
+template <class Ctx>
+struct ctx_raw_memory<Ctx, std::void_t<decltype(Ctx::kRawMemory)>>
+    : std::bool_constant<Ctx::kRawMemory> {};
+template <class Ctx>
+inline constexpr bool ctx_raw_memory_v = ctx_raw_memory<Ctx>::value;
+
+namespace simd {
+
+/// One dispatchable kernel set.
+struct SearchKernels {
+  int (*count_le)(const std::uint64_t* keys, int n, std::uint64_t key);
+  int (*find_eq_pairs)(const std::uint64_t* kv, int n, std::uint64_t key);
+  const char* name;  // "scalar" / "sse2" / "avx2"
+};
+
+/// The kernels picked at load time (CPUID + EUNO_NO_SIMD).
+const SearchKernels& active_kernels();
+/// Reference implementation, always available (benchmark baseline and
+/// conformance oracle).
+const SearchKernels& scalar_kernels();
+/// All kernel sets runnable on this host (scalar first), for the
+/// equivalence property test. `count` is written with the array size.
+const SearchKernels* const* runnable_kernels(int* count);
+
+namespace detail {
+extern const SearchKernels* const g_active;  // resolved before main()
+}
+
+/// Number of keys <= key in the sorted array keys[0..n).
+inline int count_le(const std::uint64_t* keys, int n, std::uint64_t key) {
+  return detail::g_active->count_le(keys, n, key);
+}
+
+/// Index i with kv[2*i] == key, or -1. kv holds n {key, value} pairs.
+inline int find_eq_pairs(const std::uint64_t* kv, int n, std::uint64_t key) {
+  return detail::g_active->find_eq_pairs(kv, n, key);
+}
+
+}  // namespace simd
+}  // namespace euno::trees::node

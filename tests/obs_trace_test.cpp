@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "driver/experiment.hpp"
+#include "obs/ring.hpp"
 #include "obs/trace.hpp"
 
 namespace euno::obs {
@@ -93,6 +94,92 @@ TEST(BuildTimelines, UnmatchedEndsAreDropped) {
   EXPECT_TRUE(tls.at(0).spans.empty());
 }
 
+// ---- event-ring encode/decode round trip ----
+
+TEST(EventRing, RoundTripPreservesEverySequence) {
+  // Clock deltas spanning every varint width (0 through >2^32), events with
+  // and without args, equal clocks back to back — the ring must hand back
+  // exactly what was appended.
+  const std::vector<TraceEvent> in = {
+      ev(0, 3, EventCode::kRunBegin),
+      ev(0, 3, EventCode::kOpBegin, 1),
+      ev(1, 3, EventCode::kTxBegin, 0),
+      ev(129, 3, EventCode::kAbort, 3, 7),          // 2-byte delta
+      ev(1u << 20, 3, EventCode::kTxBegin, 0),      // 3-byte delta
+      ev((1ull << 40) + 5, 3, EventCode::kTxCommit, 0),  // 6-byte delta
+      ev((1ull << 40) + 5, 3, EventCode::kOpEnd, 1),     // zero delta
+      ev(~0ull, 3, EventCode::kRunEnd),             // max clock
+  };
+  EventRing ring;
+  for (const auto& e : in) {
+    ring.append(e.clock, e.code, e.arg_a, e.arg_b);
+  }
+  std::vector<TraceEvent> out;
+  ring.decode(3, &out);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].clock, in[i].clock) << i;
+    EXPECT_EQ(out[i].core, 3) << i;
+    EXPECT_EQ(out[i].code, in[i].code) << i;
+    EXPECT_EQ(out[i].arg_a, in[i].arg_a) << i;
+    EXPECT_EQ(out[i].arg_b, in[i].arg_b) << i;
+  }
+}
+
+TEST(EventRing, SpillAndInterleavedFlushesPreserveOrder) {
+  // Enough events to overflow the 4 KiB inline buffer several times, with
+  // explicit flushes sprinkled in (as the scheduler does at every switch).
+  constexpr int kN = 20000;
+  EventRing ring;
+  for (int i = 0; i < kN; ++i) {
+    ring.append(static_cast<std::uint64_t>(i) * 37,
+                static_cast<std::uint8_t>(EventCode::kLeafSplit),
+                static_cast<std::uint8_t>(i & 0x7f), 0);
+    if (i % 977 == 0) ring.flush();
+  }
+  EXPECT_EQ(ring.event_count(), static_cast<std::size_t>(kN));
+  std::vector<TraceEvent> out;
+  ring.decode(0, &out);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(out[static_cast<std::size_t>(i)].clock,
+              static_cast<std::uint64_t>(i) * 37);
+    ASSERT_EQ(out[static_cast<std::size_t>(i)].arg_a, i & 0x7f);
+  }
+}
+
+TEST(EventRing, MergeOrdersByClockThenCore) {
+  // Three cores with overlapping clock ranges and deliberate clock ties
+  // across cores: the merge must sort by (clock, core) and preserve each
+  // core's recording order for its own ties.
+  std::vector<EventRing> rings(3);
+  const auto app = [](EventRing& r, std::uint64_t clk, EventCode c,
+                      std::uint8_t a = 0) {
+    r.append(clk, static_cast<std::uint8_t>(c), a, 0);
+  };
+  app(rings[0], 5, EventCode::kOpBegin);
+  app(rings[0], 20, EventCode::kOpEnd);
+  app(rings[1], 5, EventCode::kOpBegin, 1);  // ties core 0 @5
+  app(rings[1], 5, EventCode::kTxBegin, 1);  // same-core tie
+  app(rings[1], 30, EventCode::kOpEnd, 1);
+  app(rings[2], 1, EventCode::kRunBegin);
+  app(rings[2], 25, EventCode::kRunEnd);
+  const auto merged = merge_ring_events(rings);
+  ASSERT_EQ(merged.size(), 7u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const bool ordered =
+        merged[i - 1].clock < merged[i].clock ||
+        (merged[i - 1].clock == merged[i].clock &&
+         merged[i - 1].core <= merged[i].core);
+    ASSERT_TRUE(ordered) << "merge out of (clock, core) order at " << i;
+  }
+  EXPECT_EQ(merged[0].core, 2);  // clock 1
+  EXPECT_EQ(merged[1].core, 0);  // clock 5, core tie-break
+  EXPECT_EQ(merged[2].core, 1);
+  EXPECT_EQ(static_cast<EventCode>(merged[2].code), EventCode::kOpBegin);
+  EXPECT_EQ(static_cast<EventCode>(merged[3].code), EventCode::kTxBegin);
+}
+
 // ---- real simulated run + JSON round trip ----
 
 driver::ExperimentResult traced_run() {
@@ -113,7 +200,7 @@ driver::ExperimentResult traced_run() {
 TEST(TraceExport, SimulatedRunProducesWellNestedSpans) {
   const auto r = traced_run();
   ASSERT_FALSE(r.trace.empty());
-  const auto tls = build_timelines(r.trace);
+  const auto tls = build_timelines(r.trace.merged());
   EXPECT_EQ(tls.size(), 4u);  // one timeline per core
   std::size_t total_spans = 0;
   for (const auto& [core, tl] : tls) {
@@ -238,7 +325,8 @@ TEST(TraceExport, ChromeTraceJsonParsesAndEventsNest) {
   const auto r = traced_run();
   const std::string path =
       ::testing::TempDir() + "/euno_obs_trace_test.json";
-  const std::vector<TraceProcess> procs = {{"test run", 2.3, &r.trace}};
+  const auto events = r.trace.merged();
+  const std::vector<TraceProcess> procs = {{"test run", 2.3, &events}};
   ASSERT_TRUE(write_chrome_trace(path.c_str(), procs));
 
   const std::string doc = read_file(path);

@@ -207,7 +207,7 @@ TEST(SimFault, TraceRecordsFaultInstants) {
   const auto r = run_sim_experiment(spec);
   ASSERT_FALSE(r.trace.empty());
   std::uint64_t fault_events = 0;
-  for (const auto& ev : r.trace) {
+  for (const auto& ev : r.trace.merged()) {
     if (static_cast<obs::EventCode>(ev.code) == obs::EventCode::kFaultInjected) {
       ++fault_events;
       EXPECT_EQ(static_cast<obs::FaultArg>(ev.arg_a), obs::FaultArg::kBurst);
