@@ -33,6 +33,16 @@ namespace euno::bench {
 inline std::vector<driver::ExperimentResult> run_figure_sweep(
     const std::vector<driver::ExperimentSpec>& specs,
     const stats::BenchArgs& args) {
+  if (args.native) {
+    // Native points use real threads, so running sweep points concurrently
+    // would have them contend for the same cores; always sequential.
+    std::vector<driver::ExperimentResult> results;
+    results.reserve(specs.size());
+    for (const auto& s : specs) {
+      results.push_back(driver::run_native_experiment(s));
+    }
+    return results;
+  }
   return driver::run_sim_experiments(specs, args.jobs);
 }
 
@@ -54,6 +64,8 @@ inline driver::ExperimentSpec figure_spec(const stats::BenchArgs& args) {
   spec.obs.latency = true;
   spec.obs.contention = !args.json_path.empty();
   spec.obs.trace = !args.trace_path.empty();
+  spec.obs.metrics_interval = args.metrics_interval;
+  spec.obs.perf = args.perf;
   return spec;
 }
 
@@ -80,8 +92,13 @@ inline void emit_artifacts(const stats::BenchArgs& args, const char* bench,
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (results[i].trace.empty()) continue;
       decoded[i] = results[i].trace.merged();
-      procs.push_back(
-          obs::TraceProcess{point_label(specs[i]), specs[i].ghz, &decoded[i]});
+      // Native streams carry wall-ns timestamps in per-thread rings: ghz=1.0
+      // makes the cycles→µs conversion a ns→µs one, and the lanes are named
+      // "thread N" instead of "core N".
+      procs.push_back(obs::TraceProcess{point_label(specs[i]),
+                                        args.native ? 1.0 : specs[i].ghz,
+                                        &decoded[i],
+                                        args.native ? "thread" : "core"});
     }
     if (obs::write_chrome_trace(args.trace_path.c_str(), procs)) {
       std::fprintf(stderr, "wrote trace (%zu processes) to %s\n", procs.size(),

@@ -38,10 +38,39 @@ def load(path):
         fail(f"cannot parse {path}: {e}")
 
 
+# Keys the artifact / budget must carry. Validated up front so a stale or
+# truncated file produces one clear FAIL line naming the file and the keys,
+# never a KeyError traceback from the comparison or summary code below.
+REQUIRED_BENCH_KEYS = (
+    "wall_ns_per_access",
+    "obs_on_wall_ns_per_access",
+    "obs_overhead_pct",
+    "simd_speedup_count_le",
+    "simd_speedup_find_eq",
+    "obs_bit_identical",
+    "parallel_bit_identical",
+)
+REQUIRED_BUDGET_KEYS = (
+    "wall_ns_per_access",
+    "obs_on_wall_ns_per_access",
+    "simd_speedup_count_le_min",
+    "simd_speedup_find_eq_min",
+)
+
+
+def require_keys(doc, path, keys):
+    if not isinstance(doc, dict):
+        fail(f"{path}: expected a JSON object, got {type(doc).__name__}")
+    missing = [k for k in keys if k not in doc]
+    if missing:
+        fail(f"{path}: missing required key(s): {', '.join(missing)}")
+
+
 def main():
     if len(sys.argv) not in (2, 3):
         fail(f"usage: {sys.argv[0]} BENCH_sim_selfperf.json [budget.json]")
-    bench = load(sys.argv[1])
+    bench_path = sys.argv[1]
+    bench = load(bench_path)
     budget_path = (
         sys.argv[2]
         if len(sys.argv) == 3
@@ -53,15 +82,14 @@ def main():
         )
     )
     budget = load(budget_path)
+    require_keys(bench, bench_path, REQUIRED_BENCH_KEYS)
+    require_keys(budget, budget_path, REQUIRED_BUDGET_KEYS)
 
     errors = []
     margin = 1.0 + budget.get("margin_pct", 15) / 100.0
 
     for key in ("wall_ns_per_access", "obs_on_wall_ns_per_access"):
-        got, limit = bench.get(key), budget.get(key)
-        if got is None or limit is None:
-            errors.append(f"{key}: missing from artifact or budget")
-            continue
+        got, limit = bench[key], budget[key]
         ceiling = limit * margin
         if got > ceiling:
             errors.append(
@@ -70,20 +98,16 @@ def main():
             )
 
     cap = budget.get("obs_overhead_pct_max", 25)
-    overhead = bench.get("obs_overhead_pct")
-    if overhead is None:
-        errors.append("obs_overhead_pct: missing from artifact")
-    elif overhead > cap:
+    overhead = bench["obs_overhead_pct"]
+    if overhead > cap:
         errors.append(f"obs_overhead_pct: {overhead:.1f}% exceeds cap {cap}%")
 
     for key, floor_key in (
         ("simd_speedup_count_le", "simd_speedup_count_le_min"),
         ("simd_speedup_find_eq", "simd_speedup_find_eq_min"),
     ):
-        got, floor = bench.get(key), budget.get(floor_key)
-        if got is None or floor is None:
-            errors.append(f"{key}: missing from artifact or budget")
-        elif got < floor:
+        got, floor = bench[key], budget[floor_key]
+        if got < floor:
             errors.append(
                 f"{key}: {got:.2f}x below floor {floor}x "
                 f"(kernel: {bench.get('simd_kernel', '?')})"

@@ -14,8 +14,14 @@ Checks (exit nonzero on any failure):
      sorted by begin and its instants in per-core clock order, so a
      violation means the per-core event rings were flushed or merged out
      of order upstream.
+  6. No span is named 'tx:abort:?' — an abort whose reason byte decoded to
+     no known AbortReason, i.e. the native status-bit decode (or the sim
+     event encoding) emitted a bucket the enum does not cover.
+  7. With --expect-lanes=PREFIX: every span track carries a thread_name
+     metadata record, and at least one lane name starts with PREFIX
+     (e.g. --expect-lanes=thread for native per-thread traces).
 
-Usage: check_trace.py TRACE.json
+Usage: check_trace.py [--expect-lanes=PREFIX] TRACE.json
 """
 
 import json
@@ -28,9 +34,17 @@ def fail(msg):
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} TRACE.json")
-    path = sys.argv[1]
+    argv = sys.argv[1:]
+    expect_lanes = None
+    for a in list(argv):
+        if a.startswith("--expect-lanes="):
+            expect_lanes = a[len("--expect-lanes=") :]
+            argv.remove(a)
+            if not expect_lanes:
+                fail("--expect-lanes= needs a non-empty prefix")
+    if len(argv) != 1:
+        fail(f"usage: {sys.argv[0]} [--expect-lanes=PREFIX] TRACE.json")
+    path = argv[0]
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -45,6 +59,7 @@ def main():
 
     tracks = {}  # (pid, tid) -> list of (ts, dur)
     last_ts = {}  # (pid, tid, ph) -> ts of the previous event in file order
+    lane_names = {}  # (pid, tid) -> thread_name metadata value
     n_x = n_i = n_m = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -59,6 +74,11 @@ def main():
             n_m += 1
             if "name" not in ev:
                 fail(f"metadata event #{i} missing 'name'")
+            if ev["name"] == "thread_name":
+                name = ev.get("args", {}).get("name")
+                if not isinstance(name, str) or not name:
+                    fail(f"thread_name metadata event #{i} has no args.name")
+                lane_names[(ev["pid"], ev["tid"])] = name
             continue
         if "ts" not in ev:
             fail(f"event #{i} (ph={ph}) missing 'ts'")
@@ -75,6 +95,12 @@ def main():
         last_ts[lane_key] = ev["ts"]
         if ph == "X":
             n_x += 1
+            if ev["name"] == "tx:abort:?":
+                fail(
+                    f"event #{i} on track pid={ev['pid']} tid={ev['tid']}: "
+                    f"abort span with unknown reason code — the abort-reason "
+                    f"decode emitted a bucket outside the AbortReason enum"
+                )
             dur = ev.get("dur")
             if dur is None:
                 fail(f"X event #{i} ('{ev['name']}') missing 'dur'")
@@ -106,10 +132,27 @@ def main():
                 )
             stack.append(end)
 
+    if expect_lanes is not None:
+        matching = [n for n in lane_names.values() if n.startswith(expect_lanes)]
+        if not matching:
+            fail(
+                f"--expect-lanes={expect_lanes}: no lane name starts with "
+                f"'{expect_lanes}' (lanes: {sorted(lane_names.values())})"
+            )
+        for key in tracks:
+            if key not in lane_names:
+                fail(
+                    f"--expect-lanes={expect_lanes}: span track pid={key[0]} "
+                    f"tid={key[1]} has no thread_name metadata"
+                )
+
+    lanes_note = (
+        f", {len(lane_names)} named lanes" if expect_lanes is not None else ""
+    )
     print(
         f"check_trace: OK: {len(events)} events "
         f"({n_x} spans, {n_i} instants, {n_m} metadata) "
-        f"on {len(tracks)} span tracks"
+        f"on {len(tracks)} span tracks{lanes_note}"
     )
 
 

@@ -6,6 +6,12 @@
 #   scripts/ci.sh asan      # AddressSanitizer build, fault-campaign suites
 #   scripts/ci.sh ubsan     # UBSan-only build, conformance + fault suites
 #
+# The default job re-runs the `obs-native` label explicitly (the native
+# telemetry round-trip: a native bench run with --trace/--metrics-interval/
+# --perf, validated by check_trace.py --expect-lanes=thread) and then renders
+# the generated manifest with scripts/report.py, which exits nonzero on any
+# manifest schema violation.
+#
 # The default job finishes with the self-perf regression gate: it runs
 # bench/sim_selfperf --quick (which emits the BENCH_sim_selfperf.json
 # artifact in the build directory) and checks the numbers against
@@ -34,6 +40,9 @@ case "$job" in
     cmake -B build -S .
     cmake --build build -j
     ctest --test-dir build --output-on-failure -j "$(nproc)"
+    ctest --test-dir build --output-on-failure -L obs-native
+    python3 scripts/report.py build/obs_native_manifest.json \
+      -o build/obs_native_report.html
     (cd build && ./bench/sim_selfperf --quick)
     python3 scripts/check_selfperf.py build/BENCH_sim_selfperf.json
     ;;

@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""Validates a run manifest (--json=FILE output) and renders an HTML report.
+
+Validation (exit nonzero on any violation):
+  1. schema is euno.run_manifest.v1; bench is a string; points matches the
+     sweep length.
+  2. Every sweep point carries spec (tree/threads/ops_per_thread/workload/obs)
+     and result with the core counters and both latency histograms.
+  3. A `timeseries` section (metrics-interval channel) has interval > 0, a
+     known unit, windows with contiguous unique indexes starting at 0,
+     per-window lat_p50 <= lat_p99 <= lat_max, and window op counts summing
+     to the point's total ops (every completed op lands in exactly one
+     window).
+  4. A `perf` section (perf-counter channel) has phases, each counter
+     carrying name + available plus value (available) or error (not).
+
+Rendering: a single self-contained HTML file (inline CSS + SVG, no external
+assets) with a sweep summary table, per-point time-series charts (throughput,
+latency percentiles, aborts/fallbacks per window) and perf-counter tables.
+
+Usage: report.py MANIFEST.json [-o OUT.html]
+       (default output: MANIFEST with its extension replaced by .html)
+"""
+
+import html
+import json
+import os
+import sys
+
+SCHEMA = "euno.run_manifest.v1"
+
+REQUIRED_RESULT_KEYS = (
+    "ops",
+    "throughput_mops",
+    "aborts_per_op",
+    "commits",
+    "attempts",
+    "fallbacks",
+    "aborts_total",
+    "latency_cycles",
+    "abort_wasted_cycles",
+    "hot_lines",
+)
+
+REQUIRED_SPEC_KEYS = ("tree", "threads", "ops_per_thread", "workload", "obs")
+
+
+def fail(msg):
+    print(f"report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_timeseries(ts, result, where):
+    if not isinstance(ts, dict):
+        fail(f"{where}: timeseries is not an object")
+    interval = ts.get("interval")
+    if not isinstance(interval, int) or interval <= 0:
+        fail(f"{where}: timeseries.interval must be a positive integer")
+    if ts.get("unit") not in ("ns", "cycles"):
+        fail(f"{where}: timeseries.unit must be 'ns' or 'cycles'")
+    windows = ts.get("windows")
+    if not isinstance(windows, list) or not windows:
+        fail(f"{where}: timeseries.windows missing or empty")
+    ops_sum = 0
+    for k, win in enumerate(windows):
+        w_where = f"{where}: timeseries window #{k}"
+        for key in (
+            "index",
+            "ops",
+            "aborts",
+            "fallbacks",
+            "lat_mean",
+            "lat_max",
+            "lat_p50",
+            "lat_p99",
+        ):
+            if key not in win:
+                fail(f"{w_where} missing '{key}'")
+        if win["index"] != k:
+            fail(
+                f"{w_where} has index {win['index']} — window indexes must "
+                f"be contiguous and unique from 0 (merge materializes gaps)"
+            )
+        if not (win["lat_p50"] <= win["lat_p99"] <= win["lat_max"]):
+            fail(
+                f"{w_where}: expected lat_p50 <= lat_p99 <= lat_max, got "
+                f"{win['lat_p50']} / {win['lat_p99']} / {win['lat_max']}"
+            )
+        if win["ops"] == 0 and win["lat_max"] != 0:
+            fail(f"{w_where}: zero ops but nonzero lat_max")
+        ops_sum += win["ops"]
+    if ops_sum != result["ops"]:
+        fail(
+            f"{where}: window ops sum to {ops_sum} but the point ran "
+            f"{result['ops']} ops — every completed op must land in exactly "
+            f"one window"
+        )
+
+
+def validate_perf(perf, where):
+    if not isinstance(perf, dict):
+        fail(f"{where}: perf is not an object")
+    phases = perf.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail(f"{where}: perf.phases missing or empty")
+    for phase in phases:
+        if not isinstance(phase.get("phase"), str):
+            fail(f"{where}: perf phase missing 'phase' name")
+        counters = phase.get("counters")
+        if not isinstance(counters, list) or not counters:
+            fail(f"{where}: perf phase '{phase.get('phase')}' has no counters")
+        for c in counters:
+            c_where = f"{where}: perf counter {c.get('name')!r}"
+            if not isinstance(c.get("name"), str):
+                fail(f"{where}: perf counter missing 'name'")
+            if not isinstance(c.get("available"), bool):
+                fail(f"{c_where} missing boolean 'available'")
+            if c["available"]:
+                if not isinstance(c.get("value"), int):
+                    fail(f"{c_where} available but has no integer 'value'")
+            elif not isinstance(c.get("error"), str):
+                fail(f"{c_where} unavailable but carries no 'error'")
+
+
+def validate(doc, path):
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str):
+        fail(f"{path}: 'bench' missing or not a string")
+    sweep = doc.get("sweep")
+    if not isinstance(sweep, list):
+        fail(f"{path}: 'sweep' missing or not a list")
+    if doc.get("points") != len(sweep):
+        fail(
+            f"{path}: 'points' says {doc.get('points')} but sweep has "
+            f"{len(sweep)} entries"
+        )
+    for i, point in enumerate(sweep):
+        where = f"point #{i}"
+        spec, result = point.get("spec"), point.get("result")
+        if not isinstance(spec, dict) or not isinstance(result, dict):
+            fail(f"{where}: missing spec or result object")
+        for key in REQUIRED_SPEC_KEYS:
+            if key not in spec:
+                fail(f"{where}: spec missing '{key}'")
+        for key in REQUIRED_RESULT_KEYS:
+            if key not in result:
+                fail(f"{where}: result missing '{key}'")
+        if "timeseries" in result:
+            validate_timeseries(result["timeseries"], result, where)
+        if "perf" in result:
+            validate_perf(result["perf"], where)
+
+
+# ---------------------------------------------------------------- rendering
+
+
+def svg_chart(title, series, width=640, height=180, pad=36):
+    """One inline SVG line chart. series = [(label, color, [values])]."""
+    n = max((len(vals) for _, _, vals in series), default=0)
+    vmax = max((v for _, _, vals in series for v in vals), default=0)
+    if vmax == 0:
+        vmax = 1
+    plot_w, plot_h = width - 2 * pad, height - 2 * pad
+
+    def x(i):
+        return pad + (plot_w * i / max(n - 1, 1))
+
+    def y(v):
+        return height - pad - plot_h * v / vmax
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" class="chart" '
+        f'role="img" aria-label="{html.escape(title)}">',
+        f'<text x="{pad}" y="14" class="ctitle">{html.escape(title)}</text>',
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" class="axis"/>',
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{height - pad}" '
+        f'class="axis"/>',
+        f'<text x="4" y="{pad + 4}" class="tick">{vmax:g}</text>',
+        f'<text x="4" y="{height - pad}" class="tick">0</text>',
+    ]
+    for label, color, vals in series:
+        if not vals:
+            continue
+        points = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(vals))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"/>'
+        )
+    legend_x = pad
+    for label, color, _ in series:
+        parts.append(
+            f'<rect x="{legend_x}" y="{height - 12}" width="9" height="9" '
+            f'fill="{color}"/>'
+            f'<text x="{legend_x + 12}" y="{height - 4}" class="tick">'
+            f"{html.escape(label)}</text>"
+        )
+        legend_x += 12 + 7 * len(label) + 16
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def point_title(spec):
+    wl = spec.get("workload", {})
+    return (
+        f"{spec.get('tree')} — {spec.get('threads')} threads, "
+        f"{wl.get('dist')}({wl.get('dist_param')}), "
+        f"{spec.get('ops_per_thread')} ops/thread"
+    )
+
+
+def render(doc, path):
+    out = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(doc['bench'])} report</title>",
+        "<style>",
+        "body{font:14px/1.4 system-ui,sans-serif;margin:24px;color:#222}",
+        "table{border-collapse:collapse;margin:12px 0}",
+        "th,td{border:1px solid #ccc;padding:3px 8px;text-align:right}",
+        "th{background:#f0f0f0}td:first-child,th:first-child{text-align:left}",
+        ".chart{display:block;margin:8px 0;background:#fafafa;"
+        "border:1px solid #ddd}",
+        ".ctitle{font-size:12px;font-weight:600}",
+        ".tick{font-size:10px;fill:#666}",
+        ".axis{stroke:#999;stroke-width:1}",
+        ".unavail{color:#a00}",
+        "h2{margin-top:28px}",
+        "</style></head><body>",
+        f"<h1>{html.escape(doc['bench'])}</h1>",
+        f"<p>{doc['points']} sweep point(s) — "
+        f"manifest <code>{html.escape(os.path.basename(path))}</code>, "
+        f"schema <code>{html.escape(doc['schema'])}</code></p>",
+        "<h2>Sweep summary</h2>",
+        "<table><tr><th>point</th><th>Mops/s</th><th>aborts/op</th>"
+        "<th>commits</th><th>attempts</th><th>fallbacks</th>"
+        "<th>p50</th><th>p99</th></tr>",
+    ]
+    for point in doc["sweep"]:
+        spec, r = point["spec"], point["result"]
+        out.append(
+            f"<tr><td>{html.escape(point_title(spec))}</td>"
+            f"<td>{r['throughput_mops']:.3f}</td>"
+            f"<td>{r['aborts_per_op']:.3f}</td>"
+            f"<td>{r['commits']}</td><td>{r['attempts']}</td>"
+            f"<td>{r['fallbacks']}</td>"
+            f"<td>{r.get('lat_p50', 0):g}</td>"
+            f"<td>{r.get('lat_p99', 0):g}</td></tr>"
+        )
+    out.append("</table>")
+
+    for i, point in enumerate(doc["sweep"]):
+        spec, r = point["spec"], point["result"]
+        ts, perf = r.get("timeseries"), r.get("perf")
+        if ts is None and perf is None:
+            continue
+        out.append(f"<h2>Point #{i}: {html.escape(point_title(spec))}</h2>")
+        if ts is not None:
+            wins = ts["windows"]
+            unit = ts["unit"]
+            out.append(
+                f"<p>{len(wins)} windows of {ts['interval']} {unit}</p>"
+            )
+            out.append(
+                svg_chart(
+                    f"ops per window ({ts['interval']} {unit})",
+                    [("ops", "#1f77b4", [w["ops"] for w in wins])],
+                )
+            )
+            out.append(
+                svg_chart(
+                    f"op latency ({unit})",
+                    [
+                        ("p50", "#2ca02c", [w["lat_p50"] for w in wins]),
+                        ("p99", "#d62728", [w["lat_p99"] for w in wins]),
+                    ],
+                )
+            )
+            out.append(
+                svg_chart(
+                    "aborts / fallbacks per window",
+                    [
+                        ("aborts", "#ff7f0e", [w["aborts"] for w in wins]),
+                        (
+                            "fallbacks",
+                            "#9467bd",
+                            [w["fallbacks"] for w in wins],
+                        ),
+                    ],
+                )
+            )
+        if perf is not None:
+            out.append("<h3>Perf counters</h3>")
+            out.append("<table><tr><th>phase</th><th>counter</th><th>value</th></tr>")
+            for phase in perf["phases"]:
+                for c in phase["counters"]:
+                    value = (
+                        f"{c['value']:,}"
+                        if c["available"]
+                        else f"<span class='unavail'>unavailable "
+                        f"({html.escape(c['error'])})</span>"
+                    )
+                    out.append(
+                        f"<tr><td>{html.escape(phase['phase'])}</td>"
+                        f"<td>{html.escape(c['name'])}</td>"
+                        f"<td>{value}</td></tr>"
+                    )
+            out.append("</table>")
+
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def main():
+    argv = sys.argv[1:]
+    out_path = None
+    if "-o" in argv:
+        k = argv.index("-o")
+        if k + 1 >= len(argv):
+            fail("-o needs a path")
+        out_path = argv[k + 1]
+        del argv[k : k + 2]
+    if len(argv) != 1:
+        fail(f"usage: {sys.argv[0]} MANIFEST.json [-o OUT.html]")
+    path = argv[0]
+    if out_path is None:
+        out_path = os.path.splitext(path)[0] + ".html"
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    validate(doc, path)
+
+    try:
+        with open(out_path, "w", encoding="utf-8") as f:
+            f.write(render(doc, path))
+    except OSError as e:
+        fail(f"cannot write {out_path}: {e}")
+
+    n_ts = sum(1 for p in doc["sweep"] if "timeseries" in p["result"])
+    n_perf = sum(1 for p in doc["sweep"] if "perf" in p["result"])
+    print(
+        f"report: OK: {doc['points']} point(s), {n_ts} with timeseries, "
+        f"{n_perf} with perf counters -> {out_path}"
+    )
+
+
+if __name__ == "__main__":
+    main()

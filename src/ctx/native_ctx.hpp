@@ -10,13 +10,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
 
 #include "ctx/common.hpp"
-#include "obs/histogram.hpp"
+#include "obs/ring.hpp"
+#include "obs/timeseries.hpp"
 #include "htm/policy.hpp"
 #include "htm/rtm.hpp"
 #include "sim/line.hpp"
@@ -25,6 +25,7 @@
 #include "util/memstats.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
+#include "util/tsc.hpp"
 
 namespace euno::ctx {
 
@@ -82,10 +83,14 @@ class NativeCtx {
         starved_ops_ >= policy.starvation_threshold) {
       st.starvation_escapes++;
       starved_ops_ = 0;
+      note(TraceCode::kStarvationEscape, static_cast<std::uint8_t>(site));
       run_fallback(lock, st, out, body);
       health_note(lock, policy, st, 1, 0);
       return out;
     }
+    // Attempts are timestamped only when something consumes the timestamps
+    // (a trace ring or a ThreadObs): un-observed runs keep the pre-obs path.
+    const bool timed = ring_ != nullptr || obs_ != nullptr;
     if (htm::rtm_supported()) {
       int conflict_budget = policy.conflict_retries;
       int capacity_budget = policy.capacity_retries;
@@ -105,6 +110,7 @@ class NativeCtx {
             if (++polls >= policy.lock_wait_spin_cap) {
               polls = 0;
               st.lock_wait_timeouts++;
+              note(TraceCode::kLockWaitTimeout, static_cast<std::uint8_t>(site));
             }
             if (policy.anti_lemming) {
               const std::uint32_t d = jitter(poll_delay);
@@ -133,8 +139,20 @@ class NativeCtx {
           }
         }
         st.attempts++;
+        // Timestamp (and record) the attempt *before* rtm_begin: a ring
+        // append inside the transaction would enlarge the write set and be
+        // rolled back on abort.
+        std::uint64_t attempt_ts = 0;
+        if (timed) {
+          attempt_ts = now();
+          if (ring_ != nullptr) {
+            ring_->append(attempt_ts - trace_origin_,
+                          static_cast<std::uint8_t>(TraceCode::kTxBegin),
+                          static_cast<std::uint8_t>(site), 0);
+          }
+        }
         const unsigned status = htm::rtm_begin();
-        if (status == 0xFFFFFFFFu /* _XBEGIN_STARTED */) {
+        if (status == htm::rtm_status::kStarted) {
           // Subscribe the fallback lock: brings its line into our read set,
           // so a fallback acquirer aborts us.
           if (lock.word.load(std::memory_order_relaxed) != 0) {
@@ -145,6 +163,7 @@ class NativeCtx {
           in_tx_ = false;
           htm::rtm_end();
           st.commits++;
+          note(TraceCode::kTxCommit, static_cast<std::uint8_t>(site));
           if (policy.starvation_threshold != 0) starved_ops_ = 0;
           health_note(lock, policy, st, out.aborts + 1, 1);
           return out;
@@ -153,6 +172,19 @@ class NativeCtx {
         const htm::TxResult r = htm::rtm_decode(status);
         st.note_abort(r);
         out.aborts++;
+        if (timed) {
+          const std::uint64_t abort_ts = now();
+          if (obs_ != nullptr) {
+            obs_->abort_wasted.record(abort_ts - attempt_ts);
+            obs_->series.note_abort(abort_ts);
+          }
+          if (ring_ != nullptr) {
+            ring_->append(abort_ts - trace_origin_,
+                          static_cast<std::uint8_t>(TraceCode::kAbort),
+                          static_cast<std::uint8_t>(r.reason),
+                          static_cast<std::uint8_t>(r.conflict));
+          }
+        }
         if (r.reason == htm::AbortReason::kLockBusy) continue;  // free of charge
         int* budget = &other_budget;
         if (r.reason == htm::AbortReason::kConflict) budget = &conflict_budget;
@@ -262,7 +294,14 @@ class NativeCtx {
 
   // ---- annotations ----
 
-  void note_event(TraceCode, std::uint8_t = 0, std::uint8_t = 0) {}
+  /// Record a tree/op event into this thread's ring (no-op without a ring).
+  /// Events are dropped while a hardware transaction is open: a ring append
+  /// inside the transaction would join its write set (rolled back on abort,
+  /// and a fresh source of capacity/conflict aborts).
+  void note_event(TraceCode code, std::uint8_t a = 0, std::uint8_t b = 0) {
+    if (ring_ == nullptr || in_tx_) return;
+    ring_->append(now() - trace_origin_, static_cast<std::uint8_t>(code), a, b);
+  }
   void note_node(void*, std::size_t, std::uint8_t) {}
   void set_op_target(std::uint64_t) {}
   void clear_op_target() {}
@@ -284,18 +323,30 @@ class NativeCtx {
   // ---- observability ----
 
   /// Wall-clock nanoseconds (the native analogue of the simulated cycle
-  /// clock; per-op latency histograms record in this unit natively).
-  std::uint64_t now() const {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-  }
+  /// clock; per-op latency histograms and trace timestamps record in this
+  /// unit natively). Calibrated-rdtsc fast path, steady_clock fallback when
+  /// the host lacks an invariant TSC (util/tsc.hpp).
+  std::uint64_t now() const { return util::monotonic_ns(); }
 
   void set_observer(obs::ThreadObs* o) { obs_ = o; }
   obs::ThreadObs* observer() { return obs_; }
 
+  /// Attach this thread's event ring (obs.trace channel). `origin` — the
+  /// run's start in now() units — is subtracted from every timestamp so the
+  /// ring's varint clock-deltas stay small and traces start near zero.
+  void set_trace_ring(obs::EventRing* ring, std::uint64_t origin) {
+    ring_ = ring;
+    trace_origin_ = origin;
+  }
+
  private:
+  /// Ring append for txn-internal events; no-op without a ring. Callers on
+  /// the transactional path must be outside the hardware transaction.
+  void note(TraceCode code, std::uint8_t a = 0, std::uint8_t b = 0) {
+    if (ring_ == nullptr) return;
+    ring_->append(now() - trace_origin_, static_cast<std::uint8_t>(code), a, b);
+  }
+
   /// Serialize on the fallback lock and run the body under it.
   template <class Body>
   void run_fallback(FallbackLock& lock, htm::TxStats& st, TxnOutcome& out,
@@ -309,10 +360,14 @@ class NativeCtx {
       while (lock.word.load(std::memory_order_relaxed) != 0) cpu_relax();
     }
     st.fallbacks++;
+    if (obs_ != nullptr) obs_->series.note_fallback(now());
+    note(TraceCode::kFallback);
+    note(TraceCode::kFallbackAcquired);
     in_fallback_ = true;
     body();
     in_fallback_ = false;
     lock.word.store(0, std::memory_order_release);
+    note(TraceCode::kFallbackReleased);
     st.commits++;
     out.used_fallback = true;
   }
@@ -339,6 +394,7 @@ class NativeCtx {
       if (lock.degraded.compare_exchange_strong(expected, 1,
                                                 std::memory_order_relaxed)) {
         st.degradations++;
+        note(TraceCode::kHtmDegraded);
       }
     } else {
       lock.health_attempts.store(0, std::memory_order_relaxed);
@@ -364,6 +420,8 @@ class NativeCtx {
   bool in_fallback_ = false;
   SiteStats stats_{};
   obs::ThreadObs* obs_ = nullptr;
+  obs::EventRing* ring_ = nullptr;
+  std::uint64_t trace_origin_ = 0;
   std::uint32_t starved_ops_ = 0;
   Xoshiro256 jitter_rng_{0xB0FFull + 0x9E3779B97F4A7C15ull *
                                          (static_cast<std::uint64_t>(tid_) + 1)};

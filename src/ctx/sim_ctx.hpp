@@ -13,7 +13,7 @@
 
 #include "ctx/common.hpp"
 #include "htm/policy.hpp"
-#include "obs/histogram.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/engine.hpp"
 #include "sim/txabort.hpp"
 #include "util/assert.hpp"
@@ -188,7 +188,10 @@ class SimCtx {
       sim_->charge(cfg.htm.abort_penalty);
       const std::uint64_t wasted = sim_->clock_of(core_) - start_clock;
       sim_->counters(core_).cycles_wasted += wasted;
-      if (obs_ != nullptr) obs_->abort_wasted.record(wasted);
+      if (obs_ != nullptr) {
+        obs_->abort_wasted.record(wasted);
+        obs_->series.note_abort(sim_->clock_of(core_));
+      }
       if (r.reason == htm::AbortReason::kExplicit &&
           r.xabort_payload == htm::xabort_code::kFallbackLocked) {
         r.reason = htm::AbortReason::kLockBusy;
@@ -376,6 +379,7 @@ class SimCtx {
       spin_pause();
     }
     st.fallbacks++;
+    if (obs_ != nullptr) obs_->series.note_fallback(sim_->clock_of(core_));
     sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kFallback), 0, 0);
     sim_->record_trace(
         static_cast<std::uint8_t>(TraceCode::kFallbackAcquired), 0, 0);

@@ -1,6 +1,7 @@
 #include "driver/experiment.hpp"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "ctx/sim_ctx.hpp"
 #include "trees/registry.hpp"
 #include "util/memstats.hpp"
+#include "util/tsc.hpp"
 
 namespace euno::driver {
 
@@ -49,7 +51,11 @@ void run_ops(Tree& tree, Ctx& c, OpStream& stream, std::uint64_t n,
         (void)tree.erase(c, op.key);
         break;
     }
-    if (tobs != nullptr) tobs->op_latency.record(c.now() - t0);
+    if (tobs != nullptr) {
+      const std::uint64_t t1 = c.now();
+      tobs->op_latency.record(t1 - t0);
+      tobs->series.record_op(t1, t1 - t0);
+    }
     c.note_event(ctx::TraceCode::kOpEnd, static_cast<std::uint8_t>(op.type));
   }
 }
@@ -135,7 +141,9 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   if (obs_opt.contention) simulation.enable_contention(&cmap, &node_reg);
   if (obs_opt.trace) simulation.enable_trace();
   std::vector<obs::ThreadObs> tobs(
-      obs_opt.latency ? static_cast<std::size_t>(spec.threads) : 0);
+      obs_opt.latency || obs_opt.metrics_interval != 0
+          ? static_cast<std::size_t>(spec.threads)
+          : 0);
 
   ctx::SimCtx setup(simulation, 0);
   auto tree_owner = make(setup);
@@ -146,7 +154,13 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   for (int t = 0; t < spec.threads; ++t) {
     simulation.spawn(t, [&, t](int core) {
       ctx::SimCtx c(simulation, core);
-      if (!tobs.empty()) c.set_observer(&tobs[static_cast<std::size_t>(t)]);
+      if (!tobs.empty()) {
+        auto& to = tobs[static_cast<std::size_t>(t)];
+        // Sim windows are in simulated cycles; every core's clock starts
+        // at 0, so the series origin is 0.
+        to.series.configure(obs_opt.metrics_interval, 0);
+        c.set_observer(&to);
+      }
       OpStream stream(spec.workload, t);
       run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
       stats[static_cast<std::size_t>(t)] = c.stats();
@@ -183,6 +197,12 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   finalize_obs(obs_opt, tobs, obs_opt.contention ? &cmap : nullptr, &node_reg,
                &r);
   if (obs_opt.trace) r.trace = simulation.take_trace();
+  if (obs_opt.metrics_interval != 0) {
+    for (int t = 0; t < spec.threads; ++t) {
+      tobs[static_cast<std::size_t>(t)].series.finish(simulation.clock_of(t));
+    }
+    r.timeseries = obs::merge_series(obs_opt.metrics_interval, "cycles", tobs);
+  }
 
   const sim::FaultCounters& fc = simulation.fault_counters();
   r.faults_spurious = fc.spurious_aborts;
@@ -199,21 +219,53 @@ template <class MakeTree>
 ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
   ctx::NativeEnv env(64);
   MemStats::instance().reset();
+
+  // Native obs channels: latency histograms, per-thread event rings
+  // (obs.trace), windowed time-series (obs.metrics_interval) and perf
+  // counters (obs.perf). Contention attribution stays sim-only.
+  const obs::ObsOptions obs_opt =
+      obs::kCompiledIn ? spec.obs : obs::ObsOptions{};
+  ExperimentResult r;
+  // The counter fds must exist before the worker threads do: inherit=1 on
+  // each fd makes threads spawned afterwards count into it.
+  std::optional<obs::PerfCounterGroup> perf;
+  if (obs_opt.perf) {
+    perf.emplace();
+    r.perf.attempted = true;
+  }
+
   ctx::NativeCtx setup(env, 0);
   auto tree_owner = make(setup);
   auto& tree = *tree_owner;
+  if (perf) perf->start();
   preload_tree(tree, setup, spec.workload, spec.preload, spec.preload_stride);
+  if (perf) {
+    perf->stop();
+    r.perf.phases.push_back(perf->sample("preload"));
+  }
 
-  const bool latency_on = obs::kCompiledIn && spec.obs.latency;
+  const bool thread_obs_on = obs_opt.latency || obs_opt.metrics_interval != 0;
   std::vector<obs::ThreadObs> tobs(
-      latency_on ? static_cast<std::size_t>(spec.threads) : 0);
+      thread_obs_on ? static_cast<std::size_t>(spec.threads) : 0);
+  std::vector<obs::EventRing> rings(
+      obs_opt.trace ? static_cast<std::size_t>(spec.threads) : 0);
   std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
+  // One origin for every thread's trace timestamps and series windows.
+  const std::uint64_t origin = util::monotonic_ns();
+  if (perf) perf->start();
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   for (int t = 0; t < spec.threads; ++t) {
     workers.emplace_back([&, t] {
       ctx::NativeCtx c(env, t);
-      if (!tobs.empty()) c.set_observer(&tobs[static_cast<std::size_t>(t)]);
+      if (!tobs.empty()) {
+        auto& to = tobs[static_cast<std::size_t>(t)];
+        to.series.configure(obs_opt.metrics_interval, origin);
+        c.set_observer(&to);
+      }
+      if (!rings.empty()) {
+        c.set_trace_ring(&rings[static_cast<std::size_t>(t)], origin);
+      }
       OpStream stream(spec.workload, t);
       run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
       stats[static_cast<std::size_t>(t)] = c.stats();
@@ -221,8 +273,11 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
   }
   for (auto& w : workers) w.join();
   const auto t1 = std::chrono::steady_clock::now();
+  if (perf) {
+    perf->stop();
+    r.perf.phases.push_back(perf->sample("measure"));
+  }
 
-  ExperimentResult r;
   r.ops = spec.ops_per_thread * static_cast<std::uint64_t>(spec.threads);
   const double seconds = std::chrono::duration<double>(t1 - t0).count();
   r.throughput_mops = seconds > 0 ? static_cast<double>(r.ops) / seconds / 1e6 : 0;
@@ -234,11 +289,17 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
   r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
   r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
 
-  // Native runs have no simulated clock: latency percentiles come out in
-  // wall nanoseconds; the contention and trace channels are sim-only.
+  // Native runs have no simulated clock: latency percentiles and series
+  // windows come out in wall nanoseconds; contention attribution is sim-only.
   obs::ObsOptions native_opt{};
-  native_opt.latency = latency_on;
+  native_opt.latency = obs_opt.latency;
   finalize_obs(native_opt, tobs, nullptr, nullptr, &r);
+  if (obs_opt.metrics_interval != 0) {
+    const std::uint64_t end_ts = util::monotonic_ns();
+    for (auto& to : tobs) to.series.finish(end_ts);
+    r.timeseries = obs::merge_series(obs_opt.metrics_interval, "ns", tobs);
+  }
+  if (!rings.empty()) r.trace = obs::TraceStream(std::move(rings));
 
   ctx::NativeCtx teardown(env, 0);
   tree.destroy(teardown);

@@ -16,7 +16,9 @@
 #include "obs/event.hpp"
 #include "obs/histogram.hpp"
 #include "obs/options.hpp"
+#include "obs/perfctr.hpp"
 #include "obs/ring.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/machine.hpp"
 #include "trees/kinds.hpp"
 #include "workload/ycsb.hpp"
@@ -113,6 +115,12 @@ struct ExperimentResult {
   /// instrumented access would dominate a traced run's wall time. Call
   /// trace.merged() for the flat clock-ordered vector.
   obs::TraceStream trace;
+  /// Windowed time-series (obs.metrics_interval != 0): per-window ops,
+  /// latency p50/p99, aborts and fallback acquisitions merged over threads.
+  obs::TimeSeries timeseries;
+  /// Hardware perf-counter readings per benchmark phase (obs.perf on a
+  /// native run; attempted stays false otherwise and the manifest omits it).
+  obs::PerfSample perf;
 };
 
 /// Runs the spec on the simulated multicore. Deterministic for a given spec.

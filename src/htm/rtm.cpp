@@ -61,6 +61,44 @@ bool rtm_supported() {
   return supported;
 }
 
+#if defined(EUNO_HAVE_RTM)
+// The hand-spelled layout must be the architectural one.
+static_assert(rtm_status::kStarted == _XBEGIN_STARTED);
+static_assert(rtm_status::kExplicit == _XABORT_EXPLICIT);
+static_assert(rtm_status::kRetry == _XABORT_RETRY);
+static_assert(rtm_status::kConflict == _XABORT_CONFLICT);
+static_assert(rtm_status::kCapacity == _XABORT_CAPACITY);
+static_assert(rtm_status::kDebug == _XABORT_DEBUG);
+static_assert(rtm_status::kNested == _XABORT_NESTED);
+static_assert(rtm_status::code_of(0xA2u << 24) == _XABORT_CODE(0xA2u << 24));
+#endif
+
+TxResult rtm_decode(unsigned status) {
+  TxResult r;
+  if (status == rtm_status::kStarted) {
+    r.reason = AbortReason::kNone;
+    return r;
+  }
+  if (status & rtm_status::kExplicit) {
+    r.xabort_payload = rtm_status::code_of(status);
+    if (r.xabort_payload == xabort_code::kFallbackLocked) {
+      r.reason = AbortReason::kLockBusy;
+      r.conflict = ConflictKind::kLockSubscription;
+    } else {
+      r.reason = AbortReason::kExplicit;
+    }
+  } else if (status & rtm_status::kConflict) {
+    r.reason = AbortReason::kConflict;
+  } else if (status & rtm_status::kCapacity) {
+    r.reason = AbortReason::kCapacity;
+  } else if (status & rtm_status::kNested) {
+    r.reason = AbortReason::kNested;
+  } else {
+    r.reason = AbortReason::kOther;
+  }
+  return r;
+}
+
 #if !defined(EUNO_HAVE_RTM)
 // Stubs: calling an explicit abort without RTM support is a programming
 // error; the native context only routes here when rtm_supported().

@@ -31,30 +31,6 @@ inline bool rtm_in_tx() { return _xtest(); }
 [[noreturn]] inline void rtm_abort_fallback_locked() { _xabort(0xA2); __builtin_unreachable(); }
 [[noreturn]] inline void rtm_abort_user() { _xabort(0xA3); __builtin_unreachable(); }
 
-/// Decode an _xbegin status word into the shared taxonomy.
-inline TxResult rtm_decode(unsigned status) {
-  TxResult r;
-  if (status == _XBEGIN_STARTED) {
-    r.reason = AbortReason::kNone;
-    return r;
-  }
-  if (status & _XABORT_EXPLICIT) {
-    r.xabort_payload = static_cast<std::uint8_t>(_XABORT_CODE(status));
-    r.reason = r.xabort_payload == xabort_code::kFallbackLocked
-                   ? AbortReason::kLockBusy
-                   : AbortReason::kExplicit;
-  } else if (status & _XABORT_CONFLICT) {
-    r.reason = AbortReason::kConflict;
-  } else if (status & _XABORT_CAPACITY) {
-    r.reason = AbortReason::kCapacity;
-  } else if (status & _XABORT_NESTED) {
-    r.reason = AbortReason::kNested;
-  } else {
-    r.reason = AbortReason::kOther;
-  }
-  return r;
-}
-
 #else  // !EUNO_HAVE_RTM
 
 inline constexpr bool kRtmCompiled = false;
@@ -64,9 +40,37 @@ inline bool rtm_in_tx() { return false; }
 [[noreturn]] void rtm_abort_inconsistent();
 [[noreturn]] void rtm_abort_fallback_locked();
 [[noreturn]] void rtm_abort_user();
-inline TxResult rtm_decode(unsigned) { return TxResult{AbortReason::kOther, 0, {}}; }
 
 #endif
+
+/// The architectural _xbegin status-word layout (Intel SDM vol. 1 §16.3.3),
+/// spelled out so decoding — and its unit tests — work in builds without
+/// -mrtm. rtm.cpp static-asserts these against the intrinsics' _XABORT_*
+/// constants whenever RTM is compiled in.
+namespace rtm_status {
+inline constexpr unsigned kStarted = ~0u;  // _XBEGIN_STARTED
+inline constexpr unsigned kExplicit = 1u << 0;
+inline constexpr unsigned kRetry = 1u << 1;  // hardware hints a retry may win
+inline constexpr unsigned kConflict = 1u << 2;
+inline constexpr unsigned kCapacity = 1u << 3;
+inline constexpr unsigned kDebug = 1u << 4;
+inline constexpr unsigned kNested = 1u << 5;
+/// Build / extract the 8-bit _xabort immediate carried in bits 31:24.
+constexpr unsigned with_code(unsigned status, std::uint8_t code) {
+  return status | (static_cast<unsigned>(code) << 24);
+}
+constexpr std::uint8_t code_of(unsigned status) {
+  return static_cast<std::uint8_t>(status >> 24);
+}
+}  // namespace rtm_status
+
+/// Decode an _xbegin status word into the shared abort taxonomy — the same
+/// buckets the simulated HTM reports, so native abort histograms and the
+/// simulator's are directly comparable. A kFallbackLocked explicit abort is
+/// the lock-elision protocol signal: it maps to kLockBusy and is attributed
+/// as a lock-subscription conflict (the only conflict cause the native side
+/// can identify with certainty).
+TxResult rtm_decode(unsigned status);
 
 /// True if this CPU both enumerates RTM and can actually commit a trial
 /// transaction (detects microcode-disabled TSX). Result is cached.

@@ -121,12 +121,7 @@ class LatencyHistogram {
   std::uint32_t sample_shift_ = 0;
 };
 
-/// Per-thread observation sink handed to the contexts and the op loop; owns
-/// the two hot-path histograms so recording needs no locks (one ThreadObs per
-/// simulated thread, merged by the driver after the run).
-struct ThreadObs {
-  LatencyHistogram op_latency;    // simulated cycles per completed operation
-  LatencyHistogram abort_wasted;  // cycles wasted per aborted attempt
-};
+// ThreadObs (the per-thread sink bundling these histograms with the windowed
+// series) lives in obs/timeseries.hpp.
 
 }  // namespace euno::obs

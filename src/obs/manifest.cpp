@@ -139,7 +139,68 @@ void write_spec(JsonWriter& w, const driver::ExperimentSpec& s) {
   w.kv("latency", s.obs.latency);
   w.kv("contention", s.obs.contention);
   w.kv("trace", s.obs.trace);
+  // Keys below are conditional so manifests from runs predating these
+  // channels — including every golden fixture — stay byte-identical.
+  if (s.obs.metrics_interval != 0) {
+    w.kv("metrics_interval", s.obs.metrics_interval);
+  }
+  if (s.obs.perf) w.kv("perf", true);
   w.end_object();
+  w.end_object();
+}
+
+void write_timeseries(JsonWriter& w, const TimeSeries& ts) {
+  w.key("timeseries");
+  w.begin_object();
+  w.kv("interval", ts.interval);
+  w.kv("unit", ts.unit.c_str());
+  w.key("windows");
+  w.begin_array();
+  for (const auto& win : ts.windows) {
+    w.begin_object();
+    w.kv("index", win.index);
+    w.kv("ops", win.ops);
+    w.kv("aborts", win.aborts);
+    w.kv("fallbacks", win.fallbacks);
+    w.kv("lat_mean",
+         win.ops == 0 ? 0.0
+                      : static_cast<double>(win.lat_sum) /
+                            static_cast<double>(win.ops),
+         1);
+    w.kv("lat_max", win.lat_max);
+    w.kv("lat_p50", win.lat_p50);
+    w.kv("lat_p99", win.lat_p99);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_perf(JsonWriter& w, const PerfSample& p) {
+  w.key("perf");
+  w.begin_object();
+  w.key("phases");
+  w.begin_array();
+  for (const auto& phase : p.phases) {
+    w.begin_object();
+    w.kv("phase", phase.phase.c_str());
+    w.key("counters");
+    w.begin_array();
+    for (const auto& c : phase.counters) {
+      w.begin_object();
+      w.kv("name", c.name.c_str());
+      w.kv("available", c.available);
+      if (c.available) {
+        w.kv("value", c.value);
+      } else {
+        w.kv("error", c.error.c_str());
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -211,6 +272,8 @@ void write_result(JsonWriter& w, const driver::ExperimentResult& r) {
     w.end_object();
   }
   w.end_array();
+  if (r.timeseries.enabled()) write_timeseries(w, r.timeseries);
+  if (r.perf.attempted) write_perf(w, r.perf);
   w.end_object();
 }
 

@@ -12,6 +12,8 @@
 // (enforced by obs_overhead_test).
 #pragma once
 
+#include <cstdint>
+
 #ifndef EUNO_OBS_ENABLED
 #define EUNO_OBS_ENABLED 1
 #endif
@@ -30,8 +32,17 @@ struct ObsOptions {
   bool contention = false;
   /// Transaction event trace (Chrome trace-event export via --trace=FILE).
   bool trace = false;
+  /// Windowed time-series metrics: the window length in the context's clock
+  /// unit (native: wall nanoseconds; sim: simulated cycles). 0 = channel off.
+  std::uint64_t metrics_interval = 0;
+  /// Hardware perf-counter sampling per benchmark phase (native runs only;
+  /// degrades gracefully when perf_event_open is denied).
+  bool perf = false;
 
-  bool any() const { return kCompiledIn && (latency || contention || trace); }
+  bool any() const {
+    return kCompiledIn &&
+           (latency || contention || trace || metrics_interval != 0 || perf);
+  }
 };
 
 }  // namespace euno::obs

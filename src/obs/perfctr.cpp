@@ -1,0 +1,207 @@
+#include "obs/perfctr.hpp"
+
+#include <cerrno>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace euno::obs {
+
+const PerfCounter* PerfSample::find(const std::string& phase,
+                                    const std::string& name) const {
+  for (const auto& p : phases) {
+    if (p.phase != phase) continue;
+    for (const auto& c : p.counters) {
+      if (c.name == name) return &c;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Stable errno spelling for the manifest (strerror text is locale- and
+/// libc-dependent; these names are what the degradation tests assert).
+const char* errno_name(int e) {
+  switch (e) {
+    case EPERM: return "EPERM";
+    case EACCES: return "EACCES";
+    case ENOENT: return "ENOENT";
+    case ENODEV: return "ENODEV";
+    case ENOSYS: return "ENOSYS";
+    case EINVAL: return "EINVAL";
+    case EMFILE: return "EMFILE";
+    case EBUSY: return "EBUSY";
+    default: return "errno";
+  }
+}
+
+}  // namespace
+
+#if defined(__linux__)
+
+namespace {
+
+long real_perf_open(void* attr, std::int32_t pid, std::int32_t cpu,
+                    std::int32_t group_fd, unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+struct EventDef {
+  const char* name;
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+// The RTM events are the Intel raw encodings RTM_RETIRED.START (umask 0x01,
+// event 0xC9) and RTM_RETIRED.ABORTED (umask 0x04, event 0xC9). On parts
+// without them the open fails (EINVAL/ENOENT) and the counters report
+// unavailable, which is the documented degradation.
+constexpr EventDef kEvents[] = {
+    {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {"llc_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {"rtm_starts", PERF_TYPE_RAW, 0x01C9},
+    {"rtm_aborts", PERF_TYPE_RAW, 0x04C9},
+};
+
+}  // namespace
+
+void PerfCounterGroup::open_all(OpenFn fn) {
+  for (const EventDef& ev : kEvents) {
+    Slot s;
+    s.name = ev.name;
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = ev.type;
+    attr.config = ev.config;
+    attr.disabled = 1;
+    // inherit makes threads spawned later count too. It is incompatible
+    // with PERF_FORMAT_GROUP reads, which is why each event gets its own
+    // fd instead of a counter group.
+    attr.inherit = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    errno = 0;
+    const long fd = fn(&attr, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/-1,
+                       /*flags=*/0);
+    if (fd < 0) {
+      s.error = errno_name(errno);
+    } else {
+      s.fd = static_cast<int>(fd);
+    }
+    slots_.push_back(std::move(s));
+  }
+}
+
+PerfCounterGroup::PerfCounterGroup() { open_all(&real_perf_open); }
+PerfCounterGroup::PerfCounterGroup(OpenFn open_fn) { open_all(open_fn); }
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (Slot& s : slots_) {
+    if (s.fd >= 0) close(s.fd);
+  }
+}
+
+void PerfCounterGroup::start() {
+  for (const Slot& s : slots_) {
+    if (s.fd < 0) continue;
+    ioctl(s.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(s.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfCounterGroup::stop() {
+  for (const Slot& s : slots_) {
+    if (s.fd >= 0) ioctl(s.fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+}
+
+PerfPhase PerfCounterGroup::sample(const std::string& phase) const {
+  PerfPhase out;
+  out.phase = phase;
+  for (const Slot& s : slots_) {
+    PerfCounter c;
+    c.name = s.name;
+    if (s.fd < 0) {
+      c.error = s.error;
+      out.counters.push_back(std::move(c));
+      continue;
+    }
+    // Layout per read_format: value, time_enabled, time_running.
+    std::uint64_t buf[3] = {0, 0, 0};
+    const ssize_t n = read(s.fd, buf, sizeof(buf));
+    if (n != static_cast<ssize_t>(sizeof(buf))) {
+      c.error = "EBADREAD";
+      out.counters.push_back(std::move(c));
+      continue;
+    }
+    c.available = true;
+    // Scale for multiplexing: the kernel rotates over-committed PMU events,
+    // so the raw count covers only time_running of time_enabled.
+    if (buf[2] != 0 && buf[2] < buf[1]) {
+      c.value = static_cast<std::uint64_t>(
+          static_cast<double>(buf[0]) * static_cast<double>(buf[1]) /
+          static_cast<double>(buf[2]));
+    } else {
+      c.value = buf[0];
+    }
+    out.counters.push_back(std::move(c));
+  }
+  return out;
+}
+
+#else  // !__linux__
+
+// perf_event_open is Linux-only: every counter reports unavailable and the
+// lifecycle calls are no-ops, keeping callers platform-agnostic.
+
+void PerfCounterGroup::open_all(OpenFn) {
+  static constexpr const char* kNames[] = {"cycles", "instructions",
+                                           "llc_misses", "rtm_starts",
+                                           "rtm_aborts"};
+  for (const char* name : kNames) {
+    Slot s;
+    s.name = name;
+    s.error = errno_name(ENOSYS);
+    slots_.push_back(std::move(s));
+  }
+}
+
+PerfCounterGroup::PerfCounterGroup() { open_all(nullptr); }
+PerfCounterGroup::PerfCounterGroup(OpenFn open_fn) { open_all(open_fn); }
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::start() {}
+void PerfCounterGroup::stop() {}
+
+PerfPhase PerfCounterGroup::sample(const std::string& phase) const {
+  PerfPhase out;
+  out.phase = phase;
+  for (const Slot& s : slots_) {
+    PerfCounter c;
+    c.name = s.name;
+    c.error = s.error;
+    out.counters.push_back(std::move(c));
+  }
+  return out;
+}
+
+#endif  // __linux__
+
+bool PerfCounterGroup::any_available() const {
+  for (const Slot& s : slots_) {
+    if (s.fd >= 0) return true;
+  }
+  return false;
+}
+
+}  // namespace euno::obs

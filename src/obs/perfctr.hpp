@@ -1,0 +1,90 @@
+// Hardware perf-counter profiling hooks (tentpole b of the native-telemetry
+// work; DESIGN.md §13).
+//
+// PerfCounterGroup wraps perf_event_open(2) around a fixed event set —
+// cycles, instructions, LLC misses, and the Intel RTM_RETIRED.START /
+// RTM_RETIRED.ABORTED raw PMU events — counting this process and (via
+// inherit) every thread it spawns after the group is constructed. The driver
+// samples the group once per benchmark phase (preload, measure) and attaches
+// the readings to the ExperimentResult, keyed by phase, where the manifest
+// writer emits them per tree slug.
+//
+// Graceful degradation is the contract: when the syscall is denied (EPERM /
+// EACCES under perf_event_paranoid, ENOENT/ENOSYS where the PMU or syscall
+// is absent, EINVAL for unknown raw events on non-Intel parts) the counter
+// reports available=false with the errno name and the run continues
+// untouched. The constructor taking an OpenFn injects a fake syscall so the
+// degradation paths are unit-testable on any host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace euno::obs {
+
+/// One counter's reading (or its reason for being unavailable).
+struct PerfCounter {
+  std::string name;
+  bool available = false;
+  /// Multiplexing-scaled count (value * time_enabled / time_running).
+  std::uint64_t value = 0;
+  /// errno name when unavailable ("EPERM", "ENOENT", ...), empty otherwise.
+  std::string error;
+};
+
+/// All counters sampled over one benchmark phase.
+struct PerfPhase {
+  std::string phase;  // "preload", "measure", ...
+  std::vector<PerfCounter> counters;
+};
+
+/// The per-run perf record carried by ExperimentResult. attempted stays
+/// false when the obs.perf channel was off (the manifest omits the section).
+struct PerfSample {
+  bool attempted = false;
+  std::vector<PerfPhase> phases;
+
+  const PerfCounter* find(const std::string& phase,
+                          const std::string& name) const;
+};
+
+class PerfCounterGroup {
+ public:
+  /// Test seam mirroring perf_event_open(2); `attr` is an opaque pointer to
+  /// struct perf_event_attr. Returns an fd, or -1 with errno set.
+  using OpenFn = long (*)(void* attr, std::int32_t pid, std::int32_t cpu,
+                          std::int32_t group_fd, unsigned long flags);
+
+  /// Opens the event set with the real syscall. Construct before spawning
+  /// worker threads: the fds count child threads via inherit.
+  PerfCounterGroup();
+  /// Opens via `open_fn` instead of the real syscall (tests).
+  explicit PerfCounterGroup(OpenFn open_fn);
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when at least one counter opened.
+  bool any_available() const;
+  /// Zero and enable every open counter (phase start).
+  void start();
+  /// Disable every open counter (phase end).
+  void stop();
+  /// Read every counter. Counters that failed to open (or fail to read)
+  /// come back available=false with their errno name.
+  PerfPhase sample(const std::string& phase) const;
+
+ private:
+  struct Slot {
+    std::string name;
+    int fd = -1;
+    std::string error;
+  };
+
+  void open_all(OpenFn fn);
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace euno::obs

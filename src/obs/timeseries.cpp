@@ -1,0 +1,91 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace euno::obs {
+
+namespace {
+
+/// Accumulates one merged window across threads while grouping.
+struct Accum {
+  std::uint64_t ops = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t lat_sum = 0;
+  std::uint64_t lat_max = 0;
+  std::map<std::uint64_t, std::uint64_t> buckets;  // lower_bound -> count
+};
+
+/// Nearest-rank percentile over a sparse bucket map — the same method
+/// LatencyHistogram::percentile uses (rank = ceil(q*w) clamped to [1, w],
+/// answer = lower bound of the bucket holding that rank).
+std::uint64_t sparse_percentile(
+    const std::map<std::uint64_t, std::uint64_t>& buckets, std::uint64_t max,
+    double q) {
+  std::uint64_t w = 0;
+  for (const auto& [lower, count] : buckets) w += count;
+  if (w == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(w)));
+  if (rank < 1) rank = 1;
+  if (rank > w) rank = w;
+  std::uint64_t seen = 0;
+  for (const auto& [lower, count] : buckets) {
+    seen += count;
+    if (seen >= rank) return lower;
+  }
+  return max;
+}
+
+}  // namespace
+
+TimeSeries merge_series(std::uint64_t interval, const char* unit,
+                        const std::vector<ThreadObs>& threads) {
+  TimeSeries out;
+  if (interval == 0) return out;
+  out.interval = interval;
+  out.unit = unit;
+
+  std::map<std::uint64_t, Accum> by_index;
+  std::uint64_t end_index = 0;
+  bool any = false;
+  for (const auto& t : threads) {
+    if (!t.series.enabled()) continue;
+    any = true;
+    end_index = std::max(end_index, t.series.end_index());
+    for (const ThreadWindow& w : t.series.closed()) {
+      Accum& a = by_index[w.index];
+      a.ops += w.ops;
+      a.aborts += w.aborts;
+      a.fallbacks += w.fallbacks;
+      a.lat_sum += w.lat_sum;
+      a.lat_max = std::max(a.lat_max, w.lat_max);
+      for (const auto& [lower, count] : w.buckets) a.buckets[lower] += count;
+    }
+  }
+  if (!any) return TimeSeries{};
+
+  // Materialize every index 0..end_index so the series is contiguous in
+  // time; windows where no thread recorded anything come out all-zero.
+  out.windows.reserve(end_index + 1);
+  for (std::uint64_t i = 0; i <= end_index; ++i) {
+    TimeWindow w;
+    w.index = i;
+    const auto it = by_index.find(i);
+    if (it != by_index.end()) {
+      const Accum& a = it->second;
+      w.ops = a.ops;
+      w.aborts = a.aborts;
+      w.fallbacks = a.fallbacks;
+      w.lat_sum = a.lat_sum;
+      w.lat_max = a.lat_max;
+      w.lat_p50 = sparse_percentile(a.buckets, a.lat_max, 0.50);
+      w.lat_p99 = sparse_percentile(a.buckets, a.lat_max, 0.99);
+    }
+    out.windows.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace euno::obs

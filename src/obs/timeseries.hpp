@@ -1,0 +1,190 @@
+// Windowed time-series metrics (tentpole c of the native-telemetry work;
+// DESIGN.md §13).
+//
+// Each thread owns a WindowedSeries: fixed-interval windows (the interval is
+// in the context's clock unit — wall nanoseconds natively, simulated cycles
+// under the simulator) accumulating op count, latency sum/max, a latency
+// histogram, abort count and fallback acquisitions. Recording is lock-free
+// (one series per thread, like ThreadObs' histograms) and O(1): the current
+// window owns a LatencyHistogram that is snapshotted into sparse
+// (bucket_lower_bound, count) pairs and reset when the window rotates.
+//
+// After the run the driver merges all threads' closed windows by window index
+// into one TimeSeries — per-window throughput, p50/p99 latency (nearest-rank
+// over the merged sparse buckets, the same method LatencyHistogram uses),
+// abort rate and fallback count — which the manifest writer emits as the
+// `timeseries` section and scripts/report.py renders to HTML.
+//
+// Window semantics: an op is counted in the window its *completion* falls in
+// (an op straddling a boundary lands entirely in the later window — latency
+// is a property of the op, not splittable across windows). Gaps with no
+// activity on any thread materialize as all-zero windows in the merged
+// series, so the rendered x-axis is uniform time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace euno::obs {
+
+/// One closed window of a single thread's series (pre-merge form).
+struct ThreadWindow {
+  std::uint64_t index = 0;  // window number since the series origin
+  std::uint64_t ops = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t lat_sum = 0;
+  std::uint64_t lat_max = 0;
+  /// Sparse latency distribution: (bucket_lower_bound, count) pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+class WindowedSeries {
+ public:
+  /// Arm the series: windows of `interval` clock units starting at `origin`.
+  /// interval == 0 leaves the series disabled (every record call no-ops).
+  void configure(std::uint64_t interval, std::uint64_t origin) {
+    interval_ = kCompiledIn ? interval : 0;
+    origin_ = origin;
+    cur_index_ = 0;
+    end_index_ = 0;
+    closed_.clear();
+    reset_current();
+  }
+
+  bool enabled() const { return interval_ != 0; }
+  std::uint64_t interval() const { return interval_; }
+
+  /// Count one completed op: `end_ts` is its completion timestamp (same
+  /// clock as the origin), `latency` its duration.
+  void record_op(std::uint64_t end_ts, std::uint64_t latency) {
+    if (!enabled()) return;
+    roll_to(index_of(end_ts));
+    ops_++;
+    lat_sum_ += latency;
+    if (latency > lat_max_) lat_max_ = latency;
+    hist_.record(latency);
+  }
+
+  void note_abort(std::uint64_t ts) {
+    if (!enabled()) return;
+    roll_to(index_of(ts));
+    aborts_++;
+  }
+
+  void note_fallback(std::uint64_t ts) {
+    if (!enabled()) return;
+    roll_to(index_of(ts));
+    fallbacks_++;
+  }
+
+  /// Close the current window at end-of-run. `ts` extends the series span
+  /// (a thread idle since window k still stretches the merged series to the
+  /// run's end, as empty windows).
+  void finish(std::uint64_t ts) {
+    if (!enabled()) return;
+    const std::uint64_t idx = index_of(ts);
+    if (idx > end_index_) end_index_ = idx;
+    close_current();
+  }
+
+  /// Closed windows in index order (strictly increasing; empty windows are
+  /// omitted — merge materializes them).
+  const std::vector<ThreadWindow>& closed() const { return closed_; }
+  /// Highest window index this thread's clock reached.
+  std::uint64_t end_index() const { return end_index_; }
+
+ private:
+  std::uint64_t index_of(std::uint64_t ts) const {
+    return ts <= origin_ ? 0 : (ts - origin_) / interval_;
+  }
+
+  void roll_to(std::uint64_t idx) {
+    if (idx > end_index_) end_index_ = idx;
+    // A timestamp landing before the current window (cross-thread TSC skew
+    // is bounded but not zero) folds into the current window rather than
+    // reopening a closed one.
+    if (idx <= cur_index_) return;
+    close_current();
+    cur_index_ = idx;
+  }
+
+  void close_current() {
+    if (ops_ == 0 && aborts_ == 0 && fallbacks_ == 0) return;
+    ThreadWindow w;
+    w.index = cur_index_;
+    w.ops = ops_;
+    w.aborts = aborts_;
+    w.fallbacks = fallbacks_;
+    w.lat_sum = lat_sum_;
+    w.lat_max = lat_max_;
+    hist_.for_each_bucket([&](std::uint64_t lower, std::uint64_t count) {
+      w.buckets.emplace_back(lower, count);
+    });
+    closed_.push_back(std::move(w));
+    reset_current();
+  }
+
+  void reset_current() {
+    ops_ = 0;
+    aborts_ = 0;
+    fallbacks_ = 0;
+    lat_sum_ = 0;
+    lat_max_ = 0;
+    hist_.reset();
+  }
+
+  std::uint64_t interval_ = 0;
+  std::uint64_t origin_ = 0;
+  std::uint64_t cur_index_ = 0;
+  std::uint64_t end_index_ = 0;
+  std::uint64_t ops_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t lat_sum_ = 0;
+  std::uint64_t lat_max_ = 0;
+  LatencyHistogram hist_;
+  std::vector<ThreadWindow> closed_;
+};
+
+/// One window of the merged, all-threads series (the manifest form).
+struct TimeWindow {
+  std::uint64_t index = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t lat_sum = 0;
+  std::uint64_t lat_max = 0;
+  std::uint64_t lat_p50 = 0;
+  std::uint64_t lat_p99 = 0;
+};
+
+/// The merged run-level series carried by ExperimentResult.
+struct TimeSeries {
+  std::uint64_t interval = 0;  // 0 = channel was off
+  std::string unit;            // "ns" (native) or "cycles" (sim)
+  std::vector<TimeWindow> windows;  // contiguous indexes 0..N, gaps included
+
+  bool enabled() const { return interval != 0; }
+};
+
+/// Per-thread observation sink handed to the contexts and the op loop; owns
+/// the hot-path histograms and the windowed series so recording needs no
+/// locks (one ThreadObs per thread, merged by the driver after the run).
+struct ThreadObs {
+  LatencyHistogram op_latency;    // cycles (sim) / ns (native) per op
+  LatencyHistogram abort_wasted;  // wasted per aborted attempt
+  WindowedSeries series;          // windowed time-series channel
+};
+
+/// Merge every thread's closed windows into one contiguous series.
+/// `interval` and `unit` label the result; threads whose series were never
+/// configured contribute nothing.
+TimeSeries merge_series(std::uint64_t interval, const char* unit,
+                        const std::vector<ThreadObs>& threads);
+
+}  // namespace euno::obs

@@ -258,15 +258,15 @@ bool write_chrome_trace(const char* path,
       // latter may straddle the former, so they can't share a track).
       const int tid_ops = core * 2;
       const int tid_sched = core * 2 + 1;
-      char lane[32];
-      std::snprintf(lane, sizeof(lane), "core %d", core);
+      char lane[48];
+      std::snprintf(lane, sizeof(lane), "%s %d", proc.lane, core);
       emit_meta(w, pid, tid_ops, "thread_name", lane);
       for (const auto& s : tl.spans) emit_span(w, pid, tid_ops, proc.ghz, s);
       for (const auto& ev : tl.instants) {
         emit_instant(w, pid, tid_ops, proc.ghz, ev);
       }
       if (!tl.run_spans.empty()) {
-        std::snprintf(lane, sizeof(lane), "core %d sched", core);
+        std::snprintf(lane, sizeof(lane), "%s %d sched", proc.lane, core);
         emit_meta(w, pid, tid_sched, "thread_name", lane);
         for (const auto& s : tl.run_spans) {
           emit_span(w, pid, tid_sched, proc.ghz, s);

@@ -49,6 +49,10 @@ struct TraceProcess {
   std::string name;
   double ghz = 2.3;
   const std::vector<TraceEvent>* events = nullptr;
+  /// Lane-name prefix: "core" for simulated streams (ring index = core id),
+  /// "thread" for native streams (ring index = thread id, timestamps in wall
+  /// nanoseconds — pair with ghz = 1.0 so cycles→µs division is ns→µs).
+  const char* lane = "core";
 };
 
 /// Writes all processes into one Chrome trace-event JSON file.

@@ -71,7 +71,8 @@ namespace {
 
 constexpr const char* kUsage =
     "flags: --csv  --quick  --ops=<per-thread>  --keys=<range>  --seed=<n>  "
-    "--jobs=<n|auto>  --tree=<registry-name>  --trace=<file>  --json=<file>\n";
+    "--jobs=<n|auto>  --tree=<registry-name>  --trace=<file>  --json=<file>  "
+    "--native  --metrics-interval=<clock-units>  --perf\n";
 
 [[noreturn]] void usage_error(const char* arg) {
   std::fprintf(stderr, "unrecognized or malformed flag: %s\n%s", arg, kUsage);
@@ -134,6 +135,13 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (const char* v7 = value("--tree=")) {
       if (*v7 == '\0') usage_error(arg);
       a.tree = v7;
+    } else if (std::strcmp(arg, "--native") == 0) {
+      a.native = true;
+    } else if (const char* v8 = value("--metrics-interval=")) {
+      a.metrics_interval = parse_u64(arg, v8);
+      if (a.metrics_interval == 0) usage_error(arg);
+    } else if (std::strcmp(arg, "--perf") == 0) {
+      a.perf = true;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::fputs(kUsage, stdout);
       std::exit(0);

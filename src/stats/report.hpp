@@ -51,6 +51,16 @@ struct BenchArgs {
   /// registry (bench::selected_tree_kinds), which exits 2 and prints the
   /// registered list on an unknown name.
   std::string tree;
+  /// `--native`: run the sweep on the native engine (real threads, real RTM
+  /// when present) instead of the simulator. Native sweeps run sequentially
+  /// regardless of --jobs (the points would contend for the same cores).
+  bool native = false;
+  /// `--metrics-interval=N`: windowed time-series channel, window length N in
+  /// the engine's clock unit (wall ns native, simulated cycles sim). 0 = off.
+  std::uint64_t metrics_interval = 0;
+  /// `--perf`: sample hardware perf counters per benchmark phase (native
+  /// engine; degrades to `available: false` when perf_event_open is denied).
+  bool perf = false;
 
   /// Strict: an unknown flag or malformed numeric value prints usage to
   /// stderr and exits with status 2 (well-formed out-of-range --jobs values

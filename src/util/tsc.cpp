@@ -1,0 +1,89 @@
+#include "util/tsc.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#include <x86intrin.h>
+#endif
+
+namespace euno::util {
+
+namespace {
+
+std::uint64_t fallback_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if defined(__x86_64__)
+bool invariant_tsc() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_max(0x80000000u, nullptr) < 0x80000007u) return false;
+  __cpuid(0x80000007u, eax, ebx, ecx, edx);
+  return (edx & (1u << 8)) != 0;  // CPUID.80000007H:EDX.InvariantTSC[bit 8]
+}
+#endif
+
+/// Calibration state, fixed once at first use (Meyers singleton below).
+struct TscClock {
+  bool use_tsc = false;
+  double ns_per_tick = 0.0;
+  std::uint64_t base_tsc = 0;
+  std::uint64_t base_ns = 0;
+
+  TscClock() {
+#if defined(__x86_64__)
+    const char* no_tsc = std::getenv("EUNO_NO_TSC");
+    if (no_tsc != nullptr && no_tsc[0] != '\0' && no_tsc[0] != '0') return;
+    if (!invariant_tsc()) return;
+    // Calibrate against the fallback clock over a ~2 ms window: long enough
+    // that clock_gettime's own latency (tens of ns at each edge) is noise,
+    // short enough to be invisible at process start.
+    const std::uint64_t ns0 = fallback_ns();
+    const std::uint64_t t0 = __rdtsc();
+    std::uint64_t ns1 = ns0;
+    std::uint64_t t1 = t0;
+    while (ns1 - ns0 < 2'000'000) {
+      ns1 = fallback_ns();
+      t1 = __rdtsc();
+    }
+    if (t1 <= t0) return;  // TSC not advancing: stay on the fallback
+    ns_per_tick = static_cast<double>(ns1 - ns0) / static_cast<double>(t1 - t0);
+    base_tsc = t1;
+    base_ns = ns1;
+    use_tsc = true;
+#endif
+  }
+};
+
+const TscClock& tsc_clock() {
+  static const TscClock clock;
+  return clock;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() {
+  const TscClock& c = tsc_clock();
+#if defined(__x86_64__)
+  if (c.use_tsc) {
+    const std::uint64_t ticks = __rdtsc() - c.base_tsc;
+    return c.base_ns +
+           static_cast<std::uint64_t>(static_cast<double>(ticks) * c.ns_per_tick);
+  }
+#endif
+  return fallback_ns();
+}
+
+bool tsc_calibrated() { return tsc_clock().use_tsc; }
+
+double tsc_ghz() {
+  const TscClock& c = tsc_clock();
+  return c.use_tsc ? 1.0 / c.ns_per_tick : 0.0;
+}
+
+}  // namespace euno::util

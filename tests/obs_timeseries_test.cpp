@@ -1,0 +1,175 @@
+// Windowed time-series tests: rotation edge cases (empty windows, ops
+// straddling a window boundary, the final partial window, cross-thread TSC
+// skew) and the merge into the run-level TimeSeries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace euno {
+namespace {
+
+using obs::ThreadObs;
+using obs::TimeSeries;
+using obs::WindowedSeries;
+
+TEST(WindowedSeries, DisabledSeriesCollectsNothing) {
+  WindowedSeries s;  // never configured
+  EXPECT_FALSE(s.enabled());
+  s.record_op(100, 10);
+  s.note_abort(150);
+  s.finish(1000);
+  EXPECT_TRUE(s.closed().empty());
+  EXPECT_EQ(s.end_index(), 0u);
+
+  s.configure(0, 0);  // interval 0 = explicitly off
+  EXPECT_FALSE(s.enabled());
+}
+
+TEST(WindowedSeries, SingleWindowAccumulates) {
+  WindowedSeries s;
+  s.configure(1000, 0);
+  ASSERT_TRUE(s.enabled());
+  s.record_op(100, 40);
+  s.record_op(200, 10);
+  s.note_abort(250);
+  s.note_fallback(300);
+  EXPECT_TRUE(s.closed().empty()) << "current window closes only on rotation";
+  s.finish(900);
+  ASSERT_EQ(s.closed().size(), 1u);
+  const auto& w = s.closed()[0];
+  EXPECT_EQ(w.index, 0u);
+  EXPECT_EQ(w.ops, 2u);
+  EXPECT_EQ(w.aborts, 1u);
+  EXPECT_EQ(w.fallbacks, 1u);
+  EXPECT_EQ(w.lat_sum, 50u);
+  EXPECT_EQ(w.lat_max, 40u);
+  EXPECT_FALSE(w.buckets.empty());
+}
+
+TEST(WindowedSeries, OpStraddlingBoundaryLandsInCompletionWindow) {
+  WindowedSeries s;
+  s.configure(100, 0);
+  // Started in window 0, finished at ts=105 (window 1): counted in window 1.
+  s.record_op(105, 50);
+  // A timestamp exactly on the boundary belongs to the window it opens.
+  s.record_op(200, 10);  // window 2
+  s.finish(250);
+  ASSERT_EQ(s.closed().size(), 2u);
+  EXPECT_EQ(s.closed()[0].index, 1u);
+  EXPECT_EQ(s.closed()[0].ops, 1u);
+  EXPECT_EQ(s.closed()[1].index, 2u);
+  EXPECT_EQ(s.closed()[1].ops, 1u);
+}
+
+TEST(WindowedSeries, EmptyWindowsAreOmittedPerThread) {
+  WindowedSeries s;
+  s.configure(10, 0);
+  s.record_op(5, 1);    // window 0
+  s.record_op(95, 1);   // window 9; windows 1..8 stay empty
+  s.finish(99);
+  ASSERT_EQ(s.closed().size(), 2u);
+  EXPECT_EQ(s.closed()[0].index, 0u);
+  EXPECT_EQ(s.closed()[1].index, 9u);
+  EXPECT_EQ(s.end_index(), 9u);
+}
+
+TEST(WindowedSeries, FinishClosesPartialWindowAndExtendsSpan) {
+  WindowedSeries s;
+  s.configure(100, 0);
+  s.record_op(120, 5);  // window 1, still open
+  // The run ran until ts=460 (window 4) even though this thread went idle.
+  s.finish(460);
+  ASSERT_EQ(s.closed().size(), 1u);
+  EXPECT_EQ(s.closed()[0].index, 1u);
+  EXPECT_EQ(s.end_index(), 4u);
+}
+
+TEST(WindowedSeries, EarlyTimestampFoldsIntoCurrentWindow) {
+  WindowedSeries s;
+  s.configure(100, 0);
+  s.record_op(250, 5);  // rotates to window 2
+  // Bounded clock skew: a timestamp from a closed window must not reopen
+  // it — it folds into the current window.
+  s.record_op(110, 7);
+  s.note_abort(50);
+  s.finish(299);
+  ASSERT_EQ(s.closed().size(), 1u);
+  EXPECT_EQ(s.closed()[0].index, 2u);
+  EXPECT_EQ(s.closed()[0].ops, 2u);
+  EXPECT_EQ(s.closed()[0].aborts, 1u);
+}
+
+TEST(WindowedSeries, TimestampsBeforeOriginLandInWindowZero) {
+  WindowedSeries s;
+  s.configure(100, 5000);
+  s.record_op(4990, 3);  // before the origin: window 0, not an underflow
+  s.finish(5010);
+  ASSERT_EQ(s.closed().size(), 1u);
+  EXPECT_EQ(s.closed()[0].index, 0u);
+}
+
+TEST(MergeSeries, MaterializesGapsAndMergesThreads) {
+  std::vector<ThreadObs> threads(2);
+  threads[0].series.configure(100, 0);
+  threads[1].series.configure(100, 0);
+  threads[0].series.record_op(50, 10);   // window 0
+  threads[0].series.record_op(260, 30);  // window 2
+  threads[1].series.record_op(70, 20);   // window 0
+  threads[1].series.note_fallback(150);  // window 1
+  threads[0].series.finish(399);         // span reaches window 3
+  threads[1].series.finish(250);
+  const TimeSeries ts = obs::merge_series(100, "ns", threads);
+  ASSERT_TRUE(ts.enabled());
+  EXPECT_EQ(ts.interval, 100u);
+  EXPECT_EQ(ts.unit, "ns");
+  // Contiguous 0..3 — window 3 is empty but materialized (uniform x-axis).
+  ASSERT_EQ(ts.windows.size(), 4u);
+  for (std::size_t i = 0; i < ts.windows.size(); ++i) {
+    EXPECT_EQ(ts.windows[i].index, i);
+  }
+  EXPECT_EQ(ts.windows[0].ops, 2u);
+  EXPECT_EQ(ts.windows[0].lat_sum, 30u);
+  EXPECT_EQ(ts.windows[0].lat_max, 20u);
+  EXPECT_EQ(ts.windows[1].ops, 0u);
+  EXPECT_EQ(ts.windows[1].fallbacks, 1u);
+  EXPECT_EQ(ts.windows[2].ops, 1u);
+  EXPECT_EQ(ts.windows[3].ops, 0u);
+  std::uint64_t total = 0;
+  for (const auto& w : ts.windows) total += w.ops;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(MergeSeries, PercentilesComeFromMergedBuckets) {
+  std::vector<ThreadObs> threads(2);
+  threads[0].series.configure(1000, 0);
+  threads[1].series.configure(1000, 0);
+  // Nine fast ops and one slow one: p50 must sit in the fast bucket, p99 in
+  // the slow one, p50 <= p99 <= lat_max.
+  for (int i = 0; i < 5; ++i) threads[0].series.record_op(10, 8);
+  for (int i = 0; i < 4; ++i) threads[1].series.record_op(10, 8);
+  threads[1].series.record_op(20, 10000);
+  threads[0].series.finish(999);
+  threads[1].series.finish(999);
+  const TimeSeries ts = obs::merge_series(1000, "cycles", threads);
+  ASSERT_EQ(ts.windows.size(), 1u);
+  const auto& w = ts.windows[0];
+  EXPECT_EQ(w.ops, 10u);
+  EXPECT_EQ(w.lat_max, 10000u);
+  EXPECT_LE(w.lat_p50, 8u);
+  EXPECT_GT(w.lat_p99, 8u);
+  EXPECT_LE(w.lat_p50, w.lat_p99);
+  EXPECT_LE(w.lat_p99, w.lat_max);
+}
+
+TEST(MergeSeries, NoEnabledThreadYieldsDisabledSeries) {
+  std::vector<ThreadObs> threads(3);  // none configured
+  const TimeSeries ts = obs::merge_series(100, "ns", threads);
+  EXPECT_FALSE(ts.enabled());
+  EXPECT_TRUE(ts.windows.empty());
+}
+
+}  // namespace
+}  // namespace euno

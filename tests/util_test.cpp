@@ -2,6 +2,7 @@
 // accounting, epoch-based reclamation.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <set>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
 #include "util/topology.hpp"
+#include "util/tsc.hpp"
 
 namespace euno {
 namespace {
@@ -212,6 +214,39 @@ TEST(Topology, PaperTestbedLayout) {
   EXPECT_EQ(t.socket_of(19), 1);
   EXPECT_TRUE(t.same_socket(3, 7));
   EXPECT_FALSE(t.same_socket(3, 13));
+}
+
+TEST(Tsc, MonotonicNsNeverGoesBackwards) {
+  std::uint64_t prev = util::monotonic_ns();
+  EXPECT_GT(prev, 0u);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t now = util::monotonic_ns();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Tsc, ClockActuallyAdvances) {
+  const std::uint64_t t0 = util::monotonic_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const std::uint64_t t1 = util::monotonic_ns();
+  const std::uint64_t elapsed = t1 - t0;
+  // Sleep granularity is sloppy upward; the floor is what calibration must
+  // get right (a mis-calibrated tick rate would read far under 5 ms).
+  EXPECT_GE(elapsed, 4'000'000u);
+  EXPECT_LT(elapsed, 60'000'000'000u);
+}
+
+TEST(Tsc, CalibrationStateIsCoherent) {
+  const bool calibrated = util::tsc_calibrated();
+  if (calibrated) {
+    EXPECT_GT(util::tsc_ghz(), 0.1);
+    EXPECT_LT(util::tsc_ghz(), 10.0);
+  } else {
+    // steady_clock fallback (no invariant TSC, or EUNO_NO_TSC=1)
+    EXPECT_EQ(util::tsc_ghz(), 0.0);
+  }
+  EXPECT_EQ(util::tsc_calibrated(), calibrated) << "probe must be stable";
 }
 
 }  // namespace
