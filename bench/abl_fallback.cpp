@@ -77,36 +77,77 @@ int main(int argc, char** argv) {
     specs.push_back(with_policy(r.spec, naive));
     specs.push_back(with_policy(r.spec, hardened));
   }
+
+  // Three-path appendix: the same hostile regime against 3path-bptree,
+  // whose staged descent (fast → middle+slow → terminal lock-only)
+  // replaces global-lock degradation as the terminal mode. Two entries:
+  // the hardened preset (the monitor never trips; middle/slow absorb the
+  // storm and the global lock stays untouched) and a hair-trigger health
+  // window mirroring the lin degrade specs, which must walk the full
+  // two-stage descent to terminal — the row where degr reports 2.
+  const std::size_t kPairedCount = specs.size();
+  {
+    auto hostile = spec;
+    hostile.tree = driver::TreeKind::kThreePathBPTree;
+    hostile.machine.htm.mutual_abort_pct = 100;
+    hostile.machine.fault.bursts = {{10000, 8000, 100}, {40000, 8000, 100}};
+    specs.push_back(with_policy(hostile, hardened));
+    htm::RetryPolicy trigger = hardened;
+    trigger.health_window = 16;
+    trigger.health_min_commit_pct = 100;
+    specs.push_back(with_policy(hostile, trigger));
+  }
+
   const auto results = bench::run_figure_sweep(specs, args);
   bench::emit_artifacts(args, "abl_fallback", specs, results);
 
   stats::Table table({"regime", "policy", "mops", "ab/op", "fallbacks",
                       "lock_wait", "backoff", "timeouts", "starv", "degr",
-                      "faults"});
+                      "middle", "slow", "faults"});
+  const auto add_result_row = [&table](const std::string& regime,
+                                       const std::string& policy,
+                                       const driver::ExperimentResult& r) {
+    const std::uint64_t faults = r.faults_spurious + r.faults_burst +
+                                 r.faults_lock_delay +
+                                 r.fault_capacity_phases;
+    table.add_row({regime, policy, stats::Table::num(r.throughput_mops),
+                   stats::Table::num(r.aborts_per_op),
+                   std::to_string(r.fallbacks),
+                   std::to_string(r.lock_wait_cycles),
+                   std::to_string(r.backoff_cycles),
+                   std::to_string(r.lock_wait_timeouts),
+                   std::to_string(r.starvation_escapes),
+                   std::to_string(r.degradations),
+                   std::to_string(r.middle_commits),
+                   std::to_string(r.slow_path_ops), std::to_string(faults)});
+  };
   for (std::size_t i = 0; i < regimes.size(); ++i) {
     for (int h = 0; h < 2; ++h) {
-      const auto& r = results[2 * i + static_cast<std::size_t>(h)];
-      const std::uint64_t faults = r.faults_spurious + r.faults_burst +
-                                   r.faults_lock_delay +
-                                   r.fault_capacity_phases;
-      table.add_row({regimes[i].name, h == 0 ? "naive" : "hardened",
-                     stats::Table::num(r.throughput_mops),
-                     stats::Table::num(r.aborts_per_op),
-                     std::to_string(r.fallbacks),
-                     std::to_string(r.lock_wait_cycles),
-                     std::to_string(r.backoff_cycles),
-                     std::to_string(r.lock_wait_timeouts),
-                     std::to_string(r.starvation_escapes),
-                     std::to_string(r.degradations),
-                     std::to_string(faults)});
+      add_result_row(regimes[i].name, h == 0 ? "naive" : "hardened",
+                     results[2 * i + static_cast<std::size_t>(h)]);
     }
   }
+  add_result_row("3path-hostile", "hardened", results[kPairedCount]);
+  add_result_row("3path-hostile", "hairtrigger", results[kPairedCount + 1]);
   table.print(args.csv);
 
+  // Machine-checkable from the exit status: the hair-trigger run must show
+  // the full staged descent (two stage flips) ending terminal.
+  const auto& tp_trigger = results[kPairedCount + 1];
+  if (tp_trigger.degradations != 2) {
+    std::fprintf(stderr,
+                 "abl_fallback: three-path hair-trigger run recorded %llu "
+                 "degradations, expected the full 2-stage descent\n",
+                 static_cast<unsigned long long>(tp_trigger.degradations));
+    return 1;
+  }
+
   // The headline comparison, machine-checkable from the exit status: under
-  // the hostile regime the hardened policy must not serialize more.
-  const auto& last_naive = results[results.size() - 2];
-  const auto& last_hard = results[results.size() - 1];
+  // the hostile regime the hardened policy must not serialize more. The
+  // indices deliberately address the paired section, not the three-path
+  // appendix rows behind it.
+  const auto& last_naive = results[kPairedCount - 2];
+  const auto& last_hard = results[kPairedCount - 1];
   if (last_naive.fallbacks > 0 && last_hard.fallbacks >= last_naive.fallbacks) {
     std::fprintf(stderr,
                  "abl_fallback: hardened policy did not reduce fallbacks "

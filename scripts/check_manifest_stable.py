@@ -21,6 +21,37 @@ channel perturbed the simulation.
 import json
 import sys
 
+# Conditional result keys: the manifest writer emits these only when nonzero
+# (they exist solely for the multi-path / copy-on-write policies, e.g.
+# rcu-bptree and 3path-bptree). A pre-existing golden was generated before
+# these counters existed, so the produced manifest must not contain any
+# conditional key the golden lacks — if it does, a policy counter leaked
+# into a tree that should never produce one, and the diagnostic should say
+# so by name rather than as a generic structural diff.
+CONDITIONAL_KEYS = (
+    "validation_failures",
+    "middle_attempts",
+    "middle_commits",
+    "slow_path_ops",
+    "epoch_retired",
+)
+
+
+def conditional_key_leaks(produced, golden):
+    """Conditional keys present in a produced sweep point but absent from the
+    matching golden point. Returns a list of '(point, key)' descriptions."""
+    leaks = []
+    gold_sweep = golden.get("sweep", [])
+    for i, point in enumerate(produced.get("sweep", [])):
+        res = point.get("result")
+        gold_res = gold_sweep[i].get("result") if i < len(gold_sweep) else {}
+        if not isinstance(res, dict) or not isinstance(gold_res, dict):
+            continue
+        for key in CONDITIONAL_KEYS:
+            if key in res and key not in gold_res:
+                leaks.append(f"sweep[{i}].result.{key}")
+    return leaks
+
 
 def strip_obs_config(doc):
     """Removes spec.obs from every sweep point (mutates and returns doc)."""
@@ -77,8 +108,16 @@ def main():
               file=sys.stderr)
         return 1
 
+    golden = json.loads(golden_bytes)
+    leaks = conditional_key_leaks(produced, golden)
+    if leaks:
+        print(f"FAIL: {produced_path} emits conditional policy counters the "
+              f"golden {golden_path} predates", file=sys.stderr)
+        for leak in leaks:
+            print(f"  leaked key: {leak}", file=sys.stderr)
+        return 1
+
     if ignore_obs:
-        golden = json.loads(golden_bytes)
         diff = first_diff(strip_obs_config(produced), strip_obs_config(golden))
         if diff:
             print(f"FAIL: {produced_path} differs from golden {golden_path} "
@@ -96,7 +135,6 @@ def main():
               f" {produced['points']} points, {len(golden_bytes)} bytes)")
         return 0
 
-    golden = json.loads(golden_bytes)
     diff = first_diff(produced, golden)
     print(f"FAIL: {produced_path} differs from golden {golden_path}",
           file=sys.stderr)

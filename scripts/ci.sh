@@ -20,16 +20,22 @@
 # speedups below their floors, or any bit-identity tripwire.
 #
 # The tsan job rebuilds with -DEUNO_TSAN=ON and runs the `parallel` label
-# (the OS-thread sweep runner) plus the `lin` label (the linearizability
-# suite, whose lin_explore fixture fans runs out across threads via --jobs).
+# (the OS-thread sweep runner), the `lin` label (the linearizability suite,
+# whose lin_explore fixture fans runs out across threads via --jobs), and
+# the `conformance` label, whose native concurrent stresses now cover the
+# epoch-reclaiming rcu-bptree and announce-word three-path policies — both
+# built on cross-thread handshakes TSan can audit directly.
 # The asan job rebuilds with -DEUNO_ASAN=ON and runs the `fault` label (the
-# HTM fault-injection campaigns and the hardened retry/fallback paths, whose
-# abort/rollback churn is exactly where lifetime bugs would hide).
+# HTM fault-injection campaigns, the hardened retry/fallback paths, and the
+# RCU reclamation battery whose native soak makes a premature free a real
+# heap use-after-free — exactly what ASan exists to catch).
 # The ubsan job rebuilds with -DEUNO_UBSAN=ON (UBSan alone, no ASan shadow)
 # and runs the `conformance` label — the per-tree suites plus the
 # registry-driven sweep over every registered structure, where layout-layer
 # arithmetic (bitmask shifts, placement news, union reinterpretation) would
-# surface UB — together with the `fault` label.
+# surface UB — together with the `fault` and `lin` labels (the mutation
+# self-tests exercise deliberately broken splice/handshake paths, the one
+# place stale-pointer arithmetic is reachable on purpose).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,7 +55,7 @@ case "$job" in
   tsan)
     cmake -B build-tsan -S . -DEUNO_TSAN=ON
     cmake --build build-tsan -j
-    ctest --test-dir build-tsan --output-on-failure -L "parallel|lin"
+    ctest --test-dir build-tsan --output-on-failure -L "parallel|lin|conformance"
     ;;
   asan)
     cmake -B build-asan -S . -DEUNO_ASAN=ON
@@ -59,7 +65,7 @@ case "$job" in
   ubsan)
     cmake -B build-ubsan -S . -DEUNO_UBSAN=ON
     cmake --build build-ubsan -j
-    ctest --test-dir build-ubsan --output-on-failure -L "conformance|fault"
+    ctest --test-dir build-ubsan --output-on-failure -L "conformance|fault|lin"
     ;;
   *)
     echo "usage: $0 [default|tsan|asan|ubsan]" >&2

@@ -32,6 +32,8 @@
 #include "trees/htmbtree/htm_bptree.hpp"
 #include "trees/lockbtree/lock_bptree.hpp"
 #include "trees/olc/olc_bptree.hpp"
+#include "trees/rcubtree/rcu_bptree.hpp"
+#include "trees/threepath/three_path_bptree.hpp"
 #include "util/rng.hpp"
 
 namespace euno::check {
@@ -46,13 +48,16 @@ enum class LinKind {
   kEunoS8,
   kEunoSkipList,  // EunoSkipList: partitioned towers over EunoHtmPolicy
   kLockCoupling,  // LockBPTree: pessimistic hand-over-hand latching
+  kRcuBptree,     // RcuBPTree: copy-on-write splices via RcuHtmPolicy
+  kThreePath,     // ThreePathBPTree: fast/middle/slow (Brown's template)
 };
 
 inline constexpr LinKind kAllLinKinds[] = {
     LinKind::kBaseline,     LinKind::kOlc,    LinKind::kHtmMasstree,
     LinKind::kEunoS1,       LinKind::kEunoS2, LinKind::kEunoS4,
     LinKind::kEunoS8,       LinKind::kEunoSkipList,
-    LinKind::kLockCoupling,
+    LinKind::kLockCoupling, LinKind::kRcuBptree,
+    LinKind::kThreePath,
 };
 
 inline const char* lin_kind_name(LinKind k) {
@@ -66,6 +71,8 @@ inline const char* lin_kind_name(LinKind k) {
     case LinKind::kEunoS8: return "EunoS8";
     case LinKind::kEunoSkipList: return "EunoSkipList";
     case LinKind::kLockCoupling: return "LockCoupling";
+    case LinKind::kRcuBptree: return "RcuBptree";
+    case LinKind::kThreePath: return "ThreePath";
   }
   return "?";
 }
@@ -270,6 +277,20 @@ inline AnyLinTree make_lin_tree(ctx::SimCtx& c, LinKind kind, bool adaptive,
       typename trees::LockBPTree<Ctx>::Options opt;
       opt.policy = policy;
       return wrap_lin_tree(std::make_shared<trees::LockBPTree<Ctx>>(c, opt));
+    }
+    case LinKind::kRcuBptree: {
+      // Direct instantiation on purpose (see kEunoSkipList): the mutation
+      // self-test compiles this TU with the splice's edge validation knocked
+      // out and needs the broken instantiation, not the registry's.
+      typename trees::RcuBPTree<Ctx>::Options opt;
+      opt.policy = policy;
+      return wrap_lin_tree(std::make_shared<trees::RcuBPTree<Ctx>>(c, opt));
+    }
+    case LinKind::kThreePath: {
+      typename trees::ThreePathBPTree<Ctx>::Options opt;
+      opt.policy = policy;
+      return wrap_lin_tree(
+          std::make_shared<trees::ThreePathBPTree<Ctx>>(c, opt));
     }
   }
   return {};

@@ -47,6 +47,10 @@ using TraceCode = obs::EventCode;
 struct TxnOutcome {
   std::uint32_t aborts = 0;
   bool used_fallback = false;
+  // Whether the body ran to completion (always true for txn(), which falls
+  // back to the lock on budget exhaustion; try_txn() reports false instead
+  // of serializing, so multi-path policies can move to their next path).
+  bool committed = false;
 };
 
 /// The fallback lock for a group of HTM regions. Embedded in each tree's

@@ -70,23 +70,42 @@ class NativeCtx {
   template <class Body>
   TxnOutcome txn(TxSite site, FallbackLock& lock, const htm::RetryPolicy& policy,
                  Body&& body) {
+    return txn_impl<true>(site, lock, policy, body);
+  }
+
+  /// HTM-only variant: identical retry structure, but budget exhaustion (or
+  /// missing RTM support) returns (committed=false) instead of serializing on
+  /// the fallback lock. Multi-path policies (sync/three_path.hpp) use this to
+  /// chain paths.
+  template <class Body>
+  TxnOutcome try_txn(TxSite site, FallbackLock& lock,
+                     const htm::RetryPolicy& policy, Body&& body) {
+    return txn_impl<false>(site, lock, policy, body);
+  }
+
+ private:
+  template <bool kAllowFallback, class Body>
+  TxnOutcome txn_impl(TxSite site, FallbackLock& lock,
+                      const htm::RetryPolicy& policy, Body&& body) {
     TxnOutcome out;
     auto& st = stats_.at(site);
-    // Permanent HTM-health degradation: straight to the lock.
-    if (policy.health_window != 0 &&
-        lock.degraded.load(std::memory_order_relaxed) != 0) {
-      run_fallback(lock, st, out, body);
-      return out;
-    }
-    // Fairness escape hatch.
-    if (policy.starvation_threshold != 0 &&
-        starved_ops_ >= policy.starvation_threshold) {
-      st.starvation_escapes++;
-      starved_ops_ = 0;
-      note(TraceCode::kStarvationEscape, static_cast<std::uint8_t>(site));
-      run_fallback(lock, st, out, body);
-      health_note(lock, policy, st, 1, 0);
-      return out;
+    if constexpr (kAllowFallback) {
+      // Permanent HTM-health degradation: straight to the lock.
+      if (policy.health_window != 0 &&
+          lock.degraded.load(std::memory_order_relaxed) != 0) {
+        run_fallback(lock, st, out, body);
+        return out;
+      }
+      // Fairness escape hatch.
+      if (policy.starvation_threshold != 0 &&
+          starved_ops_ >= policy.starvation_threshold) {
+        st.starvation_escapes++;
+        starved_ops_ = 0;
+        note(TraceCode::kStarvationEscape, static_cast<std::uint8_t>(site));
+        run_fallback(lock, st, out, body);
+        health_note(lock, policy, st, 1, 0);
+        return out;
+      }
     }
     // Attempts are timestamped only when something consumes the timestamps
     // (a trace ring or a ThreadObs): un-observed runs keep the pre-obs path.
@@ -166,6 +185,7 @@ class NativeCtx {
           note(TraceCode::kTxCommit, static_cast<std::uint8_t>(site));
           if (policy.starvation_threshold != 0) starved_ops_ = 0;
           health_note(lock, policy, st, out.aborts + 1, 1);
+          out.committed = true;
           return out;
         }
         in_tx_ = false;
@@ -202,16 +222,21 @@ class NativeCtx {
           st.backoff_cycles += j;
         }
       }
-      if (policy.starvation_threshold != 0) starved_ops_++;
-    } else {
+      if constexpr (kAllowFallback) {
+        if (policy.starvation_threshold != 0) starved_ops_++;
+      }
+    } else if constexpr (kAllowFallback) {
       st.attempts++;
     }
-    // Fallback: serialize on the lock.
-    run_fallback(lock, st, out, body);
-    health_note(lock, policy, st, out.aborts + 1, 0);
+    if constexpr (kAllowFallback) {
+      // Fallback: serialize on the lock.
+      run_fallback(lock, st, out, body);
+      health_note(lock, policy, st, out.aborts + 1, 0);
+    }
     return out;
   }
 
+ public:
   bool in_fallback() const { return in_fallback_; }
 
   /// Explicit user abort — only meaningful inside a hardware transaction.
@@ -370,6 +395,7 @@ class NativeCtx {
     note(TraceCode::kFallbackReleased);
     st.commits++;
     out.used_fallback = true;
+    out.committed = true;
   }
 
   /// Feed the tree-global HTM-health window: `attempts` tx attempts just

@@ -51,28 +51,48 @@ class SimCtx {
   template <class Body>
   TxnOutcome txn(TxSite site, FallbackLock& lock, const htm::RetryPolicy& policy,
                  Body&& body) {
+    return txn_impl<true>(site, lock, policy, body);
+  }
+
+  /// HTM-only variant: identical retry structure, but budget exhaustion
+  /// returns (committed=false) instead of serializing on the fallback lock.
+  /// Multi-path policies (sync/three_path.hpp) use this to chain paths.
+  template <class Body>
+  TxnOutcome try_txn(TxSite site, FallbackLock& lock,
+                     const htm::RetryPolicy& policy, Body&& body) {
+    return txn_impl<false>(site, lock, policy, body);
+  }
+
+ private:
+  template <bool kAllowFallback, class Body>
+  TxnOutcome txn_impl(TxSite site, FallbackLock& lock,
+                      const htm::RetryPolicy& policy, Body&& body) {
     TxnOutcome out;
     auto& st = stats_.at(site);
     auto& htm_model = sim_->htm();
     const auto& cfg = sim_->config();
 
-    // Permanent HTM-health degradation (DESIGN.md §10): straight to the lock.
-    if (policy.health_window != 0 &&
-        lock.degraded.load(std::memory_order_relaxed) != 0) {
-      run_fallback(lock, st, out, body);
-      return out;
-    }
-    // Fairness escape hatch: a thread that exhausted its budget on too many
-    // consecutive operations serializes immediately — guaranteed progress.
-    if (policy.starvation_threshold != 0 &&
-        starved_ops_ >= policy.starvation_threshold) {
-      st.starvation_escapes++;
-      starved_ops_ = 0;
-      sim_->record_trace(static_cast<std::uint8_t>(TraceCode::kStarvationEscape),
-                         static_cast<std::uint8_t>(site), 0);
-      run_fallback(lock, st, out, body);
-      health_note(lock, policy, st, 1, 0);
-      return out;
+    if constexpr (kAllowFallback) {
+      // Permanent HTM-health degradation (DESIGN.md §10): straight to the
+      // lock.
+      if (policy.health_window != 0 &&
+          lock.degraded.load(std::memory_order_relaxed) != 0) {
+        run_fallback(lock, st, out, body);
+        return out;
+      }
+      // Fairness escape hatch: a thread that exhausted its budget on too many
+      // consecutive operations serializes immediately — guaranteed progress.
+      if (policy.starvation_threshold != 0 &&
+          starved_ops_ >= policy.starvation_threshold) {
+        st.starvation_escapes++;
+        starved_ops_ = 0;
+        sim_->record_trace(
+            static_cast<std::uint8_t>(TraceCode::kStarvationEscape),
+            static_cast<std::uint8_t>(site), 0);
+        run_fallback(lock, st, out, body);
+        health_note(lock, policy, st, 1, 0);
+        return out;
+      }
     }
 
     int conflict_budget = policy.conflict_retries;
@@ -182,6 +202,7 @@ class SimCtx {
         sim_->flush_trace();  // transaction boundary: drain this core's ring
         if (policy.starvation_threshold != 0) starved_ops_ = 0;
         health_note(lock, policy, st, out.aborts + 1, 1);
+        out.committed = true;
         return out;
       }
       htm_model.on_abort_handled(core_);
@@ -217,6 +238,7 @@ class SimCtx {
       if (r.reason == htm::AbortReason::kConflict) budget = &conflict_budget;
       if (r.reason == htm::AbortReason::kCapacity) budget = &capacity_budget;
       if (--*budget < 0) {
+        if constexpr (!kAllowFallback) break;
         if (subscribe) break;
         // The unsubscribed rescue cannot serialize on the fallback lock —
         // that lock is exactly what never came free — so re-arm and keep
@@ -240,14 +262,17 @@ class SimCtx {
       }
     }
 
-    if (policy.starvation_threshold != 0) starved_ops_++;
-    // Fallback path: acquire the lock (the write aborts all subscribed
-    // transactions via strong atomicity), run the body plain, release.
-    run_fallback(lock, st, out, body);
-    health_note(lock, policy, st, out.aborts + 1, 0);
+    if constexpr (kAllowFallback) {
+      if (policy.starvation_threshold != 0) starved_ops_++;
+      // Fallback path: acquire the lock (the write aborts all subscribed
+      // transactions via strong atomicity), run the body plain, release.
+      run_fallback(lock, st, out, body);
+      health_note(lock, policy, st, out.aborts + 1, 0);
+    }
     return out;
   }
 
+ public:
   bool in_fallback() const { return in_fallback_; }
 
   [[noreturn]] void tx_abort_user() {
@@ -398,6 +423,7 @@ class SimCtx {
         static_cast<std::uint8_t>(TraceCode::kFallbackReleased), 0, 0);
     st.commits++;
     out.used_fallback = true;
+    out.committed = true;
   }
 
   /// HTM-health monitor (DESIGN.md §10): accumulate this op's HTM attempt /

@@ -109,6 +109,11 @@ void aggregate_stats(const ctx::SiteStats& s, ExperimentResult* r) {
   r->starvation_escapes += total.starvation_escapes;
   r->degradations += total.degradations;
   r->unsubscribed_attempts += total.unsubscribed_attempts;
+  r->validation_failures += total.validation_failures;
+  r->middle_attempts += total.middle_attempts;
+  r->middle_commits += total.middle_commits;
+  r->slow_path_ops += total.slow_path_ops;
+  r->epoch_retired += total.epoch_retired;
 }
 
 /// Preloads the hottest `n` ranks so the measured phase hits a warm store

@@ -85,6 +85,13 @@ struct ExperimentResult {
   std::uint64_t starvation_escapes = 0;  // fairness-hatch trips to the lock
   std::uint64_t degradations = 0;        // HTM-health monitor lock-only flips
   std::uint64_t unsubscribed_attempts = 0;  // sim-only lock-timeout rescue
+  // Multi-path / copy-on-write policy accounting (rcu-bptree, 3path-bptree;
+  // zero — and absent from manifests — for every other policy).
+  std::uint64_t validation_failures = 0;  // RCU-HTM splice edge-set mismatches
+  std::uint64_t middle_attempts = 0;      // three-path middle-path HTM attempts
+  std::uint64_t middle_commits = 0;       // three-path middle-path commits
+  std::uint64_t slow_path_ops = 0;        // ops completed on the slow path
+  std::uint64_t epoch_retired = 0;        // nodes handed to epoch reclamation
   // Injected-fault accounting (sim engine only; zero when fault config off).
   std::uint64_t faults_spurious = 0;
   std::uint64_t faults_burst = 0;

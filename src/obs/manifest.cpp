@@ -231,6 +231,17 @@ void write_result(JsonWriter& w, const driver::ExperimentResult& r) {
   w.kv("starvation_escapes", r.starvation_escapes);
   w.kv("degradations", r.degradations);
   w.kv("unsubscribed_attempts", r.unsubscribed_attempts);
+  // Multi-path / copy-on-write policy counters are conditional keys: they
+  // are nonzero only for the policies that produce them (rcu-bptree,
+  // 3path-bptree), so manifests from every other tree — including every
+  // pre-existing golden fixture — stay byte-identical.
+  if (r.validation_failures != 0) {
+    w.kv("validation_failures", r.validation_failures);
+  }
+  if (r.middle_attempts != 0) w.kv("middle_attempts", r.middle_attempts);
+  if (r.middle_commits != 0) w.kv("middle_commits", r.middle_commits);
+  if (r.slow_path_ops != 0) w.kv("slow_path_ops", r.slow_path_ops);
+  if (r.epoch_retired != 0) w.kv("epoch_retired", r.epoch_retired);
   w.kv("faults_spurious", r.faults_spurious);
   w.kv("faults_burst", r.faults_burst);
   w.kv("faults_lock_delay", r.faults_lock_delay);

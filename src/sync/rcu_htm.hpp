@@ -1,0 +1,115 @@
+// Synchronization policy: RCU-HTM (Siakavaras et al., "RCU-HTM: Combining
+// RCU with HTM to Implement Highly Efficient Concurrent Search Trees").
+//
+//   - readers traverse with no locks and no version validation, pinned in
+//     the epoch domain (util/epoch.hpp); published nodes are immutable, so a
+//     reader either sees a node's pre-replacement or post-replacement state,
+//     never a torn one;
+//   - an update traverses recording the node stack, builds a private copy of
+//     the affected node(s) — possibly a small subtree when a split
+//     propagates — then runs a *tiny* HTM transaction that re-validates the
+//     traversed edge set (root slot + each parent→child pointer down to the
+//     connection point) and, if still intact, splices the copy in by
+//     swinging the one connection-point pointer;
+//   - a failed validation commits the transaction read-only (cheaper than an
+//     abort), counts a validation_failure, and the caller rebuilds from a
+//     fresh traversal. Pointer-equality validation is ABA-safe because the
+//     updater stays pinned from traversal through splice, so no node it
+//     observed can be freed and reused underneath it;
+//   - replaced originals are retired to the epoch domain and freed once no
+//     pinned thread can still hold a reference.
+//
+// The splice transaction uses the ctx's standard retry/fallback machinery
+// (ctx::txn with the subscribed per-tree FallbackLock), so HTM exhaustion
+// degrades to a short serialized splice and the HTM-health monitor applies
+// unchanged — the transaction is a few pointer reads plus one write, which
+// is exactly the footprint HTM never capacity-aborts on.
+//
+// Composes with trees/algo/rcu_bptree.hpp over trees/node/rcu.hpp (the
+// consecutive sorted-record layout with no in-node sync state).
+#pragma once
+
+#include <cstdint>
+
+#include "ctx/common.hpp"
+#include "htm/policy.hpp"
+#include "trees/node/rcu.hpp"
+#include "util/epoch.hpp"
+
+namespace euno::sync {
+
+template <class Ctx>
+class RcuHtmPolicy {
+ public:
+  struct Options {
+    htm::RetryPolicy policy{};
+  };
+
+  template <int F>
+  using NodeT = trees::node::RcuNode<F>;
+
+  /// One traversed edge to re-validate inside the splice transaction:
+  /// `*slot` must still equal `expect`. The last edge of a splice is the
+  /// connection point — the slot the replacement is written through.
+  template <class Node>
+  struct Edge {
+    Node** slot;
+    Node* expect;
+  };
+
+  explicit RcuHtmPolicy(const Options& opt) : opt_(opt) {
+    opt_.policy.validate();
+  }
+
+  /// Pin `c`'s thread for the duration of one tree operation. Every public
+  /// op — reads included — runs under a pin: readers so reclamation cannot
+  /// free a node mid-traversal, updaters so edge validation stays ABA-safe.
+  EpochManager::Guard pin(Ctx& c) { return epoch_.pin(c.tid()); }
+
+  /// The validate-and-splice transaction. Re-checks every recorded edge and,
+  /// when all still hold, installs `replacement` through the last edge's
+  /// slot. Returns false on a validation mismatch (the caller re-traverses);
+  /// the transaction itself then commits read-only.
+  template <class Node>
+  bool splice(Ctx& c, ctx::FallbackLock& lock, const Edge<Node>* edges,
+              int n_edges, Node* replacement) {
+    bool ok = true;
+    c.txn(ctx::TxSite::kMono, lock, opt_.policy, [&] {
+      ok = true;
+#if !defined(EUNO_LIN_MUTATION_SKIP_EDGE_VALIDATION)
+      // Edge-set validation: the heart of the algorithm. The lin mutation
+      // self-test (tests/lin_mutation_test.cpp) compiles this policy with
+      // EUNO_LIN_MUTATION_SKIP_EDGE_VALIDATION to prove the checker catches
+      // a splice that skips it (lost updates / resurrected deletes).
+      for (int i = 0; i < n_edges; ++i) {
+        if (c.read(*edges[i].slot) != edges[i].expect) {
+          ok = false;
+          return;  // commit read-only; caller restarts
+        }
+      }
+#endif
+      c.write(*edges[n_edges - 1].slot, replacement);
+    });
+    if (!ok) c.stats().at(ctx::TxSite::kMono).validation_failures++;
+    return ok;
+  }
+
+  /// Hand a replaced (or no-longer-reachable) node to epoch reclamation.
+  /// Must be called while still pinned.
+  template <class Node>
+  void retire(Ctx& c, Node* n) {
+    const bool is_leaf = c.read(n->is_leaf) != 0;
+    epoch_.retire(c.tid(), n,
+                  c.make_deleter(sizeof(Node), Node::mem_class(is_leaf)));
+    c.stats().at(ctx::TxSite::kMono).epoch_retired++;
+  }
+
+  EpochManager& epoch() { return epoch_; }
+  const htm::RetryPolicy& retry_policy() const { return opt_.policy; }
+
+ private:
+  Options opt_;
+  EpochManager epoch_;
+};
+
+}  // namespace euno::sync

@@ -1,0 +1,256 @@
+// Synchronization policy: Brown's three-path template ("A Template for
+// Implementing Fast Lock-free Trees Using HTM").
+//
+// Every operation runs the optimistic B+Tree body (trees/algo/bptree.hpp
+// over VersionedNode) on one of three paths:
+//
+//   FAST   — one HTM transaction; version-lock acquisitions are pure
+//            validation reads AND the commit-time version bumps are elided
+//            entirely (HTM conflict detection already orders fast/fast and
+//            fast/middle pairs). The transaction first subscribes the
+//            slow-path announce word: fast and slow may never overlap, so
+//            an active slow op aborts us on entry, and a later announce
+//            dooms us via strong atomicity. This is what the template buys —
+//            the fast path writes no synchronization state at all.
+//   MIDDLE — one HTM transaction with *real* version bumps (OLC-elide
+//            semantics). The bumps make middle commits visible to slow-path
+//            validation, so middle and slow interoperate freely — the
+//            compatibility matrix is F|F, F|M, M|M, M|S, S|S; only F|S is
+//            excluded, by the announce word.
+//   SLOW   — no HTM: announce on the slow counter, then run plain
+//            optimistic lock coupling (real CAS version locks, real bumps),
+//            un-announce. Lock-free-style in the template's sense: it never
+//            touches the global fallback lock and many slow ops proceed
+//            concurrently.
+//
+// Both HTM paths use ctx::try_txn — budget exhaustion falls THROUGH to the
+// next path instead of serializing, replacing the PR-4 global-lock
+// degradation as the terminal mode. A policy-internal health monitor (same
+// window/threshold knobs as the ctx monitor, via Options.policy) degrades in
+// stages: stage 0 (all paths) → stage 1 (middle+slow; fast disabled) →
+// stage 2 (terminal lock-only mode, the only state that ever takes the
+// global lock). Each stage flip counts one degradation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "ctx/common.hpp"
+#include "htm/policy.hpp"
+#include "sim/line.hpp"
+#include "trees/node/consecutive.hpp"
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+#include "util/memstats.hpp"
+
+namespace euno::sync {
+
+template <class Ctx>
+class ThreePathPolicy {
+ public:
+  struct Options {
+    // health_window / health_min_commit_pct drive the policy-internal
+    // staged monitor (0 = never degrade); the retry budgets apply per HTM
+    // path. The ctx-level monitor and starvation hatch are disabled on the
+    // HTM paths — falling through to the next path is the escape.
+    htm::RetryPolicy policy{};
+  };
+
+  template <int F>
+  using NodeT = trees::node::VersionedNode<F>;
+
+  static constexpr bool kOptimistic = true;
+  static constexpr int kMaxTids = 64;
+
+  explicit ThreePathPolicy(const Options& opt) : opt_(opt) {
+    opt_.policy.validate();
+    fast_policy_ = opt_.policy;
+    fast_policy_.health_window = 0;
+    fast_policy_.starvation_threshold = 0;
+    middle_policy_ = fast_policy_;
+    lockonly_policy_ = opt_.policy;
+    // Nonzero window makes ctx::txn honor lock.degraded (set at the stage-2
+    // flip): terminal ops go straight to the serialized fallback path.
+    lockonly_policy_.health_window = 1;
+    lockonly_policy_.starvation_threshold = 0;
+  }
+
+  /// Tree-attach hook (called from the algorithm's constructor): the
+  /// announce word must live in shared (instrumented) memory — it is the
+  /// line whose subscription conflicts exclude fast|slow overlap.
+  void attach(Ctx& c) {
+    words_ = static_cast<SharedWords*>(c.alloc(
+        sizeof(SharedWords), MemClass::kTreeMisc, sim::LineKind::kFallbackLock));
+    new (words_) SharedWords();
+  }
+
+  void detach(Ctx& c) {
+    if (words_ != nullptr) {
+      c.free(words_, sizeof(SharedWords), MemClass::kTreeMisc);
+      words_ = nullptr;
+    }
+  }
+
+  template <class Body>
+  void run(Ctx& c, ctx::FallbackLock& lock, Body&& body) {
+    auto& st = c.stats().at(ctx::TxSite::kMono);
+    Path& path = path_[slot_of(c)].value;
+    if (stage_.load(std::memory_order_relaxed) == 0) {
+      path = Path::kFast;
+      const ctx::TxnOutcome out =
+          c.try_txn(ctx::TxSite::kMono, lock, fast_policy_, [&] {
+            if (c.atomic_load(words_->slow_count) != 0) c.tx_abort_user();
+            body();
+          });
+      note_window(lock, st, out.aborts + (out.committed ? 1u : 0u),
+                  out.committed ? 1u : 0u);
+      if (out.committed) return;
+    }
+    if (stage_.load(std::memory_order_relaxed) <= 1) {
+      path = Path::kMiddle;
+      const ctx::TxnOutcome out =
+          c.try_txn(ctx::TxSite::kMono, lock, middle_policy_, body);
+      st.middle_attempts += out.aborts + (out.committed ? 1u : 0u);
+      note_window(lock, st, out.aborts + (out.committed ? 1u : 0u),
+                  out.committed ? 1u : 0u);
+      if (out.committed) {
+        st.middle_commits++;
+        return;
+      }
+      // Slow path: announce (dooming every in-flight fast transaction and
+      // holding new ones off), run plain OLC, un-announce.
+      path = Path::kSlow;
+      st.slow_path_ops++;
+      c.fetch_add(words_->slow_count, std::uint32_t{1});
+      body();
+      c.fetch_add(words_->slow_count, static_cast<std::uint32_t>(-1));
+      return;
+    }
+    // Stage 2, terminal: serialize on the global fallback lock (real
+    // version ops under it, so stragglers still mid-run on older paths
+    // stay correct via the version protocol).
+    path = Path::kSlow;
+    c.txn(ctx::TxSite::kMono, lock, lockonly_policy_, body);
+  }
+
+  // ---- version protocol ----
+
+  template <class Node>
+  std::uint64_t stable_version(Ctx& c, Node* n) {
+    for (;;) {
+      const std::uint64_t v = c.atomic_load(n->version);
+      if ((v & 1) == 0) return v;
+      if (eliding(c)) c.tx_abort_user();
+      c.spin_pause();
+    }
+  }
+
+  template <class Node>
+  bool try_upgrade(Ctx& c, Node* n, std::uint64_t v) {
+    if (eliding(c)) return c.atomic_load(n->version) == v;
+    return c.cas(n->version, v, v | 1);
+  }
+
+  /// Publish a modification. The fast path writes nothing — that elision is
+  /// the template's payoff, and is sound only because fast|slow overlap is
+  /// excluded. The middle path MUST bump: the bump is its handshake with
+  /// slow-path validation. The lin mutation self-test compiles this header
+  /// with EUNO_LIN_MUTATION_SKIP_MIDDLE_BUMP to prove the checker catches a
+  /// middle path that breaks the handshake.
+  template <class Node>
+  void release_bump(Ctx& c, Node* n, std::uint64_t v) {
+    if (fast_path(c)) return;
+#if defined(EUNO_LIN_MUTATION_SKIP_MIDDLE_BUMP)
+    if (path_[slot_of(c)].value == Path::kMiddle && !c.in_fallback()) return;
+#endif
+    c.atomic_store(n->version, (v & ~std::uint64_t{1}) + 2);
+  }
+
+  template <class Node>
+  void release(Ctx& c, Node* n, std::uint64_t v) {
+    if (eliding(c)) return;  // nothing was written
+    c.atomic_store(n->version, v);
+  }
+
+  template <class Node>
+  bool validate(Ctx& c, Node* n, std::uint64_t v) {
+    return c.atomic_load(n->version) == v;
+  }
+
+  // ---- lock-transfer hooks (no-ops: optimistic readers hold nothing) ----
+
+  template <class Node>
+  void abandon(Ctx&, Node*, std::uint64_t) {}
+  template <class Node>
+  void on_advance(Ctx&, Node*, std::uint64_t) {}
+  template <class Node>
+  void on_leaf_done(Ctx&, Node*, std::uint64_t) {}
+  template <class Node>
+  void on_scan_handoff(Ctx&, Node*, std::uint64_t) {}
+
+  /// Current degradation stage (0 = all paths, 1 = fast disabled,
+  /// 2 = terminal lock-only).
+  std::uint32_t stage() const { return stage_.load(std::memory_order_relaxed); }
+
+ private:
+  enum class Path : std::uint8_t { kFast, kMiddle, kSlow };
+
+  struct alignas(kCacheLineSize) SharedWords {
+    std::atomic<std::uint32_t> slow_count{0};
+    char pad[kCacheLineSize - sizeof(std::atomic<std::uint32_t>)]{};
+  };
+
+  int slot_of(Ctx& c) const {
+    EUNO_ASSERT(c.tid() >= 0 && c.tid() < kMaxTids);
+    return c.tid();
+  }
+
+  bool fast_path(Ctx& c) const {
+    return path_[slot_of(c)].value == Path::kFast && !c.in_fallback();
+  }
+
+  bool eliding(Ctx& c) const {
+    return path_[slot_of(c)].value != Path::kSlow && !c.in_fallback();
+  }
+
+  /// Staged health monitor, mirroring the ctx-level one (DESIGN.md §10) but
+  /// policy-owned: fast+middle attempts feed a shared window; an unhealthy
+  /// full window advances one stage (each flip counts one degradation, and
+  /// the stage-2 flip marks the lock permanently degraded so ctx::txn
+  /// serializes terminal ops without an HTM attempt). Host-side relaxed
+  /// atomics throughout; windows race benignly.
+  void note_window(ctx::FallbackLock& lock, htm::TxStats& st,
+                   std::uint64_t attempts, std::uint64_t commits) {
+    if (opt_.policy.health_window == 0) return;
+    if (stage_.load(std::memory_order_relaxed) >= 2) return;
+    const std::uint64_t a =
+        window_attempts_.fetch_add(attempts, std::memory_order_relaxed) +
+        attempts;
+    const std::uint64_t cm =
+        window_commits_.fetch_add(commits, std::memory_order_relaxed) + commits;
+    if (a < opt_.policy.health_window) return;
+    if (cm * 100 < a * opt_.policy.health_min_commit_pct) {
+      std::uint32_t s = stage_.load(std::memory_order_relaxed);
+      if (s < 2 && stage_.compare_exchange_strong(s, s + 1,
+                                                  std::memory_order_relaxed)) {
+        st.degradations++;
+        if (s + 1 == 2) lock.degraded.store(2, std::memory_order_relaxed);
+      }
+    }
+    window_attempts_.store(0, std::memory_order_relaxed);
+    window_commits_.store(0, std::memory_order_relaxed);
+  }
+
+  Options opt_;
+  htm::RetryPolicy fast_policy_{};
+  htm::RetryPolicy middle_policy_{};
+  htm::RetryPolicy lockonly_policy_{};
+  SharedWords* words_ = nullptr;
+  std::atomic<std::uint32_t> stage_{0};
+  std::atomic<std::uint64_t> window_attempts_{0};
+  std::atomic<std::uint64_t> window_commits_{0};
+  // Per-thread path state (host-side; padded so native threads don't share).
+  CacheAligned<Path> path_[kMaxTids]{};
+};
+
+}  // namespace euno::sync

@@ -57,6 +57,10 @@ class BPlusTree {
     shared_->root = Node::alloc(c, /*is_leaf=*/true);
     c.tag_memory(&shared_->lock, sizeof(ctx::FallbackLock),
                  sim::LineKind::kFallbackLock);
+    // Policies with tree-lifetime shared state (sync/three_path.hpp's
+    // announce word) allocate it here; policies without the hooks compile
+    // to exactly the pre-hook code.
+    if constexpr (requires { policy_.attach(c); }) policy_.attach(c);
   }
 
   BPlusTree(const BPlusTree&) = delete;
@@ -65,6 +69,7 @@ class BPlusTree {
   /// Frees every node. Must be called quiesced (no concurrent operations).
   void destroy(Ctx& c) {
     if (shared_ == nullptr) return;
+    if constexpr (requires { policy_.detach(c); }) policy_.detach(c);
     node::destroy_rec(c, shared_->root);
     c.free(shared_, sizeof(Shared), MemClass::kTreeMisc);
     shared_ = nullptr;

@@ -1,0 +1,477 @@
+// Algorithm layer: copy-on-write B+Tree for the RCU-HTM sync policy
+// (sync/rcu_htm.hpp; Siakavaras et al.).
+//
+// The update shape follows the RCU-HTM template:
+//   1. traverse from the root recording the node stack and the child slot
+//      taken at every interior level — no locks, no version validation,
+//      pinned in the epoch domain;
+//   2. build a private replacement: clone the leaf with the change applied,
+//      or — when the leaf is full — split it and clone ancestors upward,
+//      inserting separators, until a non-full ancestor clone absorbs the
+//      split (possibly growing a new root);
+//   3. run the policy's tiny validate-and-splice HTM transaction. The
+//      validation set is the traversed path PLUS every child-pointer slot of
+//      every interior node being replaced: path edges prove the connection
+//      point is still reachable, content edges prove no concurrent splice
+//      swung an *untraversed* slot of a node we copied (which would resurrect
+//      a stale subtree — a lost update, and a double free once both versions
+//      retire the same child). If all hold, the single connection-point
+//      pointer swings to the private copy. Validation failure frees the
+//      private copy and restarts from step 1;
+//   4. retire every replaced original to epoch reclamation.
+//
+// Published nodes are immutable except for their child-pointer slots, which
+// change only atomically inside splice transactions — so readers need no
+// synchronization at all: any node they hold (pinned) is frozen, and any
+// child pointer they chase is either the pre- or post-splice value.
+//
+// There is no leaf chain (it would dangle into retired copies), so range
+// scans re-descend from the root per leaf, carrying the tightest separator
+// above the current cursor as the leaf's exclusive upper bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ctx/common.hpp"
+#include "sim/line.hpp"
+#include "trees/common.hpp"
+#include "trees/node/rcu.hpp"
+#include "util/assert.hpp"
+#include "util/memstats.hpp"
+
+namespace euno::trees::algo {
+
+template <class Ctx, class Policy, int F = kDefaultFanout>
+class RcuBPlusTree {
+  static_assert(F >= 4 && F % 2 == 0, "fanout must be even and >= 4");
+
+ public:
+  using Options = typename Policy::Options;
+  using Node = typename Policy::template NodeT<F>;
+  using Edge = typename Policy::template Edge<Node>;
+
+  static constexpr int kMaxHeight = 24;
+  /// Child-slot validation entries: at most every slot of one replaced
+  /// interior node per level below the connection point.
+  static constexpr int kMaxContentEdges = kMaxHeight * (F + 1);
+
+  explicit RcuBPlusTree(Ctx& c, Options opt = {}) : policy_(opt) {
+    shared_ = static_cast<Shared*>(
+        c.alloc(sizeof(Shared), MemClass::kTreeMisc, sim::LineKind::kTreeMeta));
+    new (shared_) Shared();
+    shared_->root = Node::alloc(c, /*is_leaf=*/true);
+    c.tag_memory(&shared_->lock, sizeof(ctx::FallbackLock),
+                 sim::LineKind::kFallbackLock);
+  }
+
+  RcuBPlusTree(const RcuBPlusTree&) = delete;
+  RcuBPlusTree& operator=(const RcuBPlusTree&) = delete;
+
+  /// Frees every node, including everything still parked in the epoch
+  /// domain's limbo lists. Must be called quiesced.
+  void destroy(Ctx& c) {
+    if (shared_ == nullptr) return;
+    policy_.epoch().drain_all();
+    node::destroy_rec(c, shared_->root);
+    c.free(shared_, sizeof(Shared), MemClass::kTreeMisc);
+    shared_ = nullptr;
+  }
+
+  /// Point lookup: an unsynchronized pinned descent.
+  bool get(Ctx& c, Key key, Value* out) {
+    c.set_op_target(key);
+    bool found = false;
+    {
+      auto guard = policy_.pin(c);
+      Node* n = c.read(shared_->root);
+      while (c.read(n->is_leaf) == 0) {
+        n = c.read(n->idx.children[node::child_index(c, n, key)]);
+      }
+      const int idx = node::leaf_find(c, n, key);
+      if (idx >= 0) {
+        found = true;
+        if (out != nullptr) *out = c.read(n->recs[idx].value);
+      }
+    }
+    c.clear_op_target();
+    return found;
+  }
+
+  /// Insert `key` or update its value if present.
+  void put(Ctx& c, Key key, Value value) {
+    c.set_op_target(key);
+    {
+      auto guard = policy_.pin(c);
+      while (!try_update(c, key, value, /*is_erase=*/false, nullptr)) {
+      }
+    }
+    c.clear_op_target();
+  }
+
+  /// Remove `key`. Returns true if it was present. Underfull leaves are not
+  /// rebalanced (as in the other modelled designs).
+  bool erase(Ctx& c, Key key) {
+    c.set_op_target(key);
+    bool removed = false;
+    {
+      auto guard = policy_.pin(c);
+      while (!try_update(c, key, 0, /*is_erase=*/true, &removed)) {
+      }
+    }
+    c.clear_op_target();
+    return removed;
+  }
+
+  /// Range scan: collects up to `max_items` pairs with key >= `start`, in
+  /// key order. Each visited leaf is an immutable snapshot; the scan
+  /// re-descends from the root per leaf, jumping the cursor to the tightest
+  /// separator above the leaf (its exclusive upper bound).
+  std::size_t scan(Ctx& c, Key start, std::size_t max_items, KV* out) {
+    c.set_op_target(start);
+    std::size_t got = 0;
+    {
+      auto guard = policy_.pin(c);
+      Key cursor = start;
+      bool more = true;
+      while (more && got < max_items) {
+        Node* n = c.read(shared_->root);
+        Key hi = 0;
+        bool rightmost = true;
+        while (c.read(n->is_leaf) == 0) {
+          const int i = node::child_index(c, n, cursor);
+          if (i < static_cast<int>(c.read(n->count))) {
+            hi = c.read(n->idx.keys[i]);
+            rightmost = false;
+          }
+          n = c.read(n->idx.children[i]);
+        }
+        const int cnt = static_cast<int>(c.read(n->count));
+        for (int i = 0; i < cnt && got < max_items; ++i) {
+          const Key k = c.read(n->recs[i].key);
+          if (k < cursor) continue;
+          out[got++] = KV{k, c.read(n->recs[i].value)};
+        }
+        if (rightmost) {
+          more = false;
+        } else {
+          cursor = hi;  // every key of this leaf is < hi
+        }
+      }
+    }
+    c.clear_op_target();
+    return got;
+  }
+
+  // ---- uninstrumented verification (quiesced use only) ----
+
+  std::size_t size_slow() const { return count_rec(shared_->root); }
+
+  int height() const { return node::tree_height(shared_->root); }
+
+  /// Structural invariants: per-node and global sortedness, separator
+  /// bounds, uniform leaf depth.
+  void check_invariants() const {
+    int leaf_depth = -1;
+    Key prev = 0;
+    bool first = true;
+    check_rec(shared_->root, 0, 0, /*hi_open=*/true, 0, &leaf_depth, &prev,
+              &first);
+  }
+
+  Policy& policy() { return policy_; }
+
+ private:
+  struct Shared {
+    ctx::FallbackLock lock;
+    Node* root = nullptr;
+  };
+
+  struct PathInfo {
+    Node* stack[kMaxHeight];  // stack[top] is the leaf
+    int slot[kMaxHeight];     // child index taken at each interior level
+    int top = 0;
+  };
+
+  /// Everything allocated while building one private replacement; freed
+  /// wholesale when splice validation fails (nothing ever saw the copies).
+  struct Copies {
+    Node* nodes[2 * kMaxHeight + 2];
+    int n = 0;
+    Node* track(Node* x) {
+      nodes[n++] = x;
+      return x;
+    }
+  };
+
+  void traverse(Ctx& c, Key key, PathInfo* p) {
+    p->top = 0;
+    Node* n = c.read(shared_->root);
+    p->stack[0] = n;
+    while (c.read(n->is_leaf) == 0) {
+      EUNO_ASSERT(p->top + 1 < kMaxHeight);
+      const int i = node::child_index(c, n, key);
+      p->slot[p->top] = i;
+      n = c.read(n->idx.children[i]);
+      p->stack[++p->top] = n;
+    }
+  }
+
+  Edge path_edge(PathInfo& p, int i) {
+    if (i == 0) return Edge{&shared_->root, p.stack[0]};
+    return Edge{&p.stack[i - 1]->idx.children[p.slot[i - 1]], p.stack[i]};
+  }
+
+  void free_copies(Ctx& c, Copies& cp) {
+    for (int i = 0; i < cp.n; ++i) {
+      c.free(cp.nodes[i], sizeof(Node),
+             Node::mem_class(cp.nodes[i]->is_leaf != 0));
+    }
+  }
+
+  /// One traverse → build → splice round. Returns true when the operation
+  /// completed (including "erase of an absent key": that linearizes at the
+  /// pinned leaf read and needs no transaction at all).
+  bool try_update(Ctx& c, Key key, Value value, bool is_erase, bool* removed) {
+    PathInfo p;
+    traverse(c, key, &p);
+    Node* leaf = p.stack[p.top];
+    const int pos = node::leaf_find(c, leaf, key);
+
+    if (is_erase && pos < 0) {
+      *removed = false;
+      return true;
+    }
+
+    Copies cp;
+    Node* copy_root = nullptr;
+    // Content edges: one per child slot of every interior node being
+    // replaced, captured as the builder reads them. A leaf clone needs none
+    // (leaf payloads are immutable; its identity is the parent's path edge).
+    Edge content[kMaxContentEdges];
+    int nc = 0;
+    // Topmost replaced level: copy_root replaces stack[conn], so the
+    // connection edge — the one the splice writes through — is path edge
+    // `conn` (the root slot when conn == 0).
+    int conn = p.top;
+    if (is_erase) {
+      Node* copy = cp.track(node::clone_node(c, leaf));
+      node::leaf_remove_at(c, copy, pos);
+      copy_root = copy;
+    } else if (pos >= 0) {
+      Node* copy = cp.track(node::clone_node(c, leaf));
+      c.write(copy->recs[pos].value, value);
+      copy_root = copy;
+    } else if (!node::node_full(c, leaf)) {
+      Node* copy = cp.track(node::clone_node(c, leaf));
+      node::leaf_insert_sorted(c, copy, key, value);
+      copy_root = copy;
+    } else {
+      // Split, propagating upward while ancestors are full.
+      Node* left = nullptr;
+      Node* right = nullptr;
+      Key sep = 0;
+      split_leaf_with_insert(c, leaf, key, value, cp, &left, &right, &sep);
+      for (int j = p.top - 1;; --j) {
+        if (j < 0) {
+          Node* nr = cp.track(Node::alloc(c, /*is_leaf=*/false));
+          c.write(nr->idx.keys[0], sep);
+          c.write(nr->idx.children[0], left);
+          c.write(nr->idx.children[1], right);
+          c.write(nr->count, std::uint32_t{1});
+          copy_root = nr;
+          conn = 0;  // grown root: replaces stack[0] through the root slot
+          break;
+        }
+        Node* parent = p.stack[j];
+        if (!node::node_full(c, parent)) {
+          Node* pc = cp.track(clone_interior_collect(c, parent, content, &nc));
+          insert_sep(c, pc, p.slot[j], left, right, sep);
+          copy_root = pc;
+          conn = j;
+          break;
+        }
+        split_interior_with_insert(c, parent, p.slot[j], left, right, sep, cp,
+                                   content, &nc, &left, &right, &sep);
+      }
+    }
+
+    // Validate the whole traversed path plus the replaced interiors' child
+    // slots; the connection edge goes last (the policy writes the
+    // replacement through the final edge's slot).
+    Edge edges[kMaxHeight + kMaxContentEdges + 1];
+    int ne = 0;
+    for (int i = 0; i <= p.top; ++i) {
+      if (i == conn) continue;
+      edges[ne++] = path_edge(p, i);
+    }
+    for (int i = 0; i < nc; ++i) edges[ne++] = content[i];
+    edges[ne++] = path_edge(p, conn);
+
+    if (!policy_.splice(c, shared_->lock, edges, ne, copy_root)) {
+      free_copies(c, cp);
+      return false;
+    }
+    for (int i = conn; i <= p.top; ++i) policy_.retire(c, p.stack[i]);
+    if (removed != nullptr) *removed = true;
+    return true;
+  }
+
+  /// F sorted records plus one new key/value, redistributed over two fresh
+  /// leaves. The separator is the right leaf's first key.
+  void split_leaf_with_insert(Ctx& c, Node* leaf, Key key, Value value,
+                              Copies& cp, Node** left_out, Node** right_out,
+                              Key* sep_out) {
+    Key ks[F + 1];
+    Value vs[F + 1];
+    int n = 0;
+    const int cnt = static_cast<int>(c.read(leaf->count));
+    bool placed = false;
+    for (int i = 0; i < cnt; ++i) {
+      const Key k = c.read(leaf->recs[i].key);
+      if (!placed && key < k) {
+        ks[n] = key;
+        vs[n] = value;
+        ++n;
+        placed = true;
+      }
+      ks[n] = k;
+      vs[n] = c.read(leaf->recs[i].value);
+      ++n;
+    }
+    if (!placed) {
+      ks[n] = key;
+      vs[n] = value;
+      ++n;
+    }
+    const int half = n / 2;
+    Node* l = cp.track(Node::alloc(c, /*is_leaf=*/true));
+    Node* r = cp.track(Node::alloc(c, /*is_leaf=*/true));
+    for (int i = 0; i < half; ++i) {
+      c.write(l->recs[i].key, ks[i]);
+      c.write(l->recs[i].value, vs[i]);
+    }
+    c.write(l->count, static_cast<std::uint32_t>(half));
+    for (int i = half; i < n; ++i) {
+      c.write(r->recs[i - half].key, ks[i]);
+      c.write(r->recs[i - half].value, vs[i]);
+    }
+    c.write(r->count, static_cast<std::uint32_t>(n - half));
+    *left_out = l;
+    *right_out = r;
+    *sep_out = ks[half];
+  }
+
+  /// Interior clone that records a validation edge for every child slot it
+  /// copies: if any of those slots changes before the splice commits, the
+  /// copy references a replaced (stale) subtree and must be rebuilt.
+  Node* clone_interior_collect(Ctx& c, Node* src, Edge* content, int* nc) {
+    Node* n = Node::alloc(c, /*is_leaf=*/false);
+    const int cnt = static_cast<int>(c.read(src->count));
+    for (int i = 0; i < cnt; ++i) {
+      c.write(n->idx.keys[i], c.read(src->idx.keys[i]));
+    }
+    for (int i = 0; i <= cnt; ++i) {
+      Node* ch = c.read(src->idx.children[i]);
+      c.write(n->idx.children[i], ch);
+      content[(*nc)++] = Edge{&src->idx.children[i], ch};
+    }
+    c.write(n->count, static_cast<std::uint32_t>(cnt));
+    return n;
+  }
+
+  /// Into a non-full interior *clone*: child slot `s` becomes `left`,
+  /// separator `sep` and `right` splice in after it.
+  void insert_sep(Ctx& c, Node* nd, int s, Node* left, Node* right, Key sep) {
+    const int n = static_cast<int>(c.read(nd->count));
+    for (int i = n; i > s; --i) {
+      c.write(nd->idx.keys[i], c.read(nd->idx.keys[i - 1]));
+    }
+    for (int i = n + 1; i > s + 1; --i) {
+      c.write(nd->idx.children[i], c.read(nd->idx.children[i - 1]));
+    }
+    c.write(nd->idx.keys[s], sep);
+    c.write(nd->idx.children[s], left);
+    c.write(nd->idx.children[s + 1], right);
+    c.write(nd->count, static_cast<std::uint32_t>(n + 1));
+  }
+
+  /// Full interior node: absorb (left, sep, right) at child slot `s`, then
+  /// split the result over two fresh interiors, promoting the middle
+  /// separator.
+  void split_interior_with_insert(Ctx& c, Node* parent, int s, Node* left,
+                                  Node* right, Key sep, Copies& cp,
+                                  Edge* content, int* nc, Node** left_out,
+                                  Node** right_out, Key* sep_out) {
+    Key ks[F + 1];
+    Node* chv[F + 2];
+    const int n = static_cast<int>(c.read(parent->count));
+    for (int i = 0; i < n; ++i) ks[i] = c.read(parent->idx.keys[i]);
+    for (int i = 0; i <= n; ++i) {
+      chv[i] = c.read(parent->idx.children[i]);
+      content[(*nc)++] = Edge{&parent->idx.children[i], chv[i]};
+    }
+    for (int i = n; i > s; --i) ks[i] = ks[i - 1];
+    for (int i = n + 1; i > s + 1; --i) chv[i] = chv[i - 1];
+    ks[s] = sep;
+    chv[s] = left;
+    chv[s + 1] = right;
+    const int tk = n + 1;
+    const int mid = tk / 2;
+    Node* l = cp.track(Node::alloc(c, /*is_leaf=*/false));
+    Node* r = cp.track(Node::alloc(c, /*is_leaf=*/false));
+    for (int i = 0; i < mid; ++i) c.write(l->idx.keys[i], ks[i]);
+    for (int i = 0; i <= mid; ++i) c.write(l->idx.children[i], chv[i]);
+    c.write(l->count, static_cast<std::uint32_t>(mid));
+    for (int i = mid + 1; i < tk; ++i) c.write(r->idx.keys[i - mid - 1], ks[i]);
+    for (int i = mid + 1; i <= tk; ++i) {
+      c.write(r->idx.children[i - mid - 1], chv[i]);
+    }
+    c.write(r->count, static_cast<std::uint32_t>(tk - mid - 1));
+    *sep_out = ks[mid];
+    *left_out = l;
+    *right_out = r;
+  }
+
+  static std::size_t count_rec(const Node* n) {
+    if (n->is_leaf != 0) return n->count;
+    std::size_t s = 0;
+    for (std::uint32_t i = 0; i <= n->count; ++i) {
+      s += count_rec(n->idx.children[i]);
+    }
+    return s;
+  }
+
+  static void check_rec(const Node* n, Key lo, Key hi, bool hi_open, int depth,
+                        int* leaf_depth, Key* prev, bool* first) {
+    if (n->is_leaf != 0) {
+      if (*leaf_depth < 0) *leaf_depth = depth;
+      EUNO_ASSERT_MSG(*leaf_depth == depth, "all leaves at one depth");
+      for (std::uint32_t i = 0; i < n->count; ++i) {
+        const Key k = n->recs[i].key;
+        EUNO_ASSERT_MSG(k >= lo && (hi_open || k < hi),
+                        "leaf key within separator bounds");
+        EUNO_ASSERT_MSG(*first || k > *prev, "keys ascend globally");
+        *prev = k;
+        *first = false;
+      }
+      return;
+    }
+    EUNO_ASSERT_MSG(n->count >= 1, "interior node has a separator");
+    for (std::uint32_t i = 0; i + 1 < n->count; ++i) {
+      EUNO_ASSERT_MSG(n->idx.keys[i] < n->idx.keys[i + 1], "separators ascend");
+    }
+    for (std::uint32_t i = 0; i <= n->count; ++i) {
+      const Key clo = i == 0 ? lo : n->idx.keys[i - 1];
+      const bool copen = hi_open && i == n->count;
+      const Key chi = i == n->count ? hi : n->idx.keys[i];
+      check_rec(n->idx.children[i], clo, chi, copen, depth + 1, leaf_depth,
+                prev, first);
+    }
+  }
+
+  Policy policy_;
+  Shared* shared_ = nullptr;
+};
+
+}  // namespace euno::trees::algo

@@ -14,6 +14,8 @@
 #include "trees/htmbtree/htm_bptree.hpp"
 #include "trees/lockbtree/lock_bptree.hpp"
 #include "trees/olc/olc_bptree.hpp"
+#include "trees/rcubtree/rcu_bptree.hpp"
+#include "trees/threepath/three_path_bptree.hpp"
 
 namespace euno::trees {
 namespace {
@@ -76,6 +78,26 @@ std::unique_ptr<AnyTree<Ctx>> make_lock_bptree(Ctx& c,
 }
 
 template <class Ctx>
+std::unique_ptr<AnyTree<Ctx>> make_rcu_bptree(Ctx& c,
+                                              const TreeBuildOptions& o) {
+  using Tree = RcuBPTree<Ctx>;
+  typename Tree::Options opt;
+  opt.policy = o.policy;
+  return std::make_unique<AnyTreeOf<Ctx, Tree>>(
+      c, [&](Ctx& cc) { return Tree(cc, opt); });
+}
+
+template <class Ctx>
+std::unique_ptr<AnyTree<Ctx>> make_three_path_bptree(Ctx& c,
+                                                     const TreeBuildOptions& o) {
+  using Tree = ThreePathBPTree<Ctx>;
+  typename Tree::Options opt;
+  opt.policy = o.policy;
+  return std::make_unique<AnyTreeOf<Ctx, Tree>>(
+      c, [&](Ctx& cc) { return Tree(cc, opt); });
+}
+
+template <class Ctx>
 std::unique_ptr<AnyTree<Ctx>> make_euno_skiplist(Ctx& c,
                                                  const TreeBuildOptions& o) {
   using Tree = algo::EunoSkipList<Ctx, 16, 4>;
@@ -106,7 +128,12 @@ EUNO_REGISTER_TREE(htm_bptree, TreeEntry{
 
 EUNO_REGISTER_TREE(masstree, TreeEntry{
     TreeKind::kMasstree, "masstree", "Masstree",
-    [] { TreeCaps c = figure_caps(); c.uses_htm = false; return c; }(),
+    [] {
+      TreeCaps c = figure_caps();
+      c.uses_htm = false;
+      c.has_global_fallback = false;  // plain OLC never touches the lock
+      return c;
+    }(),
     &make_olc_bptree<ctx::SimCtx, false>,
     &make_olc_bptree<ctx::NativeCtx, false>});
 
@@ -162,8 +189,20 @@ EUNO_REGISTER_TREE(euno_skiplist, TreeEntry{
 
 EUNO_REGISTER_TREE(lock_bptree, TreeEntry{
     TreeKind::kLockBPTree, "lock-bptree", "Lock-B+Tree",
-    [] { TreeCaps c; c.uses_htm = false; return c; }(),
+    [] { TreeCaps c; c.uses_htm = false; c.has_global_fallback = false; return c; }(),
     &make_lock_bptree<ctx::SimCtx>, &make_lock_bptree<ctx::NativeCtx>});
+
+EUNO_REGISTER_TREE(rcu_bptree, TreeEntry{
+    TreeKind::kRcuBPTree, "rcu-bptree", "RCU-HTM-B+Tree", figure_caps(),
+    &make_rcu_bptree<ctx::SimCtx>, &make_rcu_bptree<ctx::NativeCtx>});
+
+EUNO_REGISTER_TREE(three_path_bptree, TreeEntry{
+    TreeKind::kThreePathBPTree, "3path-bptree", "3Path-B+Tree",
+    // The three-path template takes the global lock only in its terminal
+    // (stage-2) degradation mode, never on the generic op path.
+    [] { TreeCaps c = figure_caps(); c.has_global_fallback = false; return c; }(),
+    &make_three_path_bptree<ctx::SimCtx>,
+    &make_three_path_bptree<ctx::NativeCtx>});
 
 void anchor_builtin_trees() {}
 

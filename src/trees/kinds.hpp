@@ -20,6 +20,8 @@ enum class TreeKind {
   // Post-refactor structures instantiated through the layered stack:
   kEunoSkipList,  // partitioned-tower skip list through EunoHtmPolicy
   kLockBPTree,    // pessimistic hand-over-hand baseline (LockCouplingPolicy)
+  kRcuBPTree,     // RCU-HTM copy-on-write B+Tree (RcuHtmPolicy)
+  kThreePathBPTree,  // Brown's three-path template (ThreePathPolicy)
 };
 
 }  // namespace euno::trees

@@ -1,0 +1,80 @@
+// Node/layout layer, RCU variant: the consecutive sorted-record layout with
+// no in-node synchronization state at all. RCU-HTM trees never lock or
+// version-stamp a node — a node is immutable once published, updates replace
+// whole nodes by swinging one child pointer inside a tiny validation
+// transaction, and replaced nodes are frozen until epoch reclamation frees
+// them. So the layout needs only the header the record-movement primitives in
+// consecutive.hpp expect (is_leaf, count) plus the payload union.
+//
+// There is deliberately no leaf chain: a `next` pointer would dangle into
+// retired copies the moment a neighbour is replaced. Range scans re-descend
+// from the root per leaf (trees/algo/rcu_bptree.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/line.hpp"
+#include "trees/common.hpp"
+#include "trees/node/consecutive.hpp"
+#include "util/cacheline.hpp"
+#include "util/memstats.hpp"
+
+namespace euno::trees::node {
+
+template <int F>
+struct RcuNode {
+  static constexpr int kFanout = F;
+
+  std::uint32_t is_leaf = 0;
+  std::uint32_t count = 0;
+
+  union alignas(kCacheLineSize) {
+    Record recs[F];  // leaf payload
+    struct {
+      Key keys[F];
+      RcuNode* children[F + 1];
+    } idx;  // interior payload
+  };
+
+  static constexpr MemClass mem_class(bool is_leaf) {
+    return is_leaf ? MemClass::kLeafNode : MemClass::kInternalNode;
+  }
+
+  template <class Ctx>
+  static RcuNode* alloc(Ctx& c, bool is_leaf) {
+    auto* n = static_cast<RcuNode*>(
+        c.alloc(sizeof(RcuNode), mem_class(is_leaf), sim::LineKind::kRecord));
+    new (n) RcuNode();
+    n->is_leaf = is_leaf ? 1 : 0;
+    if (!is_leaf) c.tag_memory(n, sizeof(RcuNode), sim::LineKind::kTreeMeta);
+    c.note_node(n, sizeof(RcuNode), is_leaf ? 0 : 1);
+    return n;
+  }
+};
+
+/// Private field-by-field copy of `src` (same leafness/count/payload). The
+/// copy is unpublished — concurrent readers cannot see it — but the accesses
+/// still go through the ctx so cloning costs what it would cost on hardware.
+template <class Ctx, int F>
+RcuNode<F>* clone_node(Ctx& c, RcuNode<F>* src) {
+  const bool is_leaf = c.read(src->is_leaf) != 0;
+  RcuNode<F>* n = RcuNode<F>::alloc(c, is_leaf);
+  const int cnt = static_cast<int>(c.read(src->count));
+  if (is_leaf) {
+    for (int i = 0; i < cnt; ++i) {
+      c.write(n->recs[i].key, c.read(src->recs[i].key));
+      c.write(n->recs[i].value, c.read(src->recs[i].value));
+    }
+  } else {
+    for (int i = 0; i < cnt; ++i) {
+      c.write(n->idx.keys[i], c.read(src->idx.keys[i]));
+    }
+    for (int i = 0; i <= cnt; ++i) {
+      c.write(n->idx.children[i], c.read(src->idx.children[i]));
+    }
+  }
+  c.write(n->count, static_cast<std::uint32_t>(cnt));
+  return n;
+}
+
+}  // namespace euno::trees::node

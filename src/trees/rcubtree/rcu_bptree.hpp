@@ -1,0 +1,17 @@
+// RCU-HTM-B+Tree: copy-on-write B+Tree synchronized by the RCU-HTM policy
+// (Siakavaras et al.) — epoch-pinned lock-free reads, privately built
+// replacement subtrees, and a tiny HTM transaction that validates the
+// traversed edge set and splices the copy in. See sync/rcu_htm.hpp for the
+// policy state machine and trees/algo/rcu_bptree.hpp for the update shapes.
+#pragma once
+
+#include "sync/rcu_htm.hpp"
+#include "trees/algo/rcu_bptree.hpp"
+#include "trees/common.hpp"
+
+namespace euno::trees {
+
+template <class Ctx, int F = kDefaultFanout>
+using RcuBPTree = algo::RcuBPlusTree<Ctx, sync::RcuHtmPolicy<Ctx>, F>;
+
+}  // namespace euno::trees

@@ -89,6 +89,13 @@ struct TreeCaps {
   bool partitioned_leaves = false;
   /// Swept by the linearizability harness's registry-driven specs.
   bool lin = true;
+  /// Every operation can degrade to the tree's global FallbackLock (the
+  /// standard ctx::txn terminal mode). False for policies that never take
+  /// it (pure locking / OLC baselines) or only reach it in a terminal
+  /// degradation stage (three-path) — fault campaigns that stage
+  /// lock-holder scenarios gate on this so they fail loudly instead of
+  /// passing vacuously (tests/sim_fault_test.cpp).
+  bool has_global_fallback = true;
 };
 
 struct TreeEntry {

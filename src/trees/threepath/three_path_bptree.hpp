@@ -1,0 +1,17 @@
+// 3Path-B+Tree: the optimistic B+Tree body under Brown's three-path
+// template (sync/three_path.hpp) — HTM fast path with fully elided version
+// maintenance, HTM middle path with real version bumps, and an announced
+// lock-free-style slow path the middle path interoperates with. The global
+// fallback lock is reached only in the terminal (stage-2) degradation mode.
+#pragma once
+
+#include "sync/three_path.hpp"
+#include "trees/algo/bptree.hpp"
+#include "trees/common.hpp"
+
+namespace euno::trees {
+
+template <class Ctx, int F = kDefaultFanout>
+using ThreePathBPTree = algo::BPlusTree<Ctx, sync::ThreePathPolicy<Ctx>, F>;
+
+}  // namespace euno::trees

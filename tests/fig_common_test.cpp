@@ -75,14 +75,15 @@ TEST(FigCommon, SweepHelpers) {
   EXPECT_EQ(thetas.back(), 0.99);
 
   // The default figure sweep is exactly the registry's figure_default set:
-  // the paper's four trees plus the post-refactor Euno-SkipList.
+  // the paper's four trees plus the post-refactor Euno-SkipList and the two
+  // alternative-design policies (RCU-HTM and the three-path template).
   const auto kinds = bench::figure_tree_kinds();
   std::size_t expected = 0;
   for (const auto& e : trees::tree_registry().entries()) {
     if (e.caps.figure_default) ++expected;
   }
   EXPECT_EQ(kinds.size(), expected);
-  EXPECT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds.size(), 7u);
   EXPECT_NE(std::find(kinds.begin(), kinds.end(), trees::TreeKind::kEunoSkipList),
             kinds.end());
 }

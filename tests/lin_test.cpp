@@ -85,11 +85,22 @@ std::vector<LinSpec> lin_params() {
   // mid-run without the history ceasing to linearize.
   for (const LinKind kind : {LinKind::kBaseline, LinKind::kHtmMasstree,
                              LinKind::kEunoS2, LinKind::kEunoS4,
-                             LinKind::kEunoSkipList}) {
+                             LinKind::kEunoSkipList, LinKind::kRcuBptree}) {
     LinSpec s;
     s.kind = kind;
     s.degrade = true;
     s.sched = rand_policy(29, 50, /*txp=*/false, /*storm=*/60);
+    specs.push_back(s);
+  }
+  // Three-path degrade chain: the same hair-trigger monitor drives the
+  // policy's staged descent fast -> middle+slow -> terminal lock-only
+  // mid-run (each stage flip counts one degradation; see the dedicated
+  // chain test below for the stage assertions).
+  for (const std::uint64_t seed : {29ull, 31ull}) {
+    LinSpec s;
+    s.kind = LinKind::kThreePath;
+    s.degrade = true;
+    s.sched = rand_policy(seed, 50, /*txp=*/false, /*storm=*/60);
     specs.push_back(s);
   }
   return specs;
@@ -118,6 +129,26 @@ INSTANTIATE_TEST_SUITE_P(AllTrees, LinCheck, ::testing::ValuesIn(lin_params()),
                          [](const ::testing::TestParamInfo<LinSpec>& info) {
                            return info.param.name();
                          });
+
+// Dedicated degrade-chain check: under a violent abort storm the three-path
+// policy must walk the whole descent — fast disabled (stage 1), then the
+// terminal lock-only mode (stage 2) — mid-run, with the history still
+// linearizing across both flips. Each stage flip counts exactly one
+// degradation, so the full chain shows as exactly two.
+TEST(LinDegradeChain, ThreePathDescendsToTerminalLockOnly) {
+  LinSpec spec;
+  spec.kind = LinKind::kThreePath;
+  spec.degrade = true;
+  spec.ops_per_thread = 80;
+  spec.sched = rand_policy(29, 50, /*txp=*/false, /*storm=*/60);
+  repro_extra() = "# replay: " + check::lin_repro_line(spec);
+  const LinRun run = run_lin(spec);
+  std::string detail;
+  for (const auto& v : run.check.violations) detail += describe_violation(v);
+  EXPECT_TRUE(run.check.ok) << detail << check::lin_repro_line(spec);
+  EXPECT_EQ(run.degradations, 2u)
+      << "expected the full fast->middle->terminal descent";
+}
 
 TEST(LinDeterminism, SameSpecSameHistory) {
   LinSpec spec;

@@ -186,6 +186,91 @@ TEST_P(RegistryConformance, SimConcurrentStress) {
   tree.destroy(verify);
 }
 
+// Scan-during-splice interleaving: one writer drives continuous structural
+// change (ascending inserts force a split cascade; erases of its own keys
+// force underflow churn) while scanners sweep the same key space under
+// heavy random preemption, so every scan straddles node replacements —
+// copy-on-write splices for rcu-bptree, version-bumped splits elsewhere. A
+// scanner must always observe ascending keys, untorn values, and every
+// preloaded immortal key inside the window it covered: a scan that walks
+// into a retired/stale node surfaces here as a vanished immortal or an
+// out-of-order batch.
+TEST_P(RegistryConformance, ScanDuringSpliceSim) {
+  sim::Simulation simulation(test_sim_config());
+  sim::SchedulePolicy sched;
+  sched.mode = sim::SchedulePolicy::Mode::kRandom;
+  sched.seed = 916;
+  sched.preempt_pct = 90;
+  simulation.set_schedule_policy(sched);
+  ctx::SimCtx setup(simulation, 0);
+  auto tree = make_sim(setup, GetParam());
+
+  constexpr std::uint64_t kRange = 4096;
+  constexpr std::uint64_t kImmortalStride = 32;  // 128 immortal keys
+  constexpr int kScanners = 3;
+  constexpr int kScansEach = 12;
+  constexpr std::size_t kChunk = 48;
+  for (Key k = 0; k < kRange; k += kImmortalStride) {
+    tree.put(setup, k, k * 7 + 3);
+  }
+
+  // Writer on core 0: ascending inserts (every split shifts immortal keys
+  // into fresh leaves) interleaved with erases of its own earlier inserts.
+  simulation.spawn(0, [&](int core) {
+    ctx::SimCtx c(simulation, core);
+    for (Key k = 0; k < kRange; ++k) {
+      if (k % kImmortalStride == 0) continue;
+      tree.put(c, k, k * 7 + 3);
+      if (k >= 3 && (k % 3) == 0 && ((k - 3) % kImmortalStride) != 0) {
+        (void)tree.erase(c, k - 3);
+      }
+    }
+  });
+  for (int s = 0; s < kScanners; ++s) {
+    simulation.spawn(1 + s, [&, s](int core) {
+      ctx::SimCtx c(simulation, core);
+      Xoshiro256 rng(916 + static_cast<std::uint64_t>(s));
+      std::vector<KV> buf(kChunk);
+      for (int i = 0; i < kScansEach; ++i) {
+        const Key start = rng.next_bounded(kRange);
+        const std::size_t n = tree.scan(c, start, kChunk, buf.data());
+        Key prev = 0;
+        bool have_prev = false;
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_GE(buf[j].first, start);
+          if (have_prev) {
+            ASSERT_GT(buf[j].first, prev) << "scan order violation";
+          }
+          ASSERT_EQ(buf[j].second, buf[j].first * 7 + 3) << "torn value";
+          prev = buf[j].first;
+          have_prev = true;
+        }
+        if (!have_prev) continue;
+        // Window completeness: every immortal key in [start, prev] must
+        // have been returned — splices replace nodes, never hide keys.
+        std::size_t at = 0;
+        Key ik = (start + kImmortalStride - 1) / kImmortalStride;
+        for (ik *= kImmortalStride; ik <= prev; ik += kImmortalStride) {
+          while (at < n && buf[at].first < ik) ++at;
+          ASSERT_TRUE(at < n && buf[at].first == ik)
+              << "immortal key " << ik << " missing from scan window ["
+              << start << ", " << prev << "]";
+        }
+      }
+    });
+  }
+  simulation.run();
+
+  tree.check_invariants();
+  ctx::SimCtx verify(simulation, 0);
+  for (Key k = 0; k < kRange; k += kImmortalStride) {
+    Value v = 0;
+    ASSERT_TRUE(tree.get(verify, k, &v)) << "immortal key " << k << " lost";
+    ASSERT_EQ(v, k * 7 + 3);
+  }
+  tree.destroy(verify);
+}
+
 TEST_P(RegistryConformance, NativeConcurrentStress) {
   ctx::NativeEnv env;
   ctx::NativeCtx setup(env, 0);

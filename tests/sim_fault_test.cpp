@@ -11,6 +11,7 @@
 #include "driver/experiment.hpp"
 #include "obs/manifest.hpp"
 #include "obs/options.hpp"
+#include "trees/registry.hpp"
 
 namespace euno::tests {
 namespace {
@@ -167,6 +168,42 @@ TEST(SimFault, LockHolderDelayInflatesWaiting) {
 
   const auto b = run_sim_experiment(spec);
   expect_same_counters(r, b);
+}
+
+// The delay scenario only makes sense for trees that can acquire the global
+// fallback lock, and caps.has_global_fallback is the registry's word on
+// which those are. Sweep every registered tree under a maximally hostile
+// config (zero retry budgets, 100% mutual aborts, every lock hold delayed):
+// gated-in trees must record delayed holds; gated-out trees must record
+// none — a nonzero count there means the capability bit lies about the
+// tree's synchronization structure.
+TEST(SimFault, LockHolderDelayGatedByGlobalFallbackCap) {
+  for (const trees::TreeEntry& e : trees::tree_registry().entries()) {
+    auto spec = base_spec();
+    spec.tree = e.kind;
+    spec.policy.conflict_retries = 0;
+    spec.policy.capacity_retries = 0;
+    spec.policy.other_retries = 0;
+    spec.machine.htm.mutual_abort_pct = 100;
+    spec.machine.fault.lock_hold_delay_pct = 100;
+    spec.machine.fault.lock_hold_delay_cycles = 2000;
+    const auto r = run_sim_experiment(spec);
+    // Non-HTM trees log no transaction counters at all, so "the scenario
+    // ran" is only visible on the simulated clock.
+    EXPECT_GT(r.sim_cycles, 0u) << e.name << ": scenario ran no work";
+    if (e.caps.has_global_fallback) {
+      EXPECT_GT(r.faults_lock_delay, 0u)
+          << e.name << ": has_global_fallback set but the hostile campaign "
+                       "never delayed a lock holder";
+    } else {
+      EXPECT_EQ(r.faults_lock_delay, 0u)
+          << e.name << ": tree claims no global fallback but acquired the "
+                       "fallback lock";
+      std::printf("  [gated-out] %s: no global fallback lock, delay "
+                  "scenario skipped by caps\n",
+                  e.name.c_str());
+    }
+  }
 }
 
 // ---- replayable manifests ----

@@ -51,12 +51,13 @@ TEST(TreeRegistry, EveryEntryHasBothFactories) {
 }
 
 TEST(TreeRegistry, BuiltinsPresentWithExpectedCaps) {
-  // The paper's four figure trees plus the post-refactor Euno-SkipList.
+  // The paper's four figure trees plus the post-refactor Euno-SkipList,
+  // RCU-HTM-B+Tree and 3Path-B+Tree.
   std::size_t figure = 0;
   for (const auto& e : tree_registry().entries()) {
     if (e.caps.figure_default) ++figure;
   }
-  EXPECT_EQ(figure, 5u);
+  EXPECT_EQ(figure, 7u);
 
   const auto* euno = tree_registry().by_name("euno");
   ASSERT_NE(euno, nullptr);
@@ -81,6 +82,28 @@ TEST(TreeRegistry, BuiltinsPresentWithExpectedCaps) {
   const auto* masstree = tree_registry().by_name("masstree");
   ASSERT_NE(masstree, nullptr);
   EXPECT_FALSE(masstree->caps.uses_htm);
+  EXPECT_FALSE(masstree->caps.has_global_fallback)
+      << "plain OLC never takes the global fallback lock";
+
+  const auto* rcu = tree_registry().by_name("rcu-bptree");
+  ASSERT_NE(rcu, nullptr);
+  EXPECT_EQ(rcu->kind, TreeKind::kRcuBPTree);
+  EXPECT_TRUE(rcu->caps.figure_default);
+  EXPECT_TRUE(rcu->caps.uses_htm);
+  EXPECT_TRUE(rcu->caps.has_global_fallback)
+      << "the splice transaction subscribes the per-tree fallback lock";
+  EXPECT_EQ(rcu->display, "RCU-HTM-B+Tree");
+
+  const auto* threepath = tree_registry().by_name("3path-bptree");
+  ASSERT_NE(threepath, nullptr);
+  EXPECT_EQ(threepath->kind, TreeKind::kThreePathBPTree);
+  EXPECT_TRUE(threepath->caps.figure_default);
+  EXPECT_TRUE(threepath->caps.uses_htm);
+  EXPECT_FALSE(threepath->caps.has_global_fallback)
+      << "three-path degrades fast->middle->slow; the lock is terminal only";
+  EXPECT_EQ(threepath->display, "3Path-B+Tree");
+
+  EXPECT_FALSE(lock->caps.has_global_fallback);
 
   // Figure 13 ladder: exactly the five cumulative rungs plus the baseline.
   std::size_t rungs = 0;
