@@ -28,7 +28,10 @@
 # The asan job rebuilds with -DEUNO_ASAN=ON and runs the `fault` label (the
 # HTM fault-injection campaigns, the hardened retry/fallback paths, and the
 # RCU reclamation battery whose native soak makes a premature free a real
-# heap use-after-free — exactly what ASan exists to catch).
+# heap use-after-free — exactly what ASan exists to catch) plus the `store`
+# label, whose native multi-threaded soak drives per-shard epoch domains
+# concurrently — a cross-domain reclamation bug frees memory a reader in
+# another shard still holds, which ASan turns into a hard failure.
 # The ubsan job rebuilds with -DEUNO_UBSAN=ON (UBSan alone, no ASan shadow)
 # and runs the `conformance` label — the per-tree suites plus the
 # registry-driven sweep over every registered structure, where layout-layer
@@ -47,6 +50,10 @@ case "$job" in
     cmake --build build -j
     ctest --test-dir build --output-on-failure -j "$(nproc)"
     ctest --test-dir build --output-on-failure -L obs-native
+    # Store robustness battery (admission, deadlines, per-shard epoch
+    # domains, open-loop determinism) — part of the full run above, re-run
+    # by label so a store regression is attributable at a glance.
+    ctest --test-dir build --output-on-failure -L store
     python3 scripts/report.py build/obs_native_manifest.json \
       -o build/obs_native_report.html
     (cd build && ./bench/sim_selfperf --quick)
@@ -60,7 +67,7 @@ case "$job" in
   asan)
     cmake -B build-asan -S . -DEUNO_ASAN=ON
     cmake --build build-asan -j
-    ctest --test-dir build-asan --output-on-failure -L "fault"
+    ctest --test-dir build-asan --output-on-failure -L "fault|store"
     ;;
   ubsan)
     cmake -B build-ubsan -S . -DEUNO_UBSAN=ON

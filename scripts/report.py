@@ -44,6 +44,24 @@ REQUIRED_RESULT_KEYS = (
 
 REQUIRED_SPEC_KEYS = ("tree", "threads", "ops_per_thread", "workload", "obs")
 
+# Emitted only for store-enabled runs (DESIGN.md §15); when the section is
+# present these keys must all be there.
+REQUIRED_STORE_SPEC_KEYS = (
+    "shards",
+    "offered_load_mops",
+    "deadline_us",
+    "shedding",
+)
+
+# The four robustness counters are written as one conditional group: any of
+# them nonzero emits all four.
+STORE_RESULT_KEYS = (
+    "admitted_ops",
+    "shed_ops",
+    "deadline_exceeded",
+    "shard_degradations",
+)
+
 
 def fail(msg):
     print(f"report: FAIL: {msg}", file=sys.stderr)
@@ -122,6 +140,32 @@ def validate_perf(perf, where):
                 fail(f"{c_where} unavailable but carries no 'error'")
 
 
+def validate_store(spec, result, where):
+    store = spec.get("store")
+    if store is not None:
+        if not isinstance(store, dict):
+            fail(f"{where}: spec.store is not an object")
+        for key in REQUIRED_STORE_SPEC_KEYS:
+            if key not in store:
+                fail(f"{where}: spec.store missing '{key}'")
+        shards = store["shards"]
+        if not isinstance(shards, int) or shards < 1:
+            fail(f"{where}: spec.store.shards must be a positive integer")
+    present = [k for k in STORE_RESULT_KEYS if k in result]
+    if present and len(present) != len(STORE_RESULT_KEYS):
+        missing = [k for k in STORE_RESULT_KEYS if k not in result]
+        fail(
+            f"{where}: store counters are emitted as a group — "
+            f"{present} present but {missing} missing"
+        )
+    for key in present:
+        v = result[key]
+        if not isinstance(v, int) or v < 0:
+            fail(f"{where}: result.{key} must be a non-negative integer")
+    if present and store is None:
+        fail(f"{where}: store counters present but spec has no store section")
+
+
 def validate(doc, path):
     if not isinstance(doc, dict):
         fail(f"{path}: top level is not an object")
@@ -148,6 +192,7 @@ def validate(doc, path):
         for key in REQUIRED_RESULT_KEYS:
             if key not in result:
                 fail(f"{where}: result missing '{key}'")
+        validate_store(spec, result, where)
         if "timeseries" in result:
             validate_timeseries(result["timeseries"], result, where)
         if "perf" in result:
@@ -212,6 +257,65 @@ def point_title(spec):
     )
 
 
+def store_config_label(store):
+    return "hardened" if store.get("shedding") or store.get("deadline_us") else "baseline"
+
+
+def render_latency_under_load(doc):
+    """p99-vs-offered-load curves for store-enabled sweeps (fig_latency_load).
+
+    Points whose spec carries a store section with a positive offered load
+    are grouped into baseline / hardened configs and plotted against offered
+    load, with the robustness counters tabulated alongside.
+    """
+    groups = {}  # label -> [(offered, point)]
+    for point in doc["sweep"]:
+        store = point["spec"].get("store")
+        if not store or not store.get("offered_load_mops", 0) > 0:
+            continue
+        label = store_config_label(store)
+        groups.setdefault(label, []).append(
+            (store["offered_load_mops"], point)
+        )
+    if not groups or sum(len(v) for v in groups.values()) < 2:
+        return []
+    colors = {"baseline": "#d62728", "hardened": "#2ca02c"}
+    series = []
+    for label in sorted(groups):
+        pts = sorted(groups[label], key=lambda t: t[0])
+        series.append(
+            (
+                label,
+                colors.get(label, "#1f77b4"),
+                [p["result"].get("lat_p99", 0) for _, p in pts],
+            )
+        )
+    out = [
+        "<h2>Latency under load</h2>",
+        svg_chart("p99 latency vs offered load (ascending)", series),
+        "<table><tr><th>offered Mops</th><th>config</th><th>Mops/s</th>"
+        "<th>p99</th><th>admitted</th><th>shed</th><th>deadline</th>"
+        "<th>degraded</th></tr>",
+    ]
+    rows = sorted(
+        ((off, label, p) for label, pts in groups.items() for off, p in pts),
+        key=lambda t: (t[0], t[1]),
+    )
+    for off, label, point in rows:
+        r = point["result"]
+        out.append(
+            f"<tr><td>{off:g}</td><td>{html.escape(label)}</td>"
+            f"<td>{r['throughput_mops']:.3f}</td>"
+            f"<td>{r.get('lat_p99', 0):g}</td>"
+            f"<td>{r.get('admitted_ops', 0)}</td>"
+            f"<td>{r.get('shed_ops', 0)}</td>"
+            f"<td>{r.get('deadline_exceeded', 0)}</td>"
+            f"<td>{r.get('shard_degradations', 0)}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
 def render(doc, path):
     out = [
         "<!DOCTYPE html><html><head><meta charset='utf-8'>",
@@ -250,6 +354,7 @@ def render(doc, path):
             f"<td>{r.get('lat_p99', 0):g}</td></tr>"
         )
     out.append("</table>")
+    out.extend(render_latency_under_load(doc))
 
     for i, point in enumerate(doc["sweep"]):
         spec, r = point["spec"], point["result"]

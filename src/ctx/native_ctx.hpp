@@ -89,6 +89,15 @@ class NativeCtx {
                       const htm::RetryPolicy& policy, Body&& body) {
     TxnOutcome out;
     auto& st = stats_.at(site);
+    // Deadline propagation (DESIGN.md §15): disarmed (the default) costs one
+    // predictable branch; armed, a doomed op aborts before doing more work.
+    // Checks stay live only through the op's first transactional region
+    // (see set_deadline); this guard retires them however the region exits.
+    struct DeadlineFreshReset {
+      NativeCtx* c;
+      ~DeadlineFreshReset() { c->deadline_fresh_ = false; }
+    } deadline_reset{this};
+    if (deadline_fresh_) deadline_check(st);
     if constexpr (kAllowFallback) {
       // Permanent HTM-health degradation: straight to the lock.
       if (policy.health_window != 0 &&
@@ -126,6 +135,7 @@ class NativeCtx {
           std::uint32_t poll_delay = policy.backoff_base;
           while (lock.word.load(std::memory_order_acquire) != 0) {
             waited = true;
+            if (deadline_fresh_) deadline_check(st);
             if (++polls >= policy.lock_wait_spin_cap) {
               polls = 0;
               st.lock_wait_timeouts++;
@@ -210,6 +220,9 @@ class NativeCtx {
         if (r.reason == htm::AbortReason::kConflict) budget = &conflict_budget;
         if (r.reason == htm::AbortReason::kCapacity) budget = &capacity_budget;
         if (--*budget < 0) break;
+        // Between attempts: nothing held, no transaction open — the cheapest
+        // place to notice a blown deadline.
+        if (deadline_fresh_) deadline_check(st);
         // Seeded-jitter exponential backoff per abort reason (capacity
         // aborts never back off — the footprint does not shrink by waiting).
         if (policy.backoff && r.reason != htm::AbortReason::kCapacity) {
@@ -229,6 +242,9 @@ class NativeCtx {
       st.attempts++;
     }
     if constexpr (kAllowFallback) {
+      // Last exit before joining the fallback queue: a doomed op sheds here
+      // rather than contending for a lock it can no longer afford.
+      if (deadline_fresh_) deadline_check(st);
       // Fallback: serialize on the lock.
       run_fallback(lock, st, out, body);
       health_note(lock, policy, st, out.aborts + 1, 0);
@@ -356,6 +372,30 @@ class NativeCtx {
   void set_observer(obs::ThreadObs* o) { obs_ = o; }
   obs::ThreadObs* observer() { return obs_; }
 
+  // ---- deadline propagation (DESIGN.md §15) ----
+
+  /// Arm an absolute deadline (in now() units, i.e. wall-clock ns) for ops
+  /// issued through this context: past it, txn()/try_txn() throw
+  /// DeadlineExceeded from their next safe check point instead of spinning
+  /// on. 0 disarms; disarmed (the default) costs one predictable branch.
+  ///
+  /// The unwind is only legal while the op holds no op-level state the ctx
+  /// cannot release — which trees guarantee only up to their *first*
+  /// transactional region (e.g. euno acquires CCM lock bits between its
+  /// upper and lower regions; abandoning there would wedge the slot). So
+  /// the checks stay live only until the first txn()/try_txn() since
+  /// arming returns; past that the op runs to completion, bounding the
+  /// overrun by one op rather than risking a stuck structure.
+  void set_deadline(std::uint64_t abs) {
+    deadline_ = abs;
+    deadline_fresh_ = abs != 0;
+  }
+  void clear_deadline() {
+    deadline_ = 0;
+    deadline_fresh_ = false;
+  }
+  std::uint64_t deadline() const { return deadline_; }
+
   /// Attach this thread's event ring (obs.trace channel). `origin` — the
   /// run's start in now() units — is subtracted from every timestamp so the
   /// ring's varint clock-deltas stay small and traces start near zero.
@@ -428,6 +468,19 @@ class NativeCtx {
     }
   }
 
+  /// Throws when the armed deadline has passed. Callers sit outside hardware
+  /// transactions and critical sections (common.hpp on DeadlineExceeded).
+  /// Only live while deadline_fresh_: an op that already completed a
+  /// transactional region may hold tree-level state (CCM lock bits, clones)
+  /// that the ctx cannot release.
+  void deadline_check(htm::TxStats& st) {
+    if (deadline_fresh_ && now() >= deadline_) {
+      st.deadline_exceeded++;
+      note(TraceCode::kDeadlineExceeded);
+      throw DeadlineExceeded{};
+    }
+  }
+
   /// Seeded jitter: uniform in [d/2, d] so backed-off threads desynchronize.
   std::uint32_t jitter(std::uint32_t d) {
     if (d <= 1) return d;
@@ -449,6 +502,10 @@ class NativeCtx {
   obs::EventRing* ring_ = nullptr;
   std::uint64_t trace_origin_ = 0;
   std::uint32_t starved_ops_ = 0;
+  std::uint64_t deadline_ = 0;  // absolute ns deadline; 0 = disarmed
+  // Deadline throws are armed per op and retired by the first txn region
+  // (see set_deadline); cleared even when that region itself throws.
+  bool deadline_fresh_ = false;
   Xoshiro256 jitter_rng_{0xB0FFull + 0x9E3779B97F4A7C15ull *
                                          (static_cast<std::uint64_t>(tid_) + 1)};
 };

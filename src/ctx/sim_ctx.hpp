@@ -46,6 +46,30 @@ class SimCtx {
   void set_observer(obs::ThreadObs* o) { obs_ = o; }
   obs::ThreadObs* observer() { return obs_; }
 
+  // ---- deadline propagation (DESIGN.md §15) ----
+
+  /// Arm an absolute deadline (in now() units, i.e. simulated cycles) for
+  /// the ops issued through this context: once the core clock reaches it,
+  /// txn()/try_txn() throw DeadlineExceeded from their next safe check point
+  /// instead of spinning on. 0 disarms; disarmed (the default) costs nothing.
+  ///
+  /// The unwind is only legal while the op holds no op-level state the ctx
+  /// cannot release — which trees guarantee only up to their *first*
+  /// transactional region (e.g. euno acquires CCM lock bits between its
+  /// upper and lower regions; abandoning there would wedge the slot). So the
+  /// checks stay live only until the first txn()/try_txn() since arming
+  /// returns; past that the op runs to completion, bounding the overrun by
+  /// one op rather than risking a stuck structure.
+  void set_deadline(std::uint64_t abs) {
+    deadline_ = abs;
+    deadline_fresh_ = abs != 0;
+  }
+  void clear_deadline() {
+    deadline_ = 0;
+    deadline_fresh_ = false;
+  }
+  std::uint64_t deadline() const { return deadline_; }
+
   // ---- transactions ----
 
   template <class Body>
@@ -71,6 +95,17 @@ class SimCtx {
     auto& st = stats_.at(site);
     auto& htm_model = sim_->htm();
     const auto& cfg = sim_->config();
+
+    // Deadline propagation (DESIGN.md §15): a doomed op aborts before doing
+    // any further work. All checks sit outside HTM regions and critical
+    // sections, so the throw never unwinds through either — and they stay
+    // armed only through the op's first transactional region (see
+    // set_deadline); this guard retires them however the region exits.
+    struct DeadlineFreshReset {
+      SimCtx* c;
+      ~DeadlineFreshReset() { c->deadline_fresh_ = false; }
+    } deadline_reset{this};
+    if (deadline_fresh_) deadline_check(st);
 
     if constexpr (kAllowFallback) {
       // Permanent HTM-health degradation (DESIGN.md §10): straight to the
@@ -120,6 +155,14 @@ class SimCtx {
         std::uint32_t poll_delay = policy.backoff_base;
         while (atomic_load(lock.word) != 0) {
           waited = true;
+          if (deadline_fresh_) {
+            // Account the cycles burned so far in this episode before
+            // abandoning it, then bail out of the lock queue.
+            if (sim_->clock_of(core_) >= deadline_) {
+              st.lock_wait_cycles += sim_->clock_of(core_) - w0;
+              deadline_check(st);
+            }
+          }
           if (++polls >= policy.lock_wait_spin_cap) {
             polls = 0;
             st.lock_wait_timeouts++;
@@ -248,6 +291,9 @@ class SimCtx {
         other_budget = policy.other_retries;
         for (auto& s : streak) s = 0;
       }
+      // Between attempts is the cheapest place to notice a blown deadline:
+      // nothing is held, nothing is open.
+      if (deadline_fresh_) deadline_check(st);
       // Hardened path: seeded-jitter exponential backoff per abort reason,
       // desynchronizing mutually-destructive retry storms. Capacity aborts
       // never back off (the footprint does not shrink by waiting).
@@ -263,6 +309,9 @@ class SimCtx {
     }
 
     if constexpr (kAllowFallback) {
+      // Last exit before joining the fallback queue: a doomed op must shed
+      // here rather than contend for the lock it can no longer afford.
+      if (deadline_fresh_) deadline_check(st);
       if (policy.starvation_threshold != 0) starved_ops_++;
       // Fallback path: acquire the lock (the write aborts all subscribed
       // transactions via strong atomicity), run the body plain, release.
@@ -457,6 +506,21 @@ class SimCtx {
     }
   }
 
+  /// Throws when the armed deadline has passed. Callers sit outside HTM
+  /// regions and critical sections (common.hpp on DeadlineExceeded); the
+  /// clock read is host-side and free. Only live while deadline_fresh_: an
+  /// op that already completed a transactional region may hold tree-level
+  /// state (CCM lock bits, clones) that the ctx cannot release.
+  void deadline_check(htm::TxStats& st) {
+    if (deadline_fresh_ && sim_->clock_of(core_) >= deadline_) {
+      st.deadline_exceeded++;
+      sim_->record_trace(
+          static_cast<std::uint8_t>(TraceCode::kDeadlineExceeded), 0, 0);
+      sim_->flush_trace();
+      throw DeadlineExceeded{};
+    }
+  }
+
   /// Seeded jitter: uniform in [d/2, d]. The per-core seed keeps hardened
   /// runs deterministic and distinct across cores.
   std::uint32_t jitter(std::uint32_t d) {
@@ -471,6 +535,10 @@ class SimCtx {
   SiteStats stats_{};
   obs::ThreadObs* obs_ = nullptr;
   std::uint32_t starved_ops_ = 0;  // consecutive ops that exhausted the budget
+  std::uint64_t deadline_ = 0;     // absolute cycle deadline; 0 = disarmed
+  // Deadline throws are armed per op and retired by the first txn region
+  // (see set_deadline); cleared even when that region itself throws.
+  bool deadline_fresh_ = false;
   Xoshiro256 jitter_rng_;
 };
 

@@ -7,9 +7,11 @@
 
 #include "ctx/native_ctx.hpp"
 #include "ctx/sim_ctx.hpp"
+#include "store/sharded_store.hpp"
 #include "trees/registry.hpp"
 #include "util/memstats.hpp"
 #include "util/tsc.hpp"
+#include "workload/openloop.hpp"
 
 namespace euno::driver {
 
@@ -114,6 +116,7 @@ void aggregate_stats(const ctx::SiteStats& s, ExperimentResult* r) {
   r->middle_commits += total.middle_commits;
   r->slow_path_ops += total.slow_path_ops;
   r->epoch_retired += total.epoch_retired;
+  r->deadline_exceeded += total.deadline_exceeded;
 }
 
 /// Preloads the hottest `n` ranks so the measured phase hits a warm store
@@ -127,6 +130,299 @@ void preload_tree(Tree& tree, Ctx& c, const workload::WorkloadSpec& w,
     if (rank >= w.key_range) break;
     tree.put(c, workload::rank_to_key(rank, w.key_range, w.scramble), rng.next());
   }
+}
+
+// ---- sharded-store runners (DESIGN.md §15) ----
+//
+// Mirrors of run_sim_with/run_native_with that route every op through a
+// store::ShardedStore. Two further differences: clients may issue on an
+// open-loop Poisson schedule (latency is then *sojourn* time, completion
+// minus scheduled arrival, so backlog shows up in the histograms instead of
+// silently self-throttling the offered rate), and throughput reports goodput
+// (completed ops), with issued/admitted/shed accounted separately.
+
+/// Arrival schedule shared by all clients of one store run. The schedule
+/// seed is derived from (but distinct from) the key-choice seed, so workload
+/// and arrival randomness stay independent streams.
+workload::OpenLoopSpec make_openloop(const ExperimentSpec& spec,
+                                     double clock_hz) {
+  workload::OpenLoopSpec ol;
+  ol.seed = spec.workload.seed ^ 0x0B5E55ull;
+  ol.clients = spec.threads;
+  ol.think = spec.store.think;
+  if (spec.store.open_loop()) {
+    // Aggregate offered load splits evenly across clients: per-client mean
+    // inter-arrival = clients / rate, in ctx clock units.
+    ol.mean_gap = clock_hz * static_cast<double>(spec.threads) /
+                  (spec.store.offered_load_mops * 1e6);
+  }
+  return ol;
+}
+
+/// One client's issue loop. `idle_until(t)` blocks (sim: charges cycles;
+/// native: spins) until the context clock reaches t — how a client waits for
+/// its next scheduled arrival. Returns the number of *completed* ops (the
+/// goodput numerator); sheds and deadline misses complete nothing.
+template <class Store, class Ctx, class IdleUntil>
+std::uint64_t run_store_ops(Store& st, Ctx& c, const ExperimentSpec& spec,
+                            const workload::OpenLoopSpec& ol, int t,
+                            std::uint64_t origin, IdleUntil idle_until) {
+  workload::DriftingOpStream stream(spec.workload, t, spec.store.drift_to,
+                                    spec.ops_per_thread);
+  workload::ArrivalStream arrivals(ol, t, origin);
+  const bool open_loop = spec.store.open_loop();
+  std::vector<trees::KV> scan_buf(spec.workload.scan_len);
+  obs::ThreadObs* tobs = c.observer();
+  std::uint64_t completed = 0;
+  std::uint64_t completion = origin;
+  for (std::uint64_t i = 0; i < spec.ops_per_thread; ++i) {
+    std::uint64_t sched;
+    if (open_loop) {
+      sched = arrivals.next(completion);
+      idle_until(sched);
+    } else {
+      sched = c.now();
+    }
+    const Op op = stream.next();
+    c.note_event(ctx::TraceCode::kOpBegin, static_cast<std::uint8_t>(op.type));
+    const store::OpResult res = st.execute(c, op, sched, scan_buf.data());
+    completion = c.now();
+    if (res.status == store::StoreStatus::kOk ||
+        res.status == store::StoreStatus::kNotFound) {
+      completed++;
+      if (tobs != nullptr) {
+        // Sojourn time: queueing lateness + service. Only ops the store
+        // actually served are recorded — the latency-under-load curves are
+        // percentiles *of admitted ops* by construction.
+        tobs->op_latency.record(completion - sched);
+        tobs->series.record_op(completion, completion - sched);
+      }
+    }
+    c.note_event(ctx::TraceCode::kOpEnd, static_cast<std::uint8_t>(op.type));
+  }
+  return completed;
+}
+
+/// Preload through the store's shard router (admission/deadline bypassed:
+/// the warmup phase is not part of the measured service).
+template <class Store, class Ctx>
+void preload_store(Store& st, Ctx& c, const workload::WorkloadSpec& w,
+                   std::uint64_t n, std::uint32_t stride) {
+  Xoshiro256 rng(w.seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t rank = i * stride;
+    if (rank >= w.key_range) break;
+    st.preload_put(c, workload::rank_to_key(rank, w.key_range, w.scramble),
+                   rng.next());
+  }
+}
+
+/// Fold the store totals into the result. Mid-flight deadline unwinds were
+/// already aggregated from TxStats (aggregate_stats); the store adds the
+/// pre-check rejections, so deadline_exceeded ends up counting each op that
+/// missed its deadline exactly once.
+void fold_store_totals(const store::StoreTotals& tot, std::uint64_t completed,
+                       double seconds, ExperimentResult* r) {
+  r->admitted_ops = tot.admitted;
+  r->shed_ops = tot.shed;
+  r->shard_degradations = tot.degradations;
+  r->deadline_exceeded += tot.deadline_exceeded;
+  r->throughput_mops =
+      seconds > 0 ? static_cast<double>(completed) / seconds / 1e6 : 0;
+}
+
+ExperimentResult run_store_sim(const ExperimentSpec& spec) {
+  EUNO_ASSERT(spec.threads >= 1 &&
+              spec.threads <= spec.machine.topology.total_cores());
+  sim::Simulation simulation(spec.machine);
+  MemStats::instance().reset();
+
+  const obs::ObsOptions obs_opt =
+      obs::kCompiledIn ? spec.obs : obs::ObsOptions{};
+  obs::ContentionMap cmap;
+  obs::NodeRegistry node_reg;
+  if (obs_opt.contention) simulation.enable_contention(&cmap, &node_reg);
+  if (obs_opt.trace) simulation.enable_trace();
+  std::vector<obs::ThreadObs> tobs(
+      obs_opt.latency || obs_opt.metrics_interval != 0
+          ? static_cast<std::size_t>(spec.threads)
+          : 0);
+
+  const trees::TreeEntry& entry = trees::tree_registry().expect(spec.tree);
+  trees::TreeBuildOptions build;
+  build.policy = spec.policy;
+  const store::StoreRuntime rt{spec.ghz * 1e9};
+  ctx::SimCtx setup(simulation, 0);
+  store::ShardedStore<ctx::SimCtx> st(
+      setup, spec.store, rt,
+      [&](ctx::SimCtx& c) { return entry.make_sim(c, build); });
+  preload_store(st, setup, spec.workload, spec.preload, spec.preload_stride);
+
+  const workload::OpenLoopSpec ol = make_openloop(spec, rt.clock_hz);
+  std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
+  std::vector<std::uint64_t> completed(
+      static_cast<std::size_t>(spec.threads), 0);
+  for (int t = 0; t < spec.threads; ++t) {
+    simulation.spawn(t, [&, t](int core) {
+      ctx::SimCtx c(simulation, core);
+      if (!tobs.empty()) {
+        auto& to = tobs[static_cast<std::size_t>(t)];
+        to.series.configure(obs_opt.metrics_interval, 0);
+        c.set_observer(&to);
+      }
+      completed[static_cast<std::size_t>(t)] = run_store_ops(
+          st, c, spec, ol, t, /*origin=*/0, [&](std::uint64_t target) {
+            const std::uint64_t now = simulation.clock_of(core);
+            if (target > now) simulation.charge(target - now);
+          });
+      stats[static_cast<std::size_t>(t)] = c.stats();
+    });
+  }
+  simulation.run();
+
+  ExperimentResult r;
+  r.ops = spec.ops_per_thread * static_cast<std::uint64_t>(spec.threads);
+  r.sim_cycles = simulation.max_clock();
+  const double seconds = static_cast<double>(r.sim_cycles) / (spec.ghz * 1e9);
+  for (const auto& s : stats) aggregate_stats(s, &r);
+  r.aborts_per_op =
+      static_cast<double>(r.aborts_total) / static_cast<double>(r.ops);
+  std::uint64_t total_completed = 0;
+  for (const auto n : completed) total_completed += n;
+  fold_store_totals(st.accumulate(), total_completed, seconds, &r);
+
+  std::uint64_t instr = 0, wasted = 0, clock_sum = 0;
+  for (int t = 0; t < spec.threads; ++t) {
+    instr += simulation.counters(t).instructions;
+    r.mem_accesses += simulation.counters(t).mem_accesses;
+    wasted += simulation.counters(t).cycles_wasted;
+    clock_sum += simulation.clock_of(t);
+  }
+  r.instructions_per_op =
+      static_cast<double>(instr) / static_cast<double>(r.ops);
+  r.wasted_cycle_frac =
+      clock_sum > 0
+          ? static_cast<double>(wasted) / static_cast<double>(clock_sum)
+          : 0;
+
+  auto& ms = MemStats::instance();
+  r.mem_total = ms.tree_live_bytes();
+  r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
+  r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
+
+  finalize_obs(obs_opt, tobs, obs_opt.contention ? &cmap : nullptr, &node_reg,
+               &r);
+  if (obs_opt.trace) r.trace = simulation.take_trace();
+  if (obs_opt.metrics_interval != 0) {
+    for (int t = 0; t < spec.threads; ++t) {
+      tobs[static_cast<std::size_t>(t)].series.finish(simulation.clock_of(t));
+    }
+    r.timeseries = obs::merge_series(obs_opt.metrics_interval, "cycles", tobs);
+  }
+
+  const sim::FaultCounters& fc = simulation.fault_counters();
+  r.faults_spurious = fc.spurious_aborts;
+  r.faults_burst = fc.burst_aborts;
+  r.faults_lock_delay = fc.lock_hold_delays;
+  r.fault_capacity_phases = fc.capacity_phases;
+
+  ctx::SimCtx teardown(simulation, 0);
+  st.destroy(teardown);
+  return r;
+}
+
+ExperimentResult run_store_native(const ExperimentSpec& spec) {
+  ctx::NativeEnv env(64);
+  MemStats::instance().reset();
+
+  const obs::ObsOptions obs_opt =
+      obs::kCompiledIn ? spec.obs : obs::ObsOptions{};
+  ExperimentResult r;
+  std::optional<obs::PerfCounterGroup> perf;
+  if (obs_opt.perf) {
+    perf.emplace();
+    r.perf.attempted = true;
+  }
+
+  const trees::TreeEntry& entry = trees::tree_registry().expect(spec.tree);
+  trees::TreeBuildOptions build;
+  build.policy = spec.policy;
+  const store::StoreRuntime rt{1e9};  // native clock: wall nanoseconds
+  ctx::NativeCtx setup(env, 0);
+  store::ShardedStore<ctx::NativeCtx> st(
+      setup, spec.store, rt,
+      [&](ctx::NativeCtx& c) { return entry.make_native(c, build); });
+  if (perf) perf->start();
+  preload_store(st, setup, spec.workload, spec.preload, spec.preload_stride);
+  if (perf) {
+    perf->stop();
+    r.perf.phases.push_back(perf->sample("preload"));
+  }
+
+  const bool thread_obs_on = obs_opt.latency || obs_opt.metrics_interval != 0;
+  std::vector<obs::ThreadObs> tobs(
+      thread_obs_on ? static_cast<std::size_t>(spec.threads) : 0);
+  std::vector<obs::EventRing> rings(
+      obs_opt.trace ? static_cast<std::size_t>(spec.threads) : 0);
+  std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
+  std::vector<std::uint64_t> completed(
+      static_cast<std::size_t>(spec.threads), 0);
+  const workload::OpenLoopSpec ol = make_openloop(spec, rt.clock_hz);
+  const std::uint64_t origin = util::monotonic_ns();
+  if (perf) perf->start();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < spec.threads; ++t) {
+    workers.emplace_back([&, t] {
+      ctx::NativeCtx c(env, t);
+      if (!tobs.empty()) {
+        auto& to = tobs[static_cast<std::size_t>(t)];
+        to.series.configure(obs_opt.metrics_interval, origin);
+        c.set_observer(&to);
+      }
+      if (!rings.empty()) {
+        c.set_trace_ring(&rings[static_cast<std::size_t>(t)], origin);
+      }
+      completed[static_cast<std::size_t>(t)] =
+          run_store_ops(st, c, spec, ol, t, origin, [](std::uint64_t target) {
+            while (util::monotonic_ns() < target) cpu_relax();
+          });
+      stats[static_cast<std::size_t>(t)] = c.stats();
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (perf) {
+    perf->stop();
+    r.perf.phases.push_back(perf->sample("measure"));
+  }
+
+  r.ops = spec.ops_per_thread * static_cast<std::uint64_t>(spec.threads);
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& s : stats) aggregate_stats(s, &r);
+  r.aborts_per_op =
+      static_cast<double>(r.aborts_total) / static_cast<double>(r.ops);
+  std::uint64_t total_completed = 0;
+  for (const auto n : completed) total_completed += n;
+  fold_store_totals(st.accumulate(), total_completed, seconds, &r);
+  auto& ms = MemStats::instance();
+  r.mem_total = ms.tree_live_bytes();
+  r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
+  r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
+
+  obs::ObsOptions native_opt{};
+  native_opt.latency = obs_opt.latency;
+  finalize_obs(native_opt, tobs, nullptr, nullptr, &r);
+  if (obs_opt.metrics_interval != 0) {
+    const std::uint64_t end_ts = util::monotonic_ns();
+    for (auto& to : tobs) to.series.finish(end_ts);
+    r.timeseries = obs::merge_series(obs_opt.metrics_interval, "ns", tobs);
+  }
+  if (!rings.empty()) r.trace = obs::TraceStream(std::move(rings));
+
+  ctx::NativeCtx teardown(env, 0);
+  st.destroy(teardown);
+  return r;
 }
 
 template <class MakeTree>
@@ -314,6 +610,7 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
 }  // namespace
 
 ExperimentResult run_sim_experiment(const ExperimentSpec& spec) {
+  if (spec.store.enabled()) return run_store_sim(spec);
   const trees::TreeEntry& entry = trees::tree_registry().expect(spec.tree);
   trees::TreeBuildOptions opt;
   opt.policy = spec.policy;
@@ -322,6 +619,7 @@ ExperimentResult run_sim_experiment(const ExperimentSpec& spec) {
 }
 
 ExperimentResult run_native_experiment(const ExperimentSpec& spec) {
+  if (spec.store.enabled()) return run_store_native(spec);
   const trees::TreeEntry& entry = trees::tree_registry().expect(spec.tree);
   trees::TreeBuildOptions opt;
   opt.policy = spec.policy;

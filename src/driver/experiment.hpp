@@ -20,6 +20,7 @@
 #include "obs/ring.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/machine.hpp"
+#include "store/options.hpp"
 #include "trees/kinds.hpp"
 #include "workload/ycsb.hpp"
 
@@ -55,6 +56,11 @@ struct ExperimentSpec {
   /// never advances simulated time, so enabling any channel leaves every
   /// simulated quantity bit-identical.
   obs::ObsOptions obs{};
+  /// Sharded KV service layer (src/store; off by default). When enabled
+  /// (store.shards > 0) the run executes through a ShardedStore — one tree
+  /// instance per shard, admission control, deadline propagation and
+  /// optionally open-loop arrivals — instead of the single-tree closed loop.
+  store::StoreOptions store{};
 };
 
 struct ExperimentResult {
@@ -92,6 +98,12 @@ struct ExperimentResult {
   std::uint64_t middle_commits = 0;       // three-path middle-path commits
   std::uint64_t slow_path_ops = 0;        // ops completed on the slow path
   std::uint64_t epoch_retired = 0;        // nodes handed to epoch reclamation
+  // Sharded-store robustness accounting (src/store; zero — and absent from
+  // manifests — unless the spec enables the store layer).
+  std::uint64_t admitted_ops = 0;         // ops that passed the admission gate
+  std::uint64_t shed_ops = 0;             // ops rejected by the gate
+  std::uint64_t deadline_exceeded = 0;    // ops that blew their deadline
+  std::uint64_t shard_degradations = 0;   // stage-advancing shard transitions
   // Injected-fault accounting (sim engine only; zero when fault config off).
   std::uint64_t faults_spurious = 0;
   std::uint64_t faults_burst = 0;

@@ -150,6 +150,10 @@ struct TxStats {
   std::uint64_t slow_path_ops = 0;        // ops completed on the lock-free-style
                                           // slow path (announced, no HTM)
   std::uint64_t epoch_retired = 0;        // nodes handed to epoch reclamation
+  // ---- deadline propagation (src/store; zero unless a deadline was armed
+  // via Context::set_deadline, and the manifest key is conditional likewise)
+  std::uint64_t deadline_exceeded = 0;    // txn() retry loops abandoned because
+                                          // the op's deadline budget ran out
 
   void note_abort(const TxResult& r) {
     aborts[static_cast<std::size_t>(r.reason)]++;
@@ -181,6 +185,7 @@ struct TxStats {
     middle_commits += o.middle_commits;
     slow_path_ops += o.slow_path_ops;
     epoch_retired += o.epoch_retired;
+    deadline_exceeded += o.deadline_exceeded;
     return *this;
   }
 };

@@ -134,6 +134,27 @@ void write_spec(JsonWriter& w, const driver::ExperimentSpec& s) {
     w.end_object();
   }
   w.end_object();
+  // Conditional section: emitted only for store-enabled runs, so every
+  // manifest from the single-tree path — including every golden fixture —
+  // stays byte-identical.
+  if (s.store.enabled()) {
+    w.key("store");
+    w.begin_object();
+    w.kv("shards", s.store.shards);
+    w.kv("offered_load_mops", s.store.offered_load_mops, 4);
+    w.kv("deadline_us", s.store.deadline_us);
+    w.kv("shedding", s.store.shedding);
+    w.kv("inflight_limit", static_cast<std::uint64_t>(s.store.inflight_limit));
+    w.kv("shard_rate_mops", s.store.shard_rate_mops, 4);
+    w.kv("burst", static_cast<std::uint64_t>(s.store.burst));
+    w.kv("monitor_window", static_cast<std::uint64_t>(s.store.monitor_window));
+    w.kv("shed_on_pct", static_cast<std::uint64_t>(s.store.shed_on_pct));
+    w.kv("degrade_windows",
+         static_cast<std::uint64_t>(s.store.degrade_windows));
+    w.kv("think", s.store.think);
+    w.kv("drift_to", s.store.drift_to, 4);
+    w.end_object();
+  }
   w.key("obs");
   w.begin_object();
   w.kv("latency", s.obs.latency);
@@ -242,6 +263,20 @@ void write_result(JsonWriter& w, const driver::ExperimentResult& r) {
   if (r.middle_commits != 0) w.kv("middle_commits", r.middle_commits);
   if (r.slow_path_ops != 0) w.kv("slow_path_ops", r.slow_path_ops);
   if (r.epoch_retired != 0) w.kv("epoch_retired", r.epoch_retired);
+  // Sharded-store robustness counters: conditional for the same reason.
+  // admitted_ops keys the group (nonzero for any store run that admitted
+  // anything); the zero-valued companions of a store run still matter for
+  // round-tripping, so they are gated on admitted_ops rather than their own
+  // value — but a run with admitted_ops == 0 and any nonzero companion (a
+  // fully-shedding store) must not lose them either, hence the any-nonzero
+  // gate.
+  if (r.admitted_ops != 0 || r.shed_ops != 0 || r.deadline_exceeded != 0 ||
+      r.shard_degradations != 0) {
+    w.kv("admitted_ops", r.admitted_ops);
+    w.kv("shed_ops", r.shed_ops);
+    w.kv("deadline_exceeded", r.deadline_exceeded);
+    w.kv("shard_degradations", r.shard_degradations);
+  }
   w.kv("faults_spurious", r.faults_spurious);
   w.kv("faults_burst", r.faults_burst);
   w.kv("faults_lock_delay", r.faults_lock_delay);

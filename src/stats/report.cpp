@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -72,7 +73,8 @@ namespace {
 constexpr const char* kUsage =
     "flags: --csv  --quick  --ops=<per-thread>  --keys=<range>  --seed=<n>  "
     "--jobs=<n|auto>  --tree=<registry-name>  --trace=<file>  --json=<file>  "
-    "--native  --metrics-interval=<clock-units>  --perf\n";
+    "--native  --metrics-interval=<clock-units>  --perf  "
+    "--store-shards=<n>  --offered-load=<mops>  --deadline-us=<n>\n";
 
 [[noreturn]] void usage_error(const char* arg) {
   std::fprintf(stderr, "unrecognized or malformed flag: %s\n%s", arg, kUsage);
@@ -87,6 +89,16 @@ std::uint64_t parse_u64(const char* arg, const char* v) {
   const std::uint64_t n = std::strtoull(v, &end, 10);
   if (*end != '\0') usage_error(arg);
   return n;
+}
+
+/// Strict positive decimal double ("0.5", "2", "1e-1"); rejects empty,
+/// trailing junk, and non-positive / non-finite values.
+double parse_positive_double(const char* arg, const char* v) {
+  if (*v == '\0' || *v == '-' || *v == '+') usage_error(arg);
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (*end != '\0' || !(d > 0) || !std::isfinite(d)) usage_error(arg);
+  return d;
 }
 
 int parse_jobs(const char* arg, const char* v) {
@@ -142,6 +154,17 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       if (a.metrics_interval == 0) usage_error(arg);
     } else if (std::strcmp(arg, "--perf") == 0) {
       a.perf = true;
+    } else if (const char* v9 = value("--store-shards=")) {
+      // Degenerate shard counts are config bugs, not requests: 0 would
+      // silently run the single-tree path, huge counts exhaust memory.
+      const std::uint64_t n = parse_u64(arg, v9);
+      if (n == 0 || n > 4096) usage_error(arg);
+      a.store_shards = static_cast<int>(n);
+    } else if (const char* v10 = value("--offered-load=")) {
+      a.offered_load = parse_positive_double(arg, v10);
+    } else if (const char* v11 = value("--deadline-us=")) {
+      a.deadline_us = parse_u64(arg, v11);
+      if (a.deadline_us == 0) usage_error(arg);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::fputs(kUsage, stdout);
       std::exit(0);

@@ -61,6 +61,17 @@ struct BenchArgs {
   /// `--perf`: sample hardware perf counters per benchmark phase (native
   /// engine; degrades to `available: false` when perf_event_open is denied).
   bool perf = false;
+  /// `--store-shards=N`: route the bench through the sharded KV service
+  /// layer with N shards (src/store). 0 = store layer off (the default
+  /// single-tree path). Malformed or non-positive values exit 2.
+  int store_shards = 0;
+  /// `--offered-load=X`: open-loop aggregate arrival rate in Mops/s for
+  /// store-enabled benches. 0 = closed loop. Must be a positive number.
+  double offered_load = 0;
+  /// `--deadline-us=N`: per-op deadline budget in microseconds for
+  /// store-enabled benches, measured from scheduled arrival. 0 = off;
+  /// the flag itself must be positive.
+  std::uint64_t deadline_us = 0;
 
   /// Strict: an unknown flag or malformed numeric value prints usage to
   /// stderr and exits with status 2 (well-formed out-of-range --jobs values

@@ -1,0 +1,129 @@
+// Per-shard admission control: token bucket + staged overload monitor
+// (DESIGN.md §15).
+//
+// Both classes are host-side bookkeeping in the sense of the HTM-health
+// monitor (ctx/common.hpp): they are never touched through the instrumented
+// access path, so under simulation they cost zero cycles and cannot
+// conflict, and the run stays deterministic (fibers interleave only at
+// instrumented points, so each decision is atomic by construction). Natively
+// the owning shard serializes decisions under a Spinlock held only across
+// this plain arithmetic — no ctx call, no tree op, no yield.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "store/options.hpp"
+
+namespace euno::store {
+
+/// Classic token bucket over the execution context's clock (simulated cycles
+/// or wall ns — the store converts the Mops/s knob into tokens per clock
+/// unit once, at construction). Unconfigured (rate 0) it always admits.
+class TokenBucket {
+ public:
+  void configure(double tokens_per_unit, std::uint32_t burst,
+                 std::uint64_t now) {
+    rate_ = tokens_per_unit;
+    cap_ = burst == 0 ? 1.0 : static_cast<double>(burst);
+    tokens_ = cap_;  // start full: the first burst is free
+    last_ = now;
+  }
+
+  bool enabled() const { return rate_ > 0; }
+
+  /// Take one token if available; refills lazily from the elapsed clock.
+  bool try_take(std::uint64_t now) {
+    if (rate_ <= 0) return true;
+    if (now > last_) {
+      tokens_ = std::min(
+          cap_, tokens_ + static_cast<double>(now - last_) * rate_);
+      last_ = now;
+    }
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  double rate_ = 0;    // tokens per clock unit; 0 = disabled
+  double cap_ = 1;     // burst capacity
+  double tokens_ = 1;
+  std::uint64_t last_ = 0;
+};
+
+/// Staged overload state machine, one per shard. Windows are counted in
+/// admission decisions; a window's shed percentage drives the transitions:
+///
+///   kHealthy   --(shed% >= shed_on_pct)-->            kShedding
+///   kShedding  --(window with zero sheds)-->          kHealthy
+///   kShedding  --(degrade_windows saturated windows in a row)-->
+///                                                     kShardLockOnly
+///
+/// kShardLockOnly is terminal for the run, mirroring the HTM-health
+/// monitor's permanent lock-only flip (DESIGN.md §10): a shard that stayed
+/// saturated through every recovery chance serializes from then on, keeping
+/// its damage bounded and local while the other shards run untouched.
+class OverloadMonitor {
+ public:
+  void configure(const StoreOptions& o) {
+    window_ = o.monitor_window == 0 ? 1 : o.monitor_window;
+    shed_on_pct_ = o.shed_on_pct;
+    degrade_windows_ = o.degrade_windows;
+  }
+
+  ShardState state() const { return state_; }
+
+  /// Feed one admission decision. Returns true when the shard just moved to
+  /// a later stage (the caller records the degradation + trace event).
+  /// Callers serialize (shard gate lock natively; fiber atomicity in sim).
+  bool note(bool shed) {
+    if (state_ == ShardState::kShardLockOnly) return false;  // terminal
+    seen_++;
+    if (shed) shed_++;
+    if (seen_ < window_) return false;
+    const bool saturated = shed_ * 100 >= window_ * shed_on_pct_;
+    const bool idle = shed_ == 0;
+    seen_ = 0;
+    shed_ = 0;
+    switch (state_) {
+      case ShardState::kHealthy:
+        if (saturated) {
+          state_ = ShardState::kShedding;
+          saturated_streak_ = 1;
+          return true;
+        }
+        break;
+      case ShardState::kShedding:
+        if (idle) {
+          state_ = ShardState::kHealthy;
+          saturated_streak_ = 0;
+        } else if (saturated) {
+          saturated_streak_++;
+          if (degrade_windows_ != 0 && saturated_streak_ >= degrade_windows_) {
+            state_ = ShardState::kShardLockOnly;
+            return true;
+          }
+        } else {
+          saturated_streak_ = 0;
+        }
+        break;
+      case ShardState::kShardLockOnly:
+        break;
+    }
+    return false;
+  }
+
+ private:
+  ShardState state_ = ShardState::kHealthy;
+  std::uint32_t window_ = 1;
+  std::uint32_t shed_on_pct_ = 50;
+  std::uint32_t degrade_windows_ = 0;
+  std::uint32_t seen_ = 0;
+  std::uint32_t shed_ = 0;
+  std::uint32_t saturated_streak_ = 0;
+};
+
+}  // namespace euno::store

@@ -1,0 +1,25 @@
+#include "store/options.hpp"
+
+namespace euno::store {
+
+const char* store_status_name(StoreStatus s) {
+  switch (s) {
+    case StoreStatus::kOk: return "ok";
+    case StoreStatus::kNotFound: return "not_found";
+    case StoreStatus::kShedded: return "shedded";
+    case StoreStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case StoreStatus::kCount: break;
+  }
+  return "?";
+}
+
+const char* shard_state_name(ShardState s) {
+  switch (s) {
+    case ShardState::kHealthy: return "healthy";
+    case ShardState::kShedding: return "shedding";
+    case ShardState::kShardLockOnly: return "shard_lock_only";
+  }
+  return "?";
+}
+
+}  // namespace euno::store

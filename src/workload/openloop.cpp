@@ -1,0 +1,27 @@
+#include "workload/openloop.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace euno::workload {
+
+std::string OpenLoopSpec::repro() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "openloop seed=%" PRIu64 " clients=%d mean_gap=%.17g think=%" PRIu64,
+                seed, clients, mean_gap, think);
+  return buf;
+}
+
+bool OpenLoopSpec::parse_repro(const std::string& line, OpenLoopSpec* out) {
+  OpenLoopSpec s;
+  int n = std::sscanf(line.c_str(),
+                      "openloop seed=%" SCNu64 " clients=%d mean_gap=%lg think=%" SCNu64,
+                      &s.seed, &s.clients, &s.mean_gap, &s.think);
+  if (n != 4 || s.clients <= 0 || !(s.mean_gap > 0)) return false;
+  *out = s;
+  return true;
+}
+
+}  // namespace euno::workload

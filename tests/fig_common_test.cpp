@@ -58,6 +58,59 @@ TEST(BenchArgs, JobsComposesWithOtherFlags) {
   EXPECT_EQ(a.seed, 7u);
 }
 
+TEST(BenchArgs, StoreFlagsParse) {
+  const auto a =
+      parse({"--store-shards=8", "--offered-load=2.5", "--deadline-us=50"});
+  EXPECT_EQ(a.store_shards, 8);
+  EXPECT_DOUBLE_EQ(a.offered_load, 2.5);
+  EXPECT_EQ(a.deadline_us, 50u);
+  // All off by default.
+  const auto d = parse({});
+  EXPECT_EQ(d.store_shards, 0);
+  EXPECT_EQ(d.offered_load, 0.0);
+  EXPECT_EQ(d.deadline_us, 0u);
+}
+
+using BenchArgsDeathTest = ::testing::Test;
+
+TEST(BenchArgsDeathTest, RejectsDegenerateStoreShards) {
+  // 0 would silently run the single-tree path; junk and huge counts are
+  // config bugs. All must exit 2 with the usage line, not be clamped.
+  EXPECT_EXIT(parse({"--store-shards=0"}), ::testing::ExitedWithCode(2),
+              "--store-shards=0");
+  EXPECT_EXIT(parse({"--store-shards=8x"}), ::testing::ExitedWithCode(2),
+              "--store-shards=8x");
+  EXPECT_EXIT(parse({"--store-shards=65536"}), ::testing::ExitedWithCode(2),
+              "--store-shards=65536");
+}
+
+TEST(BenchArgsDeathTest, RejectsNonPositiveOfferedLoad) {
+  EXPECT_EXIT(parse({"--offered-load=0"}), ::testing::ExitedWithCode(2),
+              "--offered-load=0");
+  EXPECT_EXIT(parse({"--offered-load=-1"}), ::testing::ExitedWithCode(2),
+              "--offered-load=-1");
+  EXPECT_EXIT(parse({"--offered-load=nan"}), ::testing::ExitedWithCode(2),
+              "--offered-load=nan");
+  EXPECT_EXIT(parse({"--offered-load=2.5q"}), ::testing::ExitedWithCode(2),
+              "--offered-load=2.5q");
+}
+
+TEST(BenchArgsDeathTest, RejectsNonPositiveDeadline) {
+  EXPECT_EXIT(parse({"--deadline-us=0"}), ::testing::ExitedWithCode(2),
+              "--deadline-us=0");
+  EXPECT_EXIT(parse({"--deadline-us=5ms"}), ::testing::ExitedWithCode(2),
+              "--deadline-us=5ms");
+}
+
+TEST(BenchArgsDeathTest, RejectsNonPositiveMetricsInterval) {
+  // A zero window would divide the run into infinitely many windows; the
+  // flag's documented "0 = off" spelling is *omitting* it, not passing 0.
+  EXPECT_EXIT(parse({"--metrics-interval=0"}), ::testing::ExitedWithCode(2),
+              "--metrics-interval=0");
+  EXPECT_EXIT(parse({"--metrics-interval=1k"}), ::testing::ExitedWithCode(2),
+              "--metrics-interval=1k");
+}
+
 TEST(FigCommon, SweepHelpers) {
   EXPECT_EQ(bench::thread_sweep(/*quick=*/true), (std::vector<int>{4, 16}));
   const auto full = bench::thread_sweep(/*quick=*/false);
