@@ -40,6 +40,19 @@ CONDITIONAL_KEYS = (
     "shed_ops",
     "deadline_exceeded",
     "shard_degradations",
+    # Bytes-key-domain result metric: live out-of-line suffix/payload bytes.
+    # A u64-domain run must never allocate a BytesBox.
+    "suffix_bytes",
+)
+
+# Conditional *spec* keys: emitted only for bytes-domain workloads. Every
+# golden is a u64 run, so a golden-gated run that emits any of these has a
+# key-domain default leak — the most direct way the traits refactor could
+# silently change the benched configuration.
+CONDITIONAL_SPEC_KEYS = (
+    "key_domain",
+    "key_style",
+    "value_bytes",
 )
 
 
@@ -51,11 +64,18 @@ def conditional_key_leaks(produced, golden):
     for i, point in enumerate(produced.get("sweep", [])):
         res = point.get("result")
         gold_res = gold_sweep[i].get("result") if i < len(gold_sweep) else {}
-        if not isinstance(res, dict) or not isinstance(gold_res, dict):
-            continue
-        for key in CONDITIONAL_KEYS:
-            if key in res and key not in gold_res:
-                leaks.append(f"sweep[{i}].result.{key}")
+        if isinstance(res, dict) and isinstance(gold_res, dict):
+            for key in CONDITIONAL_KEYS:
+                if key in res and key not in gold_res:
+                    leaks.append(f"sweep[{i}].result.{key}")
+        spec = point.get("spec", {})
+        wl = spec.get("workload") if isinstance(spec, dict) else None
+        gold_spec = gold_sweep[i].get("spec") if i < len(gold_sweep) else {}
+        gold_wl = gold_spec.get("workload") if isinstance(gold_spec, dict) else {}
+        if isinstance(wl, dict) and isinstance(gold_wl, dict):
+            for key in CONDITIONAL_SPEC_KEYS:
+                if key in wl and key not in gold_wl:
+                    leaks.append(f"sweep[{i}].spec.workload.{key}")
     return leaks
 
 

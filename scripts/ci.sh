@@ -32,6 +32,12 @@
 # label, whose native multi-threaded soak drives per-shard epoch domains
 # concurrently — a cross-domain reclamation bug frees memory a reader in
 # another shard still holds, which ASan turns into a hard failure.
+# The default, tsan and asan jobs all run the `strkey` label — the
+# bytes-key-domain battery (string-native conformance with shared-prefix
+# torture, the u64-codec registry sweep over the str-* trees, the SIMD
+# prefix-slice equivalence cases, and the fig_scan end-to-end smokes in both
+# domains). TSan audits the concurrent suffix-compare/box-swap handshakes;
+# ASan turns an early box free under a concurrent reader into a hard fault.
 # The ubsan job rebuilds with -DEUNO_UBSAN=ON (UBSan alone, no ASan shadow)
 # and runs the `conformance` label — the per-tree suites plus the
 # registry-driven sweep over every registered structure, where layout-layer
@@ -54,6 +60,8 @@ case "$job" in
     # domains, open-loop determinism) — part of the full run above, re-run
     # by label so a store regression is attributable at a glance.
     ctest --test-dir build --output-on-failure -L store
+    # Bytes-key-domain battery, re-run by label for attributability.
+    ctest --test-dir build --output-on-failure -L strkey
     python3 scripts/report.py build/obs_native_manifest.json \
       -o build/obs_native_report.html
     (cd build && ./bench/sim_selfperf --quick)
@@ -62,12 +70,12 @@ case "$job" in
   tsan)
     cmake -B build-tsan -S . -DEUNO_TSAN=ON
     cmake --build build-tsan -j
-    ctest --test-dir build-tsan --output-on-failure -L "parallel|lin|conformance"
+    ctest --test-dir build-tsan --output-on-failure -L "parallel|lin|conformance|strkey"
     ;;
   asan)
     cmake -B build-asan -S . -DEUNO_ASAN=ON
     cmake --build build-asan -j
-    ctest --test-dir build-asan --output-on-failure -L "fault|store"
+    ctest --test-dir build-asan --output-on-failure -L "fault|store|strkey"
     ;;
   ubsan)
     cmake -B build-ubsan -S . -DEUNO_UBSAN=ON

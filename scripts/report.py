@@ -166,6 +166,42 @@ def validate_store(spec, result, where):
         fail(f"{where}: store counters present but spec has no store section")
 
 
+def validate_key_domain(spec, result, where):
+    """Bytes-key-domain keys are conditional: spec.workload carries
+    key_domain/key_style/value_bytes only for bytes runs (as a group), and
+    result.suffix_bytes (live out-of-line key/payload memory) may appear only
+    when the spec says the run used bytes keys."""
+    wl = spec.get("workload", {})
+    domain = wl.get("key_domain")
+    if domain is not None:
+        if domain != "bytes":
+            fail(f"{where}: spec.workload.key_domain is {domain!r} — the key "
+                 f"is omitted entirely for u64 runs")
+        for key in ("key_style", "value_bytes"):
+            if key not in wl:
+                fail(f"{where}: bytes-domain workload missing '{key}'")
+        if wl["key_style"] not in ("url", "uuid"):
+            fail(f"{where}: unknown key_style {wl['key_style']!r}")
+        vb = wl["value_bytes"]
+        if not isinstance(vb, int) or vb < 0:
+            fail(f"{where}: value_bytes must be a non-negative integer")
+    else:
+        for key in ("key_style", "value_bytes"):
+            if key in wl:
+                fail(f"{where}: spec.workload.{key} present without "
+                     f"key_domain — bytes keys are emitted as a group")
+    sb = result.get("suffix_bytes")
+    if sb is not None:
+        if not isinstance(sb, int) or sb < 0:
+            fail(f"{where}: result.suffix_bytes must be a non-negative int")
+        # Live BytesBox memory exists only where byte boxes do: a bytes-domain
+        # run, or a Str-* tree driven through its u64 key codec. Anything else
+        # means box allocations leaked into a pure-u64 tree.
+        if domain is None and not str(spec.get("tree", "")).startswith("Str-"):
+            fail(f"{where}: result.suffix_bytes present for u64 tree "
+                 f"{spec.get('tree')!r} — a BytesBox leaked into the u64 path")
+
+
 def validate(doc, path):
     if not isinstance(doc, dict):
         fail(f"{path}: top level is not an object")
@@ -193,6 +229,7 @@ def validate(doc, path):
             if key not in result:
                 fail(f"{where}: result missing '{key}'")
         validate_store(spec, result, where)
+        validate_key_domain(spec, result, where)
         if "timeseries" in result:
             validate_timeseries(result["timeseries"], result, where)
         if "perf" in result:

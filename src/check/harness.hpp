@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -33,6 +34,7 @@
 #include "trees/lockbtree/lock_bptree.hpp"
 #include "trees/olc/olc_bptree.hpp"
 #include "trees/rcubtree/rcu_bptree.hpp"
+#include "trees/strbtree/str_bptree.hpp"
 #include "trees/threepath/three_path_bptree.hpp"
 #include "util/rng.hpp"
 
@@ -50,6 +52,13 @@ enum class LinKind {
   kLockCoupling,  // LockBPTree: pessimistic hand-over-hand latching
   kRcuBptree,     // RcuBPTree: copy-on-write splices via RcuHtmPolicy
   kThreePath,     // ThreePathBPTree: fast/middle/slow (Brown's template)
+  // Bytes-domain trees, checked through the order-preserving u64 key codec
+  // (every encoded key shares its leading 4 bytes, so the checker's dense
+  // key ranges hammer the out-of-line suffix tie-break and box swaps under
+  // adversarial schedules — the paths the prefix slice would shortcut).
+  kStrHtm,       // StrHtmBPTree: monolithic HTM over BytesKeyTraits
+  kStrMasstree,  // StrMasstree: OLC over BytesKeyTraits
+  kStrLock,      // StrLockBPTree: lock coupling over BytesKeyTraits
 };
 
 inline constexpr LinKind kAllLinKinds[] = {
@@ -57,7 +66,8 @@ inline constexpr LinKind kAllLinKinds[] = {
     LinKind::kEunoS1,       LinKind::kEunoS2, LinKind::kEunoS4,
     LinKind::kEunoS8,       LinKind::kEunoSkipList,
     LinKind::kLockCoupling, LinKind::kRcuBptree,
-    LinKind::kThreePath,
+    LinKind::kThreePath,    LinKind::kStrHtm, LinKind::kStrMasstree,
+    LinKind::kStrLock,
 };
 
 inline const char* lin_kind_name(LinKind k) {
@@ -73,6 +83,9 @@ inline const char* lin_kind_name(LinKind k) {
     case LinKind::kLockCoupling: return "LockCoupling";
     case LinKind::kRcuBptree: return "RcuBptree";
     case LinKind::kThreePath: return "ThreePath";
+    case LinKind::kStrHtm: return "StrHtm";
+    case LinKind::kStrMasstree: return "StrMasstree";
+    case LinKind::kStrLock: return "StrLock";
   }
   return "?";
 }
@@ -220,6 +233,60 @@ struct AnyLinTree {
   std::function<void(ctx::SimCtx&)> destroy;
 };
 
+/// u64 key codec over a bytes-domain tree, mirroring the registry's codec
+/// (builtin_trees.cpp): 4-byte constant tag + big-endian key, so encoding
+/// preserves order and every key collides in the in-node prefix slice.
+/// Values round-trip through the box payload as well, so the checker also
+/// covers the value-indirection publish/retire path.
+template <class Tree>
+AnyLinTree wrap_lin_str_tree(std::shared_ptr<Tree> t) {
+  constexpr std::size_t kLen = 12;
+  const auto encode = [](Key k, char* buf) {
+    std::memcpy(buf, "u64:", 4);
+    for (int i = 0; i < 8; ++i) {
+      buf[4 + i] = static_cast<char>((k >> (56 - 8 * i)) & 0xff);
+    }
+  };
+  AnyLinTree a;
+  a.get = [t, encode](ctx::SimCtx& c, Key k, Value* v) {
+    char buf[kLen];
+    encode(k, buf);
+    return t->get(c, trees::node::BytesView{buf, kLen}, v);
+  };
+  a.put = [t, encode](ctx::SimCtx& c, Key k, Value v) {
+    char buf[kLen];
+    encode(k, buf);
+    char payload[8];
+    for (int i = 0; i < 8; ++i) {
+      payload[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    t->put(c, trees::node::BytesView{buf, kLen}, v,
+           trees::node::BytesView{payload, 8});
+  };
+  a.erase = [t, encode](ctx::SimCtx& c, Key k) {
+    char buf[kLen];
+    encode(k, buf);
+    return t->erase(c, trees::node::BytesView{buf, kLen});
+  };
+  a.scan = [t, encode](ctx::SimCtx& c, Key start, std::size_t n, KV* out) {
+    char buf[kLen];
+    encode(start, buf);
+    std::size_t got = 0;
+    return t->scan(c, trees::node::BytesView{buf, kLen}, n,
+                   [&](trees::node::BytesView key, Value v,
+                       trees::node::BytesView) {
+                     Key k = 0;
+                     for (int i = 0; i < 8; ++i) {
+                       k = (k << 8) | static_cast<unsigned char>(key.data[4 + i]);
+                     }
+                     out[got++] = KV{k, v};
+                   });
+  };
+  a.check = [t] { t->check_invariants(); };
+  a.destroy = [t](ctx::SimCtx& c) { t->destroy(c); };
+  return a;
+}
+
 template <class Tree>
 AnyLinTree wrap_lin_tree(std::shared_ptr<Tree> t) {
   AnyLinTree a;
@@ -291,6 +358,24 @@ inline AnyLinTree make_lin_tree(ctx::SimCtx& c, LinKind kind, bool adaptive,
       opt.policy = policy;
       return wrap_lin_tree(
           std::make_shared<trees::ThreePathBPTree<Ctx>>(c, opt));
+    }
+    case LinKind::kStrHtm: {
+      typename trees::StrHtmBPTree<Ctx>::Options opt;
+      opt.policy = policy;
+      return wrap_lin_str_tree(
+          std::make_shared<trees::StrHtmBPTree<Ctx>>(c, opt));
+    }
+    case LinKind::kStrMasstree: {
+      typename trees::StrMasstree<Ctx>::Options opt;
+      opt.policy = policy;
+      return wrap_lin_str_tree(
+          std::make_shared<trees::StrMasstree<Ctx>>(c, opt));
+    }
+    case LinKind::kStrLock: {
+      typename trees::StrLockBPTree<Ctx>::Options opt;
+      opt.policy = policy;
+      return wrap_lin_str_tree(
+          std::make_shared<trees::StrLockBPTree<Ctx>>(c, opt));
     }
   }
   return {};

@@ -12,6 +12,7 @@
 #include "util/memstats.hpp"
 #include "util/tsc.hpp"
 #include "workload/openloop.hpp"
+#include "workload/strkeys.hpp"
 
 namespace euno::driver {
 
@@ -51,6 +52,56 @@ void run_ops(Tree& tree, Ctx& c, OpStream& stream, std::uint64_t n,
         break;
       case OpType::kDelete:
         (void)tree.erase(c, op.key);
+        break;
+    }
+    if (tobs != nullptr) {
+      const std::uint64_t t1 = c.now();
+      tobs->op_latency.record(t1 - t0);
+      tobs->series.record_op(t1, t1 - t0);
+    }
+    c.note_event(ctx::TraceCode::kOpEnd, static_cast<std::uint8_t>(op.type));
+  }
+}
+
+/// Bytes-domain twin of run_ops: the stream still samples u64 key ids (the
+/// whole distribution machinery applies unchanged); the key space maps each
+/// id to its string key at issue time, and puts carry a synthesized payload
+/// behind the tree's value indirection. Latency accounting is identical.
+template <class Tree, class Ctx>
+void run_ops_str(Tree& tree, Ctx& c, OpStream& stream,
+                 const workload::StringKeySpace& ks, std::uint64_t n,
+                 std::uint32_t scan_len, std::uint32_t value_bytes) {
+  obs::ThreadObs* tobs = c.observer();
+  // The emit sink keeps scans honest (records are decoded through the ctx,
+  // charged by the cost model) without accumulating host-side state.
+  std::size_t scan_sink = 0;
+  const trees::node::StrEmitFn emit =
+      [&](trees::node::BytesView, trees::Value, trees::node::BytesView p) {
+        scan_sink += p.len;
+      };
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Op op = stream.next();
+    const std::string key = ks.key_of(op.key);
+    const trees::node::BytesView kv(key.data(), key.size());
+    c.note_event(ctx::TraceCode::kOpBegin, static_cast<std::uint8_t>(op.type));
+    const std::uint64_t t0 = tobs != nullptr ? c.now() : 0;
+    switch (op.type) {
+      case OpType::kGet: {
+        trees::Value v;
+        (void)tree.get(c, kv, &v);
+        break;
+      }
+      case OpType::kPut: {
+        const std::string payload = ks.payload_of(op.key, op.value, value_bytes);
+        tree.put(c, kv, op.value,
+                 trees::node::BytesView(payload.data(), payload.size()));
+        break;
+      }
+      case OpType::kScan:
+        (void)tree.scan(c, kv, scan_len, emit);
+        break;
+      case OpType::kDelete:
+        (void)tree.erase(c, kv);
         break;
     }
     if (tobs != nullptr) {
@@ -132,6 +183,23 @@ void preload_tree(Tree& tree, Ctx& c, const workload::WorkloadSpec& w,
   }
 }
 
+template <class Tree, class Ctx>
+void preload_tree_str(Tree& tree, Ctx& c, const workload::WorkloadSpec& w,
+                      const workload::StringKeySpace& ks, std::uint64_t n,
+                      std::uint32_t stride) {
+  Xoshiro256 rng(w.seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t rank = i * stride;
+    if (rank >= w.key_range) break;
+    const std::uint64_t id = workload::rank_to_key(rank, w.key_range, w.scramble);
+    const std::uint64_t v = rng.next();
+    const std::string key = ks.key_of(id);
+    const std::string payload = ks.payload_of(id, v, w.value_bytes);
+    tree.put(c, trees::node::BytesView(key.data(), key.size()), v,
+             trees::node::BytesView(payload.data(), payload.size()));
+  }
+}
+
 // ---- sharded-store runners (DESIGN.md §15) ----
 //
 // Mirrors of run_sim_with/run_native_with that route every op through a
@@ -163,15 +231,15 @@ workload::OpenLoopSpec make_openloop(const ExperimentSpec& spec,
 /// native: spins) until the context clock reaches t — how a client waits for
 /// its next scheduled arrival. Returns the number of *completed* ops (the
 /// goodput numerator); sheds and deadline misses complete nothing.
-template <class Store, class Ctx, class IdleUntil>
-std::uint64_t run_store_ops(Store& st, Ctx& c, const ExperimentSpec& spec,
+template <class Ctx, class IdleUntil, class Exec>
+std::uint64_t run_store_ops(Ctx& c, const ExperimentSpec& spec,
                             const workload::OpenLoopSpec& ol, int t,
-                            std::uint64_t origin, IdleUntil idle_until) {
+                            std::uint64_t origin, IdleUntil idle_until,
+                            Exec exec) {
   workload::DriftingOpStream stream(spec.workload, t, spec.store.drift_to,
                                     spec.ops_per_thread);
   workload::ArrivalStream arrivals(ol, t, origin);
   const bool open_loop = spec.store.open_loop();
-  std::vector<trees::KV> scan_buf(spec.workload.scan_len);
   obs::ThreadObs* tobs = c.observer();
   std::uint64_t completed = 0;
   std::uint64_t completion = origin;
@@ -185,7 +253,7 @@ std::uint64_t run_store_ops(Store& st, Ctx& c, const ExperimentSpec& spec,
     }
     const Op op = stream.next();
     c.note_event(ctx::TraceCode::kOpBegin, static_cast<std::uint8_t>(op.type));
-    const store::OpResult res = st.execute(c, op, sched, scan_buf.data());
+    const store::OpResult res = exec(c, op, sched);
     completion = c.now();
     if (res.status == store::StoreStatus::kOk ||
         res.status == store::StoreStatus::kNotFound) {
@@ -216,6 +284,58 @@ void preload_store(Store& st, Ctx& c, const workload::WorkloadSpec& w,
                    rng.next());
   }
 }
+
+template <class Store, class Ctx>
+void preload_store_str(Store& st, Ctx& c, const workload::WorkloadSpec& w,
+                       const workload::StringKeySpace& ks, std::uint64_t n,
+                       std::uint32_t stride) {
+  Xoshiro256 rng(w.seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t rank = i * stride;
+    if (rank >= w.key_range) break;
+    const std::uint64_t id = workload::rank_to_key(rank, w.key_range, w.scramble);
+    const std::uint64_t v = rng.next();
+    const std::string key = ks.key_of(id);
+    const std::string payload = ks.payload_of(id, v, w.value_bytes);
+    st.preload_put_str(c, trees::node::BytesView(key.data(), key.size()), v,
+                       trees::node::BytesView(payload.data(), payload.size()));
+  }
+}
+
+/// Per-thread store executor: owns the thread's scan buffer and routes each
+/// op to the store's u64 or bytes entry point. With a key space attached
+/// (bytes domain) it materializes the key/payload text at issue time — the
+/// string build is part of the client, not the measured service, but it sits
+/// inside the latency window just like the u64 path's op setup.
+template <class Ctx, class Store>
+class StoreExec {
+ public:
+  StoreExec(Store& st, const ExperimentSpec& spec,
+            const workload::StringKeySpace* ks)
+      : st_(st), spec_(spec), ks_(ks), scan_buf_(spec.workload.scan_len) {}
+
+  store::OpResult operator()(Ctx& c, const Op& op, std::uint64_t sched) {
+    if (ks_ == nullptr) return st_.execute(c, op, sched, scan_buf_.data());
+    const std::string key = ks_->key_of(op.key);
+    std::string payload;
+    trees::node::BytesView pv;
+    if (op.type == OpType::kPut) {
+      payload = ks_->payload_of(op.key, op.value, spec_.workload.value_bytes);
+      pv = trees::node::BytesView(payload.data(), payload.size());
+    }
+    return st_.execute_str(c, op.type,
+                           trees::node::BytesView(key.data(), key.size()),
+                           op.value, pv, op.scan_len, sched, emit_);
+  }
+
+ private:
+  Store& st_;
+  const ExperimentSpec& spec_;
+  const workload::StringKeySpace* ks_;
+  std::vector<trees::KV> scan_buf_;
+  trees::node::StrEmitFn emit_ =
+      [](trees::node::BytesView, trees::Value, trees::node::BytesView) {};
+};
 
 /// Fold the store totals into the result. Mid-flight deadline unwinds were
 /// already aggregated from TxStats (aggregate_stats); the store adds the
@@ -252,11 +372,28 @@ ExperimentResult run_store_sim(const ExperimentSpec& spec) {
   trees::TreeBuildOptions build;
   build.policy = spec.policy;
   const store::StoreRuntime rt{spec.ghz * 1e9};
+  const bool bytes = spec.workload.key_domain == workload::KeyDomain::kBytes;
+  std::optional<workload::StringKeySpace> ks;
+  if (bytes) {
+    EUNO_ASSERT_MSG(entry.make_sim_str != nullptr,
+                    "tree has no bytes-domain factory");
+    ks.emplace(spec.workload.key_style, spec.workload.seed);
+  }
   ctx::SimCtx setup(simulation, 0);
-  store::ShardedStore<ctx::SimCtx> st(
-      setup, spec.store, rt,
-      [&](ctx::SimCtx& c) { return entry.make_sim(c, build); });
-  preload_store(st, setup, spec.workload, spec.preload, spec.preload_stride);
+  auto st = [&]() -> store::ShardedStore<ctx::SimCtx> {
+    if (bytes) {
+      return {setup, spec.store, rt,
+              [&](ctx::SimCtx& c) { return entry.make_sim_str(c, build); }};
+    }
+    return {setup, spec.store, rt,
+            [&](ctx::SimCtx& c) { return entry.make_sim(c, build); }};
+  }();
+  if (bytes) {
+    preload_store_str(st, setup, spec.workload, *ks, spec.preload,
+                      spec.preload_stride);
+  } else {
+    preload_store(st, setup, spec.workload, spec.preload, spec.preload_stride);
+  }
 
   const workload::OpenLoopSpec ol = make_openloop(spec, rt.clock_hz);
   std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
@@ -270,11 +407,15 @@ ExperimentResult run_store_sim(const ExperimentSpec& spec) {
         to.series.configure(obs_opt.metrics_interval, 0);
         c.set_observer(&to);
       }
+      StoreExec<ctx::SimCtx, store::ShardedStore<ctx::SimCtx>> exec(
+          st, spec, ks ? &*ks : nullptr);
       completed[static_cast<std::size_t>(t)] = run_store_ops(
-          st, c, spec, ol, t, /*origin=*/0, [&](std::uint64_t target) {
+          c, spec, ol, t, /*origin=*/0,
+          [&](std::uint64_t target) {
             const std::uint64_t now = simulation.clock_of(core);
             if (target > now) simulation.charge(target - now);
-          });
+          },
+          exec);
       stats[static_cast<std::size_t>(t)] = c.stats();
     });
   }
@@ -309,6 +450,7 @@ ExperimentResult run_store_sim(const ExperimentSpec& spec) {
   r.mem_total = ms.tree_live_bytes();
   r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
   r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
+  r.suffix_bytes = ms.snapshot(MemClass::kBytesBox).live_bytes;
 
   finalize_obs(obs_opt, tobs, obs_opt.contention ? &cmap : nullptr, &node_reg,
                &r);
@@ -348,12 +490,29 @@ ExperimentResult run_store_native(const ExperimentSpec& spec) {
   trees::TreeBuildOptions build;
   build.policy = spec.policy;
   const store::StoreRuntime rt{1e9};  // native clock: wall nanoseconds
+  const bool bytes = spec.workload.key_domain == workload::KeyDomain::kBytes;
+  std::optional<workload::StringKeySpace> ks;
+  if (bytes) {
+    EUNO_ASSERT_MSG(entry.make_native_str != nullptr,
+                    "tree has no bytes-domain factory");
+    ks.emplace(spec.workload.key_style, spec.workload.seed);
+  }
   ctx::NativeCtx setup(env, 0);
-  store::ShardedStore<ctx::NativeCtx> st(
-      setup, spec.store, rt,
-      [&](ctx::NativeCtx& c) { return entry.make_native(c, build); });
+  auto st = [&]() -> store::ShardedStore<ctx::NativeCtx> {
+    if (bytes) {
+      return {setup, spec.store, rt,
+              [&](ctx::NativeCtx& c) { return entry.make_native_str(c, build); }};
+    }
+    return {setup, spec.store, rt,
+            [&](ctx::NativeCtx& c) { return entry.make_native(c, build); }};
+  }();
   if (perf) perf->start();
-  preload_store(st, setup, spec.workload, spec.preload, spec.preload_stride);
+  if (bytes) {
+    preload_store_str(st, setup, spec.workload, *ks, spec.preload,
+                      spec.preload_stride);
+  } else {
+    preload_store(st, setup, spec.workload, spec.preload, spec.preload_stride);
+  }
   if (perf) {
     perf->stop();
     r.perf.phases.push_back(perf->sample("preload"));
@@ -383,10 +542,14 @@ ExperimentResult run_store_native(const ExperimentSpec& spec) {
       if (!rings.empty()) {
         c.set_trace_ring(&rings[static_cast<std::size_t>(t)], origin);
       }
-      completed[static_cast<std::size_t>(t)] =
-          run_store_ops(st, c, spec, ol, t, origin, [](std::uint64_t target) {
+      StoreExec<ctx::NativeCtx, store::ShardedStore<ctx::NativeCtx>> exec(
+          st, spec, ks ? &*ks : nullptr);
+      completed[static_cast<std::size_t>(t)] = run_store_ops(
+          c, spec, ol, t, origin,
+          [](std::uint64_t target) {
             while (util::monotonic_ns() < target) cpu_relax();
-          });
+          },
+          exec);
       stats[static_cast<std::size_t>(t)] = c.stats();
     });
   }
@@ -409,6 +572,7 @@ ExperimentResult run_store_native(const ExperimentSpec& spec) {
   r.mem_total = ms.tree_live_bytes();
   r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
   r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
+  r.suffix_bytes = ms.snapshot(MemClass::kBytesBox).live_bytes;
 
   obs::ObsOptions native_opt{};
   native_opt.latency = obs_opt.latency;
@@ -425,8 +589,14 @@ ExperimentResult run_store_native(const ExperimentSpec& spec) {
   return r;
 }
 
-template <class MakeTree>
-ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
+// run_sim_with / run_native_with are parameterized over three hooks so the
+// u64 and bytes key domains share one measurement harness: `make` builds the
+// (type-erased) tree, `preload(tree, ctx)` warms it, `work(tree, ctx, t)` is
+// one thread's measured op loop. Everything else — obs channels, stats
+// aggregation, mem accounting, teardown — is domain-independent.
+template <class MakeTree, class Preload, class Work>
+ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make,
+                              Preload preload, Work work) {
   EUNO_ASSERT(spec.threads >= 1 &&
               spec.threads <= spec.machine.topology.total_cores());
   sim::Simulation simulation(spec.machine);
@@ -449,7 +619,7 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   ctx::SimCtx setup(simulation, 0);
   auto tree_owner = make(setup);
   auto& tree = *tree_owner;
-  preload_tree(tree, setup, spec.workload, spec.preload, spec.preload_stride);
+  preload(tree, setup);
 
   std::vector<ctx::SiteStats> stats(static_cast<std::size_t>(spec.threads));
   for (int t = 0; t < spec.threads; ++t) {
@@ -462,8 +632,7 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
         to.series.configure(obs_opt.metrics_interval, 0);
         c.set_observer(&to);
       }
-      OpStream stream(spec.workload, t);
-      run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
+      work(tree, c, t);
       stats[static_cast<std::size_t>(t)] = c.stats();
     });
   }
@@ -494,6 +663,7 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   r.mem_total = ms.tree_live_bytes();
   r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
   r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
+  r.suffix_bytes = ms.snapshot(MemClass::kBytesBox).live_bytes;
 
   finalize_obs(obs_opt, tobs, obs_opt.contention ? &cmap : nullptr, &node_reg,
                &r);
@@ -516,8 +686,9 @@ ExperimentResult run_sim_with(const ExperimentSpec& spec, MakeTree make) {
   return r;
 }
 
-template <class MakeTree>
-ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
+template <class MakeTree, class Preload, class Work>
+ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make,
+                                 Preload preload, Work work) {
   ctx::NativeEnv env(64);
   MemStats::instance().reset();
 
@@ -539,7 +710,7 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
   auto tree_owner = make(setup);
   auto& tree = *tree_owner;
   if (perf) perf->start();
-  preload_tree(tree, setup, spec.workload, spec.preload, spec.preload_stride);
+  preload(tree, setup);
   if (perf) {
     perf->stop();
     r.perf.phases.push_back(perf->sample("preload"));
@@ -567,8 +738,7 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
       if (!rings.empty()) {
         c.set_trace_ring(&rings[static_cast<std::size_t>(t)], origin);
       }
-      OpStream stream(spec.workload, t);
-      run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
+      work(tree, c, t);
       stats[static_cast<std::size_t>(t)] = c.stats();
     });
   }
@@ -589,6 +759,7 @@ ExperimentResult run_native_with(const ExperimentSpec& spec, MakeTree make) {
   r.mem_total = ms.tree_live_bytes();
   r.mem_reserved = ms.snapshot(MemClass::kReservedKeys).live_bytes;
   r.mem_ccm = ms.snapshot(MemClass::kCCM).live_bytes;
+  r.suffix_bytes = ms.snapshot(MemClass::kBytesBox).live_bytes;
 
   // Native runs have no simulated clock: latency percentiles and series
   // windows come out in wall nanoseconds; contention attribution is sim-only.
@@ -614,8 +785,31 @@ ExperimentResult run_sim_experiment(const ExperimentSpec& spec) {
   const trees::TreeEntry& entry = trees::tree_registry().expect(spec.tree);
   trees::TreeBuildOptions opt;
   opt.policy = spec.policy;
-  return run_sim_with(spec,
-                      [&](ctx::SimCtx& c) { return entry.make_sim(c, opt); });
+  if (spec.workload.key_domain == workload::KeyDomain::kBytes) {
+    EUNO_ASSERT_MSG(entry.make_sim_str != nullptr,
+                    "tree has no bytes-domain factory");
+    workload::StringKeySpace ks(spec.workload.key_style, spec.workload.seed);
+    return run_sim_with(
+        spec, [&](ctx::SimCtx& c) { return entry.make_sim_str(c, opt); },
+        [&](auto& tree, ctx::SimCtx& c) {
+          preload_tree_str(tree, c, spec.workload, ks, spec.preload,
+                           spec.preload_stride);
+        },
+        [&](auto& tree, ctx::SimCtx& c, int t) {
+          OpStream stream(spec.workload, t);
+          run_ops_str(tree, c, stream, ks, spec.ops_per_thread,
+                      spec.workload.scan_len, spec.workload.value_bytes);
+        });
+  }
+  return run_sim_with(
+      spec, [&](ctx::SimCtx& c) { return entry.make_sim(c, opt); },
+      [&](auto& tree, ctx::SimCtx& c) {
+        preload_tree(tree, c, spec.workload, spec.preload, spec.preload_stride);
+      },
+      [&](auto& tree, ctx::SimCtx& c, int t) {
+        OpStream stream(spec.workload, t);
+        run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
+      });
 }
 
 ExperimentResult run_native_experiment(const ExperimentSpec& spec) {
@@ -623,8 +817,31 @@ ExperimentResult run_native_experiment(const ExperimentSpec& spec) {
   const trees::TreeEntry& entry = trees::tree_registry().expect(spec.tree);
   trees::TreeBuildOptions opt;
   opt.policy = spec.policy;
+  if (spec.workload.key_domain == workload::KeyDomain::kBytes) {
+    EUNO_ASSERT_MSG(entry.make_native_str != nullptr,
+                    "tree has no bytes-domain factory");
+    workload::StringKeySpace ks(spec.workload.key_style, spec.workload.seed);
+    return run_native_with(
+        spec, [&](ctx::NativeCtx& c) { return entry.make_native_str(c, opt); },
+        [&](auto& tree, ctx::NativeCtx& c) {
+          preload_tree_str(tree, c, spec.workload, ks, spec.preload,
+                           spec.preload_stride);
+        },
+        [&](auto& tree, ctx::NativeCtx& c, int t) {
+          OpStream stream(spec.workload, t);
+          run_ops_str(tree, c, stream, ks, spec.ops_per_thread,
+                      spec.workload.scan_len, spec.workload.value_bytes);
+        });
+  }
   return run_native_with(
-      spec, [&](ctx::NativeCtx& c) { return entry.make_native(c, opt); });
+      spec, [&](ctx::NativeCtx& c) { return entry.make_native(c, opt); },
+      [&](auto& tree, ctx::NativeCtx& c) {
+        preload_tree(tree, c, spec.workload, spec.preload, spec.preload_stride);
+      },
+      [&](auto& tree, ctx::NativeCtx& c, int t) {
+        OpStream stream(spec.workload, t);
+        run_ops(tree, c, stream, spec.ops_per_thread, spec.workload.scan_len);
+      });
 }
 
 }  // namespace euno::driver

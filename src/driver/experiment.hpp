@@ -117,6 +117,9 @@ struct ExperimentResult {
   std::uint64_t mem_total = 0;
   std::uint64_t mem_reserved = 0;
   std::uint64_t mem_ccm = 0;
+  /// Live bytes in out-of-line key-suffix/value boxes (bytes-domain runs
+  /// only; always 0 for u64 runs and conditional in manifests).
+  std::uint64_t suffix_bytes = 0;
   // ---- observability (populated per ExperimentSpec::obs; zero when off) ----
   // Per-op latency percentiles in simulated cycles (obs.latency channel).
   double lat_p50 = 0;

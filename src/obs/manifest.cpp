@@ -63,6 +63,13 @@ void write_spec(JsonWriter& w, const driver::ExperimentSpec& s) {
   w.kv("scramble", s.workload.scramble);
   w.kv("scan_len", static_cast<std::uint64_t>(s.workload.scan_len));
   w.kv("seed", s.workload.seed);
+  // Conditional keys: bytes-domain runs only, so u64 manifests — including
+  // every golden fixture — stay byte-identical.
+  if (s.workload.key_domain == workload::KeyDomain::kBytes) {
+    w.kv("key_domain", workload::key_domain_name(s.workload.key_domain));
+    w.kv("key_style", workload::key_style_name(s.workload.key_style));
+    w.kv("value_bytes", static_cast<std::uint64_t>(s.workload.value_bytes));
+  }
   w.key("mix");
   w.begin_object();
   w.kv("get_pct", s.workload.mix.get_pct);
@@ -287,6 +294,9 @@ void write_result(JsonWriter& w, const driver::ExperimentResult& r) {
   w.kv("mem_total", r.mem_total);
   w.kv("mem_reserved", r.mem_reserved);
   w.kv("mem_ccm", r.mem_ccm);
+  // Conditional: nonzero only when the run stored out-of-line boxes (bytes
+  // domain), keeping u64 manifests — and every golden — byte-identical.
+  if (r.suffix_bytes != 0) w.kv("suffix_bytes", r.suffix_bytes);
   w.kv("lat_p50", r.lat_p50, 1);
   w.kv("lat_p90", r.lat_p90, 1);
   w.kv("lat_p99", r.lat_p99, 1);

@@ -74,7 +74,8 @@ constexpr const char* kUsage =
     "flags: --csv  --quick  --ops=<per-thread>  --keys=<range>  --seed=<n>  "
     "--jobs=<n|auto>  --tree=<registry-name>  --trace=<file>  --json=<file>  "
     "--native  --metrics-interval=<clock-units>  --perf  "
-    "--store-shards=<n>  --offered-load=<mops>  --deadline-us=<n>\n";
+    "--store-shards=<n>  --offered-load=<mops>  --deadline-us=<n>  "
+    "--key-domain=<u64|bytes>  --scan-len=<n>\n";
 
 [[noreturn]] void usage_error(const char* arg) {
   std::fprintf(stderr, "unrecognized or malformed flag: %s\n%s", arg, kUsage);
@@ -165,6 +166,18 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (const char* v11 = value("--deadline-us=")) {
       a.deadline_us = parse_u64(arg, v11);
       if (a.deadline_us == 0) usage_error(arg);
+    } else if (const char* v12 = value("--key-domain=")) {
+      // Exactly the two registered domain names; "Bytes", "byte", or an
+      // empty value are config typos, not requests.
+      if (std::strcmp(v12, "u64") != 0 && std::strcmp(v12, "bytes") != 0) {
+        usage_error(arg);
+      }
+      a.key_domain = v12;
+    } else if (const char* v13 = value("--scan-len=")) {
+      const std::uint64_t n = parse_u64(arg, v13);
+      // 0 would silently degenerate every scan; huge values are config bugs.
+      if (n == 0 || n > (1u << 20)) usage_error(arg);
+      a.scan_len = static_cast<std::uint32_t>(n);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::fputs(kUsage, stdout);
       std::exit(0);

@@ -72,6 +72,16 @@ struct BenchArgs {
   /// store-enabled benches, measured from scheduled arrival. 0 = off;
   /// the flag itself must be positive.
   std::uint64_t deadline_us = 0;
+  /// `--key-domain=u64|bytes`: which key domain the bench runs in. "bytes"
+  /// routes through the registry's string-tree factories (variable-length
+  /// keys + value indirection); only trees registered with bytes-domain
+  /// support accept it. Anything but the two exact literals exits 2.
+  /// Empty = not passed: each bench picks its own default (fig_scan runs
+  /// bytes, everything else u64 — the goldens' domain).
+  std::string key_domain;
+  /// `--scan-len=N`: records per range scan (bytes + u64 workloads). 0 =
+  /// the bench's default; the flag itself must be positive.
+  std::uint32_t scan_len = 0;
 
   /// Strict: an unknown flag or malformed numeric value prints usage to
   /// stderr and exits with status 2 (well-formed out-of-range --jobs values

@@ -74,6 +74,8 @@ class ShardedStore {
  public:
   using TreeFactory =
       std::function<std::unique_ptr<trees::AnyTree<Ctx>>(Ctx&)>;
+  using StrTreeFactory =
+      std::function<std::unique_ptr<trees::AnyStrTree<Ctx>>(Ctx&)>;
 
   /// Builds one tree per shard via `factory` (a registry make_* closure).
   /// `setup` is only used during construction/teardown, as with the driver's
@@ -81,17 +83,16 @@ class ShardedStore {
   ShardedStore(Ctx& setup, const StoreOptions& opt, const StoreRuntime& rt,
                const TreeFactory& factory)
       : opt_(opt), deadline_units_(to_units(opt.deadline_us, rt)) {
-    EUNO_ASSERT(opt.shards > 0);
-    const double rate_per_unit =
-        opt.shard_rate_mops > 0 ? opt.shard_rate_mops * 1e6 / rt.clock_hz : 0;
-    shards_.reserve(static_cast<std::size_t>(opt.shards));
-    for (int i = 0; i < opt.shards; ++i) {
-      auto sh = std::make_unique<Shard>();
-      sh->tree = factory(setup);
-      sh->bucket.configure(rate_per_unit, opt.burst, setup.now());
-      sh->monitor.configure(opt);
-      shards_.push_back(std::move(sh));
-    }
+    init_shards(setup, rt, [&](Shard& sh) { sh.tree = factory(setup); });
+  }
+
+  /// Bytes-domain store: every shard owns an AnyStrTree instead. The
+  /// admission/deadline/overload machinery is identical — only the final
+  /// tree dispatch differs (execute_str vs execute).
+  ShardedStore(Ctx& setup, const StoreOptions& opt, const StoreRuntime& rt,
+               const StrTreeFactory& factory)
+      : opt_(opt), deadline_units_(to_units(opt.deadline_us, rt)) {
+    init_shards(setup, rt, [&](Shard& sh) { sh.str_tree = factory(setup); });
   }
 
   int shards() const { return static_cast<int>(shards_.size()); }
@@ -107,6 +108,13 @@ class ShardedStore {
                             static_cast<std::uint64_t>(shards_.size()));
   }
 
+  /// Bytes-domain partition: hash the full key text. Shared-prefix corpora
+  /// (URLs) still spread — the hash covers the discriminating tail.
+  int shard_of_str(trees::node::BytesView key) const {
+    return static_cast<int>(hash_bytes(key.data, key.len) %
+                            static_cast<std::uint64_t>(shards_.size()));
+  }
+
   ShardState shard_state(int s) const {
     return shards_[static_cast<std::size_t>(s)]->monitor.state();
   }
@@ -118,6 +126,13 @@ class ShardedStore {
     shards_[static_cast<std::size_t>(shard_of(k))]->tree->put(c, k, v);
   }
 
+  /// Bytes-domain preload (same bypass contract as preload_put).
+  void preload_put_str(Ctx& c, trees::node::BytesView key, trees::Value v,
+                       trees::node::BytesView payload) {
+    shards_[static_cast<std::size_t>(shard_of_str(key))]->str_tree->put(
+        c, key, v, payload);
+  }
+
   /// Run one workload op against the store. `scheduled` is the op's
   /// scheduled arrival in ctx clock units (its deadline is scheduled +
   /// deadline budget — queueing lateness consumes budget, the open-loop
@@ -125,6 +140,152 @@ class ShardedStore {
   OpResult execute(Ctx& c, const workload::Op& op, std::uint64_t scheduled,
                    trees::KV* scan_buf) {
     Shard& sh = *shards_[static_cast<std::size_t>(shard_of(op.key))];
+    return run_admitted(c, sh, scheduled, [&](OpResult& res) {
+      switch (op.type) {
+        case workload::OpType::kGet:
+          if (!sh.tree->get(c, op.key, &res.value)) {
+            res.status = StoreStatus::kNotFound;
+          }
+          break;
+        case workload::OpType::kPut:
+          sh.tree->put(c, op.key, op.value);
+          break;
+        case workload::OpType::kScan:
+          res.scanned = sh.tree->scan(c, op.key, op.scan_len, scan_buf);
+          break;
+        case workload::OpType::kDelete:
+          if (!sh.tree->erase(c, op.key)) res.status = StoreStatus::kNotFound;
+          break;
+      }
+    });
+  }
+
+  /// Bytes-domain execute: same admission/deadline flow against the shard's
+  /// AnyStrTree. The caller materializes key/payload text (the store stays
+  /// corpus-agnostic); `emit` receives scan records while their views are
+  /// valid.
+  OpResult execute_str(Ctx& c, workload::OpType type,
+                       trees::node::BytesView key, trees::Value value,
+                       trees::node::BytesView payload, std::uint32_t scan_len,
+                       std::uint64_t scheduled,
+                       const trees::node::StrEmitFn& emit) {
+    Shard& sh = *shards_[static_cast<std::size_t>(shard_of_str(key))];
+    return run_admitted(c, sh, scheduled, [&](OpResult& res) {
+      switch (type) {
+        case workload::OpType::kGet:
+          if (!sh.str_tree->get(c, key, &res.value)) {
+            res.status = StoreStatus::kNotFound;
+          }
+          break;
+        case workload::OpType::kPut:
+          sh.str_tree->put(c, key, value, payload);
+          break;
+        case workload::OpType::kScan:
+          res.scanned = sh.str_tree->scan(c, key, scan_len, emit);
+          break;
+        case workload::OpType::kDelete:
+          if (!sh.str_tree->erase(c, key)) res.status = StoreStatus::kNotFound;
+          break;
+      }
+    });
+  }
+
+  /// Sum the per-shard counters. `deadline_exceeded` here carries only the
+  /// pre-check rejections — mid-flight deadline unwinds are counted once in
+  /// the per-thread TxStats the driver already aggregates; the two add up to
+  /// ops-that-missed-their-deadline without double counting.
+  StoreTotals accumulate() const {
+    StoreTotals t;
+    for (const auto& sh : shards_) {
+      t.admitted += sh->counters.admitted.load(std::memory_order_relaxed);
+      t.shed += sh->counters.shed.load(std::memory_order_relaxed);
+      t.deadline_exceeded +=
+          sh->counters.deadline_precheck.load(std::memory_order_relaxed);
+      t.degradations +=
+          sh->counters.degradations.load(std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+  /// Structural checks + total size across shards (test/diagnostic surface).
+  void check_invariants() {
+    for (auto& sh : shards_) {
+      if (sh->tree) sh->tree->check_invariants();
+      if (sh->str_tree) sh->str_tree->check_invariants();
+    }
+  }
+  std::size_t size_slow() {
+    std::size_t n = 0;
+    for (auto& sh : shards_) {
+      if (sh->tree) n += sh->tree->size_slow();
+      if (sh->str_tree) n += sh->str_tree->size_slow();
+    }
+    return n;
+  }
+
+  void destroy(Ctx& c) {
+    for (auto& sh : shards_) {
+      if (sh->tree) {
+        sh->tree->destroy(c);
+        sh->tree.reset();
+      }
+      if (sh->str_tree) {
+        sh->str_tree->destroy(c);
+        sh->str_tree.reset();
+      }
+    }
+  }
+
+ private:
+  static std::uint64_t to_units(std::uint64_t us, const StoreRuntime& rt) {
+    return static_cast<std::uint64_t>(static_cast<double>(us) * rt.clock_hz /
+                                      1e6);
+  }
+
+  template <class FillTree>
+  void init_shards(Ctx& setup, const StoreRuntime& rt, FillTree fill) {
+    EUNO_ASSERT(opt_.shards > 0);
+    const double rate_per_unit =
+        opt_.shard_rate_mops > 0 ? opt_.shard_rate_mops * 1e6 / rt.clock_hz
+                                 : 0;
+    shards_.reserve(static_cast<std::size_t>(opt_.shards));
+    for (int i = 0; i < opt_.shards; ++i) {
+      auto sh = std::make_unique<Shard>();
+      fill(*sh);
+      sh->bucket.configure(rate_per_unit, opt_.burst, setup.now());
+      sh->monitor.configure(opt_);
+      shards_.push_back(std::move(sh));
+    }
+  }
+
+  struct ShardCounters {
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> deadline_precheck{0};
+    std::atomic<std::uint64_t> degradations{0};
+  };
+
+  /// One shard: tree + gate state, line-aligned so neighbouring shards'
+  /// admission traffic doesn't false-share. Exactly one of tree/str_tree is
+  /// non-null, fixed at construction by which factory built the store.
+  struct alignas(kCacheLineSize) Shard {
+    std::unique_ptr<trees::AnyTree<Ctx>> tree;
+    std::unique_ptr<trees::AnyStrTree<Ctx>> str_tree;
+    Spinlock gate;          // guards bucket + monitor (plain arithmetic only)
+    TokenBucket bucket;
+    OverloadMonitor monitor;
+    std::atomic<std::uint32_t> inflight{0};
+    Spinlock serial;        // terminal-stage execution lock (try-lock only)
+    ShardCounters counters;
+  };
+
+  /// Admission (1) + deadline pre-check (2) + deadline-armed execution (3)
+  /// around a domain-specific tree dispatch. Factoring this out is what keeps
+  /// the u64 and bytes paths behaviorally identical at the service layer —
+  /// one shedding/overload policy, two key domains.
+  template <class RunTreeOp>
+  OpResult run_admitted(Ctx& c, Shard& sh, std::uint64_t scheduled,
+                        RunTreeOp run_tree_op) {
     OpResult res;
     const std::uint64_t deadline =
         deadline_units_ != 0 ? scheduled + deadline_units_ : 0;
@@ -180,22 +341,7 @@ class ShardedStore {
     // 3. Execution, with the context deadline armed across the tree op.
     if (deadline != 0) c.set_deadline(deadline);
     try {
-      switch (op.type) {
-        case workload::OpType::kGet:
-          if (!sh.tree->get(c, op.key, &res.value)) {
-            res.status = StoreStatus::kNotFound;
-          }
-          break;
-        case workload::OpType::kPut:
-          sh.tree->put(c, op.key, op.value);
-          break;
-        case workload::OpType::kScan:
-          res.scanned = sh.tree->scan(c, op.key, op.scan_len, scan_buf);
-          break;
-        case workload::OpType::kDelete:
-          if (!sh.tree->erase(c, op.key)) res.status = StoreStatus::kNotFound;
-          break;
-      }
+      run_tree_op(res);
     } catch (const ctx::DeadlineExceeded&) {
       // The retry loop already counted it (TxStats::deadline_exceeded) and
       // threw from a point holding no lock and no open transaction; the op
@@ -207,67 +353,6 @@ class ShardedStore {
     if (serial) sh.serial.unlock();
     return res;
   }
-
-  /// Sum the per-shard counters. `deadline_exceeded` here carries only the
-  /// pre-check rejections — mid-flight deadline unwinds are counted once in
-  /// the per-thread TxStats the driver already aggregates; the two add up to
-  /// ops-that-missed-their-deadline without double counting.
-  StoreTotals accumulate() const {
-    StoreTotals t;
-    for (const auto& sh : shards_) {
-      t.admitted += sh->counters.admitted.load(std::memory_order_relaxed);
-      t.shed += sh->counters.shed.load(std::memory_order_relaxed);
-      t.deadline_exceeded +=
-          sh->counters.deadline_precheck.load(std::memory_order_relaxed);
-      t.degradations +=
-          sh->counters.degradations.load(std::memory_order_relaxed);
-    }
-    return t;
-  }
-
-  /// Structural checks + total size across shards (test/diagnostic surface).
-  void check_invariants() {
-    for (auto& sh : shards_) sh->tree->check_invariants();
-  }
-  std::size_t size_slow() {
-    std::size_t n = 0;
-    for (auto& sh : shards_) n += sh->tree->size_slow();
-    return n;
-  }
-
-  void destroy(Ctx& c) {
-    for (auto& sh : shards_) {
-      if (sh->tree) {
-        sh->tree->destroy(c);
-        sh->tree.reset();
-      }
-    }
-  }
-
- private:
-  static std::uint64_t to_units(std::uint64_t us, const StoreRuntime& rt) {
-    return static_cast<std::uint64_t>(static_cast<double>(us) * rt.clock_hz /
-                                      1e6);
-  }
-
-  struct ShardCounters {
-    std::atomic<std::uint64_t> admitted{0};
-    std::atomic<std::uint64_t> shed{0};
-    std::atomic<std::uint64_t> deadline_precheck{0};
-    std::atomic<std::uint64_t> degradations{0};
-  };
-
-  /// One shard: tree + gate state, line-aligned so neighbouring shards'
-  /// admission traffic doesn't false-share.
-  struct alignas(kCacheLineSize) Shard {
-    std::unique_ptr<trees::AnyTree<Ctx>> tree;
-    Spinlock gate;          // guards bucket + monitor (plain arithmetic only)
-    TokenBucket bucket;
-    OverloadMonitor monitor;
-    std::atomic<std::uint32_t> inflight{0};
-    Spinlock serial;        // terminal-stage execution lock (try-lock only)
-    ShardCounters counters;
-  };
 
   StoreOptions opt_;
   std::uint64_t deadline_units_;  // deadline budget in ctx clock units; 0=off

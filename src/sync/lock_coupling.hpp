@@ -35,8 +35,8 @@ class LockCouplingPolicy {
     htm::RetryPolicy policy{};  // unused (no HTM), kept for uniform factories
   };
 
-  template <int F>
-  using NodeT = trees::node::VersionedNode<F>;
+  template <int F, class KT = trees::node::U64KeyTraits>
+  using NodeT = trees::node::VersionedNode<F, KT>;
 
   static constexpr bool kOptimistic = true;
 

@@ -24,8 +24,8 @@ class MonolithicHtmPolicy {
     htm::RetryPolicy policy{};
   };
 
-  template <int F>
-  using NodeT = trees::node::DbxNode<F>;
+  template <int F, class KT = trees::node::U64KeyTraits>
+  using NodeT = trees::node::DbxNode<F, KT>;
 
   /// Selects the monolithic (single-transaction, bottom-up split) algorithm.
   static constexpr bool kOptimistic = false;

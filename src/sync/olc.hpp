@@ -35,8 +35,8 @@ class OlcPolicy {
     htm::RetryPolicy policy{};
   };
 
-  template <int F>
-  using NodeT = trees::node::VersionedNode<F>;
+  template <int F, class KT = trees::node::U64KeyTraits>
+  using NodeT = trees::node::VersionedNode<F, KT>;
 
   static constexpr bool kOptimistic = true;
 

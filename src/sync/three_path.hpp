@@ -56,8 +56,8 @@ class ThreePathPolicy {
     htm::RetryPolicy policy{};
   };
 
-  template <int F>
-  using NodeT = trees::node::VersionedNode<F>;
+  template <int F, class KT = trees::node::U64KeyTraits>
+  using NodeT = trees::node::VersionedNode<F, KT>;
 
   static constexpr bool kOptimistic = true;
   static constexpr int kMaxTids = 64;

@@ -22,6 +22,11 @@ enum class TreeKind {
   kLockBPTree,    // pessimistic hand-over-hand baseline (LockCouplingPolicy)
   kRcuBPTree,     // RCU-HTM copy-on-write B+Tree (RcuHtmPolicy)
   kThreePathBPTree,  // Brown's three-path template (ThreePathPolicy)
+  // Bytes-domain (variable-length string key) instantiations of the same
+  // consecutive-layout algorithm bodies, via BytesKeyTraits:
+  kStrHtmBPTree,   // monolithic HTM region per op
+  kStrMasstree,    // OLC validation (the canonical variable-key design)
+  kStrLockBPTree,  // pessimistic lock coupling
 };
 
 }  // namespace euno::trees

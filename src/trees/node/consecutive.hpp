@@ -12,6 +12,12 @@
 //     node; the payload union is cache-line aligned. No parent pointer —
 //     optimistic descent splits preemptively top-down.
 //
+// Both layouts are parameterized on a key-traits class (trees/key_traits.hpp):
+// U64KeyTraits reproduces the historical fixed-width layout bit for bit
+// (the default, so every pre-traits instantiation is unchanged), while
+// BytesKeyTraits keeps the same two-word Record shape ({prefix slice, box
+// pointer}) and adds a parallel separator-box array to interior nodes.
+//
 // The free functions below are the record-movement primitives both layouts
 // share (identical field names, identical access sequences): binary search,
 // sorted insert/remove with shifts, and the split record movement. Every
@@ -26,6 +32,7 @@
 
 #include "sim/line.hpp"
 #include "trees/common.hpp"
+#include "trees/key_traits.hpp"
 #include "trees/node/simd_search.hpp"
 #include "util/cacheline.hpp"
 #include "util/memstats.hpp"
@@ -33,6 +40,8 @@
 namespace euno::trees::node {
 
 /// A leaf record: key and value adjacent, four records per cache line.
+/// Bytes-domain leaves reuse the same shape — `key` holds the 8-byte prefix
+/// slice, `value` the BytesBox pointer — so record movement is shared.
 struct Record {
   Key key;
   Value value;
@@ -41,9 +50,10 @@ struct Record {
 /// DBX-style node (monolithic-HTM trees). Layout is load-bearing: the
 /// header — including the version number bumped on every modification —
 /// shares its cache line with the first records.
-template <int F>
+template <int F, class KT = U64KeyTraits>
 struct DbxNode {
   static constexpr int kFanout = F;
+  using Traits = KT;
 
   std::uint32_t is_leaf = 0;
   std::uint32_t count = 0;
@@ -53,10 +63,7 @@ struct DbxNode {
 
   union {
     Record recs[F];  // leaf payload
-    struct {
-      Key keys[F];
-      DbxNode* children[F + 1];
-    } idx;  // interior payload
+    typename KT::template Idx<F, DbxNode> idx;  // interior payload
   };
 
   template <class Ctx>
@@ -80,9 +87,10 @@ struct DbxNode {
 
 /// Masstree/OLC-style node (optimistic and lock-coupling trees): version
 /// word first, payload on its own cache line(s), no parent pointer.
-template <int F>
+template <int F, class KT = U64KeyTraits>
 struct VersionedNode {
   static constexpr int kFanout = F;
+  using Traits = KT;
 
   std::atomic<std::uint64_t> version{0};  // bit0 = locked; += 2 per change
   std::uint32_t is_leaf = 0;
@@ -91,10 +99,7 @@ struct VersionedNode {
 
   union alignas(kCacheLineSize) {
     Record recs[F];
-    struct {
-      Key keys[F];
-      VersionedNode* children[F + 1];
-    } idx;
+    typename KT::template Idx<F, VersionedNode> idx;
   };
 
   template <class Ctx>
@@ -119,17 +124,29 @@ struct VersionedNode {
 /// Binary search, as in production trees. Raw-memory contexts (NativeCtx)
 /// take the vectorized count_le instead — same result on the sorted
 /// separator array; the instrumented path must stay per-element c.read()
-/// because those accesses define the simulated cost model.
-template <class Ctx, class Node>
-int child_index(Ctx& c, Node* n, Key key) {
+/// because those accesses define the simulated cost model. Bytes-domain
+/// nodes run the SIMD kernel on the prefix slices, then walk back over the
+/// equal-prefix run with the scalar suffix tie-break.
+template <class Traits = U64KeyTraits, class Ctx, class Node>
+int child_index(Ctx& c, Node* n, const typename Traits::Arg& key) {
   if constexpr (ctx_raw_memory_v<Ctx>) {
     const int cnt = static_cast<int>(c.read(n->count));
-    return simd::count_le(&n->idx.keys[0], cnt, key);
+    if constexpr (Traits::kIndirect) {
+      int lo = simd::count_le(&n->idx.keys[0], cnt, key.prefix);
+      while (lo > 0 && c.read(n->idx.keys[lo - 1]) == key.prefix &&
+             box_key_compare(c, Traits::sep_box(c, n, lo - 1), key.data,
+                             key.len) > 0) {
+        --lo;
+      }
+      return lo;
+    } else {
+      return simd::count_le(&n->idx.keys[0], cnt, key);
+    }
   }
   int lo = 0, hi = static_cast<int>(c.read(n->count));
   while (lo < hi) {
     const int mid = (lo + hi) / 2;
-    if (key >= c.read(n->idx.keys[mid])) {
+    if (Traits::arg_ge_sep(c, n, mid, key)) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -142,22 +159,39 @@ int child_index(Ctx& c, Node* n, Key key) {
 /// records: every lookup probes the middle record lines, so operations on
 /// *different* keys of one leaf share lines — the false-conflict surface
 /// of §2.3.
-template <class Ctx, class Node>
-int leaf_find(Ctx& c, Node* leaf, Key key) {
+template <class Traits = U64KeyTraits, class Ctx, class Node>
+int leaf_find(Ctx& c, Node* leaf, const typename Traits::Arg& key) {
   if constexpr (ctx_raw_memory_v<Ctx>) {
     static_assert(sizeof(Record) == 2 * sizeof(std::uint64_t) &&
                       offsetof(Record, key) == 0,
                   "find_eq_pairs assumes interleaved {key, value} u64 pairs");
     const int cnt = static_cast<int>(c.read(leaf->count));
-    return simd::find_eq_pairs(
-        reinterpret_cast<const std::uint64_t*>(&leaf->recs[0]), cnt, key);
+    if constexpr (Traits::kIndirect) {
+      // SIMD locates a prefix match; distinct keys may share a slice, so
+      // resolve within the equal-prefix run by full compare.
+      int m = simd::find_eq_pairs(
+          reinterpret_cast<const std::uint64_t*>(&leaf->recs[0]), cnt,
+          key.prefix);
+      if (m < 0) return -1;
+      while (m > 0 && c.read(leaf->recs[m - 1].key) == key.prefix) --m;
+      for (; m < cnt && c.read(leaf->recs[m].key) == key.prefix; ++m) {
+        if (box_key_compare(c, Traits::rec_box(c, leaf, m), key.data,
+                            key.len) == 0) {
+          return m;
+        }
+      }
+      return -1;
+    } else {
+      return simd::find_eq_pairs(
+          reinterpret_cast<const std::uint64_t*>(&leaf->recs[0]), cnt, key);
+    }
   }
   int lo = 0, hi = static_cast<int>(c.read(leaf->count)) - 1;
   while (lo <= hi) {
     const int mid = (lo + hi) / 2;
-    const Key k = c.read(leaf->recs[mid].key);
-    if (k == key) return mid;
-    if (k < key) {
+    const int cmp = Traits::cmp_rec_arg(c, leaf, mid, key);
+    if (cmp == 0) return mid;
+    if (cmp < 0) {
       lo = mid + 1;
     } else {
       hi = mid - 1;
@@ -187,6 +221,22 @@ void leaf_insert_sorted(Ctx& c, Node* leaf, Key key, Value value) {
   c.write(leaf->count, static_cast<std::uint32_t>(n + 1));
 }
 
+/// Traits form of the sorted insert: the payload was pre-built (a bytes
+/// insert allocates its box before the op body). Access sequence for the
+/// u64 traits is identical to the overload above.
+template <class Traits, class Ctx, class Node>
+void leaf_insert_sorted(Ctx& c, Node* leaf, typename Traits::Ins& ins) {
+  const int n = static_cast<int>(c.read(leaf->count));
+  int pos = n;
+  while (pos > 0 && Traits::rec_gt_ins(c, leaf, pos - 1, ins)) --pos;
+  for (int i = n; i > pos; --i) {
+    c.write(leaf->recs[i].key, c.read(leaf->recs[i - 1].key));
+    c.write(leaf->recs[i].value, c.read(leaf->recs[i - 1].value));
+  }
+  Traits::write_rec(c, leaf, pos, ins);
+  c.write(leaf->count, static_cast<std::uint32_t>(n + 1));
+}
+
 /// Remove the record at `idx` by shifting its successors down.
 template <class Ctx, class Node>
 void leaf_remove_at(Ctx& c, Node* leaf, int idx) {
@@ -200,9 +250,10 @@ void leaf_remove_at(Ctx& c, Node* leaf, int idx) {
 
 /// Leaf split record movement: upper half moves to the freshly allocated
 /// `right`, counts halve, `right` links into the leaf chain. Returns the
-/// separator (first key of `right`).
-template <class Ctx, class Node>
-Key split_leaf_records(Ctx& c, Node* leaf, Node* right) {
+/// separator (first key of `right`; an owned out-of-line copy of it in the
+/// bytes domain).
+template <class Traits = U64KeyTraits, class Ctx, class Node>
+typename Traits::Sep split_leaf_records(Ctx& c, Node* leaf, Node* right) {
   constexpr int kHalf = Node::kFanout / 2;
   for (int i = 0; i < kHalf; ++i) {
     c.write(right->recs[i].key, c.read(leaf->recs[kHalf + i].key));
@@ -212,21 +263,21 @@ Key split_leaf_records(Ctx& c, Node* leaf, Node* right) {
   c.write(leaf->count, static_cast<std::uint32_t>(kHalf));
   c.write(right->next, c.read(leaf->next));
   c.write(leaf->next, right);
-  return c.read(right->recs[0].key);
+  return Traits::read_sep_from_rec(c, right);
 }
 
 /// Interior split record movement: the middle separator is read out (it
 /// moves up), keys/children above it move to `right`. `set_parent(child)`
 /// runs per moved child, interleaved exactly where the parented layout
 /// rewires child->parent (a no-op functor for parent-free layouts).
-template <class Ctx, class Node, class SetParent>
-Key split_internal_records(Ctx& c, Node* node, Node* right,
-                           SetParent&& set_parent) {
+template <class Traits = U64KeyTraits, class Ctx, class Node, class SetParent>
+typename Traits::Sep split_internal_records(Ctx& c, Node* node, Node* right,
+                                            SetParent&& set_parent) {
   constexpr int F = Node::kFanout;
   constexpr int kHalf = F / 2;
-  const Key mid = c.read(node->idx.keys[kHalf]);
+  typename Traits::Sep mid = Traits::read_sep_at(c, node, kHalf);
   for (int i = kHalf + 1; i < F; ++i) {
-    c.write(right->idx.keys[i - kHalf - 1], c.read(node->idx.keys[i]));
+    Traits::move_sep(c, right, i - kHalf - 1, node, i);
   }
   for (int i = kHalf + 1; i <= F; ++i) {
     Node* child = c.read(node->idx.children[i]);
@@ -238,12 +289,14 @@ Key split_internal_records(Ctx& c, Node* node, Node* right,
   return mid;
 }
 
-/// Recursive teardown (quiesced; raw reads are fine).
-template <class Ctx, class Node>
+/// Recursive teardown (quiesced; raw reads are fine). Indirect domains
+/// free the out-of-line blocks each node owns before the node itself.
+template <class Traits = U64KeyTraits, class Ctx, class Node>
 void destroy_rec(Ctx& c, Node* n) {
+  Traits::destroy_node_extras(c, n);
   if (!n->is_leaf) {
     for (std::uint32_t i = 0; i <= n->count; ++i) {
-      destroy_rec(c, n->idx.children[i]);
+      destroy_rec<Traits>(c, n->idx.children[i]);
     }
   }
   c.free(n, sizeof(Node),

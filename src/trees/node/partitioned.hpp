@@ -70,11 +70,27 @@ struct Reserved {
 template <int F>
 struct EunoINode;
 
-template <int F, int S>
+/// Traits is the key-domain hook (trees/key_traits.hpp), defaulted to the
+/// u64 domain every existing instantiation uses. Only U64KeyTraits is
+/// implemented today — honestly: the partitioned layout's CCM hashes the
+/// u64 key directly into a slot, segments store inline Records (no box
+/// pointers), and the reserved-buffer compaction moves records without any
+/// notion of out-of-line ownership. Extending to BytesKeyTraits means (a)
+/// slot_of over the full key bytes, not the 8-byte prefix slice — two keys
+/// sharing a slice must not alias a CCM LOCK slot, (b) segment/reserved
+/// record movement that transfers box ownership, and (c) a destroy path
+/// that retires boxes from both storage tiers. The static_assert keeps the
+/// door visibly open without pretending it's done.
+template <int F, int S, class Traits = U64KeyTraits>
 struct PartitionedLeaf {
   static_assert(F >= 4 && S >= 1 && F % S == 0, "segments must tile the fanout");
   static_assert(2 * F + 16 <= 64,
                 "CCM + control state must fit one cache line; mask is u64");
+  static_assert(Traits::kDomain == KeyDomain::kU64,
+                "PartitionedLeaf supports the u64 key domain only (see above);"
+                " bytes-domain trees use the consecutive layout");
+
+  using KeyTraitsT = Traits;
 
   static constexpr int kFanout = F;
   static constexpr int kSegments = S;

@@ -21,6 +21,7 @@
 
 #include "htm/policy.hpp"
 #include "trees/common.hpp"
+#include "trees/key_traits.hpp"
 #include "trees/kinds.hpp"
 
 namespace euno::ctx {
@@ -76,6 +77,63 @@ class AnyTreeOf final : public AnyTree<Ctx> {
   Tree tree_;
 };
 
+/// Type-erased string-domain tree interface. Bytes-domain trees register a
+/// second pair of factories returning this; their u64 factories remain the
+/// conformance/bench surface through a key codec (see builtin_trees.cpp),
+/// so the whole registry-driven test battery applies to them unchanged.
+template <class Ctx>
+class AnyStrTree {
+ public:
+  virtual ~AnyStrTree() = default;
+  virtual bool get(Ctx& c, node::BytesView key, Value* v) = 0;
+  virtual void put(Ctx& c, node::BytesView key, Value v,
+                   node::BytesView payload) = 0;
+  virtual bool erase(Ctx& c, node::BytesView key) = 0;
+  /// Emits up to `n` records with key >= `start` in key order. The views
+  /// handed to `emit` are valid only for the duration of the callback.
+  virtual std::size_t scan(Ctx& c, node::BytesView start, std::size_t n,
+                           const node::StrEmitFn& emit) = 0;
+  virtual void check_invariants() = 0;
+  virtual std::size_t size_slow() = 0;
+  /// Boxes retired / actually freed through the tree's epoch domain, for
+  /// reclamation accounting in tests. freed <= retired at all times.
+  virtual std::uint64_t retired_boxes() = 0;
+  virtual std::uint64_t freed_boxes() = 0;
+  virtual void destroy(Ctx& c) = 0;
+};
+
+template <class Ctx, class Tree>
+class AnyStrTreeOf final : public AnyStrTree<Ctx> {
+ public:
+  template <class Make>
+  AnyStrTreeOf(Ctx& c, Make&& make) : tree_(make(c)) {}
+
+  bool get(Ctx& c, node::BytesView key, Value* v) override {
+    return tree_.get(c, key, v);
+  }
+  void put(Ctx& c, node::BytesView key, Value v,
+           node::BytesView payload) override {
+    tree_.put(c, key, v, payload);
+  }
+  bool erase(Ctx& c, node::BytesView key) override {
+    return tree_.erase(c, key);
+  }
+  std::size_t scan(Ctx& c, node::BytesView start, std::size_t n,
+                   const node::StrEmitFn& emit) override {
+    return tree_.scan(c, start, n, emit);
+  }
+  void check_invariants() override { tree_.check_invariants(); }
+  std::size_t size_slow() override { return tree_.size_slow(); }
+  std::uint64_t retired_boxes() override { return tree_.retired_boxes(); }
+  std::uint64_t freed_boxes() override { return tree_.freed_boxes(); }
+  void destroy(Ctx& c) override { tree_.destroy(c); }
+
+  Tree& tree() { return tree_; }
+
+ private:
+  Tree tree_;
+};
+
 /// Capability flags consumed by fig_common.hpp (default sweep membership)
 /// and the registry-driven conformance/lin suites.
 struct TreeCaps {
@@ -96,6 +154,12 @@ struct TreeCaps {
   /// lock-holder scenarios gate on this so they fail loudly instead of
   /// passing vacuously (tests/sim_fault_test.cpp).
   bool has_global_fallback = true;
+  /// The tree's native key domain. kBytes trees additionally register
+  /// make_sim_str/make_native_str factories exposing the string interface;
+  /// their plain make_sim/make_native factories wrap the same tree in a
+  /// u64 key codec (order-preserving), keeping every u64-keyed suite and
+  /// bench applicable.
+  KeyDomain key_domain = KeyDomain::kU64;
 };
 
 struct TreeEntry {
@@ -107,6 +171,11 @@ struct TreeEntry {
                                                     const TreeBuildOptions&) =
       nullptr;
   std::unique_ptr<AnyTree<ctx::NativeCtx>> (*make_native)(
+      ctx::NativeCtx&, const TreeBuildOptions&) = nullptr;
+  /// String-domain factories; non-null iff caps.key_domain == kBytes.
+  std::unique_ptr<AnyStrTree<ctx::SimCtx>> (*make_sim_str)(
+      ctx::SimCtx&, const TreeBuildOptions&) = nullptr;
+  std::unique_ptr<AnyStrTree<ctx::NativeCtx>> (*make_native_str)(
       ctx::NativeCtx&, const TreeBuildOptions&) = nullptr;
 };
 

@@ -1,0 +1,46 @@
+// String-key B+Trees: the same consecutive-layout algorithm bodies as the
+// u64 trees, instantiated with BytesKeyTraits (trees/key_traits.hpp).
+//
+// Keys are variable-length byte strings. Each in-node record keeps an 8-byte
+// big-endian prefix slice in the conventional Record::key slot (so every
+// record-movement primitive — shift, split, SIMD probe — is shared verbatim
+// with the u64 domain) and points at an out-of-line BytesBox holding the
+// full key bytes plus an optional payload. Compares resolve on the prefix
+// slice alone whenever slices differ; equal slices fall back to a word-wise
+// suffix compare through the box. Boxes are immutable after publication —
+// updates swap the pointer and retire the old box through the tree's
+// EpochManager — which is what lets optimistic scans decode emitted boxes
+// after leaf validation without revalidating.
+//
+// Three sync flavours mirror the u64 baselines:
+//   - StrHtmBPTree:  monolithic HTM region per op (DBX scheme). The suffix
+//     tie-break reads the box words inside the transaction, modelling the
+//     paper-relevant HTM read-set inflation of long keys.
+//   - StrMasstree:   OLC (Masstree-style optimistic validation) — the
+//     natural fit, since Masstree is the canonical variable-key design.
+//   - StrLockBPTree: pessimistic lock coupling, the contention-free floor.
+#pragma once
+
+#include "sync/lock_coupling.hpp"
+#include "sync/monolithic_htm.hpp"
+#include "sync/olc.hpp"
+#include "trees/algo/bptree.hpp"
+#include "trees/common.hpp"
+
+namespace euno::trees {
+
+template <class Ctx, int F = kDefaultFanout>
+using StrHtmBPTree =
+    algo::BPlusTree<Ctx, sync::MonolithicHtmPolicy<Ctx>, F,
+                    node::BytesKeyTraits>;
+
+template <class Ctx, int F = kDefaultFanout>
+using StrMasstree =
+    algo::BPlusTree<Ctx, sync::OlcPolicy<Ctx>, F, node::BytesKeyTraits>;
+
+template <class Ctx, int F = kDefaultFanout>
+using StrLockBPTree =
+    algo::BPlusTree<Ctx, sync::LockCouplingPolicy<Ctx>, F,
+                    node::BytesKeyTraits>;
+
+}  // namespace euno::trees

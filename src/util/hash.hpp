@@ -2,6 +2,7 @@
 // shadow-memory tables.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace euno {
@@ -21,6 +22,18 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
 /// Fibonacci hashing: cheap multiplicative spread for table indexing.
 constexpr std::uint64_t fib_hash(std::uint64_t x) {
   return x * 0x9e3779b97f4a7c15ull;
+}
+
+/// FNV-1a over a byte string, finalized through mix64 (FNV alone is weak in
+/// the low bits, which is exactly where modulo-style consumers look). Used
+/// by the sharded store to partition variable-length keys.
+inline std::uint64_t hash_bytes(const char* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h);
 }
 
 /// Second independent hash for double-hashing schemes (Bloom-filter style).

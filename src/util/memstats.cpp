@@ -11,7 +11,7 @@ MemStats*& MemStats::current_slot() {
 std::uint64_t MemStats::tree_live_bytes() const {
   std::uint64_t sum = 0;
   for (auto c : {MemClass::kInternalNode, MemClass::kLeafNode, MemClass::kReservedKeys,
-                 MemClass::kCCM, MemClass::kTreeMisc}) {
+                 MemClass::kCCM, MemClass::kTreeMisc, MemClass::kBytesBox}) {
     sum += snapshot(c).live_bytes;
   }
   return sum;
@@ -20,7 +20,7 @@ std::uint64_t MemStats::tree_live_bytes() const {
 std::uint64_t MemStats::tree_peak_bytes() const {
   std::uint64_t sum = 0;
   for (auto c : {MemClass::kInternalNode, MemClass::kLeafNode, MemClass::kReservedKeys,
-                 MemClass::kCCM, MemClass::kTreeMisc}) {
+                 MemClass::kCCM, MemClass::kTreeMisc, MemClass::kBytesBox}) {
     sum += snapshot(c).peak_bytes;
   }
   return sum;

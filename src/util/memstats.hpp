@@ -21,6 +21,7 @@ enum class MemClass : std::uint8_t {
   kTreeMisc,          // roots, headers, iterators
   kSimInfra,          // simulator-internal (excluded from tree accounting)
   kOther,
+  kBytesBox,          // bytes-domain out-of-line key/value blocks
   kCount,
 };
 
@@ -33,6 +34,7 @@ constexpr std::string_view mem_class_name(MemClass c) {
     case MemClass::kTreeMisc: return "tree_misc";
     case MemClass::kSimInfra: return "sim_infra";
     case MemClass::kOther: return "other";
+    case MemClass::kBytesBox: return "bytes_box";
     case MemClass::kCount: break;
   }
   return "?";

@@ -12,7 +12,19 @@ std::string WorkloadSpec::describe() const {
     os << "/" << mix.scan_pct << "/" << mix.delete_pct;
   }
   os << " seed=" << seed << (scramble ? " scrambled" : " consecutive");
+  if (key_domain == KeyDomain::kBytes) {
+    os << " domain=bytes style=" << key_style_name(key_style)
+       << " vbytes=" << value_bytes;
+  }
   return os.str();
+}
+
+WorkloadSpec WorkloadSpec::ycsb_e() {
+  WorkloadSpec w;
+  w.mix = OpMix{0, 5, 95, 0};
+  w.dist = DistKind::kZipfian;
+  w.dist_param = 0.5;
+  return w;
 }
 
 }  // namespace euno::workload

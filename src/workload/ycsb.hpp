@@ -14,6 +14,7 @@
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "workload/distributions.hpp"
+#include "workload/strkeys.hpp"
 
 namespace euno::workload {
 
@@ -47,6 +48,19 @@ struct WorkloadSpec {
   bool scramble = true;     // hash-permute ranks over the key space
   std::uint32_t scan_len = 16;
   std::uint64_t seed = 42;
+
+  // Bytes-domain extension (DESIGN.md §16). With key_domain == kBytes the
+  // driver maps every sampled key id through a StringKeySpace(key_style,
+  // seed) and attaches a value_bytes-long payload behind the tree's value
+  // indirection. u64 runs ignore all three fields and describe() appends
+  // nothing for them, keeping historical manifests byte-identical.
+  KeyDomain key_domain = KeyDomain::kU64;
+  KeyStyle key_style = KeyStyle::kUrl;
+  std::uint32_t value_bytes = 32;
+
+  /// YCSB workload E: scan-heavy (95% short range scans, 5% inserts),
+  /// Zipfian start keys. The caller picks key_domain/scan_len on top.
+  static WorkloadSpec ycsb_e();
 
   std::string describe() const;
 };

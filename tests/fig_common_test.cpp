@@ -102,6 +102,40 @@ TEST(BenchArgsDeathTest, RejectsNonPositiveDeadline) {
               "--deadline-us=5ms");
 }
 
+TEST(BenchArgs, KeyDomainAndScanLenParse) {
+  const auto d = parse({});
+  EXPECT_EQ(d.key_domain, "");  // empty = bench default (fig_scan: bytes)
+  EXPECT_EQ(d.scan_len, 0u);    // 0 = bench default
+  const auto a = parse({"--key-domain=bytes", "--scan-len=64"});
+  EXPECT_EQ(a.key_domain, "bytes");
+  EXPECT_EQ(a.scan_len, 64u);
+  EXPECT_EQ(parse({"--key-domain=u64"}).key_domain, "u64");
+}
+
+TEST(BenchArgsDeathTest, RejectsUnknownKeyDomain) {
+  // Exact-literal matching: a typo'd domain must not fall back to u64 and
+  // silently bench the wrong thing. Exit 2 with the usage line.
+  EXPECT_EXIT(parse({"--key-domain=Bytes"}), ::testing::ExitedWithCode(2),
+              "--key-domain=Bytes");
+  EXPECT_EXIT(parse({"--key-domain=byte"}), ::testing::ExitedWithCode(2),
+              "--key-domain=byte");
+  EXPECT_EXIT(parse({"--key-domain=str"}), ::testing::ExitedWithCode(2),
+              "--key-domain=str");
+  EXPECT_EXIT(parse({"--key-domain="}), ::testing::ExitedWithCode(2),
+              "--key-domain=");
+}
+
+TEST(BenchArgsDeathTest, RejectsDegenerateScanLen) {
+  // scan-len=0 would make every scan a no-op (vacuously passing exit
+  // checks); junk and absurd lengths are config bugs.
+  EXPECT_EXIT(parse({"--scan-len=0"}), ::testing::ExitedWithCode(2),
+              "--scan-len=0");
+  EXPECT_EXIT(parse({"--scan-len=16k"}), ::testing::ExitedWithCode(2),
+              "--scan-len=16k");
+  EXPECT_EXIT(parse({"--scan-len=9999999"}), ::testing::ExitedWithCode(2),
+              "--scan-len=9999999");
+}
+
 TEST(BenchArgsDeathTest, RejectsNonPositiveMetricsInterval) {
   // A zero window would divide the run into infinitely many windows; the
   // flag's documented "0 = off" spelling is *omitting* it, not passing 0.

@@ -50,6 +50,47 @@ TEST(TreeRegistry, EveryEntryHasBothFactories) {
   }
 }
 
+TEST(TreeRegistry, StrFactoriesIffBytesDomain) {
+  // The string factories and the bytes capability travel together: a kBytes
+  // entry without them would crash the driver's bytes dispatch, and a kU64
+  // entry with them would advertise a surface the trait layer can't serve.
+  std::size_t bytes_entries = 0;
+  for (const auto& e : tree_registry().entries()) {
+    const bool is_bytes = e.caps.key_domain == trees::KeyDomain::kBytes;
+    EXPECT_EQ(e.make_sim_str != nullptr, is_bytes) << e.name;
+    EXPECT_EQ(e.make_native_str != nullptr, is_bytes) << e.name;
+    if (is_bytes) {
+      ++bytes_entries;
+      // Codec-wrapped str trees are swept by the conformance battery but
+      // stay out of the u64 figure sweeps, the ablation ladder and the
+      // u64-kind lin harness enum (they have their own LinKinds).
+      EXPECT_FALSE(e.caps.figure_default) << e.name;
+      EXPECT_FALSE(e.caps.ablation_rung) << e.name;
+      EXPECT_FALSE(e.caps.lin) << e.name;
+      EXPECT_EQ(e.name.rfind("str-", 0), 0u)
+          << e.name << ": bytes-domain slugs carry the str- prefix";
+      EXPECT_EQ(e.display.rfind("Str-", 0), 0u) << e.display;
+    }
+  }
+  EXPECT_GE(bytes_entries, 2u)
+      << "acceptance floor: at least two bytes-domain trees registered";
+
+  const auto* str_htm = tree_registry().by_name("str-htm-bptree");
+  ASSERT_NE(str_htm, nullptr);
+  EXPECT_TRUE(str_htm->caps.uses_htm);
+  EXPECT_EQ(str_htm->display, "Str-HTM-B+Tree");
+
+  const auto* str_mass = tree_registry().by_name("str-masstree");
+  ASSERT_NE(str_mass, nullptr);
+  EXPECT_FALSE(str_mass->caps.uses_htm);
+  EXPECT_FALSE(str_mass->caps.has_global_fallback);
+
+  const auto* str_lock = tree_registry().by_name("str-lock-bptree");
+  ASSERT_NE(str_lock, nullptr);
+  EXPECT_FALSE(str_lock->caps.uses_htm);
+  EXPECT_FALSE(str_lock->caps.has_global_fallback);
+}
+
 TEST(TreeRegistry, BuiltinsPresentWithExpectedCaps) {
   // The paper's four figure trees plus the post-refactor Euno-SkipList,
   // RCU-HTM-B+Tree and 3Path-B+Tree.
